@@ -1,0 +1,228 @@
+(* JavaTime command-line interface.
+
+   javatime check <file.mj>     — parse, type-check, report policy violations
+   javatime refine <file.mj>    — run SFR; print the trace and the refined program
+   javatime run <file.mj> <cls> — execute the static main() of a class
+   javatime size <file.mj>      — per-class and total bytecode size
+   javatime bound <file.mj> <cls> — worst-case reaction bound of an ASR class
+   javatime disasm <file.mj>    — dump compiled bytecode *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let handle f =
+  try f () with
+  | Mj.Diag.Compile_error d ->
+      Format.eprintf "%a@." Mj.Diag.pp d;
+      exit 1
+  | Mj_runtime.Heap.Runtime_error msg ->
+      Format.eprintf "runtime error: %s@." msg;
+      exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mj")
+
+let class_arg =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"CLASS")
+
+let check_cmd =
+  let run file policy =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let violations =
+          match policy with
+          | "asr" -> Policy.Asr_policy.check checked
+          | "sdf" -> Policy.Sdf_policy.check checked
+          | other ->
+              Format.eprintf "unknown policy '%s' (asr|sdf)@." other;
+              exit 1
+        in
+        Policy.Rule.pp_report Format.std_formatter violations;
+        List.iter
+          (fun f ->
+            Format.printf "note: %a@." Mj.Definite_assignment.pp_finding f)
+          (Mj.Definite_assignment.check checked.Mj.Typecheck.program);
+        if List.exists Policy.Rule.is_blocking violations then exit 2)
+  in
+  let policy_arg =
+    Arg.(value & opt string "asr" & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Policy of use: asr (synchronous reactive) or sdf (dataflow)")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Type-check and verify a policy of use")
+    Term.(const run $ file_arg $ policy_arg)
+
+let refine_cmd =
+  let run file print_program policy =
+    handle (fun () ->
+        let program = Mj.Parser.parse_program ~file (read_file file) in
+        let policy =
+          match policy with
+          | "asr" -> Policy.Asr_policy.rules
+          | "sdf" -> Policy.Sdf_policy.rules
+          | other ->
+              Format.eprintf "unknown policy '%s' (asr|sdf)@." other;
+              exit 1
+        in
+        let outcome = Javatime.Engine.refine ~policy program in
+        Javatime.Engine.pp_trace Format.std_formatter outcome;
+        if print_program then begin
+          print_newline ();
+          print_string (Mj.Pretty.program_to_string outcome.Javatime.Engine.final)
+        end)
+  in
+  let print_flag =
+    Arg.(value & flag & info [ "p"; "print" ] ~doc:"Print the refined program")
+  in
+  let policy_arg =
+    Arg.(value & opt string "asr" & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Target policy of use: asr or sdf")
+  in
+  Cmd.v
+    (Cmd.info "refine" ~doc:"Apply successive formal refinement")
+    Term.(const run $ file_arg $ print_flag $ policy_arg)
+
+let run_cmd =
+  let run file cls engine =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let output =
+          match engine with
+          | "interp" ->
+              let s = Mj_runtime.Interp.create checked in
+              Mj_runtime.Interp.run_main s cls;
+              Mj_runtime.Interp.output s
+          | "vm" ->
+              let s = Mj_bytecode.Vm.create checked in
+              Mj_bytecode.Vm.run_main s cls;
+              Mj_bytecode.Vm.output s
+          | "jit" ->
+              let s = Mj_bytecode.Jit.create checked in
+              Mj_bytecode.Jit.run_main s cls;
+              Mj_bytecode.Jit.output s
+          | other ->
+              Format.eprintf "unknown engine '%s' (interp|vm|jit)@." other;
+              exit 1
+        in
+        print_string output)
+  in
+  let engine_arg =
+    Arg.(value & opt string "vm" & info [ "e"; "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: interp, vm or jit")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute the static main() of a class")
+    Term.(const run $ file_arg $ class_arg $ engine_arg)
+
+let size_cmd =
+  let run file =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let image = Mj_bytecode.Compile.compile checked in
+        let classes =
+          List.map (fun c -> c.Mj.Ast.cl_name) checked.Mj.Typecheck.program.classes
+        in
+        List.iter
+          (fun cls ->
+            Printf.printf "%8d  %s\n"
+              (Mj_bytecode.Classfile.class_size image cls)
+              cls)
+          classes;
+        Printf.printf "%8d  total\n"
+          (Mj_bytecode.Classfile.program_size image ~classes))
+  in
+  Cmd.v
+    (Cmd.info "size" ~doc:"Serialized bytecode size per class")
+    Term.(const run $ file_arg)
+
+let bound_cmd =
+  let run file cls =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        match Policy.Time_bound.reaction_bound checked ~cls with
+        | Policy.Time_bound.Cycles n ->
+            Printf.printf "%s.run: bounded, %d cycles worst case\n" cls n
+        | Policy.Time_bound.Unbounded why ->
+            Printf.printf "%s.run: unbounded (%s)\n" cls why;
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Worst-case reaction bound of an ASR class")
+    Term.(const run $ file_arg $ class_arg)
+
+let metrics_cmd =
+  let run file =
+    handle (fun () ->
+        let program = Mj.Parser.parse_program ~file (read_file file) in
+        Mj.Metrics.pp_table Format.std_formatter (Mj.Metrics.of_program program);
+        let totals = Mj.Metrics.totals program in
+        Printf.printf
+          "totals: %d class(es), %d field(s), %d method(s), %d statement(s), %d expression(s)\n"
+          totals.Mj.Metrics.pt_classes totals.Mj.Metrics.pt_fields
+          totals.Mj.Metrics.pt_methods totals.Mj.Metrics.pt_statements
+          totals.Mj.Metrics.pt_expressions)
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Program metrics (size, decisions, nesting)")
+    Term.(const run $ file_arg)
+
+let disasm_cmd =
+  let run file optimize =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let image = Mj_bytecode.Compile.compile checked in
+        let image =
+          if optimize then Mj_bytecode.Optimize.image image else image
+        in
+        Hashtbl.iter
+          (fun _ mc -> Format.printf "%a@." Mj_bytecode.Instr.pp_method mc)
+          image.Mj_bytecode.Compile.im_methods)
+  in
+  let optimize_arg =
+    Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the peephole optimizer")
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Dump compiled bytecode")
+    Term.(const run $ file_arg $ optimize_arg)
+
+let bundled_designs =
+  [ ("fir", lazy Workloads.Fir_mj.unrestricted_source);
+    ("traffic", lazy Workloads.Traffic_mj.source);
+    ("elevator", lazy Workloads.Elevator_mj.source);
+    ("fig8", lazy Workloads.Fig8_mj.threaded_source);
+    ("fig8-blocks", lazy Workloads.Fig8_mj.refined_blocks_source);
+    ("uart", lazy Workloads.Uart_mj.source);
+    ("jpeg-unrestricted",
+     lazy (Workloads.Jpeg_mj.unrestricted_source ~width:48 ~height:40 ()));
+    ("jpeg-restricted",
+     lazy (Workloads.Jpeg_mj.restricted_source ~width:48 ~height:40 ())) ]
+
+let demo_cmd =
+  let run name =
+    match name with
+    | None ->
+        List.iter (fun (n, _) -> print_endline n) bundled_designs;
+        print_endline "\nuse 'javatime demo <name> > design.mj' to export one"
+    | Some name -> (
+        match List.assoc_opt name bundled_designs with
+        | Some src -> print_string (Lazy.force src)
+        | None ->
+            Format.eprintf "unknown design '%s'@." name;
+            exit 1)
+  in
+  let name_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME") in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"List or print the bundled MJ design examples")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "design and specification of embedded systems by successive formal refinement" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "javatime" ~version:"1.0.0" ~doc)
+          [ check_cmd; refine_cmd; run_cmd; size_cmd; bound_cmd; metrics_cmd; disasm_cmd; demo_cmd ]))

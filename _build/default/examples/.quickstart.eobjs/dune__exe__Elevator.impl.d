@@ -1,0 +1,1 @@
+examples/elevator.ml: Asr Format Javatime List Mj Option Policy Printf Workloads

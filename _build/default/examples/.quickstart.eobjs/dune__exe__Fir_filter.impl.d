@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Array Asr Javatime List Mj Option Printf String Workloads

@@ -1,0 +1,1 @@
+examples/jpeg_pipeline.ml: Asr Format Javatime Mj Policy Printf Workloads

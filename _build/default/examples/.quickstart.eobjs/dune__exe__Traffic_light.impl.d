@@ -1,0 +1,1 @@
+examples/traffic_light.ml: Asr Format Javatime List Mj Option Policy Printf Workloads

@@ -1,0 +1,118 @@
+(* Two routes to the same FIR filter:
+
+   1. the MJ design, automatically refined to policy compliance and
+      elaborated as an ASR block;
+   2. a native ASR graph of gains, adders and delay elements.
+
+   Both are driven with the same sample stream; the MJ route is also
+   cross-checked against a plain OCaml model. *)
+
+let taps = Workloads.Fir_mj.taps
+
+(* Tap of age k carries the sample from k instants ago and gets weight
+   taps - k, matching the MJ design's coefficients 1..taps. *)
+let native_fir_graph () =
+  let g = Asr.Graph.create "fir_native" in
+  let input = Asr.Graph.add_input g "x" in
+  let output = Asr.Graph.add_output g "y" in
+  let fanout = Asr.Graph.add_block g (Asr.Block.fork 2) in
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port input 0)
+    ~dst:(Asr.Graph.in_port fanout 0);
+  let delays =
+    Array.init (taps - 1) (fun _ -> Asr.Graph.add_delay g ~init:(Asr.Domain.int 0))
+  in
+  let forks =
+    Array.init (taps - 2) (fun _ -> Asr.Graph.add_block g (Asr.Block.fork 2))
+  in
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port fanout 1)
+    ~dst:(Asr.Graph.in_port delays.(0) 0);
+  for i = 0 to taps - 3 do
+    Asr.Graph.connect g ~src:(Asr.Graph.out_port delays.(i) 0)
+      ~dst:(Asr.Graph.in_port forks.(i) 0);
+    Asr.Graph.connect g ~src:(Asr.Graph.out_port forks.(i) 0)
+      ~dst:(Asr.Graph.in_port delays.(i + 1) 0)
+  done;
+  let gain k src =
+    let b = Asr.Graph.add_block g (Asr.Block.gain k) in
+    Asr.Graph.connect g ~src ~dst:(Asr.Graph.in_port b 0);
+    b
+  in
+  let weighted =
+    List.init taps (fun age ->
+        if age = 0 then gain taps (Asr.Graph.out_port fanout 0)
+        else
+          let src =
+            if age <= taps - 2 then Asr.Graph.out_port forks.(age - 1) 1
+            else Asr.Graph.out_port delays.(taps - 2) 0
+          in
+          gain (taps - age) src)
+  in
+  let sum =
+    match weighted with
+    | first :: rest ->
+        List.fold_left
+          (fun acc tap ->
+            let adder = Asr.Graph.add_block g Asr.Block.add in
+            Asr.Graph.connect g ~src:(Asr.Graph.out_port acc 0)
+              ~dst:(Asr.Graph.in_port adder 0);
+            Asr.Graph.connect g ~src:(Asr.Graph.out_port tap 0)
+              ~dst:(Asr.Graph.in_port adder 1);
+            adder)
+          first rest
+    | [] -> assert false
+  in
+  let sum = ref sum in
+  let norm =
+    Asr.Block.map1 ~name:"norm" (function
+      | Asr.Data.Int n -> Asr.Data.Int (n / 36)
+      | v -> v)
+  in
+  let norm_b = Asr.Graph.add_block g norm in
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port !sum 0)
+    ~dst:(Asr.Graph.in_port norm_b 0);
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port norm_b 0)
+    ~dst:(Asr.Graph.in_port output 0);
+  g
+
+let () =
+  let samples = [ 100; 200; -50; 0; 300; 120; 5; 60; 70; 80; 90; -10 ] in
+
+  let outcome =
+    Javatime.Engine.refine
+      (Mj.Parser.parse_program ~file:"fir.mj" Workloads.Fir_mj.unrestricted_source)
+  in
+  Printf.printf "MJ FIR refined to compliance: %b (in %d iterations)\n"
+    outcome.Javatime.Engine.compliant
+    (List.length outcome.Javatime.Engine.steps);
+  let e =
+    Javatime.Elaborate.elaborate outcome.Javatime.Engine.checked ~cls:"FirFilter"
+  in
+  let mj_outputs =
+    List.map
+      (fun x ->
+        match Javatime.Elaborate.react e [| Asr.Domain.int x |] with
+        | [| v |] -> Option.value ~default:min_int (Asr.Domain.to_int v)
+        | _ -> assert false)
+      samples
+  in
+
+  let g = native_fir_graph () in
+  Printf.printf "native graph: %s\n" (Asr.Render.summary g);
+  let sim = Asr.Simulate.create g in
+  let native_outputs =
+    List.map
+      (fun x ->
+        match Asr.Simulate.step sim [ ("x", Asr.Domain.int x) ] with
+        | [ ("y", v) ] -> Option.value ~default:min_int (Asr.Domain.to_int v)
+        | _ -> assert false)
+      samples
+  in
+
+  let reference = Workloads.Fir_mj.reference samples in
+  let show l = String.concat " " (List.map string_of_int l) in
+  Printf.printf "samples:   %s\n" (show samples);
+  Printf.printf "mj:        %s\n" (show mj_outputs);
+  Printf.printf "native:    %s\n" (show native_outputs);
+  Printf.printf "reference: %s\n" (show reference);
+  Printf.printf "all equal: %b\n"
+    (mj_outputs = reference && native_outputs = reference)

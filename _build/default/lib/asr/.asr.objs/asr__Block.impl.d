@@ -1,0 +1,1 @@
+lib/asr/block.ml: Array Data Domain Printf

@@ -1,0 +1,1 @@
+lib/asr/block.mli: Data Domain

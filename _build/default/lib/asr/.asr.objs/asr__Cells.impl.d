@@ -1,0 +1,1 @@
+lib/asr/cells.ml: Array Block Data Domain Graph Printf

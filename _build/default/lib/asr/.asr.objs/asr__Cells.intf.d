@@ -1,0 +1,1 @@
+lib/asr/cells.mli: Block Data Graph

@@ -1,0 +1,1 @@
+lib/asr/compose.ml: Array Block Data Domain Fixpoint Graph Instant List Printf

@@ -1,0 +1,1 @@
+lib/asr/compose.mli: Block Graph Instant

@@ -1,0 +1,1 @@
+lib/asr/data.ml: Array Float Format List String

@@ -1,0 +1,1 @@
+lib/asr/data.mli: Format

@@ -1,0 +1,1 @@
+lib/asr/domain.ml: Data Format Printf

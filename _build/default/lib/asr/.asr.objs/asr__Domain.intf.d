@@ -1,0 +1,1 @@
+lib/asr/domain.mli: Data Format

@@ -1,0 +1,1 @@
+lib/asr/fixpoint.ml: Array Block Domain Graph List Printf String

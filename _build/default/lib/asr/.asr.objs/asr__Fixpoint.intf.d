@@ -1,0 +1,1 @@
+lib/asr/fixpoint.mli: Domain Graph

@@ -1,0 +1,1 @@
+lib/asr/graph.ml: Array Block Domain Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/asr/graph.mli: Block Domain

@@ -1,0 +1,1 @@
+lib/asr/instant.ml: Format List String

@@ -1,0 +1,1 @@
+lib/asr/render.ml: Block Buffer Domain Format Graph List Printf

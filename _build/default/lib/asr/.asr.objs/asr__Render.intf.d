@@ -1,0 +1,1 @@
+lib/asr/render.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/asr/simulate.ml: Array Domain Fixpoint Graph List

@@ -1,0 +1,1 @@
+lib/asr/simulate.mli: Domain Graph

@@ -1,0 +1,1 @@
+lib/asr/waves.ml: Buffer Domain List Option Simulate String

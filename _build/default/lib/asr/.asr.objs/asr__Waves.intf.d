@@ -1,0 +1,1 @@
+lib/asr/waves.mli: Domain Simulate

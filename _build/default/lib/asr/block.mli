@@ -1,0 +1,51 @@
+(** Functional blocks: monotone functions from input signal vectors to
+    output signal vectors, computed "instantaneously" within an instant.
+
+    A block function receives the current (possibly partial) input
+    vector and must be monotone: given more-defined inputs it may only
+    produce more-defined (never different) outputs. Strict blocks — the
+    common case — output ⊥ until all inputs are defined; {!strict}
+    builds those. Non-strict blocks (e.g. a multiplexer that can decide
+    from the select input alone) take the raw vector. *)
+
+type t = {
+  name : string;
+  n_in : int;
+  n_out : int;
+  fn : Domain.t array -> Domain.t array;
+}
+
+val make : name:string -> n_in:int -> n_out:int -> (Domain.t array -> Domain.t array) -> t
+(** Wraps [fn] with arity checks on every application. *)
+
+val strict : name:string -> n_in:int -> n_out:int -> (Data.t array -> Data.t array) -> t
+(** Outputs ⊥ on all ports until every input is defined. *)
+
+val apply : t -> Domain.t array -> Domain.t array
+(** Apply with arity checking. *)
+
+val monotone_on : t -> Domain.t array -> Domain.t array -> bool
+(** [monotone_on b lo hi] checks the monotonicity law for one pair of
+    comparable input vectors (testing helper). *)
+
+(** {1 Standard cells} *)
+
+val const : name:string -> Data.t -> t
+val map1 : name:string -> (Data.t -> Data.t) -> t
+val map2 : name:string -> (Data.t -> Data.t -> Data.t) -> t
+val add : t
+val sub : t
+val mul : t
+val gain : int -> t
+val neg : t
+val logical_and : t
+val logical_or : t
+val logical_not : t
+val mux : t
+(** 3 inputs: select (bool), then-branch, else-branch. Non-strict: the
+    unselected branch may be ⊥. *)
+
+val fork : int -> t
+(** 1 input, n equal outputs. *)
+
+val identity : t

@@ -1,0 +1,76 @@
+let saturating_add ~lo ~hi =
+  Block.map2 ~name:(Printf.sprintf "satadd[%d,%d]" lo hi) (fun a b ->
+      match (a, b) with
+      | Data.Int x, Data.Int y ->
+          let s = x + y in
+          Data.Int (if s < lo then lo else if s > hi then hi else s)
+      | _ -> invalid_arg "saturating_add: non-integer operands")
+
+let comparator =
+  Block.strict ~name:"cmp" ~n_in:2 ~n_out:3 (fun vs ->
+      match (vs.(0), vs.(1)) with
+      | Data.Int a, Data.Int b ->
+          [| Data.Bool (a < b); Data.Bool (a = b); Data.Bool (a > b) |]
+      | _ -> invalid_arg "comparator: non-integer operands")
+
+let decoder2 =
+  Block.strict ~name:"decode2" ~n_in:1 ~n_out:2 (fun vs ->
+      match vs.(0) with
+      | Data.Int 0 -> [| Data.Bool true; Data.Bool false |]
+      | Data.Int 1 -> [| Data.Bool false; Data.Bool true |]
+      | v -> invalid_arg (Printf.sprintf "decoder2: %s out of range" (Data.to_string v)))
+
+(* q' = en ? d : q, carried by a delay. *)
+let register ~init =
+  let g = Graph.create "register" in
+  let en = Graph.add_input g "en" in
+  let d = Graph.add_input g "d" in
+  let q = Graph.add_output g "q" in
+  let mux = Graph.add_block g Block.mux in
+  let delay = Graph.add_delay g ~init:(Domain.def init) in
+  let fork = Graph.add_block g (Block.fork 2) in
+  Graph.connect g ~src:(Graph.out_port en 0) ~dst:(Graph.in_port mux 0);
+  Graph.connect g ~src:(Graph.out_port d 0) ~dst:(Graph.in_port mux 1);
+  Graph.connect g ~src:(Graph.out_port delay 0) ~dst:(Graph.in_port fork 0);
+  Graph.connect g ~src:(Graph.out_port fork 0) ~dst:(Graph.in_port mux 2);
+  Graph.connect g ~src:(Graph.out_port fork 1) ~dst:(Graph.in_port q 0);
+  Graph.connect g ~src:(Graph.out_port mux 0) ~dst:(Graph.in_port delay 0);
+  g
+
+(* count' = reset ? 0 : count + 1; output is the updated value so the
+   reset instant reads 0. *)
+let counter () =
+  let g = Graph.create "counter" in
+  let reset = Graph.add_input g "reset" in
+  let count = Graph.add_output g "count" in
+  let delay = Graph.add_delay g ~init:(Domain.int (-1)) in
+  let one = Graph.add_block g (Block.const ~name:"one" (Data.Int 1)) in
+  let add = Graph.add_block g Block.add in
+  let zero = Graph.add_block g (Block.const ~name:"zero" (Data.Int 0)) in
+  let mux = Graph.add_block g Block.mux in
+  let fork = Graph.add_block g (Block.fork 2) in
+  Graph.connect g ~src:(Graph.out_port delay 0) ~dst:(Graph.in_port add 0);
+  Graph.connect g ~src:(Graph.out_port one 0) ~dst:(Graph.in_port add 1);
+  Graph.connect g ~src:(Graph.out_port reset 0) ~dst:(Graph.in_port mux 0);
+  Graph.connect g ~src:(Graph.out_port zero 0) ~dst:(Graph.in_port mux 1);
+  Graph.connect g ~src:(Graph.out_port add 0) ~dst:(Graph.in_port mux 2);
+  Graph.connect g ~src:(Graph.out_port mux 0) ~dst:(Graph.in_port fork 0);
+  Graph.connect g ~src:(Graph.out_port fork 0) ~dst:(Graph.in_port count 0);
+  Graph.connect g ~src:(Graph.out_port fork 1) ~dst:(Graph.in_port delay 0);
+  g
+
+let edge_detector () =
+  let g = Graph.create "edge" in
+  let input = Graph.add_input g "sig" in
+  let output = Graph.add_output g "edge" in
+  let fork = Graph.add_block g (Block.fork 2) in
+  let delay = Graph.add_delay g ~init:(Domain.bool false) in
+  let not_prev = Graph.add_block g Block.logical_not in
+  let conj = Graph.add_block g Block.logical_and in
+  Graph.connect g ~src:(Graph.out_port input 0) ~dst:(Graph.in_port fork 0);
+  Graph.connect g ~src:(Graph.out_port fork 0) ~dst:(Graph.in_port conj 0);
+  Graph.connect g ~src:(Graph.out_port fork 1) ~dst:(Graph.in_port delay 0);
+  Graph.connect g ~src:(Graph.out_port delay 0) ~dst:(Graph.in_port not_prev 0);
+  Graph.connect g ~src:(Graph.out_port not_prev 0) ~dst:(Graph.in_port conj 1);
+  Graph.connect g ~src:(Graph.out_port conj 0) ~dst:(Graph.in_port output 0);
+  g

@@ -1,0 +1,30 @@
+(** Composed standard cells: small ASR subsystems built from the basic
+    blocks in {!Block} plus delay elements, then collapsed with
+    {!Compose} — dogfooding the paper's compositionality claim (an
+    aggregation of blocks is itself a block / a system).
+
+    Cells with state are returned as graphs (their delays must live at
+    the system level); purely combinational cells are returned as
+    blocks. *)
+
+val saturating_add : lo:int -> hi:int -> Block.t
+(** 2-in 1-out integer adder clamped to [lo, hi]. *)
+
+val comparator : Block.t
+(** 2-in 3-out: (a < b, a = b, a > b) as booleans. *)
+
+val decoder2 : Block.t
+(** 1-in 2-out one-hot decode of an int in {0, 1}. *)
+
+val register : init:Data.t -> Graph.t
+(** Enabled register: inputs ["en"] (bool) and ["d"]; output ["q"].
+    When [en] is true, [q] next instant takes [d]; otherwise it holds.
+    [q] this instant is the stored value. *)
+
+val counter : unit -> Graph.t
+(** Resettable up-counter: input ["reset"] (bool); output ["count"].
+    Counts instants since the last reset (the reset instant outputs 0). *)
+
+val edge_detector : unit -> Graph.t
+(** Rising-edge detector: input ["sig"] (bool); output ["edge"] true
+    exactly when [sig] is true and was false the previous instant. *)

@@ -1,0 +1,47 @@
+type t =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Str of string
+  | Int_array of int array
+  | Tuple of t list
+  | Absent
+
+let rec equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Real x, Real y -> Float.equal x y
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Int_array x, Int_array y ->
+      Array.length x = Array.length y
+      && (let same = ref true in
+          Array.iteri (fun i v -> if v <> y.(i) then same := false) x;
+          !same)
+  | Tuple x, Tuple y -> List.length x = List.length y && List.for_all2 equal x y
+  | Absent, Absent -> true
+  | (Int _ | Real _ | Bool _ | Str _ | Int_array _ | Tuple _ | Absent), _ ->
+      false
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Real f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int_array a ->
+      Format.fprintf ppf "[|";
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Format.pp_print_string ppf "; ";
+          Format.pp_print_int ppf v)
+        a;
+      Format.fprintf ppf "|]"
+  | Tuple parts ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        parts
+  | Absent -> Format.pp_print_string ppf "·"
+
+let to_string v = Format.asprintf "%a" pp v

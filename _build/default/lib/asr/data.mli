@@ -1,0 +1,23 @@
+(** Concrete values carried on ASR channels.
+
+    Channels carry "set-valued data" (paper §3); this is the value
+    universe used by the simulator and by elaborated MJ blocks. [Tuple]
+    exists so that spatial abstraction (Fig. 5) can collapse several
+    delay elements into a single vector-valued one. *)
+
+type t =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Str of string
+  | Int_array of int array
+  | Tuple of t list
+  | Absent
+      (** placeholder for an undefined component inside a [Tuple]; used
+          only by spatial abstraction to carry partial delay state *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,69 @@
+type result = {
+  nets : Domain.t array;
+  iterations : int;
+  block_evaluations : int;
+}
+
+exception Nonmonotonic of string
+
+let eval (c : Graph.compiled) ~inputs ~delay_values ?order () =
+  let nets = Array.make c.Graph.n_nets Domain.Bottom in
+  List.iter
+    (fun (label, v) ->
+      match Array.find_opt (fun (l, _) -> String.equal l label) c.Graph.c_inputs with
+      | Some (_, net) -> nets.(net) <- v
+      | None -> invalid_arg (Printf.sprintf "fixpoint: unknown input '%s'" label))
+    inputs;
+  if Array.length delay_values <> Array.length c.Graph.c_delays then
+    invalid_arg "fixpoint: delay vector length mismatch";
+  Array.iteri
+    (fun i (_, out_net, _) -> nets.(out_net) <- delay_values.(i))
+    c.Graph.c_delays;
+  let order =
+    match order with
+    | Some order -> order
+    | None -> Array.init (Array.length c.Graph.c_blocks) (fun i -> i)
+  in
+  let evaluations = ref 0 in
+  let sweeps = ref 0 in
+  (* Height of the product domain = number of nets; one extra sweep
+     detects stability, so n_nets + 2 sweeps suffice for monotone blocks. *)
+  let max_sweeps = c.Graph.n_nets + 2 in
+  let changed = ref true in
+  while !changed do
+    if !sweeps > max_sweeps then
+      raise (Nonmonotonic "fixpoint exceeded the monotone iteration bound");
+    changed := false;
+    incr sweeps;
+    Array.iter
+      (fun bi ->
+        let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
+        let inputs = Array.map (fun net -> nets.(net)) in_nets in
+        let outputs = Block.apply block inputs in
+        incr evaluations;
+        Array.iteri
+          (fun port v ->
+            let net = out_nets.(port) in
+            let merged =
+              try Domain.lub nets.(net) v
+              with Domain.Inconsistent msg ->
+                raise
+                  (Nonmonotonic
+                     (Printf.sprintf "block %s retracted output %d: %s"
+                        block.Block.name port msg))
+            in
+            if not (Domain.equal merged nets.(net)) then begin
+              nets.(net) <- merged;
+              changed := true
+            end)
+          outputs)
+      order
+  done;
+  { nets; iterations = !sweeps; block_evaluations = !evaluations }
+
+let outputs (c : Graph.compiled) result =
+  Array.to_list
+    (Array.map (fun (label, net) -> (label, result.nets.(net))) c.Graph.c_outputs)
+
+let delay_next (c : Graph.compiled) result =
+  Array.map (fun (in_net, _, _) -> result.nets.(in_net)) c.Graph.c_delays

@@ -1,0 +1,37 @@
+(** Fixed-point semantics of a single instant (paper §3, after Edwards).
+
+    All nets start at ⊥; environment inputs and delay outputs are then
+    fixed, and blocks are evaluated by chaotic iteration until no net
+    changes. Monotone blocks over the finite-height domain guarantee
+    convergence to the least fixed point, independent of evaluation
+    order — that order-independence is ASR determinism, and tests
+    randomize [order] to check it. *)
+
+type result = {
+  nets : Domain.t array;        (** value of every net at the fixed point *)
+  iterations : int;             (** full sweeps until convergence *)
+  block_evaluations : int;      (** total block applications *)
+}
+
+exception Nonmonotonic of string
+(** A block changed or retracted a defined output during iteration, or
+    iteration exceeded the theoretical bound — the block function is not
+    monotone. *)
+
+val eval :
+  Graph.compiled ->
+  inputs:(string * Domain.t) list ->
+  delay_values:Domain.t array ->
+  ?order:int array ->
+  unit ->
+  result
+(** [delay_values.(i)] is the output of the i-th delay this instant.
+    [order] permutes block evaluation (default: declaration order).
+    Unknown input names raise [Invalid_argument]; inputs not mentioned
+    are ⊥ (absent). *)
+
+val outputs : Graph.compiled -> result -> (string * Domain.t) list
+
+val delay_next : Graph.compiled -> result -> Domain.t array
+(** Values presented to each delay's input this instant — the delays'
+    outputs for the next instant. *)

@@ -1,0 +1,182 @@
+type node_id = int
+
+type endpoint = node_id * int
+
+type node_kind =
+  | Kblock of Block.t
+  | Kdelay of Domain.t
+  | Kinput of string
+  | Koutput of string
+
+type t = {
+  gname : string;
+  mutable rev_nodes : node_kind list;
+  mutable n_nodes : int;
+  mutable rev_channels : (endpoint * endpoint) list;
+}
+
+let create gname = { gname; rev_nodes = []; n_nodes = 0; rev_channels = [] }
+
+let name g = g.gname
+
+let add_node g kind =
+  let id = g.n_nodes in
+  g.rev_nodes <- kind :: g.rev_nodes;
+  g.n_nodes <- id + 1;
+  id
+
+let add_block g b = add_node g (Kblock b)
+
+let add_delay g ~init = add_node g (Kdelay init)
+
+let add_input g label = add_node g (Kinput label)
+
+let add_output g label = add_node g (Koutput label)
+
+let nodes g =
+  List.mapi (fun i kind -> (i, kind)) (List.rev g.rev_nodes)
+
+let channels g = List.rev g.rev_channels
+
+let node_kind g id =
+  match List.nth_opt (List.rev g.rev_nodes) id with
+  | Some kind -> kind
+  | None -> invalid_arg (Printf.sprintf "graph %s: no node %d" g.gname id)
+
+let arity_out g id =
+  match node_kind g id with
+  | Kblock b -> b.Block.n_out
+  | Kdelay _ -> 1
+  | Kinput _ -> 1
+  | Koutput _ -> 0
+
+let arity_in g id =
+  match node_kind g id with
+  | Kblock b -> b.Block.n_in
+  | Kdelay _ -> 1
+  | Kinput _ -> 0
+  | Koutput _ -> 1
+
+let node_label g id =
+  match node_kind g id with
+  | Kblock b -> Printf.sprintf "%s#%d" b.Block.name id
+  | Kdelay init -> Printf.sprintf "delay(%s)#%d" (Domain.to_string init) id
+  | Kinput label -> Printf.sprintf "in:%s" label
+  | Koutput label -> Printf.sprintf "out:%s" label
+
+let node_index id = id
+
+let out_port id port = (id, port)
+
+let in_port id port = (id, port)
+
+let connect g ~src:(src_id, src_port) ~dst:(dst_id, dst_port) =
+  if src_port < 0 || src_port >= arity_out g src_id then
+    invalid_arg
+      (Printf.sprintf "graph %s: %s has no output port %d" g.gname
+         (node_label g src_id) src_port);
+  if dst_port < 0 || dst_port >= arity_in g dst_id then
+    invalid_arg
+      (Printf.sprintf "graph %s: %s has no input port %d" g.gname
+         (node_label g dst_id) dst_port);
+  let already_driven =
+    List.exists
+      (fun (_, (d, p)) -> d = dst_id && p = dst_port)
+      g.rev_channels
+  in
+  if already_driven then
+    invalid_arg
+      (Printf.sprintf "graph %s: input port %d of %s is already driven"
+         g.gname dst_port (node_label g dst_id));
+  g.rev_channels <- ((src_id, src_port), (dst_id, dst_port)) :: g.rev_channels
+
+let block_count g =
+  List.length
+    (List.filter (function Kblock _ -> true | _ -> false) (List.rev g.rev_nodes))
+
+let delay_count g =
+  List.length
+    (List.filter (function Kdelay _ -> true | _ -> false) (List.rev g.rev_nodes))
+
+type compiled = {
+  n_nets : int;
+  c_blocks : (Block.t * int array * int array) array;
+  c_delays : (int * int * Domain.t) array;
+  c_inputs : (string * int) array;
+  c_outputs : (string * int) array;
+}
+
+let compile g =
+  let node_list = nodes g in
+  (* One net per (node, out port). *)
+  let net_of = Hashtbl.create 64 in
+  let n_nets = ref 0 in
+  List.iter
+    (fun (id, _) ->
+      for port = 0 to arity_out g id - 1 do
+        Hashtbl.replace net_of (id, port) !n_nets;
+        incr n_nets
+      done)
+    node_list;
+  (* Map each in-port to the net of its driver. *)
+  let driver = Hashtbl.create 64 in
+  List.iter
+    (fun (src, dst) -> Hashtbl.replace driver dst (Hashtbl.find net_of src))
+    (channels g);
+  let in_net id port =
+    match Hashtbl.find_opt driver (id, port) with
+    | Some net -> net
+    | None ->
+        invalid_arg
+          (Printf.sprintf "graph %s: input port %d of %s is not connected"
+             g.gname port (node_label g id))
+  in
+  let blocks = ref [] in
+  let delays = ref [] in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  List.iter
+    (fun (id, kind) ->
+      match kind with
+      | Kblock b ->
+          let ins = Array.init b.Block.n_in (fun p -> in_net id p) in
+          let outs = Array.init b.Block.n_out (fun p -> Hashtbl.find net_of (id, p)) in
+          blocks := (b, ins, outs) :: !blocks
+      | Kdelay init ->
+          delays := (in_net id 0, Hashtbl.find net_of (id, 0), init) :: !delays
+      | Kinput label -> inputs := (label, Hashtbl.find net_of (id, 0)) :: !inputs
+      | Koutput label -> outputs := (label, in_net id 0) :: !outputs)
+    node_list;
+  { n_nets = !n_nets;
+    c_blocks = Array.of_list (List.rev !blocks);
+    c_delays = Array.of_list (List.rev !delays);
+    c_inputs = Array.of_list (List.rev !inputs);
+    c_outputs = Array.of_list (List.rev !outputs) }
+
+(* Detect a channel cycle through blocks only: DFS on the block-to-block
+   reachability induced by channels, cutting edges at delays. *)
+let has_causality_cycle g =
+  let succ = Hashtbl.create 16 in
+  List.iter
+    (fun ((src_id, _), (dst_id, _)) ->
+      match (node_kind g src_id, node_kind g dst_id) with
+      | _, Kdelay _ -> () (* edge into a delay cuts the path *)
+      | _, _ ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt succ src_id) in
+          Hashtbl.replace succ src_id (dst_id :: existing))
+    (channels g);
+  let state = Hashtbl.create 16 in
+  (* 0 = in progress, 1 = done *)
+  let rec visit id =
+    match Hashtbl.find_opt state id with
+    | Some 0 -> true
+    | Some _ -> false
+    | None ->
+        Hashtbl.replace state id 0;
+        let cyclic =
+          List.exists visit (Option.value ~default:[] (Hashtbl.find_opt succ id))
+        in
+        Hashtbl.replace state id 1;
+        cyclic
+  in
+  List.exists (fun (id, _) -> visit id) (nodes g)

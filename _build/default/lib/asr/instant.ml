@@ -1,0 +1,43 @@
+type t = { label : string; mutable children : t list }
+
+let make label = { label; children = [] }
+
+let add_child node label =
+  let child = make label in
+  node.children <- node.children @ [ child ];
+  child
+
+let rec leaf_count node =
+  match node.children with
+  | [] -> 1
+  | children -> List.fold_left (fun acc c -> acc + leaf_count c) 0 children
+
+let rec depth node =
+  match node.children with
+  | [] -> 1
+  | children -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec count node =
+  1 + List.fold_left (fun acc c -> acc + count c) 0 node.children
+
+let pp ppf root =
+  let rec go prefix is_last node =
+    Format.fprintf ppf "%s%s%s@." prefix
+      (if String.equal prefix "" then "" else if is_last then "`- " else "|- ")
+      node.label;
+    let child_prefix =
+      if String.equal prefix "" then "   "
+      else prefix ^ if is_last then "   " else "|  "
+    in
+    let rec each = function
+      | [] -> ()
+      | [ last ] -> go child_prefix true last
+      | c :: rest ->
+          go child_prefix false c;
+          each rest
+    in
+    each node.children
+  in
+  go "" true root
+
+let to_string node = Format.asprintf "%a" pp node

@@ -1,0 +1,25 @@
+(** Hierarchically nested instants (paper §3, Fig. 4).
+
+    Time in ASR is a partially ordered, nestable set of instants: the
+    reaction of a composite block is one instant from the outside and a
+    tree of sub-instants inside. This module records such trees. *)
+
+type t = { label : string; mutable children : t list }
+
+val make : string -> t
+
+val add_child : t -> string -> t
+(** Append a child and return it. *)
+
+val leaf_count : t -> int
+
+val depth : t -> int
+(** A single node has depth 1. *)
+
+val count : t -> int
+(** Total number of nodes. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII tree rendering. *)
+
+val to_string : t -> string

@@ -1,0 +1,69 @@
+let endpoint_label g (id, port) ~dir =
+  let base = Graph.node_label g id in
+  match dir with
+  | `Out -> Printf.sprintf "%s.out%d" base port
+  | `In -> Printf.sprintf "%s.in%d" base port
+
+let pp ppf g =
+  let nodes = Graph.nodes g in
+  let channels = Graph.channels g in
+  Format.fprintf ppf "system %s (blocks=%d delays=%d channels=%d)@."
+    (Graph.name g) (Graph.block_count g) (Graph.delay_count g)
+    (List.length channels);
+  List.iter
+    (fun (id, _) ->
+      Format.fprintf ppf "  n%-3d %s@." (Graph.node_index id)
+        (Graph.node_label g id))
+    nodes;
+  List.iter
+    (fun (src, dst) ->
+      Format.fprintf ppf "  %-28s --> %s@."
+        (endpoint_label g src ~dir:`Out)
+        (endpoint_label g dst ~dir:`In))
+    channels
+
+let to_string g = Format.asprintf "%a" pp g
+
+let summary g =
+  let inputs =
+    List.length
+      (List.filter
+         (fun (_, k) -> match k with Graph.Kinput _ -> true | _ -> false)
+         (Graph.nodes g))
+  in
+  let outputs =
+    List.length
+      (List.filter
+         (fun (_, k) -> match k with Graph.Koutput _ -> true | _ -> false)
+         (Graph.nodes g))
+  in
+  Printf.sprintf "blocks=%d delays=%d channels=%d inputs=%d outputs=%d"
+    (Graph.block_count g) (Graph.delay_count g)
+    (List.length (Graph.channels g))
+    inputs outputs
+
+let to_dot g =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=LR;\n" (Graph.name g));
+  List.iter
+    (fun (id, kind) ->
+      let n = Graph.node_index id in
+      let attrs =
+        match kind with
+        | Graph.Kblock b -> Printf.sprintf "label=%S shape=box" b.Block.name
+        | Graph.Kdelay init ->
+            Printf.sprintf "label=\"delay %s\" shape=box style=filled fillcolor=gray80"
+              (Domain.to_string init)
+        | Graph.Kinput label -> Printf.sprintf "label=%S shape=ellipse" label
+        | Graph.Koutput label -> Printf.sprintf "label=%S shape=ellipse" label
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" n attrs))
+    (Graph.nodes g);
+  List.iter
+    (fun ((src, sp), (dst, dp)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [taillabel=\"%d\" headlabel=\"%d\"];\n"
+           (Graph.node_index src) (Graph.node_index dst) sp dp))
+    (Graph.channels g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

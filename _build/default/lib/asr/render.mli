@@ -1,0 +1,23 @@
+(** Textual rendering of ASR system graphs (for the Fig. 3 demo and
+    tooling output). *)
+
+val pp : Format.formatter -> Graph.t -> unit
+(** Node inventory followed by the channel list, in the style
+
+    {v
+    system feedback (blocks=2 delays=1)
+      n0  in:x
+      n1  add#1
+      ...
+      in:x        --> add#1.in0
+      add#1.out0  --> out:y
+    v} *)
+
+val to_string : Graph.t -> string
+
+val summary : Graph.t -> string
+(** One-line "blocks=N delays=M channels=K inputs=I outputs=O". *)
+
+val to_dot : Graph.t -> string
+(** Graphviz rendering: blocks as boxes, delays as shaded boxes (the
+    paper's Fig. 3 convention), environment ports as ellipses. *)

@@ -1,0 +1,55 @@
+type trace_entry = {
+  instant : int;
+  inputs : (string * Domain.t) list;
+  outputs : (string * Domain.t) list;
+  iterations : int;
+}
+
+type t = {
+  compiled : Graph.compiled;
+  order : int array option;
+  mutable delays : Domain.t array;
+  mutable instant : int;
+}
+
+let initial_delays compiled =
+  Array.map (fun (_, _, init) -> init) compiled.Graph.c_delays
+
+let create ?order graph =
+  let compiled = Graph.compile graph in
+  { compiled; order; delays = initial_delays compiled; instant = 0 }
+
+let step t inputs =
+  let result =
+    match t.order with
+    | Some order ->
+        Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ~order ()
+    | None -> Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ()
+  in
+  t.delays <- Fixpoint.delay_next t.compiled result;
+  t.instant <- t.instant + 1;
+  Fixpoint.outputs t.compiled result
+
+let run t stream =
+  List.map
+    (fun inputs ->
+      let instant = t.instant in
+      let result =
+        match t.order with
+        | Some order ->
+            Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ~order ()
+        | None -> Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ()
+      in
+      t.delays <- Fixpoint.delay_next t.compiled result;
+      t.instant <- t.instant + 1;
+      { instant; inputs; outputs = Fixpoint.outputs t.compiled result;
+        iterations = result.Fixpoint.iterations })
+    stream
+
+let instant_count t = t.instant
+
+let delay_state t = Array.copy t.delays
+
+let reset t =
+  t.delays <- initial_delays t.compiled;
+  t.instant <- 0

@@ -1,0 +1,32 @@
+(** Reactive simulation: drive an ASR system instant by instant.
+
+    ASR systems are reactive — the environment initiates every instant
+    by presenting inputs; with no input the system sits idle (paper §3).
+    The simulator owns the delay state between instants. *)
+
+type t
+
+type trace_entry = {
+  instant : int;
+  inputs : (string * Domain.t) list;
+  outputs : (string * Domain.t) list;
+  iterations : int;
+}
+
+val create : ?order:int array -> Graph.t -> t
+(** Compiles the graph; [order] fixes a block evaluation order for all
+    instants (determinism tests shuffle it). *)
+
+val step : t -> (string * Domain.t) list -> (string * Domain.t) list
+(** React to one instant's inputs; returns the outputs and advances the
+    delay state. *)
+
+val run : t -> (string * Domain.t) list list -> trace_entry list
+(** Feed a stream of instants. *)
+
+val instant_count : t -> int
+
+val delay_state : t -> Domain.t array
+
+val reset : t -> unit
+(** Back to initial delay values and instant 0. *)

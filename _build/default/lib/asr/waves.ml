@@ -1,0 +1,62 @@
+let cell = function
+  | Domain.Bottom -> "."
+  | v -> Domain.to_string v
+
+let render_signals rows =
+  let buf = Buffer.create 256 in
+  let n = List.fold_left (fun acc (_, vs) -> max acc (List.length vs)) 0 rows in
+  let name_width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 7 rows
+  in
+  let col_width =
+    List.fold_left
+      (fun acc (_, vs) ->
+        List.fold_left (fun acc v -> max acc (String.length (cell v))) acc vs)
+      1 rows
+  in
+  let pad width s = s ^ String.make (max 0 (width - String.length s)) ' ' in
+  Buffer.add_string buf (pad name_width "instant");
+  Buffer.add_string buf " |";
+  for i = 0 to n - 1 do
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (pad col_width (string_of_int i))
+  done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (name, vs) ->
+      Buffer.add_string buf (pad name_width name);
+      Buffer.add_string buf " |";
+      List.iter
+        (fun v ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (pad col_width (cell v)))
+        vs;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let render trace =
+  (* signal order: inputs then outputs, by first appearance *)
+  let order = ref [] in
+  let note name = if not (List.mem name !order) then order := !order @ [ name ] in
+  List.iter
+    (fun entry ->
+      List.iter (fun (name, _) -> note ("in:" ^ name)) entry.Simulate.inputs;
+      List.iter (fun (name, _) -> note ("out:" ^ name)) entry.Simulate.outputs)
+    trace;
+  let rows =
+    List.map
+      (fun name ->
+        let is_input = String.length name > 3 && String.sub name 0 3 = "in:" in
+        let prefix_len = if is_input then 3 else 4 in
+        let bare = String.sub name prefix_len (String.length name - prefix_len) in
+        let of_entry entry =
+          let source =
+            if is_input then entry.Simulate.inputs else entry.Simulate.outputs
+          in
+          Option.value ~default:Domain.Bottom (List.assoc_opt bare source)
+        in
+        (name, List.map of_entry trace))
+      !order
+  in
+  render_signals rows

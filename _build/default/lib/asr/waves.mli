@@ -1,0 +1,17 @@
+(** Text waveform rendering of simulation traces — the JavaTime-style
+    "system visualization" the paper lists as future work, in miniature.
+
+    {v
+    instant | 0    1    2    3
+    x       | 3    1    4    .
+    sum     | 3    4    8    .
+    v}
+
+    Absent (⊥) values render as [.]. *)
+
+val render : Simulate.trace_entry list -> string
+(** Columns per instant; one row per input and output signal, inputs
+    first, in first-appearance order. *)
+
+val render_signals : (string * Domain.t list) list -> string
+(** Lower-level: explicit rows. *)

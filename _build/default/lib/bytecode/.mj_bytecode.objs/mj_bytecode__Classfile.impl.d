@@ -1,0 +1,1 @@
+lib/bytecode/classfile.ml: Array Buffer Char Compile Hashtbl Instr Int64 List Mj Mj_runtime Printf String

@@ -1,0 +1,1 @@
+lib/bytecode/classfile.mli: Compile Instr Mj

@@ -1,0 +1,1 @@
+lib/bytecode/compile.ml: Array Format Hashtbl Instr List Mj Mj_runtime Option

@@ -1,0 +1,1 @@
+lib/bytecode/jit.ml: Array Buffer Compile Float Fun Hashtbl Instr List Mj Mj_runtime Printf

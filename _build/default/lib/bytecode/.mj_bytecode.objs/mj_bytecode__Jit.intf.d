@@ -1,0 +1,1 @@
+lib/bytecode/jit.mli: Compile Mj Mj_runtime

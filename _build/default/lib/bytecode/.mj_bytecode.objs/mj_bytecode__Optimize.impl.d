@@ -1,0 +1,1 @@
+lib/bytecode/optimize.ml: Array Compile Float Hashtbl Instr Mj Mj_runtime

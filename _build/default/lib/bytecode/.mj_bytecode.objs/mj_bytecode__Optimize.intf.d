@@ -1,0 +1,1 @@
+lib/bytecode/optimize.mli: Compile Instr

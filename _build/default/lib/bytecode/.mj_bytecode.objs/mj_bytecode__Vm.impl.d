@@ -1,0 +1,1 @@
+lib/bytecode/vm.ml: Array Buffer Compile Float Fun Hashtbl Instr List Mj Mj_runtime Printf

@@ -1,0 +1,1 @@
+lib/bytecode/vm.mli: Compile Mj Mj_runtime

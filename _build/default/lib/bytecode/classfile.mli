@@ -1,0 +1,23 @@
+(** Binary serialization of compiled MJ bytecode — the analogue of
+    [.class] files. Used for the "program size" column of Table 1 and for
+    saving/loading compiled images. *)
+
+val encode_method : Instr.method_code -> string
+
+val decode_method : string -> Instr.method_code
+(** Raises [Failure] on malformed input. *)
+
+val encode_image : Compile.image -> string
+(** The full image: every compiled method and constructor plus the
+    static initializer (symbol table not included). *)
+
+val decode_image : Mj.Symtab.t -> string -> Compile.image
+(** Rebuild a runnable image from {!encode_image} output and the symbol
+    table of the same program. Raises [Failure] on malformed input. *)
+
+val class_size : Compile.image -> string -> int
+(** Serialized size in bytes of one class's methods and constructors. *)
+
+val program_size : Compile.image -> classes:string list -> int
+(** Total serialized size of the given classes (a user program's
+    "class files"). *)

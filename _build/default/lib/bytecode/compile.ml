@@ -1,0 +1,675 @@
+module Value = Mj_runtime.Value
+
+open Mj.Ast
+
+type image = {
+  im_tab : Mj.Symtab.t;
+  im_methods : (string * string, Instr.method_code) Hashtbl.t;
+  im_ctors : (string * int, Instr.method_code) Hashtbl.t;
+  im_static_init : Instr.method_code;
+}
+
+let fail fmt = Format.kasprintf failwith fmt
+
+(* Code emission buffer with label patching. *)
+type emitter = {
+  mutable code : Instr.t array;
+  mutable len : int;
+  mutable next_slot : int;
+  mutable max_slot : int;
+  tab : Mj.Symtab.t;
+  cls : string;
+  mutable scopes : (string * (int * ty)) list list; (* innermost first *)
+  mutable break_patches : int list list;
+  mutable continue_patches : int list list;
+}
+
+let emit em instr =
+  if em.len >= Array.length em.code then begin
+    let bigger = Array.make (max 64 (2 * Array.length em.code)) Instr.Ret in
+    Array.blit em.code 0 bigger 0 em.len;
+    em.code <- bigger
+  end;
+  em.code.(em.len) <- instr;
+  em.len <- em.len + 1
+
+let here em = em.len
+
+let emit_placeholder em =
+  let at = em.len in
+  emit em (Instr.Jump (-1));
+  at
+
+let patch em at instr = em.code.(at) <- instr
+
+let alloc_slot em name ty =
+  let slot = em.next_slot in
+  em.next_slot <- slot + 1;
+  if em.next_slot > em.max_slot then em.max_slot <- em.next_slot;
+  (match em.scopes with
+  | scope :: rest -> em.scopes <- ((name, (slot, ty)) :: scope) :: rest
+  | [] -> em.scopes <- [ [ (name, (slot, ty)) ] ]);
+  slot
+
+let push_scope em = em.scopes <- [] :: em.scopes
+
+let pop_scope em =
+  match em.scopes with
+  | scope :: rest ->
+      em.next_slot <- em.next_slot - List.length scope;
+      em.scopes <- rest
+  | [] -> ()
+
+let find_local em name =
+  let rec loop = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with
+        | Some entry -> Some entry
+        | None -> loop rest)
+  in
+  loop em.scopes
+
+let ety e =
+  match e.ety with
+  | Some ty -> ty
+  | None -> fail "compile: expression lacks a type annotation"
+
+let is_double_ty = function TDouble -> true | _ -> false
+
+let field_type em ~obj_ty fname =
+  match obj_ty with
+  | TClass cls -> (
+      match Mj.Symtab.lookup_field em.tab cls fname with
+      | Some (_, f) -> f.f_ty
+      | None -> fail "compile: no field %s on %s" fname cls)
+  | ty -> fail "compile: field %s on non-class %s" fname (ty_to_string ty)
+
+let static_field_type em cls fname =
+  match Mj.Symtab.lookup_field em.tab cls fname with
+  | Some (_, f) -> f.f_ty
+  | None -> fail "compile: no static field %s.%s" cls fname
+
+(* Emit a coercion when a value of type [src] flows into a slot of type
+   [target]. Only int-to-double widening exists in MJ. *)
+let coerce_into em ~target ~src =
+  if is_double_ty target && not (is_double_ty src) then emit em Instr.I2d
+
+let rec compile_expr em e =
+  match e.expr with
+  | Int_lit n -> emit em (Instr.Const (Value.Int (Value.wrap32 n)))
+  | Double_lit f -> emit em (Instr.Const (Value.Double f))
+  | Bool_lit b -> emit em (Instr.Const (Value.Bool b))
+  | String_lit s -> emit em (Instr.Const (Value.Str s))
+  | Null_lit -> emit em (Instr.Const Value.Null)
+  | This -> emit em (Instr.Load 0)
+  | Local name | Name name -> (
+      match find_local em name with
+      | Some (slot, _) -> emit em (Instr.Load slot)
+      | None -> fail "compile: unbound local '%s'" name)
+  | Field_access (o, fname) ->
+      compile_expr em o;
+      emit em (Instr.Get_field fname)
+  | Static_field (cls, fname) -> emit em (Instr.Get_static (cls, fname))
+  | Array_length o ->
+      compile_expr em o;
+      emit em Instr.Array_len
+  | Index (arr, idx) ->
+      compile_expr em arr;
+      compile_expr em idx;
+      emit em Instr.Array_load
+  | Call call -> compile_call em call
+  | New_object (cls, args) ->
+      List.iter2
+        (fun arg pty ->
+          compile_expr em arg;
+          coerce_into em ~target:pty ~src:(ety arg))
+        args
+        (ctor_param_types em cls (List.length args));
+      emit em (Instr.New_object (cls, List.length args))
+  | New_array (elem, [ dim ]) ->
+      compile_expr em dim;
+      emit em (Instr.New_array elem)
+  | New_array (elem, dims) ->
+      List.iter (compile_expr em) dims;
+      emit em (Instr.New_multi (elem, List.length dims))
+  | Unary (Neg, x) ->
+      compile_expr em x;
+      emit em (if is_double_ty (ety x) then Instr.Dneg else Instr.Ineg)
+  | Unary (Not, x) ->
+      compile_expr em x;
+      emit em Instr.Bnot
+  | Binary (And, x, y) ->
+      (* x && y: if !x jump to push-false *)
+      compile_expr em x;
+      let jf = emit_placeholder em in
+      compile_expr em y;
+      let jend = emit_placeholder em in
+      patch em jf (Instr.Jump_if_false (here em));
+      emit em (Instr.Const (Value.Bool false));
+      patch em jend (Instr.Jump (here em))
+  | Binary (Or, x, y) ->
+      compile_expr em x;
+      emit em Instr.Bnot;
+      let jf = emit_placeholder em in
+      compile_expr em y;
+      let jend = emit_placeholder em in
+      patch em jf (Instr.Jump_if_false (here em));
+      emit em (Instr.Const (Value.Bool true));
+      patch em jend (Instr.Jump (here em))
+  | Binary (op, x, y) -> compile_binary em op x y
+  | Assign (lv, rhs) -> compile_assign em lv rhs
+  | Op_assign (op, lv, rhs) -> compile_op_assign em op lv rhs
+  | Pre_incr (d, lv) -> compile_incr em d lv ~post:false
+  | Post_incr (d, lv) -> compile_incr em d lv ~post:true
+  | Cast (ty, x) -> (
+      compile_expr em x;
+      match (ty, ety x) with
+      | TInt, TDouble -> emit em Instr.D2i
+      | TDouble, (TInt | TDouble) -> emit em Instr.I2d
+      | TClass _, _ -> emit em (Instr.Checkcast ty)
+      | _, _ -> ())
+  | Cond (c, a, b) ->
+      let result_ty = ety e in
+      compile_expr em c;
+      let jf = emit_placeholder em in
+      compile_expr em a;
+      coerce_into em ~target:result_ty ~src:(ety a);
+      let jend = emit_placeholder em in
+      patch em jf (Instr.Jump_if_false (here em));
+      compile_expr em b;
+      coerce_into em ~target:result_ty ~src:(ety b);
+      patch em jend (Instr.Jump (here em))
+
+and ctor_param_types em cls arity =
+  match Mj.Symtab.lookup_ctor em.tab cls arity with
+  | Some ctor -> List.map fst ctor.c_params
+  | None -> fail "compile: no constructor %s/%d" cls arity
+
+and compile_binary em op x y =
+  let tx = ety x and ty_ = ety y in
+  let string_concat = op = Add && (tx = TString || ty_ = TString) in
+  if string_concat then begin
+    compile_expr em x;
+    compile_expr em y;
+    emit em Instr.Sconcat
+  end
+  else
+    let numeric =
+      match (tx, ty_) with
+      | (TInt | TDouble), (TInt | TDouble) -> true
+      | _ -> false
+    in
+    if numeric then begin
+      let want_double = is_double_ty tx || is_double_ty ty_ in
+      compile_expr em x;
+      if want_double && not (is_double_ty tx) then emit em Instr.I2d;
+      compile_expr em y;
+      if want_double && not (is_double_ty ty_) then emit em Instr.I2d;
+      emit em (if want_double then Instr.Dop op else Instr.Iop op)
+    end
+    else begin
+      (* Non-numeric equality (references, strings, booleans). *)
+      compile_expr em x;
+      compile_expr em y;
+      match op with
+      | Eq -> emit em (Instr.Veq true)
+      | Neq -> emit em (Instr.Veq false)
+      | _ -> fail "compile: operator %s on non-numeric operands" (binop_to_string op)
+    end
+
+and compile_assign em lv rhs =
+  match lv with
+  | Lname name | Llocal name -> (
+      match find_local em name with
+      | Some (slot, ty) ->
+          compile_expr em rhs;
+          coerce_into em ~target:ty ~src:(ety rhs);
+          emit em Instr.Dup;
+          emit em (Instr.Store slot)
+      | None -> fail "compile: unbound local '%s'" name)
+  | Lfield (o, fname) ->
+      compile_expr em o;
+      compile_expr em rhs;
+      coerce_into em ~target:(field_type em ~obj_ty:(ety o) fname) ~src:(ety rhs);
+      emit em (Instr.Put_field fname)
+  | Lstatic_field (cls, fname) ->
+      compile_expr em rhs;
+      coerce_into em ~target:(static_field_type em cls fname) ~src:(ety rhs);
+      emit em (Instr.Put_static (cls, fname))
+  | Lindex (arr, idx) ->
+      compile_expr em arr;
+      compile_expr em idx;
+      compile_expr em rhs;
+      (match ety arr with
+      | TArray elem -> coerce_into em ~target:elem ~src:(ety rhs)
+      | _ -> ());
+      emit em Instr.Array_store
+
+and lvalue_read_ty em = function
+  | Lname name | Llocal name -> (
+      match find_local em name with
+      | Some (_, ty) -> ty
+      | None -> fail "compile: unbound local '%s'" name)
+  | Lfield (o, fname) -> field_type em ~obj_ty:(ety o) fname
+  | Lstatic_field (cls, fname) -> static_field_type em cls fname
+  | Lindex (arr, _) -> (
+      match ety arr with
+      | TArray elem -> elem
+      | ty -> fail "compile: indexing non-array %s" (ty_to_string ty))
+
+(* target op= rhs. Leaves the stored value on the stack. *)
+and compile_op_assign em op lv rhs =
+  let target_ty = lvalue_read_ty em lv in
+  let rhs_ty = ety rhs in
+  let want_double = is_double_ty target_ty || is_double_ty rhs_ty in
+  let emit_op () =
+    if want_double then begin
+      emit em (Instr.Dop op);
+      (* Compound assignment narrows back to the target type. *)
+      if not (is_double_ty target_ty) then emit em Instr.D2i
+    end
+    else if op = Add && target_ty = TString then emit em Instr.Sconcat
+    else emit em (Instr.Iop op)
+  in
+  let compile_rhs () =
+    compile_expr em rhs;
+    if want_double && not (is_double_ty rhs_ty) then emit em Instr.I2d
+  in
+  let widen_old () = if want_double && not (is_double_ty target_ty) then emit em Instr.I2d in
+  match lv with
+  | Lname name | Llocal name -> (
+      match find_local em name with
+      | Some (slot, _) ->
+          emit em (Instr.Load slot);
+          widen_old ();
+          compile_rhs ();
+          emit_op ();
+          emit em Instr.Dup;
+          emit em (Instr.Store slot)
+      | None -> fail "compile: unbound local '%s'" name)
+  | Lfield (o, fname) ->
+      compile_expr em o;
+      emit em Instr.Dup;
+      emit em (Instr.Get_field fname);
+      widen_old ();
+      compile_rhs ();
+      emit_op ();
+      emit em (Instr.Put_field fname)
+  | Lstatic_field (cls, fname) ->
+      emit em (Instr.Get_static (cls, fname));
+      widen_old ();
+      compile_rhs ();
+      emit_op ();
+      emit em (Instr.Put_static (cls, fname))
+  | Lindex (arr, idx) ->
+      compile_expr em arr;
+      compile_expr em idx;
+      emit em Instr.Dup2;
+      emit em Instr.Array_load;
+      widen_old ();
+      compile_rhs ();
+      emit_op ();
+      emit em Instr.Array_store
+
+and compile_incr em d lv ~post =
+  let bump () =
+    emit em (Instr.Const (Value.Int d));
+    emit em (Instr.Iop Add)
+  in
+  match lv with
+  | Lname name | Llocal name -> (
+      match find_local em name with
+      | Some (slot, _) ->
+          emit em (Instr.Load slot);
+          if post then begin
+            emit em Instr.Dup;
+            bump ();
+            emit em (Instr.Store slot)
+          end
+          else begin
+            bump ();
+            emit em Instr.Dup;
+            emit em (Instr.Store slot)
+          end
+      | None -> fail "compile: unbound local '%s'" name)
+  | Lfield (o, fname) ->
+      compile_expr em o;
+      emit em Instr.Dup;
+      emit em (Instr.Get_field fname);
+      if post then begin
+        (* [o; old] -> [old; o; old] *)
+        emit em Instr.Dup_x1;
+        bump ();
+        emit em (Instr.Put_field fname);
+        emit em Instr.Pop
+      end
+      else begin
+        bump ();
+        emit em (Instr.Put_field fname)
+      end
+  | Lstatic_field (cls, fname) ->
+      emit em (Instr.Get_static (cls, fname));
+      if post then begin
+        emit em Instr.Dup;
+        bump ();
+        emit em (Instr.Put_static (cls, fname));
+        emit em Instr.Pop
+      end
+      else begin
+        bump ();
+        emit em (Instr.Put_static (cls, fname))
+      end
+  | Lindex (arr, idx) ->
+      compile_expr em arr;
+      compile_expr em idx;
+      emit em Instr.Dup2;
+      emit em Instr.Array_load;
+      if post then begin
+        (* [a; i; old] -> [old; a; i; old] *)
+        emit em Instr.Dup_x2;
+        bump ();
+        emit em Instr.Array_store;
+        emit em Instr.Pop
+      end
+      else begin
+        bump ();
+        emit em Instr.Array_store
+      end
+
+and compile_call em call =
+  let resolved =
+    match call.resolved with
+    | Some r -> r
+    | None -> fail "compile: unresolved call '%s'" call.mname
+  in
+  let param_types =
+    match Mj.Symtab.lookup_method em.tab resolved.rc_class call.mname with
+    | Some (_, m) -> List.map fst m.m_params
+    | None -> fail "compile: method %s.%s vanished" resolved.rc_class call.mname
+  in
+  let compile_args () =
+    (* println/print accept any argument type: skip coercion when the
+       parameter list does not match the arg count. *)
+    if List.length param_types = List.length call.args then
+      List.iter2
+        (fun arg pty ->
+          compile_expr em arg;
+          coerce_into em ~target:pty ~src:(ety arg))
+        call.args param_types
+    else List.iter (compile_expr em) call.args
+  in
+  let argc = List.length call.args in
+  match call.recv with
+  | Rstatic cls ->
+      compile_args ();
+      emit em (Instr.Invoke_static (cls, call.mname, argc))
+  | Rimplicit ->
+      if resolved.rc_static then begin
+        compile_args ();
+        emit em (Instr.Invoke_static (resolved.rc_class, call.mname, argc))
+      end
+      else begin
+        emit em (Instr.Load 0);
+        compile_args ();
+        emit em (Instr.Invoke_virtual (call.mname, argc))
+      end
+  | Rexpr o ->
+      compile_expr em o;
+      compile_args ();
+      emit em (Instr.Invoke_virtual (call.mname, argc))
+  | Rsuper ->
+      let super =
+        match Mj.Symtab.superclass em.tab em.cls with
+        | Some s -> s
+        | None -> fail "compile: 'super' in class without superclass"
+      in
+      emit em (Instr.Load 0);
+      compile_args ();
+      emit em (Instr.Invoke_special (super, call.mname, argc))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_stmt em s =
+  emit em Instr.Yield_point;
+  match s.stmt with
+  | Block stmts ->
+      push_scope em;
+      List.iter (compile_stmt em) stmts;
+      pop_scope em
+  | Var_decl (ty, name, init) ->
+      let slot = alloc_slot em name ty in
+      (match init with
+      | Some e ->
+          compile_expr em e;
+          coerce_into em ~target:ty ~src:(ety e)
+      | None -> emit em (Instr.Const (Value.default ty)));
+      emit em (Instr.Store slot)
+  | Expr e ->
+      compile_expr em e;
+      emit em Instr.Pop
+  | If (c, then_s, else_s) -> (
+      compile_expr em c;
+      let jf = emit_placeholder em in
+      compile_stmt em then_s;
+      match else_s with
+      | None -> patch em jf (Instr.Jump_if_false (here em))
+      | Some else_s ->
+          let jend = emit_placeholder em in
+          patch em jf (Instr.Jump_if_false (here em));
+          compile_stmt em else_s;
+          patch em jend (Instr.Jump (here em)))
+  | While (c, body) ->
+      let top = here em in
+      compile_expr em c;
+      let jf = emit_placeholder em in
+      enter_loop em;
+      compile_stmt em body;
+      let break_ps, continue_ps = exit_loop em in
+      List.iter (fun at -> patch em at (Instr.Jump top)) continue_ps;
+      emit em (Instr.Jump top);
+      patch em jf (Instr.Jump_if_false (here em));
+      List.iter (fun at -> patch em at (Instr.Jump (here em))) break_ps
+  | Do_while (body, c) ->
+      let top = here em in
+      enter_loop em;
+      compile_stmt em body;
+      let break_ps, continue_ps = exit_loop em in
+      let cond_at = here em in
+      List.iter (fun at -> patch em at (Instr.Jump cond_at)) continue_ps;
+      compile_expr em c;
+      let jf = emit_placeholder em in
+      emit em (Instr.Jump top);
+      patch em jf (Instr.Jump_if_false (here em));
+      List.iter (fun at -> patch em at (Instr.Jump (here em))) break_ps
+  | For (init, cond, update, body) ->
+      push_scope em;
+      (match init with
+      | Some (For_var (ty, name, ie)) ->
+          let slot = alloc_slot em name ty in
+          (match ie with
+          | Some e ->
+              compile_expr em e;
+              coerce_into em ~target:ty ~src:(ety e)
+          | None -> emit em (Instr.Const (Value.default ty)));
+          emit em (Instr.Store slot)
+      | Some (For_expr e) ->
+          compile_expr em e;
+          emit em Instr.Pop
+      | None -> ());
+      let top = here em in
+      let jf =
+        match cond with
+        | Some c ->
+            compile_expr em c;
+            Some (emit_placeholder em)
+        | None -> None
+      in
+      enter_loop em;
+      compile_stmt em body;
+      let break_ps, continue_ps = exit_loop em in
+      let update_at = here em in
+      List.iter (fun at -> patch em at (Instr.Jump update_at)) continue_ps;
+      (match update with
+      | Some u ->
+          compile_expr em u;
+          emit em Instr.Pop
+      | None -> ());
+      emit em (Instr.Jump top);
+      (match jf with
+      | Some at -> patch em at (Instr.Jump_if_false (here em))
+      | None -> ());
+      List.iter (fun at -> patch em at (Instr.Jump (here em))) break_ps;
+      pop_scope em
+  | Return None -> emit em Instr.Ret
+  | Return (Some e) ->
+      compile_expr em e;
+      emit em Instr.Ret_val
+  | Break -> (
+      match em.break_patches with
+      | ps :: rest ->
+          em.break_patches <- (emit_placeholder em :: ps) :: rest
+      | [] -> fail "compile: break outside loop")
+  | Continue -> (
+      match em.continue_patches with
+      | ps :: rest ->
+          em.continue_patches <- (emit_placeholder em :: ps) :: rest
+      | [] -> fail "compile: continue outside loop")
+  | Super_call _ -> fail "compile: super call outside constructor prologue"
+  | Empty -> ()
+
+and enter_loop em =
+  em.break_patches <- [] :: em.break_patches;
+  em.continue_patches <- [] :: em.continue_patches
+
+and exit_loop em =
+  match (em.break_patches, em.continue_patches) with
+  | bp :: brest, cp :: crest ->
+      em.break_patches <- brest;
+      em.continue_patches <- crest;
+      (bp, cp)
+  | _ -> fail "compile: loop stack underflow"
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_emitter tab cls ~is_static params =
+  let em =
+    { code = Array.make 64 Instr.Ret; len = 0;
+      next_slot = (if is_static then 0 else 1); max_slot = 0;
+      tab; cls; scopes = [ [] ]; break_patches = []; continue_patches = [] }
+  in
+  em.max_slot <- em.next_slot;
+  List.iter (fun (ty, name) -> ignore (alloc_slot em name ty)) params;
+  em
+
+let finish em ~cls ~name ~params ~ret =
+  emit em Instr.Ret;
+  { Instr.mc_class = cls; mc_name = name; mc_params = List.map fst params;
+    mc_ret = ret; mc_nlocals = em.max_slot;
+    mc_code = Array.sub em.code 0 em.len }
+
+let compile_method tab cls (m : method_decl) =
+  match m.m_body with
+  | None -> None
+  | Some body ->
+      let em = make_emitter tab cls.cl_name ~is_static:m.m_mods.is_static m.m_params in
+      List.iter (compile_stmt em) body;
+      Some (finish em ~cls:cls.cl_name ~name:m.m_name ~params:m.m_params ~ret:m.m_ret)
+
+let compile_ctor tab cls (c : ctor_decl) =
+  let em = make_emitter tab cls.cl_name ~is_static:false c.c_params in
+  let body_after_super =
+    match c.c_body with
+    | { stmt = Super_call args; _ } :: rest ->
+        let super =
+          match cls.cl_super with
+          | Some s -> s
+          | None -> fail "compile: super() in class without superclass"
+        in
+        emit em (Instr.Load 0);
+        List.iter2
+          (fun arg pty ->
+            compile_expr em arg;
+            coerce_into em ~target:pty ~src:(ety arg))
+          args
+          (ctor_param_types em super (List.length args));
+        emit em (Instr.Invoke_ctor (super, List.length args));
+        rest
+    | body ->
+        (match cls.cl_super with
+        | Some super ->
+            emit em (Instr.Load 0);
+            emit em (Instr.Invoke_ctor (super, 0))
+        | None -> ());
+        body
+  in
+  (* Instance field initializers of this class. *)
+  List.iter
+    (fun f ->
+      if (not f.f_mods.is_static) && f.f_init <> None then begin
+        let init = Option.get f.f_init in
+        emit em (Instr.Load 0);
+        compile_expr em init;
+        coerce_into em ~target:f.f_ty ~src:(ety init);
+        emit em (Instr.Put_field f.f_name);
+        emit em Instr.Pop
+      end)
+    cls.cl_fields;
+  List.iter (compile_stmt em) body_after_super;
+  finish em ~cls:cls.cl_name ~name:"<init>" ~params:c.c_params ~ret:TVoid
+
+let default_ctor_decl =
+  { c_mods = Mj.Ast.no_mods; c_params = []; c_body = []; c_loc = Mj.Loc.dummy }
+
+let compile checked =
+  let tab = checked.Mj.Typecheck.symtab in
+  let all = (Mj.Symtab.program tab).classes in
+  let im_methods = Hashtbl.create 64 in
+  let im_ctors = Hashtbl.create 64 in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun m ->
+          match compile_method tab cls m with
+          | Some mc -> Hashtbl.replace im_methods (cls.cl_name, m.m_name) mc
+          | None -> ())
+        cls.cl_methods;
+      let ctors = if cls.cl_ctors = [] then [ default_ctor_decl ] else cls.cl_ctors in
+      List.iter
+        (fun c ->
+          Hashtbl.replace im_ctors
+            (cls.cl_name, List.length c.c_params)
+            (compile_ctor tab cls c))
+        ctors)
+    all;
+  (* Synthetic static initializer covering all classes in order. *)
+  let em = make_emitter tab "<clinit>" ~is_static:true [] in
+  List.iter
+    (fun (cls, f) ->
+      match f.f_init with
+      | None -> ()
+      | Some e ->
+          compile_expr em e;
+          coerce_into em ~target:f.f_ty ~src:(ety e);
+          emit em (Instr.Put_static (cls, f.f_name));
+          emit em Instr.Pop)
+    (Mj.Symtab.static_fields tab);
+  let im_static_init =
+    finish em ~cls:"<clinit>" ~name:"<clinit>" ~params:[] ~ret:TVoid
+  in
+  { im_tab = tab; im_methods; im_ctors; im_static_init }
+
+let find_method image cls mname =
+  let rec loop cls_name =
+    match Hashtbl.find_opt image.im_methods (cls_name, mname) with
+    | Some mc -> Some (cls_name, mc)
+    | None -> (
+        match Mj.Symtab.superclass image.im_tab cls_name with
+        | Some super -> loop super
+        | None -> None)
+  in
+  loop cls

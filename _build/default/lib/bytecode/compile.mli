@@ -1,0 +1,22 @@
+(** Compiler from checked MJ ASTs to stack bytecode.
+
+    Produces an {!Image.t}-shaped record: one {!Instr.method_code} per
+    method body and constructor (constructors embed the super-constructor
+    call and the instance field initializers), plus one synthetic method
+    holding all static field initializers. *)
+
+type image = {
+  im_tab : Mj.Symtab.t;
+  im_methods : (string * string, Instr.method_code) Hashtbl.t;
+      (** keyed by (class, method); only methods with bodies *)
+  im_ctors : (string * int, Instr.method_code) Hashtbl.t;
+      (** keyed by (class, arity); every class has at least arity 0 *)
+  im_static_init : Instr.method_code;
+}
+
+val compile : Mj.Typecheck.checked -> image
+(** Compile every class (builtins included). *)
+
+val find_method : image -> string -> string -> (string * Instr.method_code) option
+(** Resolve a method by dynamic dispatch from a class upward; returns the
+    defining class. [None] means the method is native (or absent). *)

@@ -1,0 +1,100 @@
+module Value = Mj_runtime.Value
+
+type t =
+  | Const of Value.t
+  | Load of int
+  | Store of int
+  | Get_field of string
+  | Put_field of string
+  | Get_static of string * string
+  | Put_static of string * string
+  | Array_load
+  | Array_store
+  | Array_len
+  | New_object of string * int
+  | New_array of Mj.Ast.ty
+  | New_multi of Mj.Ast.ty * int
+  | Iop of Mj.Ast.binop
+  | Dop of Mj.Ast.binop
+  | Veq of bool
+  | Sconcat
+  | Ineg
+  | Dneg
+  | Bnot
+  | I2d
+  | D2i
+  | Checkcast of Mj.Ast.ty
+  | Jump of int
+  | Jump_if_false of int
+  | Invoke_virtual of string * int
+  | Invoke_static of string * string * int
+  | Invoke_special of string * string * int
+  | Invoke_ctor of string * int
+  | Ret
+  | Ret_val
+  | Pop
+  | Dup
+  | Dup2
+  | Dup_x1
+  | Dup_x2
+  | Coerce of Mj.Ast.ty
+  | Yield_point
+
+type method_code = {
+  mc_class : string;
+  mc_name : string;
+  mc_params : Mj.Ast.ty list;
+  mc_ret : Mj.Ast.ty;
+  mc_nlocals : int;
+  mc_code : t array;
+}
+
+let pp ppf instr =
+  let p fmt = Format.fprintf ppf fmt in
+  match instr with
+  | Const v -> p "const %s" (Value.to_display v)
+  | Load n -> p "load %d" n
+  | Store n -> p "store %d" n
+  | Get_field f -> p "getfield %s" f
+  | Put_field f -> p "putfield %s" f
+  | Get_static (c, f) -> p "getstatic %s.%s" c f
+  | Put_static (c, f) -> p "putstatic %s.%s" c f
+  | Array_load -> p "aload"
+  | Array_store -> p "astore"
+  | Array_len -> p "arraylen"
+  | New_object (c, n) -> p "new %s/%d" c n
+  | New_array ty -> p "newarray %s" (Mj.Ast.ty_to_string ty)
+  | New_multi (ty, n) -> p "multianewarray %s/%d" (Mj.Ast.ty_to_string ty) n
+  | Iop op -> p "i%s" (Mj.Ast.binop_to_string op)
+  | Dop op -> p "d%s" (Mj.Ast.binop_to_string op)
+  | Veq true -> p "veq"
+  | Veq false -> p "vneq"
+  | Sconcat -> p "sconcat"
+  | Ineg -> p "ineg"
+  | Dneg -> p "dneg"
+  | Bnot -> p "bnot"
+  | I2d -> p "i2d"
+  | D2i -> p "d2i"
+  | Checkcast ty -> p "checkcast %s" (Mj.Ast.ty_to_string ty)
+  | Jump n -> p "goto %d" n
+  | Jump_if_false n -> p "iffalse %d" n
+  | Invoke_virtual (m, n) -> p "invokevirtual %s/%d" m n
+  | Invoke_static (c, m, n) -> p "invokestatic %s.%s/%d" c m n
+  | Invoke_special (c, m, n) -> p "invokespecial %s.%s/%d" c m n
+  | Invoke_ctor (c, n) -> p "invokector %s/%d" c n
+  | Ret -> p "return"
+  | Ret_val -> p "vreturn"
+  | Pop -> p "pop"
+  | Dup -> p "dup"
+  | Dup2 -> p "dup2"
+  | Dup_x1 -> p "dup_x1"
+  | Dup_x2 -> p "dup_x2"
+  | Coerce ty -> p "coerce %s" (Mj.Ast.ty_to_string ty)
+  | Yield_point -> p "yieldpoint"
+
+let pp_method ppf mc =
+  Format.fprintf ppf "%s.%s/%d (locals=%d):@." mc.mc_class mc.mc_name
+    (List.length mc.mc_params) mc.mc_nlocals;
+  Array.iteri
+    (fun i instr -> Format.fprintf ppf "  %4d: %a@." i pp instr)
+    mc.mc_code

@@ -1,0 +1,58 @@
+(** Stack bytecode for MJ — the analogue of Java class files.
+
+    Operand-stack conventions are noted per instruction; stores push the
+    stored value back (statement contexts append [Pop]). *)
+
+type t =
+  | Const of Mj_runtime.Value.t
+  | Load of int            (** push local slot *)
+  | Store of int           (** pop into local slot *)
+  | Get_field of string    (** [obj] -> [value] *)
+  | Put_field of string    (** [obj; value] -> [value] *)
+  | Get_static of string * string
+  | Put_static of string * string  (** [value] -> [value] *)
+  | Array_load             (** [arr; idx] -> [value] *)
+  | Array_store            (** [arr; idx; value] -> [value] *)
+  | Array_len              (** [arr] -> [length] *)
+  | New_object of string * int  (** [args...] -> [obj]; runs constructor *)
+  | New_array of Mj.Ast.ty      (** element type; [len] -> [arr] *)
+  | New_multi of Mj.Ast.ty * int (** element type, #dims; [d1..dn] -> [arr] *)
+  | Iop of Mj.Ast.binop    (** int arithmetic/comparison *)
+  | Dop of Mj.Ast.binop    (** double arithmetic/comparison *)
+  | Veq of bool            (** generic equality; [true] = equals *)
+  | Sconcat                (** [a; b] -> [string] *)
+  | Ineg
+  | Dneg
+  | Bnot
+  | I2d
+  | D2i
+  | Checkcast of Mj.Ast.ty
+  | Jump of int            (** absolute target *)
+  | Jump_if_false of int   (** pops a boolean *)
+  | Invoke_virtual of string * int      (** method name, argc; [recv; args...] *)
+  | Invoke_static of string * string * int
+  | Invoke_special of string * string * int
+      (** statically-dispatched call starting at a given class (super calls) *)
+  | Invoke_ctor of string * int  (** [obj; args...] -> []; constructor chain *)
+  | Ret                    (** return null/void *)
+  | Ret_val
+  | Pop
+  | Dup
+  | Dup2                   (** [a; b] -> [a; b; a; b] *)
+  | Dup_x1                 (** [a; b] -> [b; a; b] *)
+  | Dup_x2                 (** [a; b; c] -> [c; a; b; c] *)
+  | Coerce of Mj.Ast.ty    (** widen int to double when the type is double *)
+  | Yield_point            (** statement boundary: thread preemption *)
+
+type method_code = {
+  mc_class : string;
+  mc_name : string;
+  mc_params : Mj.Ast.ty list;
+  mc_ret : Mj.Ast.ty;
+  mc_nlocals : int;  (** includes slot 0 (this) and parameters *)
+  mc_code : t array;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val pp_method : Format.formatter -> method_code -> unit

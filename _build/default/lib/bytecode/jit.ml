@@ -1,0 +1,463 @@
+module Value = Mj_runtime.Value
+module Heap = Mj_runtime.Heap
+module Cost = Mj_runtime.Cost
+module Machine = Mj_runtime.Machine
+module Threads = Mj_runtime.Threads
+open Mj.Ast
+
+type frame = {
+  locals : Value.t array;
+  mutable stack : Value.t array;
+  mutable sp : int;
+}
+
+type compiled = {
+  c_nlocals : int;
+  c_params : ty list;
+  c_takes_this : bool;
+  c_steps : (frame -> int) array;
+}
+
+type t = {
+  image : Compile.image;
+  m : Machine.t;
+  methods : (string * string, compiled) Hashtbl.t;
+  ctors : (string * int, compiled) Hashtbl.t;
+}
+
+exception Jit_return of Value.t
+
+let fail = Machine.fail
+
+let machine t = t.m
+
+let cycles t = Cost.cycles t.m.Machine.cost
+
+let reset_cycles t = Cost.reset t.m.Machine.cost
+
+let output t = Buffer.contents t.m.Machine.console
+
+let clear_output t = Buffer.clear t.m.Machine.console
+
+let compiled_methods t = Hashtbl.length t.methods + Hashtbl.length t.ctors
+
+let push fr v =
+  if fr.sp >= Array.length fr.stack then begin
+    let bigger = Array.make (2 * Array.length fr.stack) Value.Null in
+    Array.blit fr.stack 0 bigger 0 fr.sp;
+    fr.stack <- bigger
+  end;
+  fr.stack.(fr.sp) <- v;
+  fr.sp <- fr.sp + 1
+
+let pop fr =
+  if fr.sp = 0 then fail "jit: operand stack underflow";
+  fr.sp <- fr.sp - 1;
+  fr.stack.(fr.sp)
+
+let pop_n fr n =
+  let values = Array.make n Value.Null in
+  for i = n - 1 downto 0 do
+    values.(i) <- pop fr
+  done;
+  Array.to_list values
+
+let as_int = Machine.as_int
+
+let as_bool = Machine.as_bool
+
+let as_double = Machine.as_double
+
+let int_op op =
+  let w = Value.wrap32 in
+  match op with
+  | Add -> fun x y -> Value.Int (w (x + y))
+  | Sub -> fun x y -> Value.Int (w (x - y))
+  | Mul -> fun x y -> Value.Int (w (x * y))
+  | Div -> fun x y -> if y = 0 then fail "division by zero" else Value.Int (w (x / y))
+  | Mod -> fun x y -> if y = 0 then fail "division by zero" else Value.Int (w (x mod y))
+  | Band -> fun x y -> Value.Int (x land y)
+  | Bor -> fun x y -> Value.Int (x lor y)
+  | Bxor -> fun x y -> Value.Int (x lxor y)
+  | Shl -> fun x y -> Value.Int (w (x lsl (y land 31)))
+  | Shr -> fun x y -> Value.Int (x asr (y land 31))
+  | Lt -> fun x y -> Value.Bool (x < y)
+  | Gt -> fun x y -> Value.Bool (x > y)
+  | Le -> fun x y -> Value.Bool (x <= y)
+  | Ge -> fun x y -> Value.Bool (x >= y)
+  | Eq -> fun x y -> Value.Bool (x = y)
+  | Neq -> fun x y -> Value.Bool (x <> y)
+  | And | Or -> fail "jit: boolean operator compiled as int op"
+
+let double_op op =
+  match op with
+  | Add -> fun x y -> Value.Double (x +. y)
+  | Sub -> fun x y -> Value.Double (x -. y)
+  | Mul -> fun x y -> Value.Double (x *. y)
+  | Div -> fun x y -> Value.Double (x /. y)
+  | Lt -> fun x y -> Value.Bool (x < y)
+  | Gt -> fun x y -> Value.Bool (x > y)
+  | Le -> fun x y -> Value.Bool (x <= y)
+  | Ge -> fun x y -> Value.Bool (x >= y)
+  | Eq -> fun x y -> Value.Bool (Float.equal x y)
+  | Neq -> fun x y -> Value.Bool (not (Float.equal x y))
+  | Mod | Band | Bor | Bxor | Shl | Shr | And | Or ->
+      fail "jit: operator not defined on doubles"
+
+(* Translate one method's bytecode into per-instruction closures. Static
+   call targets resolve lazily through the method cache on first use. *)
+let rec translate t (mc : Instr.method_code) ~takes_this =
+  let heap = t.m.Machine.heap in
+  let cost = t.m.Machine.cost in
+  let translate_instr pc instr =
+    match instr with
+    | Instr.Const v ->
+        fun fr ->
+          push fr v;
+          pc + 1
+    | Instr.Load n ->
+        fun fr ->
+          push fr fr.locals.(n);
+          pc + 1
+    | Instr.Store n ->
+        fun fr ->
+          fr.locals.(n) <- pop fr;
+          pc + 1
+    | Instr.Get_field fname ->
+        fun fr ->
+          Cost.field cost;
+          let r = Heap.deref heap (pop fr) in
+          push fr (Heap.get_field heap r fname);
+          pc + 1
+    | Instr.Put_field fname ->
+        fun fr ->
+          Cost.field cost;
+          let v = pop fr in
+          let r = Heap.deref heap (pop fr) in
+          Heap.set_field heap r fname v;
+          push fr v;
+          pc + 1
+    | Instr.Get_static (cls, fname) ->
+        fun fr ->
+          Cost.field cost;
+          if Threads.active () then
+            Threads.note (Printf.sprintf "read %s.%s" cls fname);
+          push fr (Machine.static_get t.m cls fname);
+          pc + 1
+    | Instr.Put_static (cls, fname) ->
+        fun fr ->
+          Cost.field cost;
+          let v = pop fr in
+          if Threads.active () then
+            Threads.note
+              (Printf.sprintf "write %s.%s = %s" cls fname (Value.to_display v));
+          Machine.static_set t.m cls fname v;
+          push fr v;
+          pc + 1
+    | Instr.Array_load ->
+        fun fr ->
+          Cost.array cost;
+          let i = as_int (pop fr) in
+          let r = Heap.deref heap (pop fr) in
+          push fr (Heap.array_get heap r i);
+          pc + 1
+    | Instr.Array_store ->
+        fun fr ->
+          Cost.array cost;
+          let v = pop fr in
+          let i = as_int (pop fr) in
+          let r = Heap.deref heap (pop fr) in
+          let v =
+            match Heap.get heap r with
+            | Heap.Arr { elem; _ } -> Machine.coerce elem v
+            | Heap.Object _ -> v
+          in
+          Heap.array_set heap r i v;
+          push fr v;
+          pc + 1
+    | Instr.Array_len ->
+        fun fr ->
+          let r = Heap.deref heap (pop fr) in
+          push fr (Value.Int (Heap.array_length heap r));
+          pc + 1
+    | Instr.New_object (cls, argc) ->
+        fun fr ->
+          let args = pop_n fr argc in
+          push fr (construct t cls args);
+          pc + 1
+    | Instr.New_array elem ->
+        fun fr ->
+          let n = as_int (pop fr) in
+          Cost.alloc cost ~words:n;
+          push fr (Heap.alloc_array heap ~elem n);
+          pc + 1
+    | Instr.New_multi (elem, ndims) ->
+        fun fr ->
+          let dims = List.map as_int (pop_n fr ndims) in
+          push fr (alloc_multi t elem dims);
+          pc + 1
+    | Instr.Iop op ->
+        let f = int_op op in
+        fun fr ->
+          Cost.arith cost;
+          let y = as_int (pop fr) in
+          let x = as_int (pop fr) in
+          push fr (f x y);
+          pc + 1
+    | Instr.Dop op ->
+        let f = double_op op in
+        fun fr ->
+          Cost.arith cost;
+          let y = as_double (pop fr) in
+          let x = as_double (pop fr) in
+          push fr (f x y);
+          pc + 1
+    | Instr.Veq positive ->
+        fun fr ->
+          let y = pop fr in
+          let x = pop fr in
+          let same = Value.equal x y in
+          push fr (Value.Bool (if positive then same else not same));
+          pc + 1
+    | Instr.Sconcat ->
+        fun fr ->
+          let y = pop fr in
+          let x = pop fr in
+          push fr (Value.Str (Value.to_display x ^ Value.to_display y));
+          pc + 1
+    | Instr.Ineg ->
+        fun fr ->
+          push fr (Value.Int (Value.wrap32 (-as_int (pop fr))));
+          pc + 1
+    | Instr.Dneg ->
+        fun fr ->
+          push fr (Value.Double (-.as_double (pop fr)));
+          pc + 1
+    | Instr.Bnot ->
+        fun fr ->
+          push fr (Value.Bool (not (as_bool (pop fr))));
+          pc + 1
+    | Instr.I2d ->
+        fun fr ->
+          push fr (Value.Double (as_double (pop fr)));
+          pc + 1
+    | Instr.D2i ->
+        fun fr ->
+          push fr (Value.Int (Value.wrap32 (int_of_float (as_double (pop fr)))));
+          pc + 1
+    | Instr.Checkcast ty ->
+        fun fr ->
+          (let v = pop fr in
+           match (ty, v) with
+           | TClass target, Value.Ref r ->
+               let dyn = Heap.object_class heap r in
+               if
+                 Mj.Symtab.is_subclass t.image.Compile.im_tab ~sub:dyn
+                   ~super:target
+               then push fr v
+               else fail "class cast exception: %s is not a %s" dyn target
+           | _, v -> push fr v);
+          pc + 1
+    | Instr.Jump target -> fun _fr -> target
+    | Instr.Jump_if_false target ->
+        fun fr -> if as_bool (pop fr) then pc + 1 else target
+    | Instr.Invoke_virtual (mname, argc) ->
+        fun fr ->
+          Cost.call cost;
+          let args = pop_n fr argc in
+          let recv = pop fr in
+          push fr (invoke_virtual t recv mname args);
+          pc + 1
+    | Instr.Invoke_static (cls, mname, argc) ->
+        fun fr ->
+          Cost.call cost;
+          let args = pop_n fr argc in
+          push fr (invoke_static t cls mname args);
+          pc + 1
+    | Instr.Invoke_special (cls, mname, argc) ->
+        fun fr ->
+          Cost.call cost;
+          let args = pop_n fr argc in
+          let recv = pop fr in
+          push fr (invoke_from_class t recv cls mname args);
+          pc + 1
+    | Instr.Invoke_ctor (cls, argc) ->
+        fun fr ->
+          Cost.call cost;
+          let args = pop_n fr argc in
+          let recv = pop fr in
+          run_ctor t cls recv args;
+          pc + 1
+    | Instr.Ret -> fun _fr -> raise (Jit_return Value.Null)
+    | Instr.Ret_val ->
+        let ret = mc.Instr.mc_ret in
+        fun fr -> raise (Jit_return (Machine.coerce ret (pop fr)))
+    | Instr.Pop ->
+        fun fr ->
+          ignore (pop fr);
+          pc + 1
+    | Instr.Dup ->
+        fun fr ->
+          let v = pop fr in
+          push fr v;
+          push fr v;
+          pc + 1
+    | Instr.Dup2 ->
+        fun fr ->
+          let b = pop fr in
+          let a = pop fr in
+          push fr a;
+          push fr b;
+          push fr a;
+          push fr b;
+          pc + 1
+    | Instr.Dup_x1 ->
+        fun fr ->
+          let b = pop fr in
+          let a = pop fr in
+          push fr b;
+          push fr a;
+          push fr b;
+          pc + 1
+    | Instr.Dup_x2 ->
+        fun fr ->
+          let c = pop fr in
+          let b = pop fr in
+          let a = pop fr in
+          push fr c;
+          push fr a;
+          push fr b;
+          push fr c;
+          pc + 1
+    | Instr.Coerce ty ->
+        fun fr ->
+          push fr (Machine.coerce ty (pop fr));
+          pc + 1
+    | Instr.Yield_point ->
+        fun _fr ->
+          Threads.maybe_yield ();
+          pc + 1
+  in
+  { c_nlocals = mc.Instr.mc_nlocals; c_params = mc.Instr.mc_params;
+    c_takes_this = takes_this;
+    c_steps = Array.mapi translate_instr mc.Instr.mc_code }
+
+and alloc_multi t elem dims =
+  let heap = t.m.Machine.heap in
+  Cost.alloc t.m.Machine.cost ~words:(match dims with d :: _ -> d | [] -> 0);
+  match dims with
+  | [] -> fail "jit: array without dimensions"
+  | [ n ] -> Heap.alloc_array heap ~elem n
+  | n :: rest ->
+      let sub_ty = List.fold_left (fun ty _ -> TArray ty) elem rest in
+      let arr = Heap.alloc_array heap ~elem:sub_ty n in
+      let r = Heap.deref heap arr in
+      for i = 0 to n - 1 do
+        Heap.array_set heap r i (alloc_multi t elem rest)
+      done;
+      arr
+
+and run_compiled c ~this args =
+  let fr =
+    { locals = Array.make (max 1 c.c_nlocals) Value.Null;
+      stack = Array.make 32 Value.Null; sp = 0 }
+  in
+  let base =
+    match this with
+    | Some v ->
+        if c.c_nlocals > 0 then fr.locals.(0) <- v;
+        1
+    | None -> 0
+  in
+  (try
+     List.iteri
+       (fun i (arg, ty) -> fr.locals.(base + i) <- Machine.coerce ty arg)
+       (List.combine args c.c_params)
+   with Invalid_argument _ -> fail "jit: arity mismatch");
+  let steps = c.c_steps in
+  let rec go pc = go (steps.(pc) fr) in
+  try go 0 with Jit_return v -> v
+
+and lookup_compiled t cls mname =
+  match Hashtbl.find_opt t.methods (cls, mname) with
+  | Some c -> Some c
+  | None -> (
+      match Compile.find_method t.image cls mname with
+      | Some (defining, mc) ->
+          let c = translate t mc ~takes_this:true in
+          Hashtbl.replace t.methods (defining, mname) c;
+          Hashtbl.replace t.methods (cls, mname) c;
+          Some c
+      | None -> None)
+
+and invoke_virtual t recv mname args =
+  let r = Heap.deref t.m.Machine.heap recv in
+  let dyn = Heap.object_class t.m.Machine.heap r in
+  invoke_from_class t recv dyn mname args
+
+and bracketed t f =
+  Machine.enter_frame t.m;
+  Fun.protect ~finally:(fun () -> Machine.leave_frame t.m) f
+
+and invoke_from_class t recv cls mname args =
+  match lookup_compiled t cls mname with
+  | Some c -> bracketed t (fun () -> run_compiled c ~this:(Some recv) args)
+  | None -> (
+      match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
+      | Some (defining, m) when m.m_mods.is_native ->
+          Machine.native_call t.m ~defining ~mname recv args
+      | Some (defining, _) -> fail "jit: method %s.%s has no code" defining mname
+      | None -> fail "jit: no method %s on %s" mname cls)
+
+and invoke_static t cls mname args =
+  match lookup_compiled t cls mname with
+  | Some c -> bracketed t (fun () -> run_compiled c ~this:None args)
+  | None -> (
+      match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
+      | Some (defining, m) when m.m_mods.is_native ->
+          Machine.native_call t.m ~defining ~mname Value.Null args
+      | Some _ | None -> fail "jit: no static method %s.%s" cls mname)
+
+and run_ctor t cls recv args =
+  let arity = List.length args in
+  let c =
+    match Hashtbl.find_opt t.ctors (cls, arity) with
+    | Some c -> c
+    | None -> (
+        match Hashtbl.find_opt t.image.Compile.im_ctors (cls, arity) with
+        | Some mc ->
+            let c = translate t mc ~takes_this:true in
+            Hashtbl.replace t.ctors (cls, arity) c;
+            c
+        | None -> fail "jit: no constructor %s/%d" cls arity)
+  in
+  ignore (bracketed t (fun () -> run_compiled c ~this:(Some recv) args))
+
+and construct t cls args =
+  let tab = t.image.Compile.im_tab in
+  let fields = Mj.Symtab.instance_fields tab cls in
+  let defaults =
+    List.map (fun (_, f) -> (f.f_name, Value.default f.f_ty)) fields
+  in
+  Cost.alloc t.m.Machine.cost ~words:(Heap.words_of_object (List.length defaults));
+  let obj = Heap.alloc_object t.m.Machine.heap ~cls ~fields:defaults in
+  run_ctor t cls obj args;
+  obj
+
+let call t recv mname args = invoke_virtual t recv mname args
+
+let call_static t cls mname args = invoke_static t cls mname args
+
+let new_instance t cls args = construct t cls args
+
+let run_main t cls = ignore (call_static t cls "main" [])
+
+let of_image ?(tariff = Cost.jit_tariff) image =
+  let m = Machine.create ~tariff image.Compile.im_tab in
+  let t = { image; m; methods = Hashtbl.create 64; ctors = Hashtbl.create 16 } in
+  m.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
+  let static_init = translate t image.Compile.im_static_init ~takes_this:false in
+  ignore (run_compiled static_init ~this:None []);
+  t
+
+let create ?tariff checked = of_image ?tariff (Compile.compile checked)

@@ -1,0 +1,35 @@
+(** Closure backend — the analogue of a late-90s JIT compiler.
+
+    Each bytecode method is translated once into an array of OCaml
+    closures (one per instruction, operands pre-decoded, static call
+    targets pre-resolved); execution then drives the closures directly
+    without interpreter dispatch. Results are identical to {!Vm};
+    only the speed and the cost tariff differ. *)
+
+type t
+
+val create : ?tariff:Mj_runtime.Cost.tariff -> Mj.Typecheck.checked -> t
+(** Default tariff is {!Mj_runtime.Cost.jit_tariff}. *)
+
+val of_image : ?tariff:Mj_runtime.Cost.tariff -> Compile.image -> t
+
+val machine : t -> Mj_runtime.Machine.t
+
+val cycles : t -> int
+
+val reset_cycles : t -> unit
+
+val output : t -> string
+
+val clear_output : t -> unit
+
+val new_instance : t -> string -> Mj_runtime.Value.t list -> Mj_runtime.Value.t
+
+val call : t -> Mj_runtime.Value.t -> string -> Mj_runtime.Value.t list -> Mj_runtime.Value.t
+
+val call_static : t -> string -> string -> Mj_runtime.Value.t list -> Mj_runtime.Value.t
+
+val run_main : t -> string -> unit
+
+val compiled_methods : t -> int
+(** Number of methods translated so far (lazy, per first call). *)

@@ -1,0 +1,218 @@
+module Value = Mj_runtime.Value
+open Mj.Ast
+
+(* Fold a constant integer operation; [None] leaves the instruction in
+   place (overflow-safe: wrap32 matches the VM). *)
+let fold_int op x y =
+  let w = Value.wrap32 in
+  match op with
+  | Add -> Some (Value.Int (w (x + y)))
+  | Sub -> Some (Value.Int (w (x - y)))
+  | Mul -> Some (Value.Int (w (x * y)))
+  | Div -> if y = 0 then None else Some (Value.Int (w (x / y)))
+  | Mod -> if y = 0 then None else Some (Value.Int (w (x mod y)))
+  | Band -> Some (Value.Int (x land y))
+  | Bor -> Some (Value.Int (x lor y))
+  | Bxor -> Some (Value.Int (x lxor y))
+  | Shl -> Some (Value.Int (w (x lsl (y land 31))))
+  | Shr -> Some (Value.Int (x asr (y land 31)))
+  | Lt -> Some (Value.Bool (x < y))
+  | Gt -> Some (Value.Bool (x > y))
+  | Le -> Some (Value.Bool (x <= y))
+  | Ge -> Some (Value.Bool (x >= y))
+  | Eq -> Some (Value.Bool (x = y))
+  | Neq -> Some (Value.Bool (x <> y))
+  | And | Or -> None
+
+let fold_double op x y =
+  match op with
+  | Add -> Some (Value.Double (x +. y))
+  | Sub -> Some (Value.Double (x -. y))
+  | Mul -> Some (Value.Double (x *. y))
+  | Div -> Some (Value.Double (x /. y))
+  | Lt -> Some (Value.Bool (x < y))
+  | Gt -> Some (Value.Bool (x > y))
+  | Le -> Some (Value.Bool (x <= y))
+  | Ge -> Some (Value.Bool (x >= y))
+  | Eq -> Some (Value.Bool (Float.equal x y))
+  | Neq -> Some (Value.Bool (not (Float.equal x y)))
+  | Mod | Band | Bor | Bxor | Shl | Shr | And | Or -> None
+
+(* One local pass: produce a rewritten instruction list where each entry
+   remembers how many source instructions it replaces, so jump targets
+   can be remapped. Deleted instructions become [None]. *)
+let local_pass code =
+  let n = Array.length code in
+  let keep = Array.make n true in
+  let replacement = Array.map (fun i -> i) code in
+  let changed = ref false in
+  (* a source position is a jump target if any instruction jumps there;
+     fusing across a jump target would break the jump's semantics *)
+  let is_target = Array.make (n + 1) false in
+  Array.iter
+    (function
+      | Instr.Jump t | Instr.Jump_if_false t ->
+          if t >= 0 && t <= n then is_target.(t) <- true
+      | _ -> ())
+    code;
+  let fusable i width =
+    (* positions i+1 .. i+width-1 must not be jump targets *)
+    let ok = ref true in
+    for k = i + 1 to i + width - 1 do
+      if is_target.(k) then ok := false
+    done;
+    !ok
+  in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      (match (replacement.(i), (if i + 1 < n then Some code.(i + 1) else None),
+              if i + 2 < n then Some code.(i + 2) else None)
+       with
+      (* Const a; Const b; op  ->  Const (a op b) *)
+      | Instr.Const (Value.Int a), Some (Instr.Const (Value.Int b)), Some (Instr.Iop op)
+        when fusable i 3 && keep.(i + 1) && keep.(i + 2) -> (
+          match fold_int op a b with
+          | Some v ->
+              replacement.(i) <- Instr.Const v;
+              keep.(i + 1) <- false;
+              keep.(i + 2) <- false;
+              changed := true
+          | None -> ())
+      | Instr.Const (Value.Double a), Some (Instr.Const (Value.Double b)),
+        Some (Instr.Dop op)
+        when fusable i 3 && keep.(i + 1) && keep.(i + 2) -> (
+          match fold_double op a b with
+          | Some v ->
+              replacement.(i) <- Instr.Const v;
+              keep.(i + 1) <- false;
+              keep.(i + 2) <- false;
+              changed := true
+          | None -> ())
+      (* Dup; Store n; Pop  ->  Store n *)
+      | Instr.Dup, Some (Instr.Store slot), Some Instr.Pop
+        when fusable i 3 && keep.(i + 1) && keep.(i + 2) ->
+          replacement.(i) <- Instr.Store slot;
+          keep.(i + 1) <- false;
+          keep.(i + 2) <- false;
+          changed := true
+      (* Const; Pop -> nothing *)
+      | Instr.Const _, Some Instr.Pop, _ when fusable i 2 && keep.(i + 1) ->
+          keep.(i) <- false;
+          keep.(i + 1) <- false;
+          changed := true
+      (* Const bool; Jump_if_false *)
+      | Instr.Const (Value.Bool b), Some (Instr.Jump_if_false target), _
+        when fusable i 2 && keep.(i + 1) ->
+          if b then begin
+            keep.(i) <- false;
+            keep.(i + 1) <- false
+          end
+          else begin
+            keep.(i) <- false;
+            replacement.(i + 1) <- Instr.Jump target
+          end;
+          changed := true
+      (* I2d of an integer literal *)
+      | Instr.Const (Value.Int a), Some Instr.I2d, _
+        when fusable i 2 && keep.(i + 1) ->
+          replacement.(i) <- Instr.Const (Value.Double (float_of_int a));
+          keep.(i + 1) <- false;
+          changed := true
+      (* consecutive yield points *)
+      | Instr.Yield_point, Some Instr.Yield_point, _
+        when fusable i 2 && keep.(i + 1) ->
+          keep.(i + 1) <- false;
+          changed := true
+      | _ -> ())
+    end
+  done;
+  (!changed, keep, replacement)
+
+(* Remap jump targets after deletions: target t moves to the number of
+   kept instructions strictly before t (a deleted target's jump lands on
+   the next kept instruction — safe because deletions only occur where
+   the deleted code had no observable effect). *)
+let compact code keep replacement =
+  let n = Array.length code in
+  let new_index = Array.make (n + 1) 0 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    new_index.(i) <- !count;
+    if keep.(i) then incr count
+  done;
+  new_index.(n) <- !count;
+  let out = Array.make !count Instr.Ret in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      out.(!j) <-
+        (match replacement.(i) with
+        | Instr.Jump t -> Instr.Jump new_index.(t)
+        | Instr.Jump_if_false t -> Instr.Jump_if_false new_index.(t)
+        | instr -> instr);
+      incr j
+    end
+  done;
+  out
+
+(* Thread jump chains: Jump t where code[t] = Jump u  becomes Jump u. *)
+let thread_jumps code =
+  let n = Array.length code in
+  let changed = ref false in
+  let rec final_target t depth =
+    if depth > n then t
+    else
+      match if t < n then code.(t) else Instr.Ret with
+      | Instr.Jump u when u <> t -> final_target u (depth + 1)
+      | _ -> t
+  in
+  let out =
+    Array.map
+      (function
+        | Instr.Jump t ->
+            let u = final_target t 0 in
+            if u <> t then changed := true;
+            Instr.Jump u
+        | Instr.Jump_if_false t ->
+            let u = final_target t 0 in
+            if u <> t then changed := true;
+            Instr.Jump_if_false u
+        | instr -> instr)
+      code
+  in
+  (!changed, out)
+
+let optimize_code code =
+  let rec loop code fuel =
+    if fuel = 0 then code
+    else
+      let changed1, code = thread_jumps code in
+      let changed2, keep, replacement = local_pass code in
+      let code = if changed2 then compact code keep replacement else code in
+      if changed1 || changed2 then loop code (fuel - 1) else code
+  in
+  loop code 10
+
+let method_code mc = { mc with Instr.mc_code = optimize_code mc.Instr.mc_code }
+
+let image (im : Compile.image) =
+  let im_methods = Hashtbl.create (Hashtbl.length im.Compile.im_methods) in
+  Hashtbl.iter
+    (fun key mc -> Hashtbl.replace im_methods key (method_code mc))
+    im.Compile.im_methods;
+  let im_ctors = Hashtbl.create (Hashtbl.length im.Compile.im_ctors) in
+  Hashtbl.iter
+    (fun key mc -> Hashtbl.replace im_ctors key (method_code mc))
+    im.Compile.im_ctors;
+  { im with Compile.im_methods; im_ctors;
+    im_static_init = method_code im.Compile.im_static_init }
+
+let shrinkage (im : Compile.image) =
+  let count image =
+    Hashtbl.fold (fun _ mc acc -> acc + Array.length mc.Instr.mc_code)
+      image.Compile.im_methods 0
+    + Hashtbl.fold
+        (fun _ mc acc -> acc + Array.length mc.Instr.mc_code)
+        image.Compile.im_ctors 0
+  in
+  (count im, count (image im))

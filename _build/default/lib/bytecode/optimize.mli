@@ -1,0 +1,23 @@
+(** Peephole optimizer over MJ bytecode.
+
+    Rewrites that preserve observable behaviour exactly (the test suite
+    checks this by differential execution):
+
+    - constant folding of integer/double/boolean operations whose
+      operands are literals (division/modulo by a constant zero is left
+      in place so the runtime error survives);
+    - [Dup; Store n; Pop] → [Store n] (expression-statement assignments);
+    - branch simplification for constant conditions;
+    - jump-chain threading (a jump to an unconditional jump retargets);
+    - collapsing of consecutive {!Instr.Yield_point}s (a single
+      preemption point per statement boundary suffices).
+
+    Jump targets are remapped after deletions. *)
+
+val method_code : Instr.method_code -> Instr.method_code
+
+val image : Compile.image -> Compile.image
+(** Optimize every method, constructor, and the static initializer. *)
+
+val shrinkage : Compile.image -> int * int
+(** (instructions before, instructions after) for reporting. *)

@@ -1,0 +1,393 @@
+module Value = Mj_runtime.Value
+module Heap = Mj_runtime.Heap
+module Cost = Mj_runtime.Cost
+module Machine = Mj_runtime.Machine
+module Threads = Mj_runtime.Threads
+open Mj.Ast
+
+type t = { image : Compile.image; m : Machine.t }
+
+let fail = Machine.fail
+
+let machine t = t.m
+
+let image t = t.image
+
+let cycles t = Cost.cycles t.m.Machine.cost
+
+let reset_cycles t = Cost.reset t.m.Machine.cost
+
+let output t = Buffer.contents t.m.Machine.console
+
+let clear_output t = Buffer.clear t.m.Machine.console
+
+let as_int = Machine.as_int
+
+let as_bool = Machine.as_bool
+
+let as_double = Machine.as_double
+
+let int_op op x y =
+  let w = Value.wrap32 in
+  match op with
+  | Add -> Value.Int (w (x + y))
+  | Sub -> Value.Int (w (x - y))
+  | Mul -> Value.Int (w (x * y))
+  | Div -> if y = 0 then fail "division by zero" else Value.Int (w (x / y))
+  | Mod -> if y = 0 then fail "division by zero" else Value.Int (w (x mod y))
+  | Band -> Value.Int (x land y)
+  | Bor -> Value.Int (x lor y)
+  | Bxor -> Value.Int (x lxor y)
+  | Shl -> Value.Int (w (x lsl (y land 31)))
+  | Shr -> Value.Int (x asr (y land 31))
+  | Lt -> Value.Bool (x < y)
+  | Gt -> Value.Bool (x > y)
+  | Le -> Value.Bool (x <= y)
+  | Ge -> Value.Bool (x >= y)
+  | Eq -> Value.Bool (x = y)
+  | Neq -> Value.Bool (x <> y)
+  | And | Or -> fail "vm: boolean operator compiled as int op"
+
+let double_op op x y =
+  match op with
+  | Add -> Value.Double (x +. y)
+  | Sub -> Value.Double (x -. y)
+  | Mul -> Value.Double (x *. y)
+  | Div -> Value.Double (x /. y)
+  | Lt -> Value.Bool (x < y)
+  | Gt -> Value.Bool (x > y)
+  | Le -> Value.Bool (x <= y)
+  | Ge -> Value.Bool (x >= y)
+  | Eq -> Value.Bool (Float.equal x y)
+  | Neq -> Value.Bool (not (Float.equal x y))
+  | Mod | Band | Bor | Bxor | Shl | Shr | And | Or ->
+      fail "vm: operator not defined on doubles"
+
+(* A frame: locals array plus a growable operand stack. *)
+type frame = {
+  locals : Value.t array;
+  mutable stack : Value.t array;
+  mutable sp : int;
+}
+
+let push fr v =
+  if fr.sp >= Array.length fr.stack then begin
+    let bigger = Array.make (2 * Array.length fr.stack) Value.Null in
+    Array.blit fr.stack 0 bigger 0 fr.sp;
+    fr.stack <- bigger
+  end;
+  fr.stack.(fr.sp) <- v;
+  fr.sp <- fr.sp + 1
+
+let pop fr =
+  if fr.sp = 0 then fail "vm: operand stack underflow";
+  fr.sp <- fr.sp - 1;
+  fr.stack.(fr.sp)
+
+let pop_n fr n =
+  let values = Array.make n Value.Null in
+  for i = n - 1 downto 0 do
+    values.(i) <- pop fr
+  done;
+  Array.to_list values
+
+let rec exec t (mc : Instr.method_code) ~this args =
+  Machine.enter_frame t.m;
+  Fun.protect ~finally:(fun () -> Machine.leave_frame t.m) @@ fun () ->
+  let fr =
+    { locals = Array.make (max 1 mc.Instr.mc_nlocals) Value.Null;
+      stack = Array.make 32 Value.Null; sp = 0 }
+  in
+  let base =
+    match this with
+    | Some v ->
+        if mc.Instr.mc_nlocals > 0 then fr.locals.(0) <- v;
+        1
+    | None -> 0
+  in
+  (try
+     List.iteri
+       (fun i (arg, ty) -> fr.locals.(base + i) <- Machine.coerce ty arg)
+       (List.combine args mc.Instr.mc_params)
+   with Invalid_argument _ ->
+     fail "vm: arity mismatch calling %s.%s" mc.Instr.mc_class mc.Instr.mc_name);
+  let code = mc.Instr.mc_code in
+  let cost = t.m.Machine.cost in
+  let heap = t.m.Machine.heap in
+  let rec step pc =
+    Cost.dispatch cost;
+    match code.(pc) with
+    | Instr.Const v ->
+        push fr v;
+        step (pc + 1)
+    | Instr.Load n ->
+        Cost.load_store cost;
+        push fr fr.locals.(n);
+        step (pc + 1)
+    | Instr.Store n ->
+        Cost.load_store cost;
+        fr.locals.(n) <- pop fr;
+        step (pc + 1)
+    | Instr.Get_field fname ->
+        Cost.field cost;
+        let r = Heap.deref heap (pop fr) in
+        push fr (Heap.get_field heap r fname);
+        step (pc + 1)
+    | Instr.Put_field fname ->
+        Cost.field cost;
+        let v = pop fr in
+        let r = Heap.deref heap (pop fr) in
+        Heap.set_field heap r fname v;
+        push fr v;
+        step (pc + 1)
+    | Instr.Get_static (cls, fname) ->
+        Cost.field cost;
+        if Threads.active () then
+          Threads.note (Printf.sprintf "read %s.%s" cls fname);
+        push fr (Machine.static_get t.m cls fname);
+        step (pc + 1)
+    | Instr.Put_static (cls, fname) ->
+        Cost.field cost;
+        let v = pop fr in
+        if Threads.active () then
+          Threads.note
+            (Printf.sprintf "write %s.%s = %s" cls fname (Value.to_display v));
+        Machine.static_set t.m cls fname v;
+        push fr v;
+        step (pc + 1)
+    | Instr.Array_load ->
+        Cost.array cost;
+        let i = as_int (pop fr) in
+        let r = Heap.deref heap (pop fr) in
+        push fr (Heap.array_get heap r i);
+        step (pc + 1)
+    | Instr.Array_store ->
+        Cost.array cost;
+        let v = pop fr in
+        let i = as_int (pop fr) in
+        let r = Heap.deref heap (pop fr) in
+        let v =
+          match Heap.get heap r with
+          | Heap.Arr { elem; _ } -> Machine.coerce elem v
+          | Heap.Object _ -> v
+        in
+        Heap.array_set heap r i v;
+        push fr v;
+        step (pc + 1)
+    | Instr.Array_len ->
+        Cost.field cost;
+        let r = Heap.deref heap (pop fr) in
+        push fr (Value.Int (Heap.array_length heap r));
+        step (pc + 1)
+    | Instr.New_object (cls, argc) ->
+        let args = pop_n fr argc in
+        push fr (construct t cls args);
+        step (pc + 1)
+    | Instr.New_array elem ->
+        let n = as_int (pop fr) in
+        Cost.alloc cost ~words:n;
+        push fr (Heap.alloc_array heap ~elem n);
+        step (pc + 1)
+    | Instr.New_multi (elem, ndims) ->
+        let dims = List.map as_int (pop_n fr ndims) in
+        push fr (alloc_multi t elem dims);
+        step (pc + 1)
+    | Instr.Iop op ->
+        Cost.arith cost;
+        let y = as_int (pop fr) in
+        let x = as_int (pop fr) in
+        push fr (int_op op x y);
+        step (pc + 1)
+    | Instr.Dop op ->
+        Cost.arith cost;
+        let y = as_double (pop fr) in
+        let x = as_double (pop fr) in
+        push fr (double_op op x y);
+        step (pc + 1)
+    | Instr.Veq positive ->
+        Cost.arith cost;
+        let y = pop fr in
+        let x = pop fr in
+        let same = Value.equal x y in
+        push fr (Value.Bool (if positive then same else not same));
+        step (pc + 1)
+    | Instr.Sconcat ->
+        Cost.arith cost;
+        let y = pop fr in
+        let x = pop fr in
+        push fr (Value.Str (Value.to_display x ^ Value.to_display y));
+        step (pc + 1)
+    | Instr.Ineg ->
+        Cost.arith cost;
+        push fr (Value.Int (Value.wrap32 (-as_int (pop fr))));
+        step (pc + 1)
+    | Instr.Dneg ->
+        Cost.arith cost;
+        push fr (Value.Double (-.as_double (pop fr)));
+        step (pc + 1)
+    | Instr.Bnot ->
+        Cost.arith cost;
+        push fr (Value.Bool (not (as_bool (pop fr))));
+        step (pc + 1)
+    | Instr.I2d ->
+        Cost.arith cost;
+        push fr (Value.Double (as_double (pop fr)));
+        step (pc + 1)
+    | Instr.D2i ->
+        Cost.arith cost;
+        push fr (Value.Int (Value.wrap32 (int_of_float (as_double (pop fr)))));
+        step (pc + 1)
+    | Instr.Checkcast ty ->
+        (let v = pop fr in
+         match (ty, v) with
+         | TClass target, Value.Ref r ->
+             let dyn = Heap.object_class heap r in
+             if Mj.Symtab.is_subclass t.image.Compile.im_tab ~sub:dyn ~super:target
+             then push fr v
+             else fail "class cast exception: %s is not a %s" dyn target
+         | _, v -> push fr v);
+        step (pc + 1)
+    | Instr.Jump target -> step target
+    | Instr.Jump_if_false target ->
+        if as_bool (pop fr) then step (pc + 1) else step target
+    | Instr.Invoke_virtual (mname, argc) ->
+        Cost.call cost;
+        let args = pop_n fr argc in
+        let recv = pop fr in
+        push fr (invoke_virtual t recv mname args);
+        step (pc + 1)
+    | Instr.Invoke_static (cls, mname, argc) ->
+        Cost.call cost;
+        let args = pop_n fr argc in
+        push fr (invoke_static t cls mname args);
+        step (pc + 1)
+    | Instr.Invoke_special (cls, mname, argc) ->
+        Cost.call cost;
+        let args = pop_n fr argc in
+        let recv = pop fr in
+        push fr (invoke_from_class t recv cls mname args);
+        step (pc + 1)
+    | Instr.Invoke_ctor (cls, argc) ->
+        Cost.call cost;
+        let args = pop_n fr argc in
+        let recv = pop fr in
+        run_ctor t cls recv args;
+        step (pc + 1)
+    | Instr.Ret -> Value.Null
+    | Instr.Ret_val -> Machine.coerce mc.Instr.mc_ret (pop fr)
+    | Instr.Pop ->
+        ignore (pop fr);
+        step (pc + 1)
+    | Instr.Dup ->
+        let v = pop fr in
+        push fr v;
+        push fr v;
+        step (pc + 1)
+    | Instr.Dup2 ->
+        let b = pop fr in
+        let a = pop fr in
+        push fr a;
+        push fr b;
+        push fr a;
+        push fr b;
+        step (pc + 1)
+    | Instr.Dup_x1 ->
+        let b = pop fr in
+        let a = pop fr in
+        push fr b;
+        push fr a;
+        push fr b;
+        step (pc + 1)
+    | Instr.Dup_x2 ->
+        let c = pop fr in
+        let b = pop fr in
+        let a = pop fr in
+        push fr c;
+        push fr a;
+        push fr b;
+        push fr c;
+        step (pc + 1)
+    | Instr.Coerce ty ->
+        push fr (Machine.coerce ty (pop fr));
+        step (pc + 1)
+    | Instr.Yield_point ->
+        Threads.maybe_yield ();
+        step (pc + 1)
+  in
+  step 0
+
+and alloc_multi t elem dims =
+  let heap = t.m.Machine.heap in
+  Cost.alloc t.m.Machine.cost ~words:(match dims with d :: _ -> d | [] -> 0);
+  match dims with
+  | [] -> fail "vm: array without dimensions"
+  | [ n ] -> Heap.alloc_array heap ~elem n
+  | n :: rest ->
+      let sub_ty = List.fold_left (fun ty _ -> TArray ty) elem rest in
+      let arr = Heap.alloc_array heap ~elem:sub_ty n in
+      let r = Heap.deref heap arr in
+      for i = 0 to n - 1 do
+        Heap.array_set heap r i (alloc_multi t elem rest)
+      done;
+      arr
+
+and invoke_virtual t recv mname args =
+  let r = Heap.deref t.m.Machine.heap recv in
+  let dyn = Heap.object_class t.m.Machine.heap r in
+  invoke_from_class t recv dyn mname args
+
+and invoke_from_class t recv cls mname args =
+  match Compile.find_method t.image cls mname with
+  | Some (_, mc) -> exec t mc ~this:(Some recv) args
+  | None -> (
+      match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
+      | Some (defining, m) when m.m_mods.is_native ->
+          Machine.native_call t.m ~defining ~mname recv args
+      | Some (defining, _) -> fail "vm: method %s.%s has no code" defining mname
+      | None -> fail "vm: no method %s on %s" mname cls)
+
+and invoke_static t cls mname args =
+  match Compile.find_method t.image cls mname with
+  | Some (_, mc) -> exec t mc ~this:None args
+  | None -> (
+      match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
+      | Some (defining, m) when m.m_mods.is_native ->
+          Machine.native_call t.m ~defining ~mname Value.Null args
+      | Some _ | None -> fail "vm: no static method %s.%s" cls mname)
+
+and run_ctor t cls recv args =
+  match Hashtbl.find_opt t.image.Compile.im_ctors (cls, List.length args) with
+  | Some mc -> ignore (exec t mc ~this:(Some recv) args)
+  | None -> fail "vm: no constructor %s/%d" cls (List.length args)
+
+and construct t cls args =
+  let tab = t.image.Compile.im_tab in
+  let fields = Mj.Symtab.instance_fields tab cls in
+  let defaults =
+    List.map (fun (_, f) -> (f.f_name, Value.default f.f_ty)) fields
+  in
+  Cost.alloc t.m.Machine.cost ~words:(Heap.words_of_object (List.length defaults));
+  let obj = Heap.alloc_object t.m.Machine.heap ~cls ~fields:defaults in
+  run_ctor t cls obj args;
+  obj
+
+let call t recv mname args = invoke_virtual t recv mname args
+
+let call_static t cls mname args = invoke_static t cls mname args
+
+let new_instance t cls args = construct t cls args
+
+let run_main t cls = ignore (call_static t cls "main" [])
+
+let of_image ?tariff image =
+  let m =
+    match tariff with
+    | Some tariff -> Machine.create ~tariff image.Compile.im_tab
+    | None -> Machine.create image.Compile.im_tab
+  in
+  let t = { image; m } in
+  m.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
+  ignore (exec t image.Compile.im_static_init ~this:None []);
+  t
+
+let create ?tariff checked = of_image ?tariff (Compile.compile checked)

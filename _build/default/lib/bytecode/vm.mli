@@ -1,0 +1,34 @@
+(** Bytecode VM — the analogue of a late-90s JVM interpreter.
+
+    Executes {!Compile.image} code against a shared {!Mj_runtime.Machine}
+    state with per-instruction cost accounting, and participates in the
+    {!Mj_runtime.Threads} scheduler at statement boundaries. *)
+
+type t
+
+val create : ?tariff:Mj_runtime.Cost.tariff -> Mj.Typecheck.checked -> t
+(** Compile the program, allocate machine state, run the static
+    initializer. *)
+
+val of_image : ?tariff:Mj_runtime.Cost.tariff -> Compile.image -> t
+(** Same, reusing a precompiled image (compile once, run many). *)
+
+val machine : t -> Mj_runtime.Machine.t
+
+val image : t -> Compile.image
+
+val cycles : t -> int
+
+val reset_cycles : t -> unit
+
+val output : t -> string
+
+val clear_output : t -> unit
+
+val new_instance : t -> string -> Mj_runtime.Value.t list -> Mj_runtime.Value.t
+
+val call : t -> Mj_runtime.Value.t -> string -> Mj_runtime.Value.t list -> Mj_runtime.Value.t
+
+val call_static : t -> string -> string -> Mj_runtime.Value.t list -> Mj_runtime.Value.t
+
+val run_main : t -> string -> unit

@@ -1,0 +1,1 @@
+lib/core/elaborate.ml: Array Asr Buffer Fun List Mj Mj_bytecode Mj_runtime Policy Printf

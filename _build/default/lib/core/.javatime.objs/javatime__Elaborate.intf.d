@@ -1,0 +1,1 @@
+lib/core/elaborate.mli: Asr Mj Mj_runtime

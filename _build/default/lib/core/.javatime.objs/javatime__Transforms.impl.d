@@ -1,0 +1,1 @@
+lib/core/transforms.ml: List Mj Option Policy Printf Rewrite String

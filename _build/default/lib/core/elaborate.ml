@@ -1,0 +1,172 @@
+module Value = Mj_runtime.Value
+module Machine = Mj_runtime.Machine
+module Heap = Mj_runtime.Heap
+
+type engine = Engine_interp | Engine_vm | Engine_jit
+
+type ops = {
+  o_machine : Machine.t;
+  o_new : string -> Value.t list -> Value.t;
+  o_call : Value.t -> string -> Value.t list -> Value.t;
+}
+
+type t = {
+  ops : ops;
+  instance : Value.t;
+  cls : string;
+  n_in : int;
+  n_out : int;
+  init_cycles : int;
+  mutable last_reaction : int;
+  mutable reaction_budget : int option;
+  stateless : bool;
+}
+
+let ops_of_engine engine checked =
+  match engine with
+  | Engine_interp ->
+      let s = Mj_runtime.Interp.create checked in
+      { o_machine = Mj_runtime.Interp.machine s;
+        o_new = Mj_runtime.Interp.new_instance s;
+        o_call = Mj_runtime.Interp.call s }
+  | Engine_vm ->
+      let s = Mj_bytecode.Vm.create checked in
+      { o_machine = Mj_bytecode.Vm.machine s;
+        o_new = Mj_bytecode.Vm.new_instance s;
+        o_call = Mj_bytecode.Vm.call s }
+  | Engine_jit ->
+      let s = Mj_bytecode.Jit.create checked in
+      { o_machine = Mj_bytecode.Jit.machine s;
+        o_new = Mj_bytecode.Jit.new_instance s;
+        o_call = Mj_bytecode.Jit.call s }
+
+(* Purity of the reaction: no field or static stores reachable from run. *)
+let writes_state (checked : Mj.Typecheck.checked) ~cls =
+  let graph = Policy.Call_graph.build checked in
+  let reachable =
+    Policy.Call_graph.reachable graph
+      ~roots:[ Policy.Call_graph.method_node cls "run" ]
+  in
+  List.exists
+    (fun node ->
+      match Policy.Phases.body_of_node checked node with
+      | None -> false
+      | Some body ->
+          Mj.Visit.exists_expr
+            (fun e ->
+              match e.Mj.Ast.expr with
+              | Mj.Ast.Assign ((Mj.Ast.Lfield _ | Mj.Ast.Lstatic_field _), _)
+              | Mj.Ast.Op_assign
+                  (_, (Mj.Ast.Lfield _ | Mj.Ast.Lstatic_field _), _)
+              | Mj.Ast.Pre_incr (_, (Mj.Ast.Lfield _ | Mj.Ast.Lstatic_field _))
+              | Mj.Ast.Post_incr (_, (Mj.Ast.Lfield _ | Mj.Ast.Lstatic_field _))
+                ->
+                  true
+              | _ -> false)
+            body.Mj.Visit.b_stmts)
+    reachable
+
+let data_to_value m = function
+  | Asr.Data.Int n -> Value.Int n
+  | Asr.Data.Real f -> Value.Double f
+  | Asr.Data.Bool b -> Value.Bool b
+  | Asr.Data.Str s -> Value.Str s
+  | Asr.Data.Int_array a -> Machine.make_int_array m a
+  | Asr.Data.Tuple _ | Asr.Data.Absent ->
+      invalid_arg "elaborate: tuples cannot cross an MJ port"
+
+let value_to_data m = function
+  | Value.Int n -> Asr.Data.Int n
+  | Value.Double f -> Asr.Data.Real f
+  | Value.Bool b -> Asr.Data.Bool b
+  | Value.Str s -> Asr.Data.Str s
+  | Value.Ref _ as v -> Asr.Data.Int_array (Machine.int_array m v)
+  | Value.Null -> invalid_arg "elaborate: null on an output port"
+
+let elaborate ?(engine = Engine_vm) ?(enforce_policy = true)
+    ?(bounded_memory = true) ?gc_threshold ?(ctor_args = []) checked ~cls =
+  if enforce_policy && not (Policy.Asr_policy.compliant checked) then
+    invalid_arg
+      (Printf.sprintf
+         "elaborate: program violates the ASR policy of use (class %s); \
+          refine it first or pass ~enforce_policy:false"
+         cls);
+  if not (List.mem cls (Policy.Phases.asr_classes checked)) then
+    invalid_arg (Printf.sprintf "elaborate: class %s does not extend ASR" cls);
+  let ops = ops_of_engine engine checked in
+  let m = ops.o_machine in
+  Heap.set_phase m.Machine.heap Heap.Init;
+  let instance = ops.o_new cls ctor_args in
+  let n_in, n_out = Machine.ports_of m instance in
+  let init_cycles = Mj_runtime.Cost.cycles m.Machine.cost in
+  Heap.set_phase m.Machine.heap Heap.Reactive;
+  Heap.forbid_reactive_alloc m.Machine.heap bounded_memory;
+  Heap.configure_gc m.Machine.heap ~threshold_words:gc_threshold;
+  let stateless = not (writes_state checked ~cls) in
+  { ops; instance; cls; n_in; n_out; init_cycles; last_reaction = 0;
+    reaction_budget = None; stateless }
+
+let ports t = (t.n_in, t.n_out)
+
+let init_cycles t = t.init_cycles
+
+let machine t = t.ops.o_machine
+
+let console t = Buffer.contents t.ops.o_machine.Machine.console
+
+let last_reaction_cycles t = t.last_reaction
+
+let total_cycles t = Mj_runtime.Cost.cycles t.ops.o_machine.Machine.cost
+
+let react t inputs =
+  if Array.length inputs <> t.n_in then
+    invalid_arg
+      (Printf.sprintf "react: %s expects %d inputs, got %d" t.cls t.n_in
+         (Array.length inputs));
+  let m = t.ops.o_machine in
+  (* Port marshalling is the environment's work, not the reaction's:
+     it happens in the Init phase so bounded-memory enforcement only
+     covers the design's own code. *)
+  Heap.set_phase m.Machine.heap Heap.Init;
+  Machine.clear_io m t.instance;
+  Array.iteri
+    (fun i input ->
+      match input with
+      | Asr.Domain.Bottom -> Machine.set_input m t.instance i None
+      | Asr.Domain.Def v ->
+          Machine.set_input m t.instance i (Some (data_to_value m v)))
+    inputs;
+  Heap.set_phase m.Machine.heap Heap.Reactive;
+  let before = Mj_runtime.Cost.cycles m.Machine.cost in
+  (* the watchdog meters the reaction only, not the environment's
+     marshalling work above *)
+  (match t.reaction_budget with
+  | Some budget -> Mj_runtime.Cost.set_budget m.Machine.cost (Some (before + budget))
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () -> Mj_runtime.Cost.set_budget m.Machine.cost None)
+    (fun () -> ignore (t.ops.o_call t.instance "run" []));
+  t.last_reaction <- Mj_runtime.Cost.cycles m.Machine.cost - before;
+  Heap.set_phase m.Machine.heap Heap.Init;
+  Array.init t.n_out (fun i ->
+      match Machine.output_port m t.instance i with
+      | None -> Asr.Domain.Bottom
+      | Some v -> Asr.Domain.Def (value_to_data m v))
+
+let react_bounded t ~budget_cycles inputs =
+  t.reaction_budget <- Some budget_cycles;
+  Fun.protect
+    ~finally:(fun () -> t.reaction_budget <- None)
+    (fun () -> react t inputs)
+
+let to_block t =
+  if not t.stateless then
+    invalid_arg
+      (Printf.sprintf
+         "to_block: %s.run writes fields; drive it with react instead" t.cls);
+  (* Strict: the fixed point may apply the block with partial inputs;
+     only a fully-defined input vector triggers the reaction. *)
+  Asr.Block.make ~name:("mj:" ^ t.cls) ~n_in:t.n_in ~n_out:t.n_out
+    (fun inputs ->
+      if Array.for_all Asr.Domain.is_def inputs then react t inputs
+      else Array.make t.n_out Asr.Domain.Bottom)

@@ -1,0 +1,67 @@
+(** Elaboration: embedding a policy-compliant MJ design in the ASR model
+    (paper §4.2, Fig. 7).
+
+    An instance of an MJ class extending [ASR] looks like a black box to
+    its environment: present inputs on its ports, invoke [run], collect
+    outputs — one reaction per instant. Elaboration constructs the
+    instance (the initialization phase), switches the heap to the
+    reactive phase (optionally arming bounded-memory enforcement), and
+    wraps the reaction protocol for the ASR simulator. *)
+
+type engine = Engine_interp | Engine_vm | Engine_jit
+
+type t
+
+val elaborate :
+  ?engine:engine ->
+  ?enforce_policy:bool ->
+  ?bounded_memory:bool ->
+  ?gc_threshold:int ->
+  ?ctor_args:Mj_runtime.Value.t list ->
+  Mj.Typecheck.checked ->
+  cls:string ->
+  t
+(** Defaults: VM engine, policy enforced (raises [Invalid_argument] on a
+    non-compliant program), bounded memory armed (reactive-phase
+    allocation raises), garbage collection disabled, zero constructor
+    arguments. [gc_threshold] (in heap words) arms the JDK-style
+    collector: reactive allocation beyond the threshold charges a pause
+    proportional to the approximate live size. *)
+
+val ports : t -> int * int
+(** Input and output port counts declared during initialization. *)
+
+val init_cycles : t -> int
+(** Cost cycles spent in loading, linking and construction. *)
+
+val react : t -> Asr.Domain.t array -> Asr.Domain.t array
+(** One instant: marshal inputs onto ports, invoke [run], collect
+    outputs. ⊥ inputs are absent ([portPresent] is false). *)
+
+val react_bounded :
+  t -> budget_cycles:int -> Asr.Domain.t array -> Asr.Domain.t array
+(** Like {!react} but with a watchdog: the reaction may spend at most
+    [budget_cycles] (e.g. the static bound from
+    {!Policy.Time_bound.reaction_bound}); exceeding it raises
+    {!Mj_runtime.Cost.Budget_exceeded}. For a policy-compliant design
+    driven under its own static bound this never fires — the test suite
+    checks exactly that. *)
+
+val last_reaction_cycles : t -> int
+
+val total_cycles : t -> int
+
+val machine : t -> Mj_runtime.Machine.t
+
+val console : t -> string
+
+val to_block : t -> Asr.Block.t
+(** The design as an ASR functional block, for composition into graphs.
+    Requires the [run] method (and everything it calls) to be free of
+    field and static writes — the fixed-point iteration may apply a
+    block several times per instant, which is only sound for stateless
+    reactions. Raises [Invalid_argument] for stateful designs; those are
+    driven with {!react} (the Fig. 7 protocol) instead. *)
+
+val writes_state : Mj.Typecheck.checked -> cls:string -> bool
+(** The static purity check used by {!to_block}. *)

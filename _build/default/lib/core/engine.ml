@@ -1,0 +1,98 @@
+type applied = { a_transform : string; a_description : string; a_sites : int }
+
+type step = {
+  iteration : int;
+  violations : Policy.Rule.violation list;
+  applied : applied list;
+}
+
+type outcome = {
+  initial : Mj.Ast.program;
+  final : Mj.Ast.program;
+  checked : Mj.Typecheck.checked;
+  steps : step list;
+  compliant : bool;
+  residual : Policy.Rule.violation list;
+}
+
+let dedup ids =
+  List.fold_left (fun acc id -> if List.mem id acc then acc else acc @ [ id ]) [] ids
+
+let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules) program =
+  let initial = program in
+  let check_policy checked =
+    List.concat_map (fun r -> r.Policy.Rule.check checked) policy
+  in
+  let rec loop iteration program steps =
+    let checked = Mj.Typecheck.check program in
+    let violations = check_policy checked in
+    let wanted =
+      dedup (List.concat_map Policy.Rule.automatic_fixes violations)
+    in
+    (* Catalogue order keeps the engine deterministic. *)
+    let transforms =
+      List.filter (fun t -> List.mem t.Transforms.id wanted) Transforms.catalogue
+    in
+    let blocking = List.filter Policy.Rule.is_blocking violations in
+    if transforms = [] || iteration > max_iterations then
+      { initial; final = checked.Mj.Typecheck.program; checked;
+        steps = List.rev steps; compliant = blocking = [];
+        residual = violations }
+    else begin
+      (* Apply the first transformation that changes something, then
+         re-analyze: one incremental refinement per iteration. *)
+      let rec try_transforms = function
+        | [] -> None
+        | t :: rest -> (
+            let rewritten, sites = t.Transforms.apply checked in
+            if sites = 0 then try_transforms rest
+            else
+              Some
+                ( rewritten,
+                  { a_transform = t.Transforms.id;
+                    a_description = t.Transforms.description; a_sites = sites } ))
+      in
+      match try_transforms transforms with
+      | None ->
+          { initial; final = checked.Mj.Typecheck.program; checked;
+            steps = List.rev steps; compliant = blocking = [];
+            residual = violations }
+      | Some (rewritten, applied) ->
+          let step = { iteration; violations; applied = [ applied ] } in
+          loop (iteration + 1) rewritten (step :: steps)
+    end
+  in
+  loop 1 program []
+
+let refine_source ?(file = "<source>") ?max_iterations ?policy src =
+  refine ?max_iterations ?policy (Mj.Parser.parse_program ~file src)
+
+let pp_trace ppf outcome =
+  Format.fprintf ppf "successive formal refinement: %d iteration(s)@."
+    (List.length outcome.steps);
+  List.iter
+    (fun step ->
+      let blocking =
+        List.length (List.filter Policy.Rule.is_blocking step.violations)
+      in
+      Format.fprintf ppf "  iteration %d: %d violation(s) (%d blocking)@."
+        step.iteration
+        (List.length step.violations)
+        blocking;
+      List.iter
+        (fun a ->
+          Format.fprintf ppf "    applied %-18s (%d site(s)) — %s@."
+            a.a_transform a.a_sites a.a_description)
+        step.applied)
+    outcome.steps;
+  if outcome.compliant then
+    Format.fprintf ppf "  result: compliant with the policy of use@."
+  else begin
+    Format.fprintf ppf "  result: %d violation(s) need manual refinement@."
+      (List.length (List.filter Policy.Rule.is_blocking outcome.residual));
+    List.iter
+      (fun v ->
+        if Policy.Rule.is_blocking v then
+          Format.fprintf ppf "    %a@." Policy.Rule.pp_violation v)
+      outcome.residual
+  end

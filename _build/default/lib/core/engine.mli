@@ -1,0 +1,43 @@
+(** The successive, formal refinement engine (paper §2, Fig. 2).
+
+    Iterates analyze → suggest → transform: the program is checked
+    against the ASR policy of use; violations carrying automatic fixes
+    trigger the corresponding catalogue transformations; the result is
+    re-checked, until the program complies or only manual fixes remain.
+    Every iteration is recorded — the trace is the Fig. 2 story. *)
+
+type applied = { a_transform : string; a_description : string; a_sites : int }
+
+type step = {
+  iteration : int;
+  violations : Policy.Rule.violation list;  (** before this iteration's fixes *)
+  applied : applied list;
+}
+
+type outcome = {
+  initial : Mj.Ast.program;
+  final : Mj.Ast.program;      (** resolved; pretty-prints to valid MJ *)
+  checked : Mj.Typecheck.checked;
+  steps : step list;
+  compliant : bool;
+  residual : Policy.Rule.violation list;  (** violations needing manual work *)
+}
+
+val refine :
+  ?max_iterations:int -> ?policy:Policy.Rule.t list -> Mj.Ast.program -> outcome
+(** Raises {!Mj.Diag.Compile_error} if the program does not type-check
+    (initially or — a bug — after a transformation). Default
+    [max_iterations] is 20; default [policy] is the ASR policy of use.
+    Pass {!Policy.Sdf_policy.rules} to refine toward the dataflow model
+    instead — the paper's "variety of target models, each with its own
+    policy of use". *)
+
+val refine_source :
+  ?file:string ->
+  ?max_iterations:int ->
+  ?policy:Policy.Rule.t list ->
+  string ->
+  outcome
+
+val pp_trace : Format.formatter -> outcome -> unit
+(** Human-readable refinement trace. *)

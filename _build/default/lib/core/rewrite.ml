@@ -1,0 +1,52 @@
+open Mj.Ast
+
+let rec map_stmt f s =
+  let sub = map_stmt f in
+  let desc =
+    match s.stmt with
+    | Block stmts -> Block (map_list f stmts)
+    | If (c, t, e) -> If (c, rewrap f (sub t), Option.map (fun e -> rewrap f (sub e)) e)
+    | While (c, body) -> While (c, rewrap f (sub body))
+    | Do_while (body, c) -> Do_while (rewrap f (sub body), c)
+    | For (init, cond, update, body) -> For (init, cond, update, rewrap f (sub body))
+    | ( Var_decl _ | Expr _ | Return _ | Break | Continue | Super_call _
+      | Empty ) as d ->
+        d
+  in
+  { s with stmt = desc }
+
+(* A loop/if body that is a bare statement still flows through [f] as a
+   singleton so sequence-level patterns can fire on it. *)
+and rewrap f s =
+  match s.stmt with
+  | Block _ -> s
+  | _ -> (
+      match f [ s ] with
+      | [ s' ] -> s'
+      | stmts -> { s with stmt = Block stmts })
+
+and map_list f stmts = f (List.map (map_stmt f) stmts)
+
+let map_stmt_list f stmts = map_list f stmts
+
+let map_program_bodies f program =
+  let classes =
+    List.map
+      (fun cls ->
+        let ctors =
+          List.map
+            (fun c -> { c with c_body = map_stmt_list (f ~cls) c.c_body })
+            cls.cl_ctors
+        in
+        let methods =
+          List.map
+            (fun m ->
+              match m.m_body with
+              | None -> m
+              | Some body -> { m with m_body = Some (map_stmt_list (f ~cls) body) })
+            cls.cl_methods
+        in
+        { cls with cl_ctors = ctors; cl_methods = methods })
+      program.classes
+  in
+  { classes }

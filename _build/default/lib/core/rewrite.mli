@@ -1,0 +1,16 @@
+(** Statement-level rewriting used by the SFR transformations. *)
+
+val map_stmt_list :
+  (Mj.Ast.stmt list -> Mj.Ast.stmt list) -> Mj.Ast.stmt list -> Mj.Ast.stmt list
+(** Bottom-up: rewrite every nested statement list (block bodies, loop
+    bodies wrapped as singletons are not lists — see below), then apply
+    [f] to the list itself. Loop/if bodies that are single statements
+    are passed through [f] as singleton lists and re-wrapped, so [f]
+    sees every statement sequence in the program. *)
+
+val map_program_bodies :
+  (cls:Mj.Ast.class_decl -> Mj.Ast.stmt list -> Mj.Ast.stmt list) ->
+  Mj.Ast.program ->
+  Mj.Ast.program
+(** Apply a statement-list rewriter to every constructor and method body
+    of every class. *)

@@ -1,0 +1,1 @@
+lib/mj/ast.ml: Float List Loc Option String

@@ -1,0 +1,1 @@
+lib/mj/builtins.ml: Ast List Parser

@@ -1,0 +1,1 @@
+lib/mj/builtins.mli: Ast

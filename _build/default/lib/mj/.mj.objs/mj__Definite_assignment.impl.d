@@ -1,0 +1,1 @@
+lib/mj/definite_assignment.ml: Ast Format Hashtbl List Loc Option Set String Visit

@@ -1,0 +1,1 @@
+lib/mj/definite_assignment.mli: Ast Format Loc

@@ -1,0 +1,1 @@
+lib/mj/diag.ml: Format Loc

@@ -1,0 +1,1 @@
+lib/mj/lexer.ml: Buffer Diag Format List Loc String Token

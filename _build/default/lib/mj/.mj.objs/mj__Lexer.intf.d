@@ -1,0 +1,1 @@
+lib/mj/lexer.mli: Token

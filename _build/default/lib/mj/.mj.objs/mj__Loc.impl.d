@@ -1,0 +1,1 @@
+lib/mj/loc.ml: Format

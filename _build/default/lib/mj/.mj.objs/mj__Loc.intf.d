@@ -1,0 +1,1 @@
+lib/mj/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/mj/metrics.ml: Ast Format List Option Printf Visit

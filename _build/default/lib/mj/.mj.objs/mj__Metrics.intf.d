@@ -1,0 +1,1 @@
+lib/mj/metrics.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/mj/parser.ml: Array Ast Diag Format Lexer List Loc String Token

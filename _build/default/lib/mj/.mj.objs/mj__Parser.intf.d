@@ -1,0 +1,1 @@
+lib/mj/parser.mli: Ast

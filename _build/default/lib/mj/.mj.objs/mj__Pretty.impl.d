@@ -1,0 +1,1 @@
+lib/mj/pretty.ml: Ast Buffer Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/mj/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/mj/symtab.ml: Ast Builtins Diag Hashtbl List Loc String

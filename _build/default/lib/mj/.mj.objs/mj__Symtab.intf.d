@@ -1,0 +1,1 @@
+lib/mj/symtab.mli: Ast

@@ -1,0 +1,1 @@
+lib/mj/token.ml: List Loc Printf

@@ -1,0 +1,1 @@
+lib/mj/typecheck.ml: Ast Diag List Loc Option Parser String Symtab

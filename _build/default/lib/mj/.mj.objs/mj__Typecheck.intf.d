@@ -1,0 +1,1 @@
+lib/mj/typecheck.mli: Ast Symtab

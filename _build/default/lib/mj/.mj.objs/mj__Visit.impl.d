@@ -1,0 +1,1 @@
+lib/mj/visit.ml: Ast List Option Printf

@@ -1,0 +1,1 @@
+lib/mj/visit.mli: Ast

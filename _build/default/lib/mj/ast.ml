@@ -1,0 +1,353 @@
+(* Abstract syntax of MJ. The parser produces unresolved [Name]/[Lname]
+   nodes and [Rimplicit] receivers; the type checker rebuilds the tree with
+   resolved variants and [ety] annotations. *)
+
+type ty =
+  | TInt
+  | TBool
+  | TDouble
+  | TString
+  | TVoid
+  | TNull
+  | TArray of ty
+  | TClass of string
+
+type visibility = Public | Private | Protected | Package
+
+type modifiers = {
+  visibility : visibility;
+  is_static : bool;
+  is_final : bool;
+  is_native : bool;
+}
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | And
+  | Or
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type expr = { expr : expr_desc; eloc : Loc.t; ety : ty option }
+
+and expr_desc =
+  | Int_lit of int
+  | Double_lit of float
+  | Bool_lit of bool
+  | String_lit of string
+  | Null_lit
+  | This
+  | Name of string
+  | Local of string
+  | Field_access of expr * string
+  | Static_field of string * string
+  | Array_length of expr
+  | Index of expr * expr
+  | Call of call
+  | New_object of string * expr list
+  | New_array of ty * expr list
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of lvalue * expr
+  | Op_assign of binop * lvalue * expr
+  | Pre_incr of int * lvalue
+  | Post_incr of int * lvalue
+  | Cast of ty * expr
+  | Cond of expr * expr * expr
+
+and call = {
+  recv : receiver;
+  mname : string;
+  args : expr list;
+  resolved : resolved_call option;
+}
+
+and receiver = Rexpr of expr | Rsuper | Rimplicit | Rstatic of string
+
+and resolved_call = { rc_class : string; rc_static : bool; rc_native : bool }
+
+and lvalue =
+  | Lname of string
+  | Llocal of string
+  | Lfield of expr * string
+  | Lstatic_field of string * string
+  | Lindex of expr * expr
+
+type stmt = { stmt : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Block of stmt list
+  | Var_decl of ty * string * expr option
+  | Expr of expr
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Do_while of stmt * expr
+  | For of for_init option * expr option * expr option * stmt
+  | Return of expr option
+  | Break
+  | Continue
+  | Super_call of expr list
+  | Empty
+
+and for_init = For_var of ty * string * expr option | For_expr of expr
+
+type field_decl = {
+  f_mods : modifiers;
+  f_ty : ty;
+  f_name : string;
+  f_init : expr option;
+  f_loc : Loc.t;
+}
+
+type method_decl = {
+  m_mods : modifiers;
+  m_ret : ty;
+  m_name : string;
+  m_params : (ty * string) list;
+  m_body : stmt list option;
+  m_loc : Loc.t;
+}
+
+type ctor_decl = {
+  c_mods : modifiers;
+  c_params : (ty * string) list;
+  c_body : stmt list;
+  c_loc : Loc.t;
+}
+
+type class_decl = {
+  cl_name : string;
+  cl_super : string option;
+  cl_fields : field_decl list;
+  cl_ctors : ctor_decl list;
+  cl_methods : method_decl list;
+  cl_loc : Loc.t;
+}
+
+type program = { classes : class_decl list }
+
+let no_mods =
+  { visibility = Package; is_static = false; is_final = false; is_native = false }
+
+let mk_expr ?(loc = Loc.dummy) ?ty expr = { expr; eloc = loc; ety = ty }
+
+let mk_stmt ?(loc = Loc.dummy) stmt = { stmt; sloc = loc }
+
+let with_ty e ty = { e with ety = Some ty }
+
+let rec ty_to_string = function
+  | TInt -> "int"
+  | TBool -> "boolean"
+  | TDouble -> "double"
+  | TString -> "String"
+  | TVoid -> "void"
+  | TNull -> "null"
+  | TArray t -> ty_to_string t ^ "[]"
+  | TClass c -> c
+
+let unop_to_string = function Neg -> "-" | Not -> "!"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let rec equal_ty a b =
+  match (a, b) with
+  | TInt, TInt | TBool, TBool | TDouble, TDouble -> true
+  | TString, TString | TVoid, TVoid | TNull, TNull -> true
+  | TArray x, TArray y -> equal_ty x y
+  | TClass x, TClass y -> String.equal x y
+  | ( (TInt | TBool | TDouble | TString | TVoid | TNull | TArray _ | TClass _),
+      _ ) ->
+      false
+
+(* Structural equality modulo locations and type annotations; the
+   parse/pretty/parse round-trip property relies on it. *)
+let rec equal_expr a b =
+  match (a.expr, b.expr) with
+  | Int_lit x, Int_lit y -> x = y
+  | Double_lit x, Double_lit y -> Float.equal x y
+  | Bool_lit x, Bool_lit y -> x = y
+  | String_lit x, String_lit y -> String.equal x y
+  | Null_lit, Null_lit | This, This -> true
+  | Name x, Name y | Local x, Local y -> String.equal x y
+  | Name x, Local y | Local x, Name y -> String.equal x y
+  | Field_access (e1, f1), Field_access (e2, f2) ->
+      String.equal f1 f2 && equal_expr e1 e2
+  | Static_field (c1, f1), Static_field (c2, f2) ->
+      String.equal c1 c2 && String.equal f1 f2
+  | Array_length e1, Array_length e2 -> equal_expr e1 e2
+  (* the printer renders Array_length as [.length], which re-parses as a
+     field access; treat the two as equal *)
+  | Array_length e1, Field_access (e2, "length")
+  | Field_access (e1, "length"), Array_length e2 ->
+      equal_expr e1 e2
+  | Index (a1, i1), Index (a2, i2) -> equal_expr a1 a2 && equal_expr i1 i2
+  | Call c1, Call c2 ->
+      String.equal c1.mname c2.mname
+      && equal_receiver c1.recv c2.recv
+      && equal_exprs c1.args c2.args
+  | New_object (c1, a1), New_object (c2, a2) ->
+      String.equal c1 c2 && equal_exprs a1 a2
+  | New_array (t1, d1), New_array (t2, d2) -> equal_ty t1 t2 && equal_exprs d1 d2
+  | Unary (o1, e1), Unary (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | Binary (o1, x1, y1), Binary (o2, x2, y2) ->
+      o1 = o2 && equal_expr x1 x2 && equal_expr y1 y2
+  | Assign (l1, e1), Assign (l2, e2) -> equal_lvalue l1 l2 && equal_expr e1 e2
+  | Op_assign (o1, l1, e1), Op_assign (o2, l2, e2) ->
+      o1 = o2 && equal_lvalue l1 l2 && equal_expr e1 e2
+  | Pre_incr (d1, l1), Pre_incr (d2, l2) -> d1 = d2 && equal_lvalue l1 l2
+  | Post_incr (d1, l1), Post_incr (d2, l2) -> d1 = d2 && equal_lvalue l1 l2
+  | Cast (t1, e1), Cast (t2, e2) -> equal_ty t1 t2 && equal_expr e1 e2
+  | Cond (c1, t1, e1), Cond (c2, t2, e2) ->
+      equal_expr c1 c2 && equal_expr t1 t2 && equal_expr e1 e2
+  | ( ( Int_lit _ | Double_lit _ | Bool_lit _ | String_lit _ | Null_lit | This
+      | Name _ | Local _ | Field_access _ | Static_field _ | Array_length _
+      | Index _ | Call _ | New_object _ | New_array _ | Unary _ | Binary _
+      | Assign _ | Op_assign _ | Pre_incr _ | Post_incr _ | Cast _ | Cond _ ),
+      _ ) ->
+      false
+
+and equal_exprs a b = List.length a = List.length b && List.for_all2 equal_expr a b
+
+and equal_receiver a b =
+  match (a, b) with
+  | Rexpr e1, Rexpr e2 -> equal_expr e1 e2
+  | Rsuper, Rsuper | Rimplicit, Rimplicit -> true
+  | Rstatic c1, Rstatic c2 -> String.equal c1 c2
+  (* A resolved static receiver prints as [Class.m], which re-parses as a
+     [Name] receiver; treat them as equal for round-trip purposes. *)
+  | Rstatic c1, Rexpr { expr = Name c2; _ } -> String.equal c1 c2
+  | Rexpr { expr = Name c1; _ }, Rstatic c2 -> String.equal c1 c2
+  | (Rexpr _ | Rsuper | Rimplicit | Rstatic _), _ -> false
+
+and equal_lvalue a b =
+  match (a, b) with
+  | Lname x, Lname y | Llocal x, Llocal y -> String.equal x y
+  | Lname x, Llocal y | Llocal x, Lname y -> String.equal x y
+  | Lfield (e1, f1), Lfield (e2, f2) -> String.equal f1 f2 && equal_expr e1 e2
+  | Lstatic_field (c1, f1), Lstatic_field (c2, f2) ->
+      String.equal c1 c2 && String.equal f1 f2
+  | Lindex (a1, i1), Lindex (a2, i2) -> equal_expr a1 a2 && equal_expr i1 i2
+  | (Lname _ | Llocal _ | Lfield _ | Lstatic_field _ | Lindex _), _ -> false
+
+let rec equal_stmt a b =
+  match (a.stmt, b.stmt) with
+  | Block s1, Block s2 -> equal_stmts s1 s2
+  (* the printer braces a then-branch to resolve the dangling-else
+     ambiguity; a singleton block around a non-declaration is equal to
+     the statement itself *)
+  | Block [ ({ stmt = If _ | While _ | For _ | Do_while _ | Expr _; _ } as s1) ], _
+    ->
+      equal_stmt s1 b
+  | _, Block [ ({ stmt = If _ | While _ | For _ | Do_while _ | Expr _; _ } as s2) ]
+    ->
+      equal_stmt a s2
+  | Var_decl (t1, n1, i1), Var_decl (t2, n2, i2) ->
+      equal_ty t1 t2 && String.equal n1 n2 && Option.equal equal_expr i1 i2
+  | Expr e1, Expr e2 -> equal_expr e1 e2
+  | If (c1, t1, e1), If (c2, t2, e2) ->
+      equal_expr c1 c2 && equal_stmt t1 t2 && Option.equal equal_stmt e1 e2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_stmt b1 b2
+  | Do_while (b1, c1), Do_while (b2, c2) -> equal_stmt b1 b2 && equal_expr c1 c2
+  | For (i1, c1, u1, b1), For (i2, c2, u2, b2) ->
+      Option.equal equal_for_init i1 i2
+      && Option.equal equal_expr c1 c2
+      && Option.equal equal_expr u1 u2
+      && equal_stmt b1 b2
+  | Return e1, Return e2 -> Option.equal equal_expr e1 e2
+  | Break, Break | Continue, Continue | Empty, Empty -> true
+  | Super_call a1, Super_call a2 -> equal_exprs a1 a2
+  | ( ( Block _ | Var_decl _ | Expr _ | If _ | While _ | Do_while _ | For _
+      | Return _ | Break | Continue | Super_call _ | Empty ),
+      _ ) ->
+      false
+
+and equal_stmts a b = List.length a = List.length b && List.for_all2 equal_stmt a b
+
+and equal_for_init a b =
+  match (a, b) with
+  | For_var (t1, n1, i1), For_var (t2, n2, i2) ->
+      equal_ty t1 t2 && String.equal n1 n2 && Option.equal equal_expr i1 i2
+  | For_expr e1, For_expr e2 -> equal_expr e1 e2
+  | (For_var _ | For_expr _), _ -> false
+
+let equal_modifiers (a : modifiers) (b : modifiers) = a = b
+
+let equal_field a b =
+  equal_modifiers a.f_mods b.f_mods
+  && equal_ty a.f_ty b.f_ty
+  && String.equal a.f_name b.f_name
+  && Option.equal equal_expr a.f_init b.f_init
+
+let equal_params p q =
+  List.length p = List.length q
+  && List.for_all2
+       (fun (t1, n1) (t2, n2) -> equal_ty t1 t2 && String.equal n1 n2)
+       p q
+
+let equal_method a b =
+  equal_modifiers a.m_mods b.m_mods
+  && equal_ty a.m_ret b.m_ret
+  && String.equal a.m_name b.m_name
+  && equal_params a.m_params b.m_params
+  && Option.equal equal_stmts a.m_body b.m_body
+
+let equal_ctor a b =
+  equal_modifiers a.c_mods b.c_mods
+  && equal_params a.c_params b.c_params
+  && equal_stmts a.c_body b.c_body
+
+let equal_class a b =
+  String.equal a.cl_name b.cl_name
+  && Option.equal String.equal a.cl_super b.cl_super
+  && List.length a.cl_fields = List.length b.cl_fields
+  && List.for_all2 equal_field a.cl_fields b.cl_fields
+  && List.length a.cl_ctors = List.length b.cl_ctors
+  && List.for_all2 equal_ctor a.cl_ctors b.cl_ctors
+  && List.length a.cl_methods = List.length b.cl_methods
+  && List.for_all2 equal_method a.cl_methods b.cl_methods
+
+let equal_program a b =
+  List.length a.classes = List.length b.classes
+  && List.for_all2 equal_class a.classes b.classes
+
+let find_class program name =
+  List.find_opt (fun c -> String.equal c.cl_name name) program.classes
+
+let find_method cls name =
+  List.find_opt (fun m -> String.equal m.m_name name) cls.cl_methods
+
+let find_field cls name =
+  List.find_opt (fun f -> String.equal f.f_name name) cls.cl_fields

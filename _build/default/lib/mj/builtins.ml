@@ -1,0 +1,67 @@
+let source =
+  {|
+class Math {
+  public static final double PI = 3.141592653589793;
+  public static native double sqrt(double x);
+  public static native double sin(double x);
+  public static native double cos(double x);
+  public static native double floor(double x);
+  public static native double ceil(double x);
+  public static native double pow(double base, double exponent);
+  public static native double abs(double x);
+  public static native int iabs(int x);
+  public static native int round(double x);
+  public static native int min(int x, int y);
+  public static native int max(int x, int y);
+}
+
+class PrintStream {
+  PrintStream() {}
+  public native void println(String message);
+  public native void print(String message);
+}
+
+class System {
+  public static final PrintStream out = new PrintStream();
+  public static native int currentTimeMillis();
+}
+
+class Thread {
+  Thread() {}
+  public void run() {}
+  public native void start();
+  public native void join();
+  public static native void yield();
+}
+
+class ASR {
+  ASR() {}
+  protected native void declarePorts(int inputs, int outputs);
+  protected native int portCount(int direction);
+  protected native int readPort(int port);
+  protected native int[] readPortArray(int port);
+  protected native boolean portPresent(int port);
+  protected native void writePort(int port, int value);
+  protected native void writePortArray(int port, int[] values);
+  public void run() {}
+}
+
+class JTime {
+  public static native void enterInstant(String label);
+  public static native void exitInstant();
+}
+|}
+
+let class_names = [ "Math"; "PrintStream"; "System"; "Thread"; "ASR"; "JTime" ]
+
+let is_builtin name = List.mem name class_names
+
+let cache = ref None
+
+let classes () =
+  match !cache with
+  | Some cs -> cs
+  | None ->
+      let program = Parser.parse_program ~file:"<builtins>" source in
+      cache := Some program.Ast.classes;
+      program.Ast.classes

@@ -1,0 +1,13 @@
+(** The MJ builtin class library: [Math], [System]/[PrintStream],
+    [Thread], [ASR] and [JTime]. Native methods have no body; their
+    behaviour is supplied by the execution substrates. *)
+
+val classes : unit -> Ast.class_decl list
+(** Parsed declarations of all builtin classes. *)
+
+val class_names : string list
+
+val is_builtin : string -> bool
+
+val source : string
+(** The MJ source the builtins are parsed from (for documentation). *)

@@ -1,0 +1,174 @@
+open Ast
+
+type finding = { loc : Loc.t; variable : string; context : string }
+
+module Vars = Set.Make (String)
+
+(* Result of flowing through a statement: the definitely-assigned set on
+   normal completion, or Escapes when the statement always completes
+   abruptly (so anything is vacuously assigned afterwards). *)
+type flow = Normal of Vars.t | Escapes
+
+let join a b =
+  match (a, b) with
+  | Escapes, f | f, Escapes -> f
+  | Normal x, Normal y -> Normal (Vars.inter x y)
+
+let check program =
+  let findings = ref [] in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun body ->
+          let context = Visit.body_name body in
+          (* locals declared in this body without an initializer *)
+          let tracked = Hashtbl.create 16 in
+          Visit.iter_stmts body.Visit.b_stmts
+            ~expr:(fun _ -> ())
+            ~stmt:(fun s ->
+              match s.stmt with
+              | Var_decl (_, name, None) -> Hashtbl.replace tracked name ()
+              | _ -> ());
+          let report loc variable =
+            findings := { loc; variable; context } :: !findings
+          in
+          (* expression reads under an assigned-set *)
+          let rec read_expr assigned e =
+            let sub = read_expr assigned in
+            let read_lvalue = function
+              | Lname n | Llocal n ->
+                  (* compound assignment/incr reads the target first *)
+                  if Hashtbl.mem tracked n && not (Vars.mem n assigned) then
+                    report e.eloc n
+              | Lfield (o, _) -> sub o
+              | Lstatic_field _ -> ()
+              | Lindex (a, i) ->
+                  sub a;
+                  sub i
+            in
+            match e.expr with
+            | Local n | Name n ->
+                if Hashtbl.mem tracked n && not (Vars.mem n assigned) then
+                  report e.eloc n
+            | Int_lit _ | Double_lit _ | Bool_lit _ | String_lit _ | Null_lit
+            | This | Static_field _ ->
+                ()
+            | Field_access (o, _) | Array_length o | Unary (_, o) | Cast (_, o)
+              ->
+                sub o
+            | Index (a, i) ->
+                sub a;
+                sub i
+            | Call c ->
+                (match c.recv with
+                | Rexpr o -> sub o
+                | Rsuper | Rimplicit | Rstatic _ -> ());
+                List.iter sub c.args
+            | New_object (_, args) -> List.iter sub args
+            | New_array (_, dims) -> List.iter sub dims
+            | Binary (_, x, y) ->
+                sub x;
+                sub y
+            | Assign (lv, rhs) -> (
+                sub rhs;
+                match lv with
+                | Lname _ | Llocal _ -> ()
+                | lv -> read_lvalue lv)
+            | Op_assign (_, lv, rhs) ->
+                read_lvalue lv;
+                sub rhs
+            | Pre_incr (_, lv) | Post_incr (_, lv) -> read_lvalue lv
+            | Cond (c, a, b) ->
+                sub c;
+                sub a;
+                sub b
+          in
+          (* variables an expression assigns (over-approximate inside
+             '?:' branches — this is an advisory lint) *)
+          let expr_assigns e =
+            let acc = ref Vars.empty in
+            Visit.iter_stmts
+              [ { stmt = Expr e; sloc = e.eloc } ]
+              ~stmt:(fun _ -> ())
+              ~expr:(fun e ->
+                match e.expr with
+                | Assign ((Lname n | Llocal n), _)
+                | Op_assign (_, (Lname n | Llocal n), _)
+                | Pre_incr (_, (Lname n | Llocal n))
+                | Post_incr (_, (Lname n | Llocal n)) ->
+                    acc := Vars.add n !acc
+                | _ -> ());
+            !acc
+          in
+          let flow_expr assigned e =
+            read_expr assigned e;
+            Vars.union assigned (expr_assigns e)
+          in
+          let rec flow_stmt assigned s =
+            match s.stmt with
+            | Block stmts -> flow_stmts assigned stmts
+            | Var_decl (_, name, init) -> (
+                match init with
+                | Some e ->
+                    let assigned = flow_expr assigned e in
+                    Normal (Vars.add name assigned)
+                | None -> Normal assigned)
+            | Expr e -> Normal (flow_expr assigned e)
+            | If (c, t, f) -> (
+                let assigned = flow_expr assigned c in
+                let ft = flow_stmt assigned t in
+                match f with
+                | None -> Normal assigned
+                | Some f -> join ft (flow_stmt assigned f))
+            | While (c, body) ->
+                let assigned = flow_expr assigned c in
+                ignore (flow_stmt assigned body);
+                Normal assigned
+            | Do_while (body, c) -> (
+                match flow_stmt assigned body with
+                | Normal after ->
+                    Normal (flow_expr after c)
+                | Escapes -> Escapes)
+            | For (init, cond, update, body) ->
+                let assigned =
+                  match init with
+                  | Some (For_var (_, name, Some e)) ->
+                      Vars.add name (flow_expr assigned e)
+                  | Some (For_var (_, _, None)) -> assigned
+                  | Some (For_expr e) -> flow_expr assigned e
+                  | None -> assigned
+                in
+                let assigned =
+                  match cond with
+                  | Some c -> flow_expr assigned c
+                  | None -> assigned
+                in
+                let after_body = flow_stmt assigned body in
+                (match (after_body, update) with
+                | Normal a, Some u -> ignore (flow_expr a u)
+                | _ -> ());
+                Normal assigned
+            | Return e ->
+                Option.iter (fun e -> ignore (flow_expr assigned e)) e;
+                Escapes
+            | Break | Continue -> Escapes
+            | Super_call args ->
+                Normal
+                  (List.fold_left (fun acc a -> flow_expr acc a) assigned args)
+            | Empty -> Normal assigned
+          and flow_stmts assigned stmts =
+            List.fold_left
+              (fun flow s ->
+                match flow with
+                | Escapes -> Escapes
+                | Normal assigned -> flow_stmt assigned s)
+              (Normal assigned) stmts
+          in
+          ignore (flow_stmts Vars.empty body.Visit.b_stmts))
+        (Visit.bodies cls))
+    program.classes;
+  List.rev !findings
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%a: variable '%s' may be read before assignment (%s)"
+    Loc.pp f.loc f.variable f.context

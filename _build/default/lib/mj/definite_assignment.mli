@@ -1,0 +1,17 @@
+(** Java-style definite-assignment analysis, as an advisory JavaTime
+    check: a local variable should be assigned on every path before it
+    is read (the MJ runtime default-initializes, so this is a lint, not
+    a type error).
+
+    The analysis tracks the definitely-assigned set through statements;
+    a branch that completes abruptly (return/break/continue) is
+    vacuously assigned-everything at the join, as in the JLS. Loops are
+    handled conservatively (a loop body's assignments do not count after
+    the loop; a do-while body's do). *)
+
+type finding = { loc : Loc.t; variable : string; context : string }
+
+val check : Ast.program -> finding list
+(** Findings across every constructor and method body. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,24 @@
+type severity = Error | Warning | Note
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Compile_error of t
+
+let make severity loc message = { severity; loc; message }
+
+let error ?(loc = Loc.dummy) fmt =
+  Format.kasprintf
+    (fun message -> raise (Compile_error (make Error loc message)))
+    fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ppf d =
+  Format.fprintf ppf "%a: %s: %s" Loc.pp d.loc
+    (severity_to_string d.severity)
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,230 @@
+type state = {
+  file : string;
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let current_pos st : Loc.pos = { line = st.line; col = st.col; offset = st.pos }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let loc_from st start_pos =
+  Loc.make ~file:st.file ~start_pos ~end_pos:(current_pos st)
+
+let lex_error st start_pos fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Diag.Compile_error (Diag.make Diag.Error (loc_from st start_pos) message)))
+    fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Skip whitespace and comments; error on an unterminated block comment. *)
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' -> (
+      match peek2 st with
+      | Some '/' ->
+          while peek st <> None && peek st <> Some '\n' do
+            advance st
+          done;
+          skip_trivia st
+      | Some '*' ->
+          let start_pos = current_pos st in
+          advance st;
+          advance st;
+          let rec eat () =
+            match (peek st, peek2 st) with
+            | Some '*', Some '/' ->
+                advance st;
+                advance st
+            | Some _, _ ->
+                advance st;
+                eat ()
+            | None, _ -> lex_error st start_pos "unterminated block comment"
+          in
+          eat ();
+          skip_trivia st
+      | Some _ | None -> ())
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start_pos = current_pos st in
+  let buf = Buffer.create 16 in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        Buffer.add_char buf c;
+        advance st;
+        digits ()
+    | Some _ | None -> ()
+  in
+  digits ();
+  let is_double =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', (Some _ | None) -> false
+    | (Some _ | None), _ -> false
+  in
+  if is_double then begin
+    Buffer.add_char buf '.';
+    advance st;
+    digits ();
+    (match peek st with
+    | Some ('e' | 'E') ->
+        Buffer.add_char buf 'e';
+        advance st;
+        (match peek st with
+        | Some (('+' | '-') as sign) ->
+            Buffer.add_char buf sign;
+            advance st
+        | Some _ | None -> ());
+        digits ()
+    | Some _ | None -> ());
+    match float_of_string_opt (Buffer.contents buf) with
+    | Some f -> { Token.token = Token.DOUBLE_LIT f; loc = loc_from st start_pos }
+    | None -> lex_error st start_pos "malformed floating-point literal"
+  end
+  else
+    match int_of_string_opt (Buffer.contents buf) with
+    | Some n -> { Token.token = Token.INT_LIT n; loc = loc_from st start_pos }
+    | None -> lex_error st start_pos "integer literal out of range"
+
+let lex_string st =
+  let start_pos = current_pos st in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec eat () =
+    match peek st with
+    | Some '"' ->
+        advance st;
+        { Token.token = Token.STRING_LIT (Buffer.contents buf);
+          loc = loc_from st start_pos }
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; eat ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; eat ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance st; eat ()
+        | Some '"' -> Buffer.add_char buf '"'; advance st; eat ()
+        | Some c -> lex_error st start_pos "unknown escape sequence '\\%c'" c
+        | None -> lex_error st start_pos "unterminated string literal")
+    | Some '\n' | None -> lex_error st start_pos "unterminated string literal"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        eat ()
+  in
+  eat ()
+
+let lex_ident st =
+  let start_pos = current_pos st in
+  let buf = Buffer.create 16 in
+  let rec eat () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        Buffer.add_char buf c;
+        advance st;
+        eat ()
+    | Some _ | None -> ()
+  in
+  eat ();
+  let name = Buffer.contents buf in
+  let token =
+    match Token.keyword_of_string name with
+    | Some kw -> kw
+    | None -> Token.IDENT name
+  in
+  { Token.token; loc = loc_from st start_pos }
+
+(* Operators and punctuation; longest match first. *)
+let lex_operator st =
+  let start_pos = current_pos st in
+  let two tok =
+    advance st;
+    advance st;
+    { Token.token = tok; loc = loc_from st start_pos }
+  in
+  let one tok =
+    advance st;
+    { Token.token = tok; loc = loc_from st start_pos }
+  in
+  match (peek st, peek2 st) with
+  | Some '+', Some '+' -> two Token.PLUS_PLUS
+  | Some '+', Some '=' -> two Token.PLUS_ASSIGN
+  | Some '-', Some '-' -> two Token.MINUS_MINUS
+  | Some '-', Some '=' -> two Token.MINUS_ASSIGN
+  | Some '*', Some '=' -> two Token.STAR_ASSIGN
+  | Some '/', Some '=' -> two Token.SLASH_ASSIGN
+  | Some '=', Some '=' -> two Token.EQ
+  | Some '!', Some '=' -> two Token.NEQ
+  | Some '<', Some '=' -> two Token.LE
+  | Some '>', Some '=' -> two Token.GE
+  | Some '<', Some '<' -> two Token.SHL
+  | Some '>', Some '>' -> two Token.SHR
+  | Some '&', Some '&' -> two Token.AND_AND
+  | Some '|', Some '|' -> two Token.OR_OR
+  | Some '+', _ -> one Token.PLUS
+  | Some '-', _ -> one Token.MINUS
+  | Some '*', _ -> one Token.STAR
+  | Some '/', _ -> one Token.SLASH
+  | Some '%', _ -> one Token.PERCENT
+  | Some '=', _ -> one Token.ASSIGN
+  | Some '<', _ -> one Token.LT
+  | Some '>', _ -> one Token.GT
+  | Some '!', _ -> one Token.BANG
+  | Some '&', _ -> one Token.AMP
+  | Some '|', _ -> one Token.PIPE
+  | Some '^', _ -> one Token.CARET
+  | Some '(', _ -> one Token.LPAREN
+  | Some ')', _ -> one Token.RPAREN
+  | Some '{', _ -> one Token.LBRACE
+  | Some '}', _ -> one Token.RBRACE
+  | Some '[', _ -> one Token.LBRACKET
+  | Some ']', _ -> one Token.RBRACKET
+  | Some ';', _ -> one Token.SEMI
+  | Some ',', _ -> one Token.COMMA
+  | Some '.', _ -> one Token.DOT
+  | Some '?', _ -> one Token.QUESTION
+  | Some ':', _ -> one Token.COLON
+  | Some c, _ -> lex_error st start_pos "unexpected character '%c'" c
+  | None, _ -> lex_error st start_pos "unexpected end of input"
+
+let tokenize ~file src =
+  let st = { file; src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_trivia st;
+    match peek st with
+    | None ->
+        let eof =
+          { Token.token = Token.EOF; loc = loc_from st (current_pos st) }
+        in
+        List.rev (eof :: acc)
+    | Some c when is_digit c -> loop (lex_number st :: acc)
+    | Some c when is_ident_start c -> loop (lex_ident st :: acc)
+    | Some '"' -> loop (lex_string st :: acc)
+    | Some _ -> loop (lex_operator st :: acc)
+  in
+  loop []

@@ -1,0 +1,6 @@
+(** Hand-written lexer for MJ source text. *)
+
+val tokenize : file:string -> string -> Token.spanned list
+(** Scan a whole compilation unit into a token stream terminated by
+    {!Token.EOF}. Raises {!Diag.Compile_error} on malformed input
+    (unterminated strings or comments, stray characters, bad numbers). *)

@@ -1,0 +1,24 @@
+type pos = { line : int; col : int; offset : int }
+
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+let dummy_pos = { line = 0; col = 0; offset = -1 }
+
+let dummy = { file = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let is_dummy loc = loc.start_pos.offset < 0
+
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { file = a.file; start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp ppf loc =
+  if is_dummy loc then Format.fprintf ppf "<unknown>"
+  else
+    Format.fprintf ppf "%s:%d:%d" loc.file loc.start_pos.line
+      loc.start_pos.col
+
+let to_string loc = Format.asprintf "%a" pp loc

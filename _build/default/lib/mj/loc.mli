@@ -1,0 +1,28 @@
+(** Source locations for MJ compilation units. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;   (** 1-based column number *)
+  offset : int;(** 0-based byte offset in the source *)
+}
+
+type t = {
+  file : string;
+  start_pos : pos;
+  end_pos : pos;
+}
+
+val dummy : t
+(** Placeholder location for synthesized nodes. *)
+
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+
+val merge : t -> t -> t
+(** [merge a b] spans from the start of [a] to the end of [b]. *)
+
+val is_dummy : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [file:line:col]. *)
+
+val to_string : t -> string

@@ -1,0 +1,97 @@
+open Ast
+
+type method_metrics = {
+  mm_class : string;
+  mm_member : string;
+  mm_statements : int;
+  mm_expressions : int;
+  mm_cyclomatic : int;
+  mm_max_loop_depth : int;
+  mm_calls : int;
+  mm_allocations : int;
+}
+
+type program_totals = {
+  pt_classes : int;
+  pt_fields : int;
+  pt_methods : int;
+  pt_statements : int;
+  pt_expressions : int;
+}
+
+let rec loop_depth_stmt s =
+  match s.stmt with
+  | While (_, body) | Do_while (body, _) | For (_, _, _, body) ->
+      1 + loop_depth_stmt body
+  | Block stmts -> loop_depth_stmts stmts
+  | If (_, t, f) ->
+      max (loop_depth_stmt t) (Option.fold ~none:0 ~some:loop_depth_stmt f)
+  | Var_decl _ | Expr _ | Return _ | Break | Continue | Super_call _ | Empty ->
+      0
+
+and loop_depth_stmts stmts =
+  List.fold_left (fun acc s -> max acc (loop_depth_stmt s)) 0 stmts
+
+let of_body ~cls ~member stmts =
+  let statements = ref 0 in
+  let expressions = ref 0 in
+  let decisions = ref 0 in
+  let calls = ref 0 in
+  let allocations = ref 0 in
+  Visit.iter_stmts stmts
+    ~stmt:(fun s ->
+      incr statements;
+      match s.stmt with
+      | If _ | While _ | Do_while _ | For _ -> incr decisions
+      | Block _ | Var_decl _ | Expr _ | Return _ | Break | Continue
+      | Super_call _ | Empty ->
+          ())
+    ~expr:(fun e ->
+      incr expressions;
+      match e.expr with
+      | Binary ((And | Or), _, _) | Cond _ -> incr decisions
+      | Call _ -> incr calls
+      | New_object _ | New_array _ -> incr allocations
+      | _ -> ());
+  { mm_class = cls; mm_member = member; mm_statements = !statements;
+    mm_expressions = !expressions; mm_cyclomatic = 1 + !decisions;
+    mm_max_loop_depth = loop_depth_stmts stmts; mm_calls = !calls;
+    mm_allocations = !allocations }
+
+let of_program program =
+  List.concat_map
+    (fun cls ->
+      List.map
+        (fun body ->
+          let member =
+            match body.Visit.b_kind with
+            | Visit.Method m -> m.m_name
+            | Visit.Ctor c -> Printf.sprintf "<init>/%d" (List.length c.c_params)
+            | Visit.Field_init f -> f.f_name ^ "="
+          in
+          of_body ~cls:cls.cl_name ~member body.Visit.b_stmts)
+        (Visit.bodies cls))
+    program.classes
+
+let totals program =
+  let per_method = of_program program in
+  { pt_classes = List.length program.classes;
+    pt_fields =
+      List.fold_left (fun acc c -> acc + List.length c.cl_fields) 0 program.classes;
+    pt_methods =
+      List.fold_left (fun acc c -> acc + List.length c.cl_methods) 0 program.classes;
+    pt_statements =
+      List.fold_left (fun acc m -> acc + m.mm_statements) 0 per_method;
+    pt_expressions =
+      List.fold_left (fun acc m -> acc + m.mm_expressions) 0 per_method }
+
+let pp_table ppf metrics =
+  Format.fprintf ppf "%-32s %6s %6s %5s %5s %6s %6s@." "member" "stmts" "exprs"
+    "cyclo" "loops" "calls" "allocs";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%-32s %6d %6d %5d %5d %6d %6d@."
+        (m.mm_class ^ "." ^ m.mm_member)
+        m.mm_statements m.mm_expressions m.mm_cyclomatic m.mm_max_loop_depth
+        m.mm_calls m.mm_allocations)
+    metrics

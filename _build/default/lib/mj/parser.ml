@@ -1,0 +1,568 @@
+open Ast
+
+type state = { tokens : Token.spanned array; mutable index : int }
+
+let current st = st.tokens.(st.index)
+
+let peek_token st = (current st).Token.token
+
+let peek_ahead st n =
+  let i = st.index + n in
+  if i < Array.length st.tokens then st.tokens.(i).Token.token else Token.EOF
+
+let here st = (current st).Token.loc
+
+let advance st =
+  if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+
+let parse_error st fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Diag.Compile_error (Diag.make Diag.Error (here st) message)))
+    fmt
+
+let expect st token =
+  if peek_token st = token then (
+    let loc = here st in
+    advance st;
+    loc)
+  else
+    parse_error st "expected '%s' but found '%s'" (Token.to_string token)
+      (Token.to_string (peek_token st))
+
+let expect_ident st =
+  match peek_token st with
+  | Token.IDENT name ->
+      advance st;
+      name
+  | t -> parse_error st "expected identifier but found '%s'" (Token.to_string t)
+
+let accept st token =
+  if peek_token st = token then (
+    advance st;
+    true)
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let starts_primitive = function
+  | Token.KINT | Token.KBOOLEAN | Token.KDOUBLE | Token.KSTRING -> true
+  | _ -> false
+
+let rec parse_array_suffix st base =
+  if peek_token st = Token.LBRACKET && peek_ahead st 1 = Token.RBRACKET then (
+    advance st;
+    advance st;
+    parse_array_suffix st (TArray base))
+  else base
+
+let parse_type st =
+  let base =
+    match peek_token st with
+    | Token.KINT -> advance st; TInt
+    | Token.KBOOLEAN -> advance st; TBool
+    | Token.KDOUBLE -> advance st; TDouble
+    | Token.KSTRING -> advance st; TString
+    | Token.IDENT name -> advance st; TClass name
+    | t -> parse_error st "expected a type but found '%s'" (Token.to_string t)
+  in
+  parse_array_suffix st base
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let as_lvalue st e =
+  match e.expr with
+  | Name n -> Lname n
+  | Local n -> Llocal n
+  | Field_access (o, f) -> Lfield (o, f)
+  | Static_field (c, f) -> Lstatic_field (c, f)
+  | Index (a, i) -> Lindex (a, i)
+  | Int_lit _ | Double_lit _ | Bool_lit _ | String_lit _ | Null_lit | This
+  | Array_length _ | Call _ | New_object _ | New_array _ | Unary _ | Binary _
+  | Assign _ | Op_assign _ | Pre_incr _ | Post_incr _ | Cast _ | Cond _ ->
+      parse_error st "expression is not assignable"
+
+let starts_cast_operand = function
+  | Token.IDENT _ | Token.THIS | Token.NULL | Token.NEW | Token.INT_LIT _
+  | Token.DOUBLE_LIT _ | Token.STRING_LIT _ | Token.TRUE | Token.FALSE
+  | Token.LPAREN | Token.BANG ->
+      true
+  | _ -> false
+
+let is_uppercase_ident = function
+  | Token.IDENT name -> String.length name > 0 && name.[0] >= 'A' && name.[0] <= 'Z'
+  | _ -> false
+
+(* Decide whether '(' begins a cast. Primitive casts are unambiguous; a
+   class cast '(Foo)x' is recognized when the identifier is capitalized
+   (the Java naming convention MJ adopts) and an operand follows. *)
+let looks_like_cast st =
+  if peek_token st <> Token.LPAREN then false
+  else
+    let t1 = peek_ahead st 1 in
+    if starts_primitive t1 then true
+    else if is_uppercase_ident t1 then
+      let rec skip_brackets n =
+        if peek_ahead st n = Token.LBRACKET && peek_ahead st (n + 1) = Token.RBRACKET
+        then skip_brackets (n + 2)
+        else n
+      in
+      let after = skip_brackets 2 in
+      peek_ahead st after = Token.RPAREN
+      && starts_cast_operand (peek_ahead st (after + 1))
+    else false
+
+let rec parse_expression st = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_ternary st in
+  let finish op =
+    advance st;
+    let lv = as_lvalue st lhs in
+    let rhs = parse_assignment st in
+    { expr = op lv rhs; eloc = Loc.merge lhs.eloc rhs.eloc; ety = None }
+  in
+  match peek_token st with
+  | Token.ASSIGN -> finish (fun lv rhs -> Assign (lv, rhs))
+  | Token.PLUS_ASSIGN -> finish (fun lv rhs -> Op_assign (Add, lv, rhs))
+  | Token.MINUS_ASSIGN -> finish (fun lv rhs -> Op_assign (Sub, lv, rhs))
+  | Token.STAR_ASSIGN -> finish (fun lv rhs -> Op_assign (Mul, lv, rhs))
+  | Token.SLASH_ASSIGN -> finish (fun lv rhs -> Op_assign (Div, lv, rhs))
+  | _ -> lhs
+
+(* Right-associative conditional: cond ? expr : conditional. *)
+and parse_ternary st =
+  let cond = parse_binary st 2 in
+  if accept st Token.QUESTION then (
+    let then_e = parse_expression st in
+    let _ = expect st Token.COLON in
+    let else_e = parse_ternary st in
+    { expr = Cond (cond, then_e, else_e);
+      eloc = Loc.merge cond.eloc else_e.eloc; ety = None })
+  else cond
+
+and parse_binary st min_prec =
+  let rec loop lhs =
+    let op_prec =
+      match peek_token st with
+      | Token.OR_OR -> Some (Or, 2)
+      | Token.AND_AND -> Some (And, 3)
+      | Token.PIPE -> Some (Bor, 4)
+      | Token.CARET -> Some (Bxor, 5)
+      | Token.AMP -> Some (Band, 6)
+      | Token.EQ -> Some (Eq, 7)
+      | Token.NEQ -> Some (Neq, 7)
+      | Token.LT -> Some (Lt, 8)
+      | Token.GT -> Some (Gt, 8)
+      | Token.LE -> Some (Le, 8)
+      | Token.GE -> Some (Ge, 8)
+      | Token.SHL -> Some (Shl, 9)
+      | Token.SHR -> Some (Shr, 9)
+      | Token.PLUS -> Some (Add, 10)
+      | Token.MINUS -> Some (Sub, 10)
+      | Token.STAR -> Some (Mul, 11)
+      | Token.SLASH -> Some (Div, 11)
+      | Token.PERCENT -> Some (Mod, 11)
+      | _ -> None
+    in
+    match op_prec with
+    | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        loop { expr = Binary (op, lhs, rhs); eloc = Loc.merge lhs.eloc rhs.eloc; ety = None }
+    | Some _ | None -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  let loc = here st in
+  match peek_token st with
+  | Token.MINUS -> (
+      advance st;
+      let operand = parse_unary st in
+      match operand.expr with
+      | Int_lit n -> { expr = Int_lit (-n); eloc = loc; ety = None }
+      | Double_lit f -> { expr = Double_lit (-.f); eloc = loc; ety = None }
+      | _ -> { expr = Unary (Neg, operand); eloc = Loc.merge loc operand.eloc; ety = None })
+  | Token.BANG ->
+      advance st;
+      let operand = parse_unary st in
+      { expr = Unary (Not, operand); eloc = Loc.merge loc operand.eloc; ety = None }
+  | Token.PLUS_PLUS ->
+      advance st;
+      let operand = parse_unary st in
+      { expr = Pre_incr (1, as_lvalue st operand); eloc = loc; ety = None }
+  | Token.MINUS_MINUS ->
+      advance st;
+      let operand = parse_unary st in
+      { expr = Pre_incr (-1, as_lvalue st operand); eloc = loc; ety = None }
+  | Token.LPAREN when looks_like_cast st ->
+      advance st;
+      let ty = parse_type st in
+      let _ = expect st Token.RPAREN in
+      let operand = parse_unary st in
+      { expr = Cast (ty, operand); eloc = Loc.merge loc operand.eloc; ety = None }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop e =
+    match peek_token st with
+    | Token.DOT -> (
+        advance st;
+        let name = expect_ident st in
+        if peek_token st = Token.LPAREN then
+          let args = parse_args st in
+          loop
+            {
+              expr = Call { recv = Rexpr e; mname = name; args; resolved = None };
+              eloc = Loc.merge e.eloc (here st);
+              ety = None;
+            }
+        else
+          loop
+            { expr = Field_access (e, name); eloc = Loc.merge e.eloc (here st); ety = None })
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expression st in
+        let close = expect st Token.RBRACKET in
+        loop { expr = Index (e, idx); eloc = Loc.merge e.eloc close; ety = None }
+    | Token.PLUS_PLUS ->
+        advance st;
+        { expr = Post_incr (1, as_lvalue st e); eloc = e.eloc; ety = None }
+    | Token.MINUS_MINUS ->
+        advance st;
+        { expr = Post_incr (-1, as_lvalue st e); eloc = e.eloc; ety = None }
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  let _ = expect st Token.LPAREN in
+  if accept st Token.RPAREN then []
+  else
+    let rec loop acc =
+      let e = parse_expression st in
+      if accept st Token.COMMA then loop (e :: acc)
+      else (
+        let _ = expect st Token.RPAREN in
+        List.rev (e :: acc))
+    in
+    loop []
+
+and parse_primary st =
+  let loc = here st in
+  match peek_token st with
+  | Token.INT_LIT n -> advance st; { expr = Int_lit n; eloc = loc; ety = None }
+  | Token.DOUBLE_LIT f -> advance st; { expr = Double_lit f; eloc = loc; ety = None }
+  | Token.STRING_LIT s -> advance st; { expr = String_lit s; eloc = loc; ety = None }
+  | Token.TRUE -> advance st; { expr = Bool_lit true; eloc = loc; ety = None }
+  | Token.FALSE -> advance st; { expr = Bool_lit false; eloc = loc; ety = None }
+  | Token.NULL -> advance st; { expr = Null_lit; eloc = loc; ety = None }
+  | Token.THIS -> advance st; { expr = This; eloc = loc; ety = None }
+  | Token.SUPER ->
+      advance st;
+      let _ = expect st Token.DOT in
+      let name = expect_ident st in
+      let args = parse_args st in
+      { expr = Call { recv = Rsuper; mname = name; args; resolved = None };
+        eloc = loc; ety = None }
+  | Token.NEW -> parse_new st loc
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expression st in
+      let _ = expect st Token.RPAREN in
+      e
+  | Token.IDENT name ->
+      advance st;
+      if peek_token st = Token.LPAREN then
+        let args = parse_args st in
+        { expr = Call { recv = Rimplicit; mname = name; args; resolved = None };
+          eloc = loc; ety = None }
+      else { expr = Name name; eloc = loc; ety = None }
+  | t -> parse_error st "expected an expression but found '%s'" (Token.to_string t)
+
+and parse_new st loc =
+  let _ = expect st Token.NEW in
+  let base =
+    match peek_token st with
+    | Token.KINT -> advance st; `Prim TInt
+    | Token.KBOOLEAN -> advance st; `Prim TBool
+    | Token.KDOUBLE -> advance st; `Prim TDouble
+    | Token.KSTRING -> advance st; `Prim TString
+    | Token.IDENT name -> advance st; `Class name
+    | t -> parse_error st "expected a type after 'new' but found '%s'" (Token.to_string t)
+  in
+  match (base, peek_token st) with
+  | `Class name, Token.LPAREN ->
+      let args = parse_args st in
+      { expr = New_object (name, args); eloc = Loc.merge loc (here st); ety = None }
+  | (`Prim _ | `Class _), Token.LBRACKET ->
+      let elem = match base with `Prim t -> t | `Class n -> TClass n in
+      let rec dims acc =
+        if peek_token st = Token.LBRACKET then (
+          advance st;
+          let d = parse_expression st in
+          let _ = expect st Token.RBRACKET in
+          dims (d :: acc))
+        else List.rev acc
+      in
+      let dims = dims [] in
+      { expr = New_array (elem, dims); eloc = Loc.merge loc (here st); ety = None }
+  | `Prim _, t ->
+      parse_error st "expected '[' after primitive type in 'new' but found '%s'"
+        (Token.to_string t)
+  | `Class _, t ->
+      parse_error st "expected '(' or '[' after class name in 'new' but found '%s'"
+        (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A statement starting with IDENT is a declaration when it matches
+   [Ident Ident ...] or [Ident [] ... Ident ...]. *)
+let starts_var_decl st =
+  match peek_token st with
+  | t when starts_primitive t -> true
+  | Token.IDENT _ ->
+      let rec after_brackets n =
+        if peek_ahead st n = Token.LBRACKET && peek_ahead st (n + 1) = Token.RBRACKET
+        then after_brackets (n + 2)
+        else n
+      in
+      let n = after_brackets 1 in
+      (match peek_ahead st n with Token.IDENT _ -> true | _ -> false)
+  | _ -> false
+
+let rec parse_statement st =
+  let loc = here st in
+  match peek_token st with
+  | Token.LBRACE ->
+      advance st;
+      let stmts = parse_stmt_list st in
+      let close = expect st Token.RBRACE in
+      { stmt = Block stmts; sloc = Loc.merge loc close }
+  | Token.SEMI ->
+      advance st;
+      { stmt = Empty; sloc = loc }
+  | Token.IF ->
+      advance st;
+      let _ = expect st Token.LPAREN in
+      let cond = parse_expression st in
+      let _ = expect st Token.RPAREN in
+      let then_branch = parse_statement st in
+      let else_branch =
+        if accept st Token.ELSE then Some (parse_statement st) else None
+      in
+      { stmt = If (cond, then_branch, else_branch); sloc = loc }
+  | Token.WHILE ->
+      advance st;
+      let _ = expect st Token.LPAREN in
+      let cond = parse_expression st in
+      let _ = expect st Token.RPAREN in
+      let body = parse_statement st in
+      { stmt = While (cond, body); sloc = loc }
+  | Token.DO ->
+      advance st;
+      let body = parse_statement st in
+      let _ = expect st Token.WHILE in
+      let _ = expect st Token.LPAREN in
+      let cond = parse_expression st in
+      let _ = expect st Token.RPAREN in
+      let _ = expect st Token.SEMI in
+      { stmt = Do_while (body, cond); sloc = loc }
+  | Token.FOR ->
+      advance st;
+      let _ = expect st Token.LPAREN in
+      let init =
+        if peek_token st = Token.SEMI then None
+        else if starts_var_decl st then (
+          let ty = parse_type st in
+          let name = expect_ident st in
+          let init_e =
+            if accept st Token.ASSIGN then Some (parse_expression st) else None
+          in
+          Some (For_var (ty, name, init_e)))
+        else Some (For_expr (parse_expression st))
+      in
+      let _ = expect st Token.SEMI in
+      let cond =
+        if peek_token st = Token.SEMI then None else Some (parse_expression st)
+      in
+      let _ = expect st Token.SEMI in
+      let update =
+        if peek_token st = Token.RPAREN then None else Some (parse_expression st)
+      in
+      let _ = expect st Token.RPAREN in
+      let body = parse_statement st in
+      { stmt = For (init, cond, update, body); sloc = loc }
+  | Token.RETURN ->
+      advance st;
+      let value =
+        if peek_token st = Token.SEMI then None else Some (parse_expression st)
+      in
+      let _ = expect st Token.SEMI in
+      { stmt = Return value; sloc = loc }
+  | Token.BREAK ->
+      advance st;
+      let _ = expect st Token.SEMI in
+      { stmt = Break; sloc = loc }
+  | Token.CONTINUE ->
+      advance st;
+      let _ = expect st Token.SEMI in
+      { stmt = Continue; sloc = loc }
+  | Token.SUPER when peek_ahead st 1 = Token.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      let _ = expect st Token.SEMI in
+      { stmt = Super_call args; sloc = loc }
+  | _ when starts_var_decl st ->
+      let ty = parse_type st in
+      let name = expect_ident st in
+      let init =
+        if accept st Token.ASSIGN then Some (parse_expression st) else None
+      in
+      let _ = expect st Token.SEMI in
+      { stmt = Var_decl (ty, name, init); sloc = loc }
+  | _ ->
+      let e = parse_expression st in
+      let _ = expect st Token.SEMI in
+      { stmt = Expr e; sloc = loc }
+
+and parse_stmt_list st =
+  let rec loop acc =
+    match peek_token st with
+    | Token.RBRACE | Token.EOF -> List.rev acc
+    | _ -> loop (parse_statement st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_modifiers st =
+  let rec loop mods =
+    match peek_token st with
+    | Token.PUBLIC -> advance st; loop { mods with visibility = Public }
+    | Token.PRIVATE -> advance st; loop { mods with visibility = Private }
+    | Token.PROTECTED -> advance st; loop { mods with visibility = Protected }
+    | Token.STATIC -> advance st; loop { mods with is_static = true }
+    | Token.FINAL -> advance st; loop { mods with is_final = true }
+    | Token.NATIVE -> advance st; loop { mods with is_native = true }
+    | _ -> mods
+  in
+  loop no_mods
+
+let parse_params st =
+  let _ = expect st Token.LPAREN in
+  if accept st Token.RPAREN then []
+  else
+    let rec loop acc =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      if accept st Token.COMMA then loop ((ty, name) :: acc)
+      else (
+        let _ = expect st Token.RPAREN in
+        List.rev ((ty, name) :: acc))
+    in
+    loop []
+
+let parse_method_body st =
+  if accept st Token.SEMI then None
+  else (
+    let _ = expect st Token.LBRACE in
+    let stmts = parse_stmt_list st in
+    let _ = expect st Token.RBRACE in
+    Some stmts)
+
+let parse_member st cls_name =
+  let loc = here st in
+  let mods = parse_modifiers st in
+  match peek_token st with
+  | Token.VOID ->
+      advance st;
+      let name = expect_ident st in
+      let params = parse_params st in
+      let body = parse_method_body st in
+      `Method
+        { m_mods = mods; m_ret = TVoid; m_name = name; m_params = params;
+          m_body = body; m_loc = loc }
+  | Token.IDENT name
+    when String.equal name cls_name && peek_ahead st 1 = Token.LPAREN ->
+      advance st;
+      let params = parse_params st in
+      let _ = expect st Token.LBRACE in
+      let body = parse_stmt_list st in
+      let _ = expect st Token.RBRACE in
+      `Ctor { c_mods = mods; c_params = params; c_body = body; c_loc = loc }
+  | _ -> (
+      let ty = parse_type st in
+      let name = expect_ident st in
+      match peek_token st with
+      | Token.LPAREN ->
+          let params = parse_params st in
+          let body = parse_method_body st in
+          `Method
+            { m_mods = mods; m_ret = ty; m_name = name; m_params = params;
+              m_body = body; m_loc = loc }
+      | Token.ASSIGN ->
+          advance st;
+          let init = parse_expression st in
+          let _ = expect st Token.SEMI in
+          `Field { f_mods = mods; f_ty = ty; f_name = name; f_init = Some init; f_loc = loc }
+      | Token.SEMI ->
+          advance st;
+          `Field { f_mods = mods; f_ty = ty; f_name = name; f_init = None; f_loc = loc }
+      | t ->
+          parse_error st "expected '(', '=' or ';' in member declaration, found '%s'"
+            (Token.to_string t))
+
+let parse_class st =
+  let loc = expect st Token.CLASS in
+  let name = expect_ident st in
+  let super = if accept st Token.EXTENDS then Some (expect_ident st) else None in
+  let _ = expect st Token.LBRACE in
+  let rec loop fields ctors methods =
+    if accept st Token.RBRACE then
+      { cl_name = name; cl_super = super; cl_fields = List.rev fields;
+        cl_ctors = List.rev ctors; cl_methods = List.rev methods; cl_loc = loc }
+    else
+      match parse_member st name with
+      | `Field f -> loop (f :: fields) ctors methods
+      | `Ctor c -> loop fields (c :: ctors) methods
+      | `Method m -> loop fields ctors (m :: methods)
+  in
+  loop [] [] []
+
+let parse_program ~file src =
+  let tokens = Array.of_list (Lexer.tokenize ~file src) in
+  let st = { tokens; index = 0 } in
+  let rec loop acc =
+    match peek_token st with
+    | Token.EOF -> { classes = List.rev acc }
+    | Token.CLASS -> loop (parse_class st :: acc)
+    | t ->
+        parse_error st "expected 'class' at top level but found '%s'"
+          (Token.to_string t)
+  in
+  loop []
+
+let parse_expr src =
+  let tokens = Array.of_list (Lexer.tokenize ~file:"<expr>" src) in
+  let st = { tokens; index = 0 } in
+  let e = parse_expression st in
+  if peek_token st <> Token.EOF then
+    parse_error st "trailing input after expression";
+  e
+
+let parse_stmt src =
+  let tokens = Array.of_list (Lexer.tokenize ~file:"<stmt>" src) in
+  let st = { tokens; index = 0 } in
+  let s = parse_statement st in
+  if peek_token st <> Token.EOF then parse_error st "trailing input after statement";
+  s

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MJ. *)
+
+val parse_program : file:string -> string -> Ast.program
+(** Parse a compilation unit. Raises {!Diag.Compile_error} on syntax
+    errors, with the offending location. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests and tooling). *)
+
+val parse_stmt : string -> Ast.stmt
+(** Parse a single statement (for tests and tooling). *)

@@ -1,0 +1,276 @@
+open Ast
+
+let pp_ty ppf ty = Format.pp_print_string ppf (ty_to_string ty)
+
+(* Operator precedence, matching the parser's grammar levels. Higher binds
+   tighter. Assignments are level 0, ternary 1, then the binary ladder. *)
+let binop_prec = function
+  | Or -> 2
+  | And -> 3
+  | Bor -> 4
+  | Bxor -> 5
+  | Band -> 6
+  | Eq | Neq -> 7
+  | Lt | Gt | Le | Ge -> 8
+  | Shl | Shr -> 9
+  | Add | Sub -> 10
+  | Mul | Div | Mod -> 11
+
+let prec_of_expr e =
+  match e.expr with
+  | Assign _ | Op_assign _ -> 0
+  | Cond _ -> 1
+  | Binary (op, _, _) -> binop_prec op
+  (* pre/post increments cannot serve as postfix bases ('x++.f' is not
+     grammatical), so they rank with unary operators *)
+  | Unary _ | Cast _ | Pre_incr _ | Post_incr _ -> 12
+  (* [new] expressions parenthesize under postfix contexts so that
+     [new int[5][3]] never reads as a two-dimensional allocation. *)
+  | New_object _ | New_array _ -> 12
+  | Int_lit _ | Double_lit _ | Bool_lit _ | String_lit _ | Null_lit | This
+  | Name _ | Local _ | Field_access _ | Static_field _ | Array_length _
+  | Index _ | Call _ ->
+      13
+
+let render_double f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if float_of_string s = f then s else Printf.sprintf "%h" f
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_expr_prec min_prec ppf e =
+  let prec = prec_of_expr e in
+  if prec < min_prec then Format.fprintf ppf "(%a)" (pp_expr_prec 0) e
+  else pp_expr_desc prec ppf e
+
+and pp_expr_desc _prec ppf e =
+  match e.expr with
+  | Int_lit n ->
+      if n < 0 then Format.fprintf ppf "(%d)" n else Format.pp_print_int ppf n
+  | Double_lit f ->
+      if Float.sign_bit f then Format.fprintf ppf "(%s)" (render_double f)
+      else Format.pp_print_string ppf (render_double f)
+  | Bool_lit b -> Format.pp_print_bool ppf b
+  | String_lit s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | Null_lit -> Format.pp_print_string ppf "null"
+  | This -> Format.pp_print_string ppf "this"
+  | Name n | Local n -> Format.pp_print_string ppf n
+  | Field_access (o, f) -> Format.fprintf ppf "%a.%s" (pp_expr_prec 13) o f
+  | Static_field (c, f) -> Format.fprintf ppf "%s.%s" c f
+  | Array_length a -> Format.fprintf ppf "%a.length" (pp_expr_prec 13) a
+  | Index (a, i) ->
+      Format.fprintf ppf "%a[%a]" (pp_expr_prec 13) a (pp_expr_prec 0) i
+  | Call c -> pp_call ppf c
+  | New_object (cls, args) -> Format.fprintf ppf "new %s(%a)" cls pp_args args
+  | New_array (elem, dims) ->
+      Format.fprintf ppf "new %a" pp_ty elem;
+      List.iter (fun d -> Format.fprintf ppf "[%a]" (pp_expr_prec 0) d) dims
+  | Unary (op, x) ->
+      (* a negated negation (or negative double literal) must not fuse
+         into a '--' token *)
+      let needs_parens =
+        op = Neg
+        &&
+        match x.expr with
+        | Unary (Neg, _) | Pre_incr (-1, _) -> true
+        | Double_lit f -> f < 0.0
+        | _ -> false
+      in
+      if needs_parens then
+        Format.fprintf ppf "%s(%a)" (unop_to_string op) (pp_expr_prec 0) x
+      else Format.fprintf ppf "%s%a" (unop_to_string op) (pp_expr_prec 12) x
+  | Binary (op, x, y) ->
+      (* Left-associative: the right operand needs strictly higher prec. *)
+      let p = binop_prec op in
+      Format.fprintf ppf "%a %s %a" (pp_expr_prec p) x (binop_to_string op)
+        (pp_expr_prec (p + 1)) y
+  | Assign (lv, x) ->
+      Format.fprintf ppf "%a = %a" pp_lvalue lv (pp_expr_prec 0) x
+  | Op_assign (op, lv, x) ->
+      Format.fprintf ppf "%a %s= %a" pp_lvalue lv (binop_to_string op)
+        (pp_expr_prec 0) x
+  | Pre_incr (d, lv) ->
+      Format.fprintf ppf "%s%a" (if d > 0 then "++" else "--") pp_lvalue lv
+  | Post_incr (d, lv) ->
+      Format.fprintf ppf "%a%s" pp_lvalue lv (if d > 0 then "++" else "--")
+  | Cast (ty, x) -> (
+      (* class-type casts are only recognized when an unambiguous operand
+         follows; parenthesizing the operand keeps '(Foo)-x' a cast *)
+      match ty with
+      | TClass _ | TArray _ | TString ->
+          Format.fprintf ppf "(%a)(%a)" pp_ty ty (pp_expr_prec 0) x
+      | TInt | TBool | TDouble | TVoid | TNull ->
+          Format.fprintf ppf "(%a)%a" pp_ty ty (pp_expr_prec 12) x)
+  | Cond (c, t, f) ->
+      Format.fprintf ppf "%a ? %a : %a" (pp_expr_prec 2) c (pp_expr_prec 1) t
+        (pp_expr_prec 1) f
+
+and pp_call ppf c =
+  (match c.recv with
+  | Rexpr o -> Format.fprintf ppf "%a." (pp_expr_prec 13) o
+  | Rsuper -> Format.pp_print_string ppf "super."
+  | Rimplicit -> ()
+  | Rstatic cls -> Format.fprintf ppf "%s." cls);
+  Format.fprintf ppf "%s(%a)" c.mname pp_args c.args
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (pp_expr_prec 0) ppf args
+
+and pp_lvalue ppf = function
+  | Lname n | Llocal n -> Format.pp_print_string ppf n
+  | Lfield (o, f) -> Format.fprintf ppf "%a.%s" (pp_expr_prec 13) o f
+  | Lstatic_field (c, f) -> Format.fprintf ppf "%s.%s" c f
+  | Lindex (a, i) ->
+      Format.fprintf ppf "%a[%a]" (pp_expr_prec 13) a (pp_expr_prec 0) i
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let indent n = String.make (n * 2) ' '
+
+(* Would this statement, printed as a then-branch, swallow a following
+   'else'? (dangling-else ambiguity) *)
+let rec captures_else s =
+  match s.stmt with
+  | If (_, _, None) -> true
+  | If (_, _, Some e) -> captures_else e
+  | While (_, body) | For (_, _, _, body) -> captures_else body
+  | Block _ | Var_decl _ | Expr _ | Do_while _ | Return _ | Break | Continue
+  | Super_call _ | Empty ->
+      false
+
+let rec pp_stmt_ind lvl ppf s =
+  let ind = indent lvl in
+  match s.stmt with
+  | Block stmts ->
+      Format.fprintf ppf "%s{\n" ind;
+      List.iter (fun s -> Format.fprintf ppf "%a\n" (pp_stmt_ind (lvl + 1)) s) stmts;
+      Format.fprintf ppf "%s}" ind
+  | Var_decl (ty, name, init) -> (
+      match init with
+      | None -> Format.fprintf ppf "%s%a %s;" ind pp_ty ty name
+      | Some e -> Format.fprintf ppf "%s%a %s = %a;" ind pp_ty ty name pp_expr e)
+  | Expr e -> Format.fprintf ppf "%s%a;" ind pp_expr e
+  | If (c, t, f) -> (
+      (* brace the then-branch when it would capture our else *)
+      let t =
+        if f <> None && captures_else t then { t with stmt = Block [ t ] }
+        else t
+      in
+      Format.fprintf ppf "%sif (%a)\n%a" ind pp_expr c (pp_stmt_block lvl) t;
+      match f with
+      | None -> ()
+      | Some f -> Format.fprintf ppf "\n%selse\n%a" ind (pp_stmt_block lvl) f)
+  | While (c, body) ->
+      Format.fprintf ppf "%swhile (%a)\n%a" ind pp_expr c (pp_stmt_block lvl) body
+  | Do_while (body, c) ->
+      Format.fprintf ppf "%sdo\n%a\n%swhile (%a);" ind (pp_stmt_block lvl) body
+        ind pp_expr c
+  | For (init, cond, update, body) ->
+      Format.fprintf ppf "%sfor (" ind;
+      (match init with
+      | None -> ()
+      | Some (For_var (ty, name, None)) -> Format.fprintf ppf "%a %s" pp_ty ty name
+      | Some (For_var (ty, name, Some e)) ->
+          Format.fprintf ppf "%a %s = %a" pp_ty ty name pp_expr e
+      | Some (For_expr e) -> pp_expr ppf e);
+      Format.pp_print_string ppf "; ";
+      (match cond with None -> () | Some c -> pp_expr ppf c);
+      Format.pp_print_string ppf "; ";
+      (match update with None -> () | Some u -> pp_expr ppf u);
+      Format.fprintf ppf ")\n%a" (pp_stmt_block lvl) body
+  | Return None -> Format.fprintf ppf "%sreturn;" ind
+  | Return (Some e) -> Format.fprintf ppf "%sreturn %a;" ind pp_expr e
+  | Break -> Format.fprintf ppf "%sbreak;" ind
+  | Continue -> Format.fprintf ppf "%scontinue;" ind
+  | Super_call args -> Format.fprintf ppf "%ssuper(%a);" ind pp_args args
+  | Empty -> Format.fprintf ppf "%s;" ind
+
+(* Bodies of control statements: blocks stay at the same level, other
+   statements are indented one step. *)
+and pp_stmt_block lvl ppf s =
+  match s.stmt with
+  | Block _ -> pp_stmt_ind lvl ppf s
+  | Var_decl _ | Expr _ | If _ | While _ | Do_while _ | For _ | Return _
+  | Break | Continue | Super_call _ | Empty ->
+      pp_stmt_ind (lvl + 1) ppf s
+
+let pp_stmt ppf s = pp_stmt_ind 0 ppf s
+
+let pp_modifiers ppf (m : modifiers) =
+  (match m.visibility with
+  | Public -> Format.pp_print_string ppf "public "
+  | Private -> Format.pp_print_string ppf "private "
+  | Protected -> Format.pp_print_string ppf "protected "
+  | Package -> ());
+  if m.is_static then Format.pp_print_string ppf "static ";
+  if m.is_final then Format.pp_print_string ppf "final ";
+  if m.is_native then Format.pp_print_string ppf "native "
+
+let pp_field ppf f =
+  match f.f_init with
+  | None ->
+      Format.fprintf ppf "  %a%a %s;" pp_modifiers f.f_mods pp_ty f.f_ty f.f_name
+  | Some e ->
+      Format.fprintf ppf "  %a%a %s = %a;" pp_modifiers f.f_mods pp_ty f.f_ty
+        f.f_name pp_expr e
+
+let pp_params ppf params =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (ty, name) -> Format.fprintf ppf "%a %s" pp_ty ty name)
+    ppf params
+
+let pp_body ppf stmts =
+  Format.fprintf ppf " {\n";
+  List.iter (fun s -> Format.fprintf ppf "%a\n" (pp_stmt_ind 2) s) stmts;
+  Format.fprintf ppf "  }"
+
+let pp_method ppf m =
+  Format.fprintf ppf "  %a%a %s(%a)" pp_modifiers m.m_mods pp_ty m.m_ret m.m_name
+    pp_params m.m_params;
+  match m.m_body with
+  | None -> Format.fprintf ppf ";"
+  | Some stmts -> pp_body ppf stmts
+
+let pp_ctor cls_name ppf c =
+  Format.fprintf ppf "  %a%s(%a)" pp_modifiers c.c_mods cls_name pp_params
+    c.c_params;
+  pp_body ppf c.c_body
+
+let pp_class ppf cls =
+  Format.fprintf ppf "class %s" cls.cl_name;
+  (match cls.cl_super with
+  | None -> ()
+  | Some super -> Format.fprintf ppf " extends %s" super);
+  Format.fprintf ppf " {\n";
+  List.iter (fun f -> Format.fprintf ppf "%a\n" pp_field f) cls.cl_fields;
+  List.iter (fun c -> Format.fprintf ppf "%a\n" (pp_ctor cls.cl_name) c) cls.cl_ctors;
+  List.iter (fun m -> Format.fprintf ppf "%a\n" pp_method m) cls.cl_methods;
+  Format.fprintf ppf "}"
+
+let pp_program ppf program =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "\n\n")
+    pp_class ppf program.classes;
+  Format.pp_print_newline ppf ()
+
+let program_to_string program = Format.asprintf "%a" pp_program program
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+let stmt_to_string s = Format.asprintf "%a" pp_stmt s

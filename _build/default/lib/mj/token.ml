@@ -1,0 +1,176 @@
+type t =
+  | INT_LIT of int
+  | DOUBLE_LIT of float
+  | STRING_LIT of string
+  | TRUE
+  | FALSE
+  | NULL
+  | IDENT of string
+  | CLASS
+  | EXTENDS
+  | PUBLIC
+  | PRIVATE
+  | PROTECTED
+  | STATIC
+  | FINAL
+  | NATIVE
+  | VOID
+  | KINT
+  | KBOOLEAN
+  | KDOUBLE
+  | KSTRING
+  | IF
+  | ELSE
+  | WHILE
+  | DO
+  | FOR
+  | RETURN
+  | BREAK
+  | CONTINUE
+  | NEW
+  | THIS
+  | SUPER
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | AND_AND
+  | OR_OR
+  | BANG
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | QUESTION
+  | COLON
+  | EOF
+
+type spanned = { token : t; loc : Loc.t }
+
+let keywords =
+  [
+    ("class", CLASS);
+    ("extends", EXTENDS);
+    ("public", PUBLIC);
+    ("private", PRIVATE);
+    ("protected", PROTECTED);
+    ("static", STATIC);
+    ("final", FINAL);
+    ("native", NATIVE);
+    ("void", VOID);
+    ("int", KINT);
+    ("boolean", KBOOLEAN);
+    ("double", KDOUBLE);
+    ("String", KSTRING);
+    ("if", IF);
+    ("else", ELSE);
+    ("while", WHILE);
+    ("do", DO);
+    ("for", FOR);
+    ("return", RETURN);
+    ("break", BREAK);
+    ("continue", CONTINUE);
+    ("new", NEW);
+    ("this", THIS);
+    ("super", SUPER);
+    ("true", TRUE);
+    ("false", FALSE);
+    ("null", NULL);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keywords
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | DOUBLE_LIT f -> string_of_float f
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | NULL -> "null"
+  | IDENT s -> s
+  | CLASS -> "class"
+  | EXTENDS -> "extends"
+  | PUBLIC -> "public"
+  | PRIVATE -> "private"
+  | PROTECTED -> "protected"
+  | STATIC -> "static"
+  | FINAL -> "final"
+  | NATIVE -> "native"
+  | VOID -> "void"
+  | KINT -> "int"
+  | KBOOLEAN -> "boolean"
+  | KDOUBLE -> "double"
+  | KSTRING -> "String"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | DO -> "do"
+  | FOR -> "for"
+  | RETURN -> "return"
+  | BREAK -> "break"
+  | CONTINUE -> "continue"
+  | NEW -> "new"
+  | THIS -> "this"
+  | SUPER -> "super"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | PLUS_PLUS -> "++"
+  | MINUS_MINUS -> "--"
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | AND_AND -> "&&"
+  | OR_OR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | EOF -> "<eof>"

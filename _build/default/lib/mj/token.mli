@@ -1,0 +1,84 @@
+(** Lexical tokens of the MJ language. *)
+
+type t =
+  (* literals *)
+  | INT_LIT of int
+  | DOUBLE_LIT of float
+  | STRING_LIT of string
+  | TRUE
+  | FALSE
+  | NULL
+  (* identifiers and keywords *)
+  | IDENT of string
+  | CLASS
+  | EXTENDS
+  | PUBLIC
+  | PRIVATE
+  | PROTECTED
+  | STATIC
+  | FINAL
+  | NATIVE
+  | VOID
+  | KINT
+  | KBOOLEAN
+  | KDOUBLE
+  | KSTRING
+  | IF
+  | ELSE
+  | WHILE
+  | DO
+  | FOR
+  | RETURN
+  | BREAK
+  | CONTINUE
+  | NEW
+  | THIS
+  | SUPER
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  (* operators *)
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | EQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | AND_AND
+  | OR_OR
+  | BANG
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | QUESTION
+  | COLON
+  | EOF
+
+type spanned = { token : t; loc : Loc.t }
+
+val to_string : t -> string
+(** Human-readable rendering, used in parser error messages. *)
+
+val keyword_of_string : string -> t option
+(** Recognize reserved words; [None] for ordinary identifiers. *)

@@ -1,0 +1,638 @@
+open Ast
+
+type checked = { symtab : Symtab.t; program : Ast.program }
+
+type ctx = {
+  tab : Symtab.t;
+  cls : class_decl;
+  in_static : bool;
+  in_ctor : bool;
+  ret : ty;
+  loop_depth : int;
+}
+
+type _env = (string * ty) list
+
+let is_numeric = function TInt | TDouble -> true | _ -> false
+
+let is_reference = function
+  | TClass _ | TArray _ | TString | TNull -> true
+  | TInt | TBool | TDouble | TVoid -> false
+
+let assignable tab ~target ~source =
+  equal_ty target source
+  ||
+  match (target, source) with
+  | TDouble, TInt -> true
+  | (TClass _ | TArray _ | TString), TNull -> true
+  | TClass sup, TClass sub -> Symtab.is_subclass tab ~sub ~super:sup
+  | _, _ -> false
+
+let err loc fmt = Diag.error ~loc fmt
+
+let ty_of e =
+  match e.ety with
+  | Some ty -> ty
+  | None -> err e.eloc "internal: expression not annotated"
+
+let rec check_ty ctx loc ty =
+  match ty with
+  | TInt | TBool | TDouble | TString | TVoid | TNull -> ()
+  | TArray elem -> check_ty ctx loc elem
+  | TClass name ->
+      if not (Symtab.is_class ctx.tab name) then
+        err loc "unknown class '%s'" name
+
+let lookup_env env name = List.assoc_opt name env
+
+(* A bare identifier that is neither a local nor a field may denote a
+   class when used as a receiver. *)
+let resolves_to_class ctx env name =
+  lookup_env env name = None
+  && Symtab.lookup_field ctx.tab ctx.cls.cl_name name = None
+  && Symtab.is_class ctx.tab name
+
+let check_visibility ctx loc ~defining ~(mods : modifiers) ~kind ~name =
+  match mods.visibility with
+  | Private when not (String.equal defining ctx.cls.cl_name) ->
+      err loc "%s '%s' of class '%s' is private" kind name defining
+  | Private | Public | Protected | Package -> ()
+
+let field_ref ctx loc ~defining ~(field : field_decl) =
+  check_visibility ctx loc ~defining ~mods:field.f_mods ~kind:"field"
+    ~name:field.f_name
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_expr ctx env e =
+  let loc = e.eloc in
+  match e.expr with
+  | Int_lit _ -> { e with ety = Some TInt }
+  | Double_lit _ -> { e with ety = Some TDouble }
+  | Bool_lit _ -> { e with ety = Some TBool }
+  | String_lit _ -> { e with ety = Some TString }
+  | Null_lit -> { e with ety = Some TNull }
+  | This ->
+      if ctx.in_static then err loc "'this' used in a static context";
+      { e with expr = This; ety = Some (TClass ctx.cls.cl_name) }
+  | Name name | Local name -> (
+      match lookup_env env name with
+      | Some ty -> { e with expr = Local name; ety = Some ty }
+      | None -> (
+          match Symtab.lookup_field ctx.tab ctx.cls.cl_name name with
+          | Some (defining, field) ->
+              field_ref ctx loc ~defining ~field;
+              if field.f_mods.is_static then
+                { e with expr = Static_field (defining, name); ety = Some field.f_ty }
+              else if ctx.in_static then
+                err loc "instance field '%s' used in a static context" name
+              else
+                let this =
+                  { expr = This; eloc = loc; ety = Some (TClass ctx.cls.cl_name) }
+                in
+                { e with expr = Field_access (this, name); ety = Some field.f_ty }
+          | None ->
+              if Symtab.is_class ctx.tab name then
+                err loc "class '%s' used as a value" name
+              else err loc "unknown identifier '%s'" name))
+  | Field_access (o, fname) -> (
+      match o.expr with
+      | Name cname when resolves_to_class ctx env cname ->
+          check_static_field_access ctx loc cname fname e
+      | _ -> (
+          let o = check_expr ctx env o in
+          match ty_of o with
+          | TArray _ when String.equal fname "length" ->
+              { e with expr = Array_length o; ety = Some TInt }
+          | TClass cls_name -> (
+              match Symtab.lookup_field ctx.tab cls_name fname with
+              | Some (defining, field) ->
+                  field_ref ctx loc ~defining ~field;
+                  if field.f_mods.is_static then
+                    err loc "static field '%s' accessed through an instance" fname
+                  else
+                    { e with expr = Field_access (o, fname); ety = Some field.f_ty }
+              | None -> err loc "class '%s' has no field '%s'" cls_name fname)
+          | ty ->
+              err loc "value of type '%s' has no field '%s'" (ty_to_string ty)
+                fname))
+  | Static_field (cname, fname) -> check_static_field_access ctx loc cname fname e
+  | Array_length o -> (
+      let o = check_expr ctx env o in
+      match ty_of o with
+      | TArray _ -> { e with expr = Array_length o; ety = Some TInt }
+      | ty -> err loc "'.length' applied to non-array type '%s'" (ty_to_string ty))
+  | Index (arr, idx) -> (
+      let arr = check_expr ctx env arr in
+      let idx = check_expr ctx env idx in
+      if not (equal_ty (ty_of idx) TInt) then
+        err idx.eloc "array index must be int, found '%s'"
+          (ty_to_string (ty_of idx));
+      match ty_of arr with
+      | TArray elem -> { e with expr = Index (arr, idx); ety = Some elem }
+      | ty -> err loc "indexing a non-array type '%s'" (ty_to_string ty))
+  | Call call ->
+      let call, ret = check_call ctx env loc call in
+      { e with expr = Call call; ety = Some ret }
+  | New_object (cname, args) -> (
+      if not (Symtab.is_class ctx.tab cname) then err loc "unknown class '%s'" cname;
+      if List.mem cname [ "Math"; "System"; "JTime" ] then
+        err loc "class '%s' cannot be instantiated" cname;
+      let args = List.map (check_expr ctx env) args in
+      match Symtab.lookup_ctor ctx.tab cname (List.length args) with
+      | None ->
+          err loc "class '%s' has no constructor with %d argument(s)" cname
+            (List.length args)
+      | Some ctor ->
+          check_args ctx loc ctor.c_params args;
+          { e with expr = New_object (cname, args); ety = Some (TClass cname) })
+  | New_array (elem, dims) ->
+      check_ty ctx loc elem;
+      if dims = [] then err loc "array creation needs at least one dimension";
+      let dims = List.map (check_expr ctx env) dims in
+      List.iter
+        (fun d ->
+          if not (equal_ty (ty_of d) TInt) then
+            err d.eloc "array dimension must be int")
+        dims;
+      let ty = List.fold_left (fun ty _ -> TArray ty) elem dims in
+      { e with expr = New_array (elem, dims); ety = Some ty }
+  | Unary (op, x) -> (
+      let x = check_expr ctx env x in
+      match (op, ty_of x) with
+      | Neg, (TInt | TDouble) ->
+          { e with expr = Unary (Neg, x); ety = Some (ty_of x) }
+      | Not, TBool -> { e with expr = Unary (Not, x); ety = Some TBool }
+      | Neg, ty -> err loc "unary '-' applied to '%s'" (ty_to_string ty)
+      | Not, ty -> err loc "'!' applied to '%s'" (ty_to_string ty))
+  | Binary (op, x, y) ->
+      let x = check_expr ctx env x in
+      let y = check_expr ctx env y in
+      let ty = binary_result ctx loc op (ty_of x) (ty_of y) in
+      { e with expr = Binary (op, x, y); ety = Some ty }
+  | Assign (lv, rhs) ->
+      let lv, lv_ty = check_lvalue ctx env loc lv in
+      let rhs = check_expr ctx env rhs in
+      require_assignable ctx rhs.eloc ~target:lv_ty ~source:(ty_of rhs);
+      { e with expr = Assign (lv, rhs); ety = Some lv_ty }
+  | Op_assign (op, lv, rhs) ->
+      let lv, lv_ty = check_lvalue ctx env loc lv in
+      let rhs = check_expr ctx env rhs in
+      let result = binary_result ctx loc op lv_ty (ty_of rhs) in
+      (* Java compound assignment implicitly narrows back to the target. *)
+      if not (is_numeric lv_ty) || not (is_numeric result) then
+        if not (equal_ty lv_ty result) then
+          err loc "compound assignment type mismatch: '%s' vs '%s'"
+            (ty_to_string lv_ty) (ty_to_string result);
+      { e with expr = Op_assign (op, lv, rhs); ety = Some lv_ty }
+  | Pre_incr (d, lv) ->
+      let lv, lv_ty = check_lvalue ctx env loc lv in
+      if not (equal_ty lv_ty TInt) then err loc "'++'/'--' requires an int lvalue";
+      { e with expr = Pre_incr (d, lv); ety = Some TInt }
+  | Post_incr (d, lv) ->
+      let lv, lv_ty = check_lvalue ctx env loc lv in
+      if not (equal_ty lv_ty TInt) then err loc "'++'/'--' requires an int lvalue";
+      { e with expr = Post_incr (d, lv); ety = Some TInt }
+  | Cast (ty, x) ->
+      check_ty ctx loc ty;
+      let x = check_expr ctx env x in
+      let src = ty_of x in
+      let ok =
+        match (ty, src) with
+        | (TInt | TDouble), (TInt | TDouble) -> true
+        | TClass a, TClass b ->
+            Symtab.is_subclass ctx.tab ~sub:a ~super:b
+            || Symtab.is_subclass ctx.tab ~sub:b ~super:a
+        | (TClass _ | TArray _ | TString), TNull -> true
+        | TArray a, TArray b -> equal_ty a b
+        | TBool, TBool | TString, TString -> true
+        | _, _ -> false
+      in
+      if not ok then
+        err loc "cannot cast '%s' to '%s'" (ty_to_string src) (ty_to_string ty);
+      { e with expr = Cast (ty, x); ety = Some ty }
+  | Cond (c, t, f) ->
+      let c = check_expr ctx env c in
+      if not (equal_ty (ty_of c) TBool) then
+        err c.eloc "condition of '?:' must be boolean";
+      let t = check_expr ctx env t in
+      let f = check_expr ctx env f in
+      let tt = ty_of t and ft = ty_of f in
+      let ty =
+        if equal_ty tt ft then tt
+        else if is_numeric tt && is_numeric ft then TDouble
+        else if assignable ctx.tab ~target:tt ~source:ft then tt
+        else if assignable ctx.tab ~target:ft ~source:tt then ft
+        else
+          err loc "branches of '?:' have incompatible types '%s' and '%s'"
+            (ty_to_string tt) (ty_to_string ft)
+      in
+      { e with expr = Cond (c, t, f); ety = Some ty }
+
+and check_static_field_access ctx loc cname fname e =
+  if not (Symtab.is_class ctx.tab cname) then err loc "unknown class '%s'" cname;
+  match Symtab.lookup_field ctx.tab cname fname with
+  | Some (defining, field) when field.f_mods.is_static ->
+      field_ref ctx loc ~defining ~field;
+      { e with expr = Static_field (defining, fname); ety = Some field.f_ty }
+  | Some _ -> err loc "field '%s.%s' is not static" cname fname
+  | None -> err loc "class '%s' has no field '%s'" cname fname
+
+and binary_result ctx loc op tx ty_ =
+  match op with
+  | Add when equal_ty tx TString || equal_ty ty_ TString ->
+      if equal_ty tx TVoid || equal_ty ty_ TVoid then
+        err loc "cannot concatenate a void value";
+      TString
+  | Add | Sub | Mul | Div ->
+      if not (is_numeric tx && is_numeric ty_) then
+        err loc "arithmetic '%s' requires numeric operands, found '%s' and '%s'"
+          (binop_to_string op) (ty_to_string tx) (ty_to_string ty_);
+      if equal_ty tx TDouble || equal_ty ty_ TDouble then TDouble else TInt
+  | Mod | Band | Bor | Bxor | Shl | Shr ->
+      if not (equal_ty tx TInt && equal_ty ty_ TInt) then
+        err loc "'%s' requires int operands" (binop_to_string op);
+      TInt
+  | Lt | Gt | Le | Ge ->
+      if not (is_numeric tx && is_numeric ty_) then
+        err loc "comparison requires numeric operands";
+      TBool
+  | Eq | Neq ->
+      let ok =
+        (is_numeric tx && is_numeric ty_)
+        || (equal_ty tx TBool && equal_ty ty_ TBool)
+        || (is_reference tx && is_reference ty_
+            && (assignable ctx.tab ~target:tx ~source:ty_
+               || assignable ctx.tab ~target:ty_ ~source:tx))
+      in
+      if not ok then
+        err loc "cannot compare '%s' with '%s'" (ty_to_string tx)
+          (ty_to_string ty_);
+      TBool
+  | And | Or ->
+      if not (equal_ty tx TBool && equal_ty ty_ TBool) then
+        err loc "'%s' requires boolean operands" (binop_to_string op);
+      TBool
+
+and require_assignable ctx loc ~target ~source =
+  if not (assignable ctx.tab ~target ~source) then
+    err loc "cannot assign '%s' to '%s'" (ty_to_string source)
+      (ty_to_string target)
+
+and check_lvalue ctx env loc lv =
+  match lv with
+  | Lname name | Llocal name -> (
+      match lookup_env env name with
+      | Some ty -> (Llocal name, ty)
+      | None -> (
+          match Symtab.lookup_field ctx.tab ctx.cls.cl_name name with
+          | Some (defining, field) ->
+              field_ref ctx loc ~defining ~field;
+              check_final_store ctx loc ~defining ~field;
+              if field.f_mods.is_static then (Lstatic_field (defining, name), field.f_ty)
+              else if ctx.in_static then
+                err loc "instance field '%s' assigned in a static context" name
+              else
+                let this =
+                  { expr = This; eloc = loc; ety = Some (TClass ctx.cls.cl_name) }
+                in
+                (Lfield (this, name), field.f_ty)
+          | None -> err loc "unknown identifier '%s'" name))
+  | Lfield (o, fname) -> (
+      match o.expr with
+      | Name cname when resolves_to_class ctx env cname ->
+          check_static_store ctx loc cname fname
+      | _ -> (
+          let o = check_expr ctx env o in
+          match ty_of o with
+          | TClass cls_name -> (
+              match Symtab.lookup_field ctx.tab cls_name fname with
+              | Some (defining, field) when not field.f_mods.is_static ->
+                  field_ref ctx loc ~defining ~field;
+                  check_final_store ctx loc ~defining ~field;
+                  (Lfield (o, fname), field.f_ty)
+              | Some _ -> err loc "static field '%s' assigned through an instance" fname
+              | None -> err loc "class '%s' has no field '%s'" cls_name fname)
+          | TArray _ when String.equal fname "length" ->
+              err loc "array length is not assignable"
+          | ty -> err loc "value of type '%s' has no field '%s'" (ty_to_string ty) fname))
+  | Lstatic_field (cname, fname) -> check_static_store ctx loc cname fname
+  | Lindex (arr, idx) -> (
+      let arr = check_expr ctx env arr in
+      let idx = check_expr ctx env idx in
+      if not (equal_ty (ty_of idx) TInt) then err idx.eloc "array index must be int";
+      match ty_of arr with
+      | TArray elem -> (Lindex (arr, idx), elem)
+      | ty -> err loc "indexing a non-array type '%s'" (ty_to_string ty))
+
+and check_static_store ctx loc cname fname =
+  if not (Symtab.is_class ctx.tab cname) then err loc "unknown class '%s'" cname;
+  match Symtab.lookup_field ctx.tab cname fname with
+  | Some (defining, field) when field.f_mods.is_static ->
+      field_ref ctx loc ~defining ~field;
+      check_final_store ctx loc ~defining ~field;
+      (Lstatic_field (defining, fname), field.f_ty)
+  | Some _ -> err loc "field '%s.%s' is not static" cname fname
+  | None -> err loc "class '%s' has no field '%s'" cname fname
+
+and check_final_store ctx loc ~defining ~field =
+  if field.f_mods.is_final then
+    let in_own_ctor = ctx.in_ctor && String.equal defining ctx.cls.cl_name in
+    if not in_own_ctor then
+      err loc "final field '%s' cannot be reassigned" field.f_name
+
+and check_args ctx loc params args =
+  if List.length params <> List.length args then
+    err loc "expected %d argument(s), found %d" (List.length params)
+      (List.length args);
+  List.iter2
+    (fun (pty, _) arg ->
+      require_assignable ctx arg.eloc ~target:pty ~source:(ty_of arg))
+    params args
+
+and check_call ctx env loc call =
+  let args = List.map (check_expr ctx env) call.args in
+  let finish ~recv ~defining ~(m : method_decl) =
+    (* println/print accept any single printable argument. *)
+    if
+      String.equal defining "PrintStream"
+      && (String.equal call.mname "println" || String.equal call.mname "print")
+    then (
+      (match args with
+      | [ a ] when not (equal_ty (ty_of a) TVoid) -> ()
+      | _ -> err loc "'%s' expects exactly one printable argument" call.mname))
+    else check_args ctx loc m.m_params args;
+    check_visibility ctx loc ~defining ~mods:m.m_mods ~kind:"method" ~name:m.m_name;
+    let resolved =
+      Some
+        { rc_class = defining; rc_static = m.m_mods.is_static;
+          rc_native = m.m_mods.is_native }
+    in
+    ({ recv; mname = call.mname; args; resolved }, m.m_ret)
+  in
+  match call.recv with
+  | Rimplicit -> (
+      match Symtab.lookup_method ctx.tab ctx.cls.cl_name call.mname with
+      | None -> err loc "unknown method '%s'" call.mname
+      | Some (defining, m) ->
+          if m.m_mods.is_static then finish ~recv:(Rstatic defining) ~defining ~m
+          else if ctx.in_static then
+            err loc "instance method '%s' called from a static context" call.mname
+          else
+            let this =
+              { expr = This; eloc = loc; ety = Some (TClass ctx.cls.cl_name) }
+            in
+            finish ~recv:(Rexpr this) ~defining ~m)
+  | Rstatic cname -> check_static_call ctx loc cname call args finish
+  | Rexpr ({ expr = Name cname; _ } as o) ->
+      if resolves_to_class ctx env cname then
+        check_static_call ctx loc cname call args finish
+      else check_instance_call ctx env loc o call finish
+  | Rexpr o -> check_instance_call ctx env loc o call finish
+  | Rsuper -> (
+      if ctx.in_static then err loc "'super' used in a static context";
+      match ctx.cls.cl_super with
+      | None -> err loc "class '%s' has no superclass" ctx.cls.cl_name
+      | Some super -> (
+          match Symtab.lookup_method ctx.tab super call.mname with
+          | None -> err loc "no method '%s' in superclasses" call.mname
+          | Some (defining, m) ->
+              if m.m_mods.is_static then
+                err loc "'super.%s' refers to a static method" call.mname;
+              finish ~recv:Rsuper ~defining ~m))
+
+and check_static_call ctx loc cname call _args finish =
+  if not (Symtab.is_class ctx.tab cname) then err loc "unknown class '%s'" cname;
+  match Symtab.lookup_method ctx.tab cname call.mname with
+  | None -> err loc "class '%s' has no method '%s'" cname call.mname
+  | Some (defining, m) ->
+      if not m.m_mods.is_static then
+        err loc "instance method '%s.%s' called statically" cname call.mname;
+      finish ~recv:(Rstatic defining) ~defining ~m
+
+and check_instance_call ctx env loc o call finish =
+  let o = check_expr ctx env o in
+  match ty_of o with
+  | TClass cls_name -> (
+      match Symtab.lookup_method ctx.tab cls_name call.mname with
+      | None -> err loc "class '%s' has no method '%s'" cls_name call.mname
+      | Some (defining, m) ->
+          if m.m_mods.is_static then
+            err loc "static method '%s' called through an instance" call.mname;
+          finish ~recv:(Rexpr o) ~defining ~m)
+  | ty ->
+      err loc "method call on non-object type '%s'" (ty_to_string ty)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_stmt ctx env s =
+  let loc = s.sloc in
+  match s.stmt with
+  | Block stmts ->
+      let stmts, _ = check_stmts ctx env stmts in
+      ({ s with stmt = Block stmts }, env)
+  | Var_decl (ty, name, init) ->
+      check_ty ctx loc ty;
+      if equal_ty ty TVoid then err loc "variable '%s' cannot be void" name;
+      if lookup_env env name <> None then
+        err loc "variable '%s' is already defined" name;
+      let init =
+        match init with
+        | None -> None
+        | Some e ->
+            let e = check_expr ctx env e in
+            require_assignable ctx e.eloc ~target:ty ~source:(ty_of e);
+            Some e
+      in
+      ({ s with stmt = Var_decl (ty, name, init) }, (name, ty) :: env)
+  | Expr e -> ({ s with stmt = Expr (check_expr ctx env e) }, env)
+  | If (c, t, f) ->
+      let c = check_cond ctx env c in
+      let t, _ = check_stmt ctx env t in
+      let f = Option.map (fun f -> fst (check_stmt ctx env f)) f in
+      ({ s with stmt = If (c, t, f) }, env)
+  | While (c, body) ->
+      let c = check_cond ctx env c in
+      let body, _ = check_stmt { ctx with loop_depth = ctx.loop_depth + 1 } env body in
+      ({ s with stmt = While (c, body) }, env)
+  | Do_while (body, c) ->
+      let body, _ = check_stmt { ctx with loop_depth = ctx.loop_depth + 1 } env body in
+      let c = check_cond ctx env c in
+      ({ s with stmt = Do_while (body, c) }, env)
+  | For (init, cond, update, body) ->
+      let init, env' =
+        match init with
+        | None -> (None, env)
+        | Some (For_var (ty, name, ie)) ->
+            check_ty ctx loc ty;
+            if lookup_env env name <> None then
+              err loc "variable '%s' is already defined" name;
+            let ie =
+              Option.map
+                (fun e ->
+                  let e = check_expr ctx env e in
+                  require_assignable ctx e.eloc ~target:ty ~source:(ty_of e);
+                  e)
+                ie
+            in
+            (Some (For_var (ty, name, ie)), (name, ty) :: env)
+        | Some (For_expr e) -> (Some (For_expr (check_expr ctx env e)), env)
+      in
+      let cond = Option.map (check_cond ctx env') cond in
+      let update = Option.map (check_expr ctx env') update in
+      let body, _ =
+        check_stmt { ctx with loop_depth = ctx.loop_depth + 1 } env' body
+      in
+      ({ s with stmt = For (init, cond, update, body) }, env)
+  | Return value -> (
+      match (value, ctx.ret) with
+      | None, TVoid -> (s, env)
+      | None, ty -> err loc "missing return value of type '%s'" (ty_to_string ty)
+      | Some _, TVoid -> err loc "cannot return a value from a void method"
+      | Some e, ret ->
+          let e = check_expr ctx env e in
+          require_assignable ctx e.eloc ~target:ret ~source:(ty_of e);
+          ({ s with stmt = Return (Some e) }, env))
+  | Break ->
+      if ctx.loop_depth = 0 then err loc "'break' outside of a loop";
+      (s, env)
+  | Continue ->
+      if ctx.loop_depth = 0 then err loc "'continue' outside of a loop";
+      (s, env)
+  | Super_call _ -> err loc "super constructor call only allowed first in a constructor"
+  | Empty -> (s, env)
+
+and check_cond ctx env e =
+  let e = check_expr ctx env e in
+  if not (equal_ty (ty_of e) TBool) then
+    err e.eloc "condition must be boolean, found '%s'" (ty_to_string (ty_of e));
+  e
+
+and check_stmts ctx env stmts =
+  let rec loop env acc = function
+    | [] -> (List.rev acc, env)
+    | s :: rest ->
+        let s, env = check_stmt ctx env s in
+        loop env (s :: acc) rest
+  in
+  loop env [] stmts
+
+(* Conservative "every path returns" check for non-void methods. *)
+let rec definitely_returns stmts = List.exists stmt_returns stmts
+
+and stmt_returns s =
+  match s.stmt with
+  | Return _ -> true
+  | Block stmts -> definitely_returns stmts
+  | If (_, t, Some f) -> stmt_returns t && stmt_returns f
+  | If (_, _, None) | While _ | Do_while _ | For _ | Var_decl _ | Expr _
+  | Break | Continue | Super_call _ | Empty ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let param_env ctx params =
+  List.iter (fun (ty, _) -> check_ty ctx Loc.dummy ty) params;
+  let names = List.map snd params in
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: b :: _ when String.equal a b ->
+        Diag.error "duplicate parameter '%s'" a
+    | _ :: rest -> dup rest
+    | [] -> ()
+  in
+  dup sorted;
+  List.map (fun (ty, name) -> (name, ty)) params
+
+let check_method tab cls m =
+  match m.m_body with
+  | None ->
+      if not m.m_mods.is_native then
+        err m.m_loc "method '%s' has no body and is not native" m.m_name;
+      m
+  | Some body ->
+      let ctx =
+        { tab; cls; in_static = m.m_mods.is_static; in_ctor = false;
+          ret = m.m_ret; loop_depth = 0 }
+      in
+      check_ty ctx m.m_loc m.m_ret;
+      let env = param_env ctx m.m_params in
+      let body, _ = check_stmts ctx env body in
+      if (not (equal_ty m.m_ret TVoid)) && not (definitely_returns body) then
+        err m.m_loc "method '%s' may not return a value on all paths" m.m_name;
+      { m with m_body = Some body }
+
+let check_ctor tab (cls : class_decl) c =
+  let ctx =
+    { tab; cls; in_static = false; in_ctor = true; ret = TVoid; loop_depth = 0 }
+  in
+  let env = param_env ctx c.c_params in
+  let explicit_super, rest =
+    match c.c_body with
+    | { stmt = Super_call args; sloc } :: rest -> (Some (args, sloc), rest)
+    | body -> (None, body)
+  in
+  let super_stmt =
+    match (explicit_super, cls.cl_super) with
+    | Some (_, sloc), None ->
+        err sloc "class '%s' has no superclass" cls.cl_name
+    | Some (args, sloc), Some super -> (
+        let args = List.map (check_expr ctx env) args in
+        match Symtab.lookup_ctor tab super (List.length args) with
+        | None ->
+            err sloc "superclass '%s' has no constructor with %d argument(s)"
+              super (List.length args)
+        | Some super_ctor ->
+            check_args ctx sloc super_ctor.c_params args;
+            [ { stmt = Super_call args; sloc } ])
+    | None, Some super -> (
+        match Symtab.lookup_ctor tab super 0 with
+        | Some _ -> []
+        | None ->
+            err c.c_loc
+              "superclass '%s' has no zero-argument constructor; call super(...) \
+               explicitly"
+              super)
+    | None, None -> []
+  in
+  let rest, _ = check_stmts ctx env rest in
+  { c with c_body = super_stmt @ rest }
+
+let check_field_init tab cls f =
+  match f.f_init with
+  | None -> f
+  | Some e ->
+      let ctx =
+        { tab; cls; in_static = f.f_mods.is_static; in_ctor = false;
+          ret = TVoid; loop_depth = 0 }
+      in
+      check_ty ctx f.f_loc f.f_ty;
+      let e = check_expr ctx [] e in
+      require_assignable ctx e.eloc ~target:f.f_ty ~source:(ty_of e);
+      { f with f_init = Some e }
+
+let check_class tab cls =
+  let fields = List.map (check_field_init tab cls) cls.cl_fields in
+  let ctors = List.map (check_ctor tab cls) cls.cl_ctors in
+  let methods = List.map (check_method tab cls) cls.cl_methods in
+  { cls with cl_fields = fields; cl_ctors = ctors; cl_methods = methods }
+
+let check program =
+  let tab = Symtab.build program in
+  let all = (Symtab.program tab).classes in
+  let resolved_all = List.map (check_class tab) all in
+  let tab = Symtab.replace_all tab resolved_all in
+  let user_names = List.map (fun c -> c.cl_name) program.classes in
+  let users =
+    List.filter (fun c -> List.mem c.cl_name user_names) resolved_all
+  in
+  { symtab = tab; program = { classes = users } }
+
+let check_source ?(file = "<source>") src =
+  check (Parser.parse_program ~file src)

@@ -1,0 +1,21 @@
+(** Type checker and name resolver for MJ.
+
+    Checking rebuilds the AST: [Name]/[Lname] nodes become [Local],
+    [Field_access (this, _)], or [Static_field]; implicit call receivers
+    are resolved; every expression carries its type in [ety]; every call
+    carries a [resolved_call]. *)
+
+type checked = {
+  symtab : Symtab.t;      (** table over the resolved program (builtins included) *)
+  program : Ast.program;  (** resolved user classes only *)
+}
+
+val check : Ast.program -> checked
+(** Raises {!Diag.Compile_error} on the first type error. *)
+
+val check_source : ?file:string -> string -> checked
+(** Parse then check. *)
+
+val assignable : Symtab.t -> target:Ast.ty -> source:Ast.ty -> bool
+(** MJ assignment compatibility: identity, int-to-double widening,
+    null-to-reference, and subclass-to-superclass. *)

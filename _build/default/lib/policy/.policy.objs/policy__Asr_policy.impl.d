@@ -1,0 +1,1 @@
+lib/policy/asr_policy.ml: Call_graph Escape Hashtbl List Loop_bounds Mj Phases Printf Rule String Time_bound

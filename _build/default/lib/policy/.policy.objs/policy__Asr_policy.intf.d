@@ -1,0 +1,1 @@
+lib/policy/asr_policy.mli: Mj Rule

@@ -1,0 +1,1 @@
+lib/policy/call_graph.ml: Hashtbl List Mj Option Printf String

@@ -1,0 +1,1 @@
+lib/policy/call_graph.mli: Mj

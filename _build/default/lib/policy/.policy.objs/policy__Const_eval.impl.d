@@ -1,0 +1,1 @@
+lib/policy/const_eval.ml: List Mj Option String

@@ -1,0 +1,1 @@
+lib/policy/const_eval.mli: Mj

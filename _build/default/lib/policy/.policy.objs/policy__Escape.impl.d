@@ -1,0 +1,1 @@
+lib/policy/escape.ml: Const_eval List Mj String

@@ -1,0 +1,1 @@
+lib/policy/loop_bounds.ml: Const_eval List Mj Option String

@@ -1,0 +1,1 @@
+lib/policy/loop_bounds.mli: Mj

@@ -1,0 +1,1 @@
+lib/policy/phases.ml: Call_graph List Mj Printf String

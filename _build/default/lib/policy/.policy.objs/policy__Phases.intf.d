@@ -1,0 +1,1 @@
+lib/policy/phases.mli: Call_graph Mj

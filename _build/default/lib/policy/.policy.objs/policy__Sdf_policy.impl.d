@@ -1,0 +1,1 @@
+lib/policy/sdf_policy.ml: Asr_policy Call_graph Const_eval List Mj Option Phases Printf Rule String

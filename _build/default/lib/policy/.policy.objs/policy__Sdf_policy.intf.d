@@ -1,0 +1,1 @@
+lib/policy/sdf_policy.mli: Mj Rule

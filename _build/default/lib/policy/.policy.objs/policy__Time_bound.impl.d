@@ -1,0 +1,1 @@
+lib/policy/time_bound.ml: Const_eval Hashtbl List Loop_bounds Mj Mj_runtime Option Printf String

@@ -1,0 +1,1 @@
+lib/policy/time_bound.mli: Mj Mj_runtime

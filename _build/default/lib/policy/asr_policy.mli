@@ -1,0 +1,29 @@
+(** The ASR policy of use (paper §4.1–4.3): the restrictions that make
+    an MJ program expressible as an ASR system.
+
+    Rules:
+    - [R1-no-threads] — direct use of Java threads is prohibited.
+    - [R2-no-reactive-allocation] — objects may be instantiated only
+      during initialization.
+    - [R3-no-while-loops] — [while]/[do-while] may not be used.
+    - [R4-bounded-for-loops] — calculable upper bounds on loop
+      iterations; the index may not be modified in the body.
+    - [R5-no-recursion] — circular method invocations are not allowed.
+    - [R6-private-state] — an ASR object's variables must be private.
+    - [R7-no-finalizers] — finalization is disallowed.
+    - [R8-linked-structures] — linked data structures should be
+      eliminated in favour of statically allocated ones (caution).
+    - [R9-bounded-reaction] — the reaction must have a computable
+      worst-case time bound. *)
+
+val rules : Rule.t list
+
+val check : Mj.Typecheck.checked -> Rule.violation list
+(** All violations, ordered by rule then location. *)
+
+val compliant : Mj.Typecheck.checked -> bool
+(** No Forbidden violations remain. *)
+
+val check_source : ?file:string -> string -> Rule.violation list
+
+val rule_ids : string list

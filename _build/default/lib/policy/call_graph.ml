@@ -1,0 +1,156 @@
+open Mj.Ast
+
+type node = string * string
+
+type t = {
+  edges : (node, node list) Hashtbl.t;
+  all_nodes : node list;
+  locs : (node, Mj.Loc.t) Hashtbl.t;
+  tab : Mj.Symtab.t;
+}
+
+let ctor_node cls arity = (cls, Printf.sprintf "<init>/%d" arity)
+
+let method_node cls mname = (cls, mname)
+
+let node_name (cls, m) = Printf.sprintf "%s.%s" cls m
+
+let nodes t = t.all_nodes
+
+let callees t node = Option.value ~default:[] (Hashtbl.find_opt t.edges node)
+
+let node_loc t node =
+  Option.value ~default:Mj.Loc.dummy (Hashtbl.find_opt t.locs node)
+
+(* Overrides of [mname] in subclasses of [cls]. *)
+let override_targets tab program cls mname =
+  List.filter_map
+    (fun c ->
+      if
+        (not (String.equal c.cl_name cls))
+        && Mj.Symtab.is_subclass tab ~sub:c.cl_name ~super:cls
+        && Mj.Ast.find_method c mname <> None
+      then Some (method_node c.cl_name mname)
+      else None)
+    program.classes
+
+let edges_of_stmts tab program cls stmts =
+  let acc = ref [] in
+  let add node = acc := node :: !acc in
+  Mj.Visit.iter_stmts stmts
+    ~stmt:(fun s ->
+      match s.stmt with
+      | Super_call args -> (
+          match Mj.Symtab.superclass tab cls with
+          | Some super -> add (ctor_node super (List.length args))
+          | None -> ())
+      | Block _ | Var_decl _ | Expr _ | If _ | While _ | Do_while _ | For _
+      | Return _ | Break | Continue | Empty ->
+          ())
+    ~expr:(fun e ->
+      match e.expr with
+      | New_object (c, args) -> add (ctor_node c (List.length args))
+      | Call call -> (
+          match call.resolved with
+          | None -> ()
+          | Some r ->
+              add (method_node r.rc_class call.mname);
+              if not r.rc_static then
+                List.iter add
+                  (override_targets tab program r.rc_class call.mname))
+      | Int_lit _ | Double_lit _ | Bool_lit _ | String_lit _ | Null_lit | This
+      | Name _ | Local _ | Field_access _ | Static_field _ | Array_length _
+      | Index _ | New_array _ | Unary _ | Binary _ | Assign _ | Op_assign _
+      | Pre_incr _ | Post_incr _ | Cast _ | Cond _ ->
+          ());
+  !acc
+
+let build (checked : Mj.Typecheck.checked) =
+  let tab = checked.symtab in
+  let program = Mj.Symtab.program tab in
+  let edges = Hashtbl.create 128 in
+  let locs = Hashtbl.create 128 in
+  let all_nodes = ref [] in
+  let declare node loc =
+    all_nodes := node :: !all_nodes;
+    Hashtbl.replace locs node loc
+  in
+  List.iter
+    (fun cls ->
+      let field_edges =
+        List.concat_map
+          (fun f ->
+            match f.f_init with
+            | Some e when not f.f_mods.is_static ->
+                edges_of_stmts tab program cls.cl_name
+                  [ { stmt = Expr e; sloc = e.eloc } ]
+            | Some _ | None -> [])
+          cls.cl_fields
+      in
+      let ctors =
+        if cls.cl_ctors = [] then
+          [ { c_mods = no_mods; c_params = []; c_body = []; c_loc = cls.cl_loc } ]
+        else cls.cl_ctors
+      in
+      List.iter
+        (fun c ->
+          let node = ctor_node cls.cl_name (List.length c.c_params) in
+          declare node c.c_loc;
+          let implicit_super =
+            match (c.c_body, Mj.Symtab.superclass tab cls.cl_name) with
+            | { stmt = Super_call _; _ } :: _, _ -> []
+            | _, Some super -> [ ctor_node super 0 ]
+            | _, None -> []
+          in
+          Hashtbl.replace edges node
+            (implicit_super @ field_edges
+            @ edges_of_stmts tab program cls.cl_name c.c_body))
+        ctors;
+      List.iter
+        (fun m ->
+          let node = method_node cls.cl_name m.m_name in
+          declare node m.m_loc;
+          match m.m_body with
+          | None -> Hashtbl.replace edges node []
+          | Some body ->
+              Hashtbl.replace edges node
+                (edges_of_stmts tab program cls.cl_name body))
+        cls.cl_methods)
+    program.classes;
+  { edges; all_nodes = List.rev !all_nodes; locs; tab }
+
+let reachable t ~roots =
+  let seen = Hashtbl.create 64 in
+  let rec visit node =
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.replace seen node ();
+      List.iter visit (callees t node)
+    end
+  in
+  List.iter visit roots;
+  List.filter (Hashtbl.mem seen) t.all_nodes
+  @ List.filter (fun r -> not (List.mem r t.all_nodes)) roots
+
+let recursive_nodes t =
+  let state = Hashtbl.create 64 in
+  let on_cycle = Hashtbl.create 16 in
+  let rec visit stack node =
+    match Hashtbl.find_opt state node with
+    | Some `In_progress ->
+        (* Everything from the first occurrence of [node] in the stack
+           participates in the cycle. *)
+        let rec mark = function
+          | [] -> ()
+          | n :: rest ->
+              Hashtbl.replace on_cycle n ();
+              if n <> node then mark rest
+        in
+        mark stack
+    | Some `Done -> ()
+    | None ->
+        Hashtbl.replace state node `In_progress;
+        List.iter (visit (node :: stack)) (callees t node);
+        Hashtbl.replace state node `Done
+  in
+  List.iter (visit []) t.all_nodes;
+  List.filter (Hashtbl.mem on_cycle) t.all_nodes

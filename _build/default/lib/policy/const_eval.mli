@@ -1,0 +1,15 @@
+(** Compile-time constant evaluation used by the loop-bound analysis.
+
+    Understands integer literals, arithmetic on constants, casts between
+    numeric constants, [static final] int fields with constant
+    initializers, and [f.length] where [f] is a field that every
+    constructor of its class assigns a [new T\[c\]] of constant size
+    (and that is never assigned elsewhere). *)
+
+val const_int : Mj.Typecheck.checked -> Mj.Ast.expr -> int option
+
+val field_array_length :
+  Mj.Typecheck.checked -> cls:string -> field:string -> int option
+(** Statically known length of the array held by instance field
+    [cls.field], when it is allocated with a constant size in every
+    constructor (or its field initializer) and never reassigned. *)

@@ -1,0 +1,21 @@
+(** Escape analysis for locals, shared by the allocation rule and the
+    hoist-alloc transformation so that a violation advertises an
+    automatic fix exactly when the transformation will fire. *)
+
+val local_escapes : string -> Mj.Ast.stmt list -> bool
+(** [local_escapes x body]: [x] is used other than through indexing,
+    [.length], element reads/writes, or rebinding — i.e. it is returned,
+    passed to a call or constructor, stored into a field/array/static,
+    aliased into another variable, or selected by a conditional. *)
+
+val hoistable_zero : Mj.Ast.ty -> Mj.Ast.expr_desc option
+(** The zero literal used to re-establish fresh-array semantics after
+    hoisting; [None] for element types the transformation skips. *)
+
+val hoistable_decl :
+  Mj.Typecheck.checked ->
+  method_body:Mj.Ast.stmt list ->
+  Mj.Ast.stmt ->
+  bool
+(** True when the statement is a constant-size, non-escaping array
+    declaration the hoist-alloc transformation handles. *)

@@ -1,0 +1,46 @@
+type severity = Forbidden | Caution
+
+type fix = Automatic of string | Manual of string
+
+type violation = {
+  rule_id : string;
+  severity : severity;
+  loc : Mj.Loc.t;
+  subject : string;
+  message : string;
+  fixes : fix list;
+}
+
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  check : Mj.Typecheck.checked -> violation list;
+}
+
+let make_violation ~rule ?(severity = Forbidden) ~loc ~subject ?(fixes = []) message =
+  { rule_id = rule.id; severity; loc; subject; message; fixes }
+
+let is_blocking v = v.severity = Forbidden
+
+let automatic_fixes v =
+  List.filter_map
+    (function Automatic id -> Some id | Manual _ -> None)
+    v.fixes
+
+let pp_fix ppf = function
+  | Automatic id -> Format.fprintf ppf "automatic: %s" id
+  | Manual hint -> Format.fprintf ppf "manual: %s" hint
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %a: %s (%s)%s" v.rule_id Mj.Loc.pp v.loc v.message
+    v.subject
+    (if v.severity = Caution then " [caution]" else "");
+  List.iter (fun f -> Format.fprintf ppf "@.      -> %a" pp_fix f) v.fixes
+
+let pp_report ppf violations =
+  match violations with
+  | [] -> Format.fprintf ppf "policy of use: compliant (no violations)@."
+  | vs ->
+      Format.fprintf ppf "policy of use: %d violation(s)@." (List.length vs);
+      List.iter (fun v -> Format.fprintf ppf "  %a@." pp_violation v) vs

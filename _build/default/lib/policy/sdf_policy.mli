@@ -1,0 +1,27 @@
+(** A second policy of use, targeting a single-rate dataflow (SDF) model
+    — the paper's future-work direction of "policies of use … for
+    additional models of computation" within the same SFR framework.
+
+    An SDF actor consumes exactly one token from every input and
+    produces exactly one token on every output per firing, and cannot
+    test for token absence. The policy therefore adds, on top of the
+    boundedness rules shared with the ASR policy (threads, reactive
+    allocation, loops, recursion, finalizers):
+
+    - [D0-static-ports] — the port signature must be a compile-time
+      constant ([declarePorts] with constant arguments in the
+      constructor).
+    - [D1-single-rate-reads] — every input port is read exactly once
+      per firing, unconditionally (not under a loop or branch).
+    - [D2-single-rate-writes] — every output port is written exactly
+      once per firing, unconditionally.
+    - [D3-no-presence-test] — [portPresent] is forbidden; SDF actors
+      block on tokens, absence is not observable. *)
+
+val rules : Rule.t list
+
+val check : Mj.Typecheck.checked -> Rule.violation list
+
+val compliant : Mj.Typecheck.checked -> bool
+
+val rule_ids : string list

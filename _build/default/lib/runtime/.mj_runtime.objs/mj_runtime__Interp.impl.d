@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Buffer Cost Float Fun Hashtbl Heap List Machine Mj Option Printf Threads Value

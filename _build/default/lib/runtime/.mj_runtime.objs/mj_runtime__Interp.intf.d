@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Cost Heap Machine Mj Value

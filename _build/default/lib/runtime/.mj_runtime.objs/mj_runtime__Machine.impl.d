@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Array Buffer Cost Effect Float Format Hashtbl Heap List Mj Threads Value

@@ -1,0 +1,1 @@
+lib/runtime/machine.mli: Buffer Cost Format Hashtbl Heap Mj Value

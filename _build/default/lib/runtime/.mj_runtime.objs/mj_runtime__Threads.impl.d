@@ -1,0 +1,1 @@
+lib/runtime/threads.ml: Effect Fun Hashtbl List Option Random

@@ -1,0 +1,1 @@
+lib/runtime/threads.mli: Effect

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Float Format Int32 Mj Printf String

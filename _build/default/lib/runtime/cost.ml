@@ -1,0 +1,53 @@
+type tariff = {
+  dispatch : int;
+  arith : int;
+  load_store : int;
+  field : int;
+  array : int;
+  call : int;
+  alloc_base : int;
+  alloc_word : int;
+  native : int;
+  gc_base : int;
+  gc_word : int;
+}
+
+let interpreter_tariff =
+  { dispatch = 10; arith = 1; load_store = 2; field = 4; array = 6; call = 40;
+    alloc_base = 120; alloc_word = 4; native = 20; gc_base = 50_000;
+    gc_word = 8 }
+
+let jit_tariff =
+  { dispatch = 0; arith = 1; load_store = 1; field = 2; array = 3; call = 10;
+    alloc_base = 120; alloc_word = 4; native = 20; gc_base = 50_000;
+    gc_word = 8 }
+
+type t = { tariff : tariff; mutable cycles : int; mutable budget : int option }
+
+exception Budget_exceeded of int
+
+let create tariff = { tariff; cycles = 0; budget = None }
+
+let set_budget t budget = t.budget <- budget
+
+let cycles t = t.cycles
+
+let reset t = t.cycles <- 0
+
+let charge t n =
+  t.cycles <- t.cycles + n;
+  match t.budget with
+  | Some limit when t.cycles > limit -> raise (Budget_exceeded t.cycles)
+  | Some _ | None -> ()
+
+let dispatch t = charge t t.tariff.dispatch
+let arith t = charge t t.tariff.arith
+let load_store t = charge t t.tariff.load_store
+let field t = charge t t.tariff.field
+let array t = charge t t.tariff.array
+let call t = charge t t.tariff.call
+let alloc t ~words = charge t (t.tariff.alloc_base + (t.tariff.alloc_word * words))
+let native t = charge t t.tariff.native
+
+let gc t ~live_words =
+  charge t (t.tariff.gc_base + (t.tariff.gc_word * live_words))

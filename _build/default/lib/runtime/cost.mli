@@ -1,0 +1,55 @@
+(** Deterministic execution-cost accounting.
+
+    Both execution substrates charge abstract cycles per operation so that
+    timing-shaped results (Table 1) can be checked machine-independently.
+    The tariff models a late-90s JVM: interpretation dispatch dominates,
+    allocation is expensive, arithmetic is cheap. *)
+
+type tariff = {
+  dispatch : int;   (** per interpreted operation *)
+  arith : int;
+  load_store : int; (** local variable access *)
+  field : int;
+  array : int;      (** element access, bounds check included *)
+  call : int;       (** invocation overhead *)
+  alloc_base : int; (** per allocation *)
+  alloc_word : int; (** per allocated word *)
+  native : int;
+  gc_base : int;    (** per collection pause *)
+  gc_word : int;    (** per live word scanned during a collection *)
+}
+
+val interpreter_tariff : tariff
+(** Models a bytecode interpreter (the paper's "Sun JDK 1.1.4"). *)
+
+val jit_tariff : tariff
+(** Models compiled code (the paper's "Café JIT"): dispatch eliminated. *)
+
+type t
+
+exception Budget_exceeded of int
+(** Raised by {!charge} when a {!set_budget} limit is crossed; carries
+    the cycle count at the moment of detection. Used as a runtime
+    watchdog: a compliant reaction run under its static worst-case
+    bound can never trip it. *)
+
+val create : tariff -> t
+
+val set_budget : t -> int option -> unit
+(** Absolute cycle count the meter may not exceed; [None] disables. *)
+
+val cycles : t -> int
+
+val reset : t -> unit
+
+val charge : t -> int -> unit
+
+val dispatch : t -> unit
+val arith : t -> unit
+val load_store : t -> unit
+val field : t -> unit
+val array : t -> unit
+val call : t -> unit
+val alloc : t -> words:int -> unit
+val native : t -> unit
+val gc : t -> live_words:int -> unit

@@ -1,0 +1,164 @@
+type phase = Init | Reactive
+
+exception Runtime_error of string
+
+type obj_data =
+  | Object of { cls : string; fields : (string, Value.t) Hashtbl.t }
+  | Arr of { elem : Mj.Ast.ty; cells : Value.t array }
+
+type stats = {
+  init_allocations : int;
+  reactive_allocations : int;
+  init_words : int;
+  reactive_words : int;
+  live_objects : int;
+}
+
+type t = {
+  mutable cells : obj_data option array;
+  mutable next : int;
+  mutable phase : phase;
+  mutable forbid_reactive : bool;
+  mutable init_allocations : int;
+  mutable reactive_allocations : int;
+  mutable init_words : int;
+  mutable reactive_words : int;
+  mutable gc_threshold : int option;
+  mutable words_since_gc : int;
+  mutable gc_count : int;
+  mutable on_gc : live_words:int -> unit;
+}
+
+let create () =
+  { cells = Array.make 1024 None; next = 0; phase = Init;
+    forbid_reactive = false; init_allocations = 0; reactive_allocations = 0;
+    init_words = 0; reactive_words = 0; gc_threshold = None;
+    words_since_gc = 0; gc_count = 0; on_gc = (fun ~live_words:_ -> ()) }
+
+let phase t = t.phase
+
+let set_phase t phase = t.phase <- phase
+
+let forbid_reactive_alloc t flag = t.forbid_reactive <- flag
+
+let stats t =
+  { init_allocations = t.init_allocations;
+    reactive_allocations = t.reactive_allocations;
+    init_words = t.init_words; reactive_words = t.reactive_words;
+    live_objects = t.next }
+
+let configure_gc t ~threshold_words =
+  t.gc_threshold <- threshold_words;
+  t.words_since_gc <- 0
+
+let set_gc_hook t hook = t.on_gc <- hook
+
+let gc_count t = t.gc_count
+
+let words_of_object n_fields = 2 + n_fields
+
+let words_of_array n = 2 + n
+
+let record_alloc t words =
+  match t.phase with
+  | Init ->
+      t.init_allocations <- t.init_allocations + 1;
+      t.init_words <- t.init_words + words
+  | Reactive ->
+      if t.forbid_reactive then
+        raise
+          (Runtime_error
+             "allocation during the reactive phase (bounded-memory policy)");
+      t.reactive_allocations <- t.reactive_allocations + 1;
+      t.reactive_words <- t.reactive_words + words;
+      (match t.gc_threshold with
+      | Some threshold ->
+          t.words_since_gc <- t.words_since_gc + words;
+          if t.words_since_gc > threshold then begin
+            let live = t.init_words + t.words_since_gc in
+            t.gc_count <- t.gc_count + 1;
+            t.words_since_gc <- 0;
+            t.on_gc ~live_words:live
+          end
+      | None -> ())
+
+let store t data =
+  if t.next >= Array.length t.cells then begin
+    let bigger = Array.make (2 * Array.length t.cells) None in
+    Array.blit t.cells 0 bigger 0 (Array.length t.cells);
+    t.cells <- bigger
+  end;
+  let index = t.next in
+  t.cells.(index) <- Some data;
+  t.next <- index + 1;
+  Value.Ref index
+
+let alloc_object t ~cls ~fields =
+  record_alloc t (words_of_object (List.length fields));
+  let table = Hashtbl.create (max 4 (List.length fields)) in
+  List.iter (fun (name, value) -> Hashtbl.replace table name value) fields;
+  store t (Object { cls; fields = table })
+
+let alloc_array t ~elem n =
+  if n < 0 then raise (Runtime_error "negative array size");
+  record_alloc t (words_of_array n);
+  store t (Arr { elem; cells = Array.make n (Value.default elem) })
+
+let get t index =
+  if index < 0 || index >= t.next then raise (Runtime_error "dangling reference")
+  else
+    match t.cells.(index) with
+    | Some data -> data
+    | None -> raise (Runtime_error "dangling reference")
+
+let deref _t = function
+  | Value.Ref index -> index
+  | Value.Null -> raise (Runtime_error "null pointer dereference")
+  | Value.Int _ | Value.Double _ | Value.Bool _ | Value.Str _ ->
+      raise (Runtime_error "dereference of a non-reference value")
+
+let object_class t index =
+  match get t index with
+  | Object { cls; _ } -> cls
+  | Arr _ -> raise (Runtime_error "expected an object, found an array")
+
+let object_fields t index =
+  match get t index with
+  | Object { fields; _ } -> fields
+  | Arr _ -> raise (Runtime_error "expected an object, found an array")
+
+let get_field t index name =
+  match Hashtbl.find_opt (object_fields t index) name with
+  | Some v -> v
+  | None -> raise (Runtime_error (Printf.sprintf "object has no field '%s'" name))
+
+let set_field t index name value =
+  let fields = object_fields t index in
+  if not (Hashtbl.mem fields name) then
+    raise (Runtime_error (Printf.sprintf "object has no field '%s'" name));
+  Hashtbl.replace fields name value
+
+let array_cells t index =
+  match get t index with
+  | Arr { cells; _ } -> cells
+  | Object _ -> raise (Runtime_error "expected an array, found an object")
+
+let array_length t index = Array.length (array_cells t index)
+
+let array_get t index i =
+  let cells = array_cells t index in
+  if i < 0 || i >= Array.length cells then
+    raise
+      (Runtime_error
+         (Printf.sprintf "array index %d out of bounds for length %d" i
+            (Array.length cells)))
+  else cells.(i)
+
+let array_set t index i value =
+  let cells = array_cells t index in
+  if i < 0 || i >= Array.length cells then
+    raise
+      (Runtime_error
+         (Printf.sprintf "array index %d out of bounds for length %d" i
+            (Array.length cells)))
+  else cells.(i) <- value

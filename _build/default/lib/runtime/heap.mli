@@ -1,0 +1,80 @@
+(** Object heap with phase-tagged allocation accounting.
+
+    The ASR policy of use requires all allocation to happen during
+    initialization; the heap distinguishes an [Init] phase from the
+    [Reactive] phase, counts allocations per phase, and can be armed to
+    reject reactive-phase allocation outright (bounded-memory
+    enforcement of elaborated blocks). *)
+
+type phase = Init | Reactive
+
+exception Runtime_error of string
+(** Raised for null dereference, bad index, division by zero, bad casts,
+    and forbidden allocation. *)
+
+type obj_data =
+  | Object of { cls : string; fields : (string, Value.t) Hashtbl.t }
+  | Arr of { elem : Mj.Ast.ty; cells : Value.t array }
+
+type stats = {
+  init_allocations : int;
+  reactive_allocations : int;
+  init_words : int;
+  reactive_words : int;
+  live_objects : int;
+}
+
+type t
+
+val create : unit -> t
+
+val phase : t -> phase
+
+val set_phase : t -> phase -> unit
+
+val forbid_reactive_alloc : t -> bool -> unit
+(** When armed, any allocation in the [Reactive] phase raises
+    {!Runtime_error}. *)
+
+val stats : t -> stats
+
+val alloc_object : t -> cls:string -> fields:(string * Value.t) list -> Value.t
+
+val alloc_array : t -> elem:Mj.Ast.ty -> int -> Value.t
+
+val get : t -> int -> obj_data
+
+val deref : t -> Value.t -> int
+(** Extract a reference index; raises on [Null] or non-reference. *)
+
+val object_class : t -> int -> string
+
+val get_field : t -> int -> string -> Value.t
+
+val set_field : t -> int -> string -> Value.t -> unit
+
+val array_length : t -> int -> int
+
+val array_get : t -> int -> int -> Value.t
+
+val array_set : t -> int -> int -> Value.t -> unit
+
+val words_of_object : int -> int
+(** Heap words occupied by an object with n fields (header included). *)
+
+val words_of_array : int -> int
+
+(** {1 Garbage-collection model}
+
+    A crude stop-the-world collector in the JDK-1.1 mould: when
+    reactive-phase allocation since the last collection exceeds the
+    configured threshold, the [on_gc] hook fires with the approximate
+    live size (initialization-phase words plus the words allocated since
+    the previous collection) so the engine can charge a pause. Disabled
+    by default. *)
+
+val configure_gc : t -> threshold_words:int option -> unit
+
+val set_gc_hook : t -> (live_words:int -> unit) -> unit
+
+val gc_count : t -> int

@@ -1,0 +1,217 @@
+type instant = { label : string; mutable subs : instant list }
+
+type t = {
+  tab : Mj.Symtab.t;
+  heap : Heap.t;
+  statics : (string * string, Value.t) Hashtbl.t;
+  cost : Cost.t;
+  console : Buffer.t;
+  asr_ports : (int, ports) Hashtbl.t;
+  mutable instant_stack : instant list;
+  root : instant;
+  mutable invoke_run : Value.t -> unit;
+  mutable call_depth : int;
+  mutable max_call_depth : int;
+}
+
+and ports = {
+  mutable n_in : int;
+  mutable n_out : int;
+  mutable inputs : Value.t option array;
+  mutable outputs : Value.t option array;
+}
+
+let fail fmt = Format.kasprintf (fun m -> raise (Heap.Runtime_error m)) fmt
+
+let create ?(tariff = Cost.interpreter_tariff) tab =
+  let root = { label = "<root>"; subs = [] } in
+  let t =
+    { tab; heap = Heap.create (); statics = Hashtbl.create 64;
+      cost = Cost.create tariff; console = Buffer.create 256;
+      asr_ports = Hashtbl.create 8; instant_stack = [ root ]; root;
+      invoke_run = (fun _ -> fail "no engine installed for Thread.start");
+      call_depth = 0; max_call_depth = 4096 }
+  in
+  List.iter
+    (fun (cls, f) ->
+      Hashtbl.replace t.statics (cls, f.Mj.Ast.f_name) (Value.default f.Mj.Ast.f_ty))
+    (Mj.Symtab.static_fields tab);
+  Heap.set_gc_hook t.heap (fun ~live_words -> Cost.gc t.cost ~live_words);
+  t
+
+let enter_frame t =
+  t.call_depth <- t.call_depth + 1;
+  if t.call_depth > t.max_call_depth then begin
+    t.call_depth <- 0;
+    fail "stack overflow: call depth exceeded %d frames" t.max_call_depth
+  end
+
+let leave_frame t = t.call_depth <- max 0 (t.call_depth - 1)
+
+let as_int = function
+  | Value.Int n -> n
+  | v -> fail "expected an int, found %s" (Value.to_display v)
+
+let as_double = function
+  | Value.Double f -> f
+  | Value.Int n -> float_of_int n
+  | v -> fail "expected a double, found %s" (Value.to_display v)
+
+let as_bool = function
+  | Value.Bool b -> b
+  | v -> fail "expected a boolean, found %s" (Value.to_display v)
+
+let coerce ty v =
+  match (ty, v) with
+  | Mj.Ast.TDouble, Value.Int n -> Value.Double (float_of_int n)
+  | _, v -> v
+
+let static_get t cls fname =
+  match Hashtbl.find_opt t.statics (cls, fname) with
+  | Some v -> v
+  | None -> fail "no static field %s.%s" cls fname
+
+let static_set t cls fname v = Hashtbl.replace t.statics (cls, fname) v
+
+let ports_state t recv =
+  let r = Heap.deref t.heap recv in
+  match Hashtbl.find_opt t.asr_ports r with
+  | Some p -> p
+  | None ->
+      let p = { n_in = 0; n_out = 0; inputs = [||]; outputs = [||] } in
+      Hashtbl.replace t.asr_ports r p;
+      p
+
+let native_call t ~defining ~mname recv args =
+  Cost.native t.cost;
+  match (defining, mname, args) with
+  | "Math", "sqrt", [ x ] -> Value.Double (sqrt (as_double x))
+  | "Math", "sin", [ x ] -> Value.Double (sin (as_double x))
+  | "Math", "cos", [ x ] -> Value.Double (cos (as_double x))
+  | "Math", "floor", [ x ] -> Value.Double (floor (as_double x))
+  | "Math", "ceil", [ x ] -> Value.Double (ceil (as_double x))
+  | "Math", "pow", [ x; y ] -> Value.Double (Float.pow (as_double x) (as_double y))
+  | "Math", "abs", [ x ] -> Value.Double (Float.abs (as_double x))
+  | "Math", "iabs", [ x ] -> Value.Int (abs (as_int x))
+  | "Math", "round", [ x ] ->
+      Value.Int (Value.wrap32 (int_of_float (Float.round (as_double x))))
+  | "Math", "min", [ x; y ] -> Value.Int (min (as_int x) (as_int y))
+  | "Math", "max", [ x; y ] -> Value.Int (max (as_int x) (as_int y))
+  | "PrintStream", "println", [ v ] ->
+      Buffer.add_string t.console (Value.to_display v);
+      Buffer.add_char t.console '\n';
+      Value.Null
+  | "PrintStream", "print", [ v ] ->
+      Buffer.add_string t.console (Value.to_display v);
+      Value.Null
+  | "System", "currentTimeMillis", [] ->
+      (* Deterministic pseudo-time derived from the cost model. *)
+      Value.Int (Value.wrap32 (Cost.cycles t.cost / 100_000))
+  | "Thread", "start", [] ->
+      let r = Heap.deref t.heap recv in
+      if Threads.active () then
+        Effect.perform (Threads.Spawn (r, fun () -> t.invoke_run recv))
+      else
+        (* Without a scheduler, start() degrades to a synchronous call. *)
+        t.invoke_run recv;
+      Value.Null
+  | "Thread", "join", [] ->
+      let r = Heap.deref t.heap recv in
+      if Threads.active () then Effect.perform (Threads.Join r);
+      Value.Null
+  | "Thread", "yield", [] ->
+      Threads.maybe_yield ();
+      Value.Null
+  | "ASR", "declarePorts", [ n_in; n_out ] ->
+      let p = ports_state t recv in
+      p.n_in <- as_int n_in;
+      p.n_out <- as_int n_out;
+      p.inputs <- Array.make (as_int n_in) None;
+      p.outputs <- Array.make (as_int n_out) None;
+      Value.Null
+  | "ASR", "portCount", [ dir ] ->
+      let p = ports_state t recv in
+      Value.Int (if as_int dir = 0 then p.n_in else p.n_out)
+  | "ASR", "readPort", [ port ] -> (
+      let p = ports_state t recv in
+      let i = as_int port in
+      if i < 0 || i >= Array.length p.inputs then fail "no input port %d" i;
+      match p.inputs.(i) with
+      | Some (Value.Int n) -> Value.Int n
+      | Some v -> fail "input port %d holds %s, not an int" i (Value.to_display v)
+      | None -> Value.Int 0)
+  | "ASR", "readPortArray", [ port ] -> (
+      let p = ports_state t recv in
+      let i = as_int port in
+      if i < 0 || i >= Array.length p.inputs then fail "no input port %d" i;
+      match p.inputs.(i) with
+      | Some (Value.Ref _ as v) -> v
+      | Some v -> fail "input port %d holds %s, not an array" i (Value.to_display v)
+      | None -> Value.Null)
+  | "ASR", "portPresent", [ port ] ->
+      let p = ports_state t recv in
+      let i = as_int port in
+      Value.Bool (i >= 0 && i < Array.length p.inputs && p.inputs.(i) <> None)
+  | "ASR", "writePort", [ port; v ] ->
+      let p = ports_state t recv in
+      let i = as_int port in
+      if i < 0 || i >= Array.length p.outputs then fail "no output port %d" i;
+      p.outputs.(i) <- Some v;
+      Value.Null
+  | "ASR", "writePortArray", [ port; v ] ->
+      let p = ports_state t recv in
+      let i = as_int port in
+      if i < 0 || i >= Array.length p.outputs then fail "no output port %d" i;
+      p.outputs.(i) <- Some v;
+      Value.Null
+  | "JTime", "enterInstant", [ label ] -> (
+      let node = { label = Value.to_display label; subs = [] } in
+      match t.instant_stack with
+      | top :: _ ->
+          top.subs <- top.subs @ [ node ];
+          t.instant_stack <- node :: t.instant_stack;
+          Value.Null
+      | [] -> fail "instant stack underflow")
+  | "JTime", "exitInstant", [] -> (
+      match t.instant_stack with
+      | _ :: (_ :: _ as rest) ->
+          t.instant_stack <- rest;
+          Value.Null
+      | _ -> fail "exitInstant without matching enterInstant")
+  | cls, name, _ -> fail "unimplemented native method %s.%s" cls name
+
+let ports_of t recv =
+  let p = ports_state t recv in
+  (p.n_in, p.n_out)
+
+let set_input t recv port v =
+  let p = ports_state t recv in
+  if port < 0 || port >= Array.length p.inputs then fail "no input port %d" port;
+  p.inputs.(port) <- v
+
+let output_port t recv port =
+  let p = ports_state t recv in
+  if port < 0 || port >= Array.length p.outputs then fail "no output port %d" port;
+  p.outputs.(port)
+
+let clear_io t recv =
+  let p = ports_state t recv in
+  Array.fill p.inputs 0 (Array.length p.inputs) None;
+  Array.fill p.outputs 0 (Array.length p.outputs) None
+
+let instant_root t = t.root
+
+let reset_instants t =
+  t.root.subs <- [];
+  t.instant_stack <- [ t.root ]
+
+let int_array t v =
+  let r = Heap.deref t.heap v in
+  Array.init (Heap.array_length t.heap r) (fun i ->
+      as_int (Heap.array_get t.heap r i))
+
+let make_int_array t contents =
+  let v = Heap.alloc_array t.heap ~elem:Mj.Ast.TInt (Array.length contents) in
+  let r = Heap.deref t.heap v in
+  Array.iteri (fun i n -> Heap.array_set t.heap r i (Value.Int n)) contents;
+  v

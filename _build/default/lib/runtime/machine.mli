@@ -1,0 +1,73 @@
+(** Shared execution state and native-method implementations.
+
+    The reference interpreter, the bytecode VM, and the closure backend
+    all execute against a [Machine.t]: heap, static storage, cost
+    counter, console, ASR port states, and the hierarchical instant log.
+    Native methods ([Math], [System.out], [Thread], [ASR], [JTime]) are
+    implemented here once. *)
+
+type instant = { label : string; mutable subs : instant list }
+
+type t = {
+  tab : Mj.Symtab.t;
+  heap : Heap.t;
+  statics : (string * string, Value.t) Hashtbl.t;
+  cost : Cost.t;
+  console : Buffer.t;
+  asr_ports : (int, ports) Hashtbl.t;
+  mutable instant_stack : instant list;
+  root : instant;
+  mutable invoke_run : Value.t -> unit;
+      (** engine callback used by [Thread.start]; installed by the engine *)
+  mutable call_depth : int;
+  mutable max_call_depth : int;
+      (** frames allowed before the engines raise a stack-overflow
+          {!Heap.Runtime_error} (default 4096) *)
+}
+
+and ports = {
+  mutable n_in : int;
+  mutable n_out : int;
+  mutable inputs : Value.t option array;
+  mutable outputs : Value.t option array;
+}
+
+val create : ?tariff:Cost.tariff -> Mj.Symtab.t -> t
+(** Fresh machine with static storage defaulted (initializers are the
+    engine's job, since they require evaluation). *)
+
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Heap.Runtime_error} with a formatted message. *)
+
+val as_int : Value.t -> int
+val as_double : Value.t -> float
+val as_bool : Value.t -> bool
+
+val coerce : Mj.Ast.ty -> Value.t -> Value.t
+(** Implicit int-to-double widening into a typed slot. *)
+
+val static_get : t -> string -> string -> Value.t
+val static_set : t -> string -> string -> Value.t -> unit
+
+val native_call :
+  t -> defining:string -> mname:string -> Value.t -> Value.t list -> Value.t
+(** Dispatch a native method; raises for unknown natives. *)
+
+val enter_frame : t -> unit
+(** Engines bracket every MJ method/constructor body with
+    [enter_frame]/[leave_frame]; exceeding [max_call_depth] raises. *)
+
+val leave_frame : t -> unit
+
+val ports_state : t -> Value.t -> ports
+
+val ports_of : t -> Value.t -> int * int
+val set_input : t -> Value.t -> int -> Value.t option -> unit
+val output_port : t -> Value.t -> int -> Value.t option
+val clear_io : t -> Value.t -> unit
+
+val instant_root : t -> instant
+val reset_instants : t -> unit
+
+val int_array : t -> Value.t -> int array
+val make_int_array : t -> int array -> Value.t

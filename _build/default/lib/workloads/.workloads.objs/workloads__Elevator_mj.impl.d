@@ -1,0 +1,1 @@
+lib/workloads/elevator_mj.ml: Array List Printf

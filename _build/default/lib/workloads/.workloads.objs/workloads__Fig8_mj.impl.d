@@ -1,0 +1,1 @@
+lib/workloads/fig8_mj.ml: Asr Hashtbl Javatime List Mj Mj_runtime Option

@@ -1,0 +1,1 @@
+lib/workloads/fig8_mj.mli: Asr Mj_runtime

@@ -1,0 +1,1 @@
+lib/workloads/fir_mj.ml: Array List

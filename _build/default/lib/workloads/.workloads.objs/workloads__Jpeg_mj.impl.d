@@ -1,0 +1,1 @@
+lib/workloads/jpeg_mj.ml: Printf

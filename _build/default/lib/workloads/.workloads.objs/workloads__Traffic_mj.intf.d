@@ -1,0 +1,1 @@
+lib/workloads/traffic_mj.mli:

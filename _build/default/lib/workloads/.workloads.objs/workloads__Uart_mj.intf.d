@@ -1,0 +1,1 @@
+lib/workloads/uart_mj.mli:

@@ -1,0 +1,103 @@
+let class_name = "Elevator"
+
+let floors = 6
+
+type state = { floor : int; door_open : bool; motion : int }
+
+let source =
+  Printf.sprintf
+    {|class Elevator extends ASR {
+  private static final int FLOORS = %d;
+  private static final int DOOR_TICKS = 2;
+  private boolean[] pending;
+  private int floor;
+  private int doorTimer;
+
+  Elevator() {
+    declarePorts(1, 3);
+    pending = new boolean[FLOORS];
+    floor = 0;
+    doorTimer = 0;
+  }
+
+  private int nearestPending() {
+    int best = 0 - 1;
+    int bestDist = FLOORS + 1;
+    for (int f = 0; f < FLOORS; f++) {
+      if (pending[f]) {
+        int dist = Math.iabs(f - floor);
+        if (dist < bestDist) {
+          bestDist = dist;
+          best = f;
+        }
+      }
+    }
+    return best;
+  }
+
+  public void run() {
+    int request = readPort(0);
+    if (request >= 0 && request < FLOORS) pending[request] = true;
+    int motion = 0;
+    if (doorTimer > 0) {
+      // door open: hold position until the door closes
+      doorTimer = doorTimer - 1;
+    } else {
+      int target = nearestPending();
+      if (target == floor && target >= 0) {
+        // arrived (or requested here): open the door while stationary
+        pending[floor] = false;
+        doorTimer = DOOR_TICKS;
+      } else if (target > floor) {
+        floor = floor + 1;
+        motion = 1;
+      } else if (target >= 0) {
+        floor = floor - 1;
+        motion = 0 - 1;
+      }
+    }
+    writePort(0, floor);
+    writePort(1, doorTimer > 0 ? 1 : 0);
+    writePort(2, motion);
+  }
+}
+|}
+    floors
+
+let reference requests =
+  let pending = Array.make floors false in
+  let floor = ref 0 and door_timer = ref 0 in
+  List.map
+    (fun request ->
+      if request >= 0 && request < floors then pending.(request) <- true;
+      let motion = ref 0 in
+      if !door_timer > 0 then decr door_timer
+      else begin
+        let best = ref (-1) and best_dist = ref (floors + 1) in
+        Array.iteri
+          (fun f is_pending ->
+            if is_pending then begin
+              let dist = abs (f - !floor) in
+              if dist < !best_dist then begin
+                best_dist := dist;
+                best := f
+              end
+            end)
+          pending;
+        if !best = !floor && !best >= 0 then begin
+          pending.(!floor) <- false;
+          door_timer := 2
+        end
+        else if !best > !floor then begin
+          incr floor;
+          motion := 1
+        end
+        else if !best >= 0 then begin
+          decr floor;
+          motion := -1
+        end
+      end;
+      { floor = !floor; door_open = !door_timer > 0; motion = !motion })
+    requests
+
+let safe state = not (state.door_open && state.motion <> 0)

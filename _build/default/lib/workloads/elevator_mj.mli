@@ -1,0 +1,26 @@
+(** Elevator controller in MJ — a larger stateful reactive design,
+    policy-compliant as written.
+
+    Port protocol, per instant:
+    - input 0: requested floor (0..FLOORS-1), or -1 for no new request;
+    - output 0: current floor;
+    - output 1: door state (0 closed, 1 open);
+    - output 2: motion (-1 down, 0 idle, 1 up).
+
+    The controller queues one pending request per floor, serves the
+    nearest pending floor, opens the door for DOOR_TICKS instants on
+    arrival, and never moves with the door open. *)
+
+val class_name : string
+
+val floors : int
+
+val source : string
+
+type state = { floor : int; door_open : bool; motion : int }
+
+val reference : int list -> state list
+(** OCaml model of the controller. *)
+
+val safe : state -> bool
+(** The safety invariant: the cab never moves with the door open. *)

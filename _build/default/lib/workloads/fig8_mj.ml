@@ -1,0 +1,121 @@
+let threaded_source =
+  {|class SharedX {
+  public static int x = 0;
+}
+
+class WriterA extends Thread {
+  WriterA() {}
+  public void run() {
+    int t = SharedX.x;
+    Thread.yield();
+    SharedX.x = t + 1;
+  }
+}
+
+class WriterB extends Thread {
+  WriterB() {}
+  public void run() {
+    int t = SharedX.x;
+    Thread.yield();
+    SharedX.x = t + 10;
+  }
+}
+
+class ReaderC extends Thread {
+  public static int seen = 0 - 1;
+  ReaderC() {}
+  public void run() {
+    seen = SharedX.x;
+  }
+}
+
+class Fig8 {
+  public static void main() {
+    WriterA a = new WriterA();
+    WriterB b = new WriterB();
+    ReaderC c = new ReaderC();
+    a.start();
+    b.start();
+    c.start();
+    a.join();
+    b.join();
+    c.join();
+    System.out.println("x=" + SharedX.x + " seen=" + ReaderC.seen);
+  }
+}
+|}
+
+let run_threaded ~seed =
+  let checked = Mj.Typecheck.check_source ~file:"fig8.mj" threaded_source in
+  let session = Mj_runtime.Interp.create checked in
+  let trace =
+    Mj_runtime.Threads.run ~policy:(Mj_runtime.Threads.Seeded seed) (fun () ->
+        Mj_runtime.Interp.run_main session "Fig8")
+  in
+  (Mj_runtime.Interp.output session, trace)
+
+let distinct_outcomes ~seeds =
+  let outcomes = Hashtbl.create 8 in
+  for seed = 0 to seeds - 1 do
+    let output, _ = run_threaded ~seed in
+    Hashtbl.replace outcomes output ()
+  done;
+  Hashtbl.length outcomes
+
+(* Stateless transformers: each former thread becomes a functional block
+   from the current x to the updated x; the delay element carries x
+   between instants, so the composition is deterministic by
+   construction. *)
+let refined_blocks_source =
+  {|class IncrementA extends ASR {
+  IncrementA() {
+    declarePorts(1, 1);
+  }
+  public void run() {
+    writePort(0, readPort(0) + 1);
+  }
+}
+
+class IncrementB extends ASR {
+  IncrementB() {
+    declarePorts(1, 1);
+  }
+  public void run() {
+    writePort(0, readPort(0) + 10);
+  }
+}
+|}
+
+let refined_graph () =
+  let checked =
+    Mj.Typecheck.check_source ~file:"fig8_blocks.mj" refined_blocks_source
+  in
+  let block_of cls =
+    Javatime.Elaborate.to_block
+      (Javatime.Elaborate.elaborate checked ~cls
+         ~engine:Javatime.Elaborate.Engine_vm)
+  in
+  let g = Asr.Graph.create "fig8_refined" in
+  let delay = Asr.Graph.add_delay g ~init:(Asr.Domain.int 0) in
+  let inc_a = Asr.Graph.add_block g (block_of "IncrementA") in
+  let inc_b = Asr.Graph.add_block g (block_of "IncrementB") in
+  let fork = Asr.Graph.add_block g (Asr.Block.fork 2) in
+  let out = Asr.Graph.add_output g "x" in
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port delay 0)
+    ~dst:(Asr.Graph.in_port inc_a 0);
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port inc_a 0)
+    ~dst:(Asr.Graph.in_port inc_b 0);
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port inc_b 0)
+    ~dst:(Asr.Graph.in_port fork 0);
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port fork 0)
+    ~dst:(Asr.Graph.in_port out 0);
+  Asr.Graph.connect g ~src:(Asr.Graph.out_port fork 1)
+    ~dst:(Asr.Graph.in_port delay 0);
+  g
+
+let run_refined ~instants =
+  let sim = Asr.Simulate.create (refined_graph ()) in
+  List.init instants (fun _ ->
+      match Asr.Simulate.step sim [] with
+      | [ ("x", v) ] -> Option.value ~default:min_int (Asr.Domain.to_int v)
+      | _ -> min_int)

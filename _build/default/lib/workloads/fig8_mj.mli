@@ -1,0 +1,31 @@
+(** The paper's Fig. 6/8 programs: nondeterministic thread interaction
+    on a shared variable, and its deterministic refinement into ASR
+    functional blocks. *)
+
+val threaded_source : string
+(** Fig. 8 verbatim in spirit: threads A and B read-modify-write the
+    shared [x] (with a yield in the window), thread C reads it; the main
+    program joins all three and prints the outcome. Run it under
+    different {!Mj_runtime.Threads} schedules to observe distinct
+    results. *)
+
+val run_threaded : seed:int -> string * Mj_runtime.Threads.event list
+(** Execute [threaded_source] under the seeded scheduler; returns the
+    console output and the shared-variable access trace (the Fig. 6
+    partial order). *)
+
+val distinct_outcomes : seeds:int -> int
+(** Number of distinct console outputs over [seeds] seeded schedules. *)
+
+val refined_blocks_source : string
+(** The SFR answer: each thread becomes an ASR functional block
+    ([IncrementA], [IncrementB] — stateless transformers of the value
+    carried by a delay element). *)
+
+val refined_graph : unit -> Asr.Graph.t
+(** Deterministic composition: delay(x)──IncA──IncB──out, built from the
+    elaborated MJ blocks. *)
+
+val run_refined : instants:int -> int list
+(** Outputs of the refined system over the given number of instants —
+    identical on every call and under any block evaluation order. *)

@@ -1,0 +1,59 @@
+let class_name = "FirFilter"
+
+let taps = 8
+
+(* Triangular coefficients 1..8 (sum 36); output is the dot product of
+   the window scaled back down, in integer arithmetic. *)
+let unrestricted_source =
+  {|class FirFilter extends ASR {
+  static final int TAPS = 8;
+  static final int NORM = 36;
+  int[] window;
+  int[] coeffs;
+
+  FirFilter() {
+    declarePorts(1, 1);
+    window = new int[TAPS];
+    coeffs = new int[TAPS];
+    int i = 0;
+    while (i < TAPS) {
+      coeffs[i] = 1 + i;
+      i = i + 1;
+    }
+  }
+
+  public void run() {
+    int x = readPort(0);
+    int[] shifted = new int[TAPS];
+    int j = 0;
+    while (j < TAPS - 1) {
+      shifted[j] = window[j + 1];
+      j = j + 1;
+    }
+    shifted[TAPS - 1] = x;
+    int k = 0;
+    while (k < TAPS) {
+      window[k] = shifted[k];
+      k = k + 1;
+    }
+    int acc = 0;
+    int t = 0;
+    while (t < TAPS) {
+      acc = acc + window[t] * coeffs[t];
+      t = t + 1;
+    }
+    writePort(0, acc / NORM);
+  }
+}
+|}
+
+let reference samples =
+  let window = Array.make taps 0 in
+  List.map
+    (fun x ->
+      Array.blit window 1 window 0 (taps - 1);
+      window.(taps - 1) <- x;
+      let acc = ref 0 in
+      Array.iteri (fun i v -> acc := !acc + (v * (i + 1))) window;
+      !acc / 36)
+    samples

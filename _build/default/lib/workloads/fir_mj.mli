@@ -1,0 +1,17 @@
+(** FIR filter design example in MJ (fixed-point, 8 taps).
+
+    The {!unrestricted_source} violates the ASR policy only in ways the
+    SFR catalogue fixes automatically (package-visible fields, counted
+    while loops, a constant-size scratch allocation in the reaction), so
+    refinement reaches full compliance with no manual step — the
+    complement to the JPEG example, whose linked structure needs hand
+    work. *)
+
+val class_name : string
+
+val taps : int
+
+val unrestricted_source : string
+
+val reference : int list -> int list
+(** Bit-exact OCaml model of the filter, for differential checks. *)

@@ -1,0 +1,52 @@
+let paper_width = 130
+
+let paper_height = 135
+
+let pack r g b =
+  let clamp v = if v < 0 then 0 else if v > 255 then 255 else v in
+  (clamp r lsl 16) lor (clamp g lsl 8) lor clamp b
+
+(* Deterministic structure: two radial discs over diagonal gradients with
+   a sinusoidal texture, so the codec sees edges, flats and detail. *)
+let synthetic ~width ~height =
+  Array.init (width * height) (fun idx ->
+      let x = idx mod width and y = idx / width in
+      let fx = float_of_int x /. float_of_int (max 1 (width - 1)) in
+      let fy = float_of_int y /. float_of_int (max 1 (height - 1)) in
+      let disc cx cy radius =
+        let dx = fx -. cx and dy = fy -. cy in
+        sqrt ((dx *. dx) +. (dy *. dy)) < radius
+      in
+      let texture = sin (fx *. 40.0) *. cos (fy *. 33.0) *. 24.0 in
+      let r = (fx *. 200.0) +. texture +. if disc 0.3 0.35 0.18 then 60.0 else 0.0 in
+      let g = (fy *. 180.0) +. (texture /. 2.0) +. if disc 0.7 0.6 0.22 then 50.0 else 0.0 in
+      let b = ((1.0 -. fx) *. 160.0) +. (fy *. 60.0) in
+      pack (int_of_float r) (int_of_float g) (int_of_float b))
+
+let flat ~width ~height ~rgb = Array.make (width * height) rgb
+
+let channel_values p = ((p lsr 16) land 255, (p lsr 8) land 255, p land 255)
+
+let psnr a b =
+  if Array.length a <> Array.length b then invalid_arg "psnr: size mismatch";
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i pa ->
+      let ra, ga, ba = channel_values pa in
+      let rb, gb, bb = channel_values b.(i) in
+      let sq d = float_of_int (d * d) in
+      total := !total +. sq (ra - rb) +. sq (ga - gb) +. sq (ba - bb))
+    a;
+  let mse = !total /. float_of_int (3 * Array.length a) in
+  if mse <= 0.0 then infinity else 10.0 *. log10 (255.0 *. 255.0 /. mse)
+
+let max_abs_channel_error a b =
+  if Array.length a <> Array.length b then invalid_arg "size mismatch";
+  let worst = ref 0 in
+  Array.iteri
+    (fun i pa ->
+      let ra, ga, ba = channel_values pa in
+      let rb, gb, bb = channel_values b.(i) in
+      worst := max !worst (max (abs (ra - rb)) (max (abs (ga - gb)) (abs (ba - bb)))))
+    a;
+  !worst

@@ -1,0 +1,20 @@
+(** Synthetic test images (substitute for the paper's 130×135 test
+    image) and image-quality metrics. Pixels are packed 0xRRGGBB. *)
+
+val synthetic : width:int -> height:int -> int array
+(** Deterministic gradients, discs and texture — enough structure for a
+    DCT codec to behave realistically. *)
+
+val flat : width:int -> height:int -> rgb:int -> int array
+
+val psnr : int array -> int array -> float
+(** Peak signal-to-noise ratio in dB over the RGB channels; infinite for
+    identical images. *)
+
+val max_abs_channel_error : int array -> int array -> int
+
+val paper_width : int
+(** 130, per Table 1. *)
+
+val paper_height : int
+(** 135, per Table 1. *)

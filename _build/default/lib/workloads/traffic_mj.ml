@@ -1,0 +1,69 @@
+let class_name = "TrafficLight"
+
+let source =
+  {|class TrafficLight extends ASR {
+  private static final int GREEN_TICKS = 5;
+  private static final int YELLOW_TICKS = 2;
+  private int phase;
+  private int timer;
+
+  TrafficLight() {
+    declarePorts(1, 2);
+    phase = 0;
+    timer = 0;
+  }
+
+  public void run() {
+    int car = readPort(0);
+    timer = timer + 1;
+    if (phase == 0) {
+      if (car == 1 && timer >= GREEN_TICKS) {
+        phase = 1;
+        timer = 0;
+      }
+    } else if (phase == 1) {
+      if (timer >= YELLOW_TICKS) {
+        phase = 2;
+        timer = 0;
+      }
+    } else if (phase == 2) {
+      if (timer >= GREEN_TICKS) {
+        phase = 3;
+        timer = 0;
+      }
+    } else {
+      if (timer >= YELLOW_TICKS) {
+        phase = 0;
+        timer = 0;
+      }
+    }
+    int mainLight = 0;
+    int sideLight = 0;
+    if (phase == 0) mainLight = 2;
+    if (phase == 1) mainLight = 1;
+    if (phase == 2) sideLight = 2;
+    if (phase == 3) sideLight = 1;
+    writePort(0, mainLight);
+    writePort(1, sideLight);
+  }
+}
+|}
+
+let reference sensors =
+  let phase = ref 0 and timer = ref 0 in
+  List.map
+    (fun car ->
+      incr timer;
+      (match !phase with
+      | 0 -> if car = 1 && !timer >= 5 then (phase := 1; timer := 0)
+      | 1 -> if !timer >= 2 then (phase := 2; timer := 0)
+      | 2 -> if !timer >= 5 then (phase := 3; timer := 0)
+      | _ -> if !timer >= 2 then (phase := 0; timer := 0));
+      match !phase with
+      | 0 -> (2, 0)
+      | 1 -> (1, 0)
+      | 2 -> (0, 2)
+      | _ -> (0, 1))
+    sensors
+
+let safe (main_light, side_light) = main_light = 0 || side_light = 0

@@ -1,0 +1,18 @@
+(** Traffic-light intersection controller in MJ — a stateful reactive
+    design that is policy-compliant as written (the paper's "reactive
+    embedded system maintaining an ongoing dialogue with its
+    environment").
+
+    Port protocol: input 0 is the side-road car sensor (0/1); output 0
+    is the main light, output 1 the side light (0 = red, 1 = yellow,
+    2 = green). *)
+
+val class_name : string
+
+val source : string
+
+val reference : int list -> (int * int) list
+(** OCaml model: sensor stream to (main, side) light stream. *)
+
+val safe : int * int -> bool
+(** Safety invariant: never both directions non-red. *)

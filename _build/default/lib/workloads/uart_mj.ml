@@ -1,0 +1,75 @@
+let serializer_class = "UartTx"
+
+let deserializer_class = "UartRx"
+
+let frame_instants = 10
+
+let source =
+  {|class UartTx extends ASR {
+  private int shift;
+  private int bitsLeft;
+
+  UartTx() {
+    declarePorts(1, 2);
+    shift = 0;
+    bitsLeft = 0;
+  }
+
+  public void run() {
+    int word = readPort(0);
+    int line = 1;
+    if (bitsLeft > 0) {
+      // frame in progress: 8 data bits LSB first, then the stop bit
+      if (bitsLeft == 1) line = 1;
+      else {
+        line = shift & 1;
+        shift = shift >> 1;
+      }
+      bitsLeft = bitsLeft - 1;
+    } else if (word >= 0 && word < 256) {
+      // accept a byte; the start bit goes out this instant
+      shift = word;
+      bitsLeft = 9;
+      line = 0;
+    }
+    writePort(0, line);
+    writePort(1, bitsLeft > 0 ? 1 : 0);
+  }
+}
+
+class UartRx extends ASR {
+  private int shift;
+  private int bitsSeen;
+  private boolean receiving;
+
+  UartRx() {
+    declarePorts(1, 1);
+    shift = 0;
+    bitsSeen = 0;
+    receiving = false;
+  }
+
+  public void run() {
+    int line = readPort(0);
+    int completed = 0 - 1;
+    if (!receiving) {
+      if (line == 0) {
+        // start bit
+        receiving = true;
+        shift = 0;
+        bitsSeen = 0;
+      }
+    } else {
+      if (bitsSeen < 8) {
+        shift = shift | ((line & 1) << bitsSeen);
+        bitsSeen = bitsSeen + 1;
+      } else {
+        // stop bit: frame complete if the line is high
+        if (line == 1) completed = shift;
+        receiving = false;
+      }
+    }
+    writePort(0, completed);
+  }
+}
+|}

@@ -1,0 +1,21 @@
+(** UART-style framer in MJ: a serializer and a deserializer block.
+
+    This is the paper's Fig. 4 motivation made executable: at the
+    abstract level, transferring a byte is one instant; at the detailed
+    level it is a frame of DETAIL instants (start bit, 8 data bits LSB
+    first, stop bit) on a 1-bit line.
+
+    Serializer ports — in 0: byte to send, or -1 for none; out 0: line
+    level (0/1, idle 1); out 1: busy flag.
+    Deserializer ports — in 0: line level; out 0: received byte, or -1
+    while no byte completed this instant. *)
+
+val serializer_class : string
+
+val deserializer_class : string
+
+val source : string
+(** Both classes in one compilation unit; policy-compliant. *)
+
+val frame_instants : int
+(** Instants per byte frame (10). *)

@@ -1,0 +1,1 @@
+test/test_analysis_extras.ml: Alcotest Asr Javatime List Mj Mj_runtime Policy Printf String Util Workloads

@@ -1,0 +1,1 @@
+test/test_asr.ml: Alcotest Array Asr Fmt List QCheck Random Util

@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Hashtbl List Mj Mj_bytecode Mj_runtime Option Printf QCheck String Util Workloads

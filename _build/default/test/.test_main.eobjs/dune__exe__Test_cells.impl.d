@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Array Asr List Option QCheck Util

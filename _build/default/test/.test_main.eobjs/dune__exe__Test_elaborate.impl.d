@@ -1,0 +1,1 @@
+test/test_elaborate.ml: Alcotest Asr Javatime List Util

@@ -1,0 +1,1 @@
+test/test_elevator.ml: Alcotest Asr Javatime List Option Policy QCheck String Util Workloads

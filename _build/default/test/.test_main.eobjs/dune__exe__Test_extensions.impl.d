@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Asr Format Hashtbl Javatime List Mj Mj_bytecode Mj_runtime Option Policy Printf QCheck String Util Workloads

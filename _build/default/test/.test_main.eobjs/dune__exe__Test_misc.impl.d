@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Asr Javatime List Mj Mj_runtime Policy Printf Util Workloads

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest List Mj Option Policy Printf String Util Workloads

@@ -1,0 +1,1 @@
+test/test_qcheck_syntax.ml: Gen List Mj QCheck Util

@@ -1,0 +1,1 @@
+test/test_random_graphs.ml: Array Asr List Printf QCheck Random Util

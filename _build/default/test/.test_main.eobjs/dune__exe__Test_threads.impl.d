@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Hashtbl List Mj_bytecode Mj_runtime Option Printf Util Workloads

@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Asr Javatime List Mj Option Policy Printf QCheck String Util Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Asr Javatime List Mj_bytecode Mj_runtime Option Policy Printf QCheck Util Workloads

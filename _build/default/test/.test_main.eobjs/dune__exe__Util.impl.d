@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Asr Javatime Mj Mj_bytecode Mj_runtime Option QCheck QCheck_alcotest String

@@ -1,0 +1,288 @@
+open Util
+
+(* Differential corpus: every program runs under the reference
+   interpreter, the bytecode VM, and the closure backend; the console
+   outputs must match exactly. *)
+let corpus =
+  [ ( "arith",
+      {|class Main { public static void main() {
+          System.out.println(2 + 3 * 4 - 7 / 2 % 3);
+          System.out.println((1 << 8) - (300 >> 2) + (12 & 10) - (12 | 10) + (12 ^ 10));
+          System.out.println(2147483647 + 1);
+          System.out.println(1.5 / 0.25 + 0.125);
+          System.out.println((int)(7.9) + (int)(-7.9));
+          System.out.println((double)3 / 2);
+        } }|} );
+    ( "control",
+      {|class Main { public static void main() {
+          int s = 0;
+          for (int i = 0; i < 10; i++) { if (i % 2 == 0) continue; s += i; }
+          System.out.println(s);
+          int j = 0;
+          while (j < 100) { j += 7; if (j > 50) break; }
+          System.out.println(j);
+          int k = 0;
+          do { k++; } while (k < 5);
+          System.out.println(k);
+          System.out.println(k > 3 ? "big" : "small");
+          boolean b = k > 3 && j > 10 || false;
+          System.out.println(!b);
+        } }|} );
+    ( "objects",
+      {|class Shape { public int area() { return 0; } }
+        class Square extends Shape {
+          private int side;
+          Square(int s) { side = s; }
+          public int area() { return side * side; }
+        }
+        class Rect extends Square {
+          private int h;
+          Rect(int w, int h0) { super(w); h = h0; }
+          public int area() { return super.area() / 1 * h / h * h; }
+        }
+        class Main { public static void main() {
+          Shape a = new Square(3);
+          Shape b = new Rect(2, 5);
+          System.out.println(a.area() + "," + b.area());
+        } }|} );
+    ( "arrays",
+      {|class Main { public static void main() {
+          int[][] m = new int[3][4];
+          for (int i = 0; i < 3; i++)
+            for (int j = 0; j < 4; j++)
+              m[i][j] = i * 10 + j;
+          int s = 0;
+          for (int i = 0; i < m.length; i++) s += m[i][m[i].length - 1];
+          System.out.println(s);
+          double[] d = new double[2];
+          d[0] += 1.5; d[1] = d[0] * 2;
+          System.out.println(d[1]);
+          int[] a = new int[3];
+          a[1] = 5; a[1] *= 3; a[1]--; ++a[1];
+          System.out.println(a[1]);
+        } }|} );
+    ( "statics-and-strings",
+      {|class Counter {
+          static int count = 0;
+          static int next() { count++; return count; }
+        }
+        class Main { public static void main() {
+          System.out.println(Counter.next() + "," + Counter.next() + "," + Counter.count);
+          String s = "";
+          for (int i = 0; i < 4; i++) s += i;
+          System.out.println(s);
+          System.out.println("pi~" + 3.14);
+        } }|} );
+    ( "incr-decr-matrix",
+      {|class Box { public int v; Box(int v0) { v = v0; } }
+        class Main { public static void main() {
+          Box b = new Box(10);
+          System.out.println(b.v++ + " " + b.v-- + " " + --b.v + " " + ++b.v);
+          int x = 3;
+          x += x++ + ++x;
+          System.out.println(x);
+        } }|} );
+    ( "math-natives",
+      {|class Main { public static void main() {
+          System.out.println(Math.round(Math.sqrt(2.0) * 1000.0));
+          System.out.println(Math.floor(2.7) + Math.ceil(2.1));
+          System.out.println(Math.iabs(-5) + Math.min(1, 2) + Math.max(1, 2));
+          System.out.println(Math.abs(-2.5));
+        } }|} );
+    ("fib", "class Main { static int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } public static void main() { System.out.println(fib(15)); } }");
+    ( "null-and-casts",
+      {|class B { public int tag() { return 1; } }
+        class C extends B { public int tag() { return 2; } }
+        class Main { public static void main() {
+          B x = null;
+          System.out.println(x == null);
+          x = new C();
+          System.out.println(x != null);
+          C c = (C)x;
+          System.out.println(c.tag());
+        } }|} ) ]
+
+let differential (name, src) =
+  case ("differential: " ^ name) (fun () ->
+      let a = interp_output src "Main" in
+      let b = vm_output src "Main" in
+      let c = jit_output src "Main" in
+      Alcotest.(check string) "interp = vm" a b;
+      Alcotest.(check string) "interp = jit" a c)
+
+(* Generated straight-line arithmetic programs for wider differential
+   coverage: integer expressions over a few locals, printed at the end. *)
+let gen_arith_program =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let rec expr n =
+    if n = 0 then
+      oneof [ map string_of_int (int_range (-50) 50); var ]
+    else
+      let sub = expr (n - 1) in
+      oneof
+        [ sub;
+          map2 (Printf.sprintf "(%s + %s)") sub sub;
+          map2 (Printf.sprintf "(%s - %s)") sub sub;
+          map2 (Printf.sprintf "(%s * %s)") sub sub;
+          map2 (Printf.sprintf "(%s / (1 + Math.iabs(%s)))") sub sub;
+          map2 (Printf.sprintf "(%s %% (1 + Math.iabs(%s)))") sub sub;
+          map2 (Printf.sprintf "(%s << (%s & 7))") sub sub;
+          map (Printf.sprintf "(- %s)") sub ]
+  in
+  let assign = map2 (Printf.sprintf "%s = %s;") var (expr 2) in
+  let stmt =
+    oneof
+      [ map2 (Printf.sprintf "%s = %s;") var (expr 3);
+        map2 (Printf.sprintf "%s += %s;") var (expr 2);
+        map3 (Printf.sprintf "if (%s < %s) { %s }") (expr 2) (expr 2) assign;
+        (* bounded loops: constant trip counts keep generation terminating *)
+        map3
+          (fun n body v ->
+            Printf.sprintf "for (int k%s = 0; k%s < %d; k%s++) { %s }" v v n v
+              body)
+          (int_range 0 6) assign (map string_of_int (int_range 0 999));
+        map2
+          (fun n v ->
+            Printf.sprintf
+              "{ int w%s = 0; while (w%s < %d) { %s += w%s; w%s = w%s + 1; } }"
+              v v n "a" v v v)
+          (int_range 0 5)
+          (map string_of_int (int_range 0 999));
+        map2 (Printf.sprintf "%s = Main.twist(%s);") var (expr 2) ]
+  in
+  map
+    (fun stmts ->
+      Printf.sprintf
+        {|class Main {
+            static int twist(int x) { return x * 2 - (x >> 1) + 1; }
+            public static void main() {
+            int a = 1; int b = 2; int c = 3;
+            %s
+            System.out.println(a + "," + b + "," + c);
+          } }|}
+        (String.concat "\n" stmts))
+    (list_size (int_range 1 12) stmt)
+
+let arbitrary_arith = QCheck.make ~print:(fun s -> s) gen_arith_program
+
+let classfile_roundtrip src =
+  let image = Mj_bytecode.Compile.compile (check_src src) in
+  Hashtbl.iter
+    (fun _ mc ->
+      let decoded = Mj_bytecode.Classfile.decode_method (Mj_bytecode.Classfile.encode_method mc) in
+      if decoded <> mc then Alcotest.fail "classfile round-trip mismatch")
+    image.Mj_bytecode.Compile.im_methods;
+  Hashtbl.iter
+    (fun _ mc ->
+      let decoded = Mj_bytecode.Classfile.decode_method (Mj_bytecode.Classfile.encode_method mc) in
+      if decoded <> mc then Alcotest.fail "ctor round-trip mismatch")
+    image.Mj_bytecode.Compile.im_ctors
+
+let suite =
+  List.map differential corpus
+  @ [ qcase ~count:150 "differential: generated arithmetic" arbitrary_arith
+        (fun src ->
+          let a = interp_output src "Main" in
+          a = vm_output src "Main" && a = jit_output src "Main");
+      case "vm cycles deterministic and jit-modeled cheaper" (fun () ->
+          let src =
+            "class Main { public static void main() { int s = 0; for (int i \
+             = 0; i < 500; i++) s += i * i; System.out.println(s); } }"
+          in
+          let vm1 = Mj_bytecode.Vm.create (check_src src) in
+          Mj_bytecode.Vm.run_main vm1 "Main";
+          let vm2 = Mj_bytecode.Vm.create (check_src src) in
+          Mj_bytecode.Vm.run_main vm2 "Main";
+          Alcotest.(check int) "vm deterministic" (Mj_bytecode.Vm.cycles vm1)
+            (Mj_bytecode.Vm.cycles vm2);
+          let jit = Mj_bytecode.Jit.create (check_src src) in
+          Mj_bytecode.Jit.run_main jit "Main";
+          Alcotest.(check bool) "jit tariff is cheaper" true
+            (Mj_bytecode.Jit.cycles jit * 2 < Mj_bytecode.Vm.cycles vm1));
+      case "classfile round-trips every method (jpeg)" (fun () ->
+          classfile_roundtrip
+            (Workloads.Jpeg_mj.restricted_source ~width:16 ~height:8 ()));
+      case "classfile round-trips every method (fig8)" (fun () ->
+          classfile_roundtrip Workloads.Fig8_mj.threaded_source);
+      case "program size positive and stable" (fun () ->
+          let src = Workloads.Traffic_mj.source in
+          let image = Mj_bytecode.Compile.compile (check_src src) in
+          let s1 = Mj_bytecode.Classfile.program_size image ~classes:[ "TrafficLight" ] in
+          let s2 = Mj_bytecode.Classfile.program_size image ~classes:[ "TrafficLight" ] in
+          Alcotest.(check int) "stable" s1 s2;
+          Alcotest.(check bool) "positive" true (s1 > 100));
+      case "encode_image includes everything" (fun () ->
+          let image = Mj_bytecode.Compile.compile (check_src Workloads.Traffic_mj.source) in
+          let blob = Mj_bytecode.Classfile.encode_image image in
+          Alcotest.(check bool) "nonempty" true (String.length blob > 500));
+      case "vm reuses a precompiled image" (fun () ->
+          let src = "class Main { public static void main() { System.out.println(11); } }" in
+          let image = Mj_bytecode.Compile.compile (check_src src) in
+          let s1 = Mj_bytecode.Vm.of_image image in
+          let s2 = Mj_bytecode.Vm.of_image image in
+          Mj_bytecode.Vm.run_main s1 "Main";
+          Mj_bytecode.Vm.run_main s2 "Main";
+          Alcotest.(check string) "same" (Mj_bytecode.Vm.output s1)
+            (Mj_bytecode.Vm.output s2));
+      case "runtime errors agree across engines" (fun () ->
+          let src =
+            "class Main { public static void main() { int[] a = new int[1]; \
+             a[3] = 1; } }"
+          in
+          let expect runner =
+            expect_runtime_error ~substring:"out of bounds" (fun () ->
+                runner src "Main")
+          in
+          expect interp_output;
+          expect vm_output;
+          expect jit_output);
+      case "image decodes from bytes and runs" (fun () ->
+          let src =
+            {|class Main {
+                static int triple(int x) { return 3 * x; }
+                public static void main() { System.out.println(triple(14)); }
+              }|}
+          in
+          let checked = check_src src in
+          let image = Mj_bytecode.Compile.compile checked in
+          let blob = Mj_bytecode.Classfile.encode_image image in
+          let decoded =
+            Mj_bytecode.Classfile.decode_image checked.Mj.Typecheck.symtab blob
+          in
+          let session = Mj_bytecode.Vm.of_image decoded in
+          Mj_bytecode.Vm.run_main session "Main";
+          Alcotest.(check string) "42" "42\n" (Mj_bytecode.Vm.output session));
+      case "decoded jpeg image reproduces outputs" (fun () ->
+          let src = Workloads.Jpeg_mj.restricted_source ~width:16 ~height:8 () in
+          let checked = check_src src in
+          let image = Mj_bytecode.Compile.compile checked in
+          let decoded =
+            Mj_bytecode.Classfile.decode_image checked.Mj.Typecheck.symtab
+              (Mj_bytecode.Classfile.encode_image image)
+          in
+          let data = Workloads.Images.synthetic ~width:16 ~height:8 in
+          let react img =
+            let session = Mj_bytecode.Vm.of_image img in
+            let m = Mj_bytecode.Vm.machine session in
+            let obj = Mj_bytecode.Vm.new_instance session "JpegCodec" [] in
+            Mj_runtime.Machine.set_input m obj 0
+              (Some (Mj_runtime.Machine.make_int_array m data));
+            ignore (Mj_bytecode.Vm.call session obj "run" []);
+            Option.map (Mj_runtime.Machine.int_array m)
+              (Mj_runtime.Machine.output_port m obj 0)
+          in
+          Alcotest.(check bool) "same" true (react image = react decoded));
+      case "jit compiles methods lazily" (fun () ->
+          let src =
+            {|class Main {
+                static void used() { System.out.println("u"); }
+                static void unused() { System.out.println("x"); }
+                public static void main() { used(); }
+              }|}
+          in
+          let session = Mj_bytecode.Jit.create (check_src src) in
+          Mj_bytecode.Jit.run_main session "Main";
+          (* main + used, but never unused *)
+          Alcotest.(check bool) "compiled few" true
+            (Mj_bytecode.Jit.compiled_methods session <= 3)) ]

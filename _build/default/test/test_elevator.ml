@@ -1,0 +1,85 @@
+open Util
+module E = Javatime.Elaborate
+module El = Workloads.Elevator_mj
+
+let react_state elab request =
+  match E.react elab [| Asr.Domain.int request |] with
+  | [| f; d; m |] ->
+      { El.floor = Option.get (Asr.Domain.to_int f);
+        door_open = Option.get (Asr.Domain.to_int d) = 1;
+        motion = Option.get (Asr.Domain.to_int m) }
+  | _ -> Alcotest.fail "three outputs expected"
+
+let drive requests =
+  let elab = E.elaborate (check_src El.source) ~cls:El.class_name in
+  List.map (react_state elab) requests
+
+let gen_requests =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 1 80) (int_range (-1) (El.floors - 1)))
+
+let suite =
+  [ case "elevator is policy compliant" (fun () ->
+        Alcotest.(check bool) "asr" true
+          (Policy.Asr_policy.compliant (check_src El.source));
+        Alcotest.(check bool) "sdf" true
+          (Policy.Sdf_policy.compliant (check_src El.source)));
+    case "elevator has a static reaction bound" (fun () ->
+        match Policy.Time_bound.reaction_bound (check_src El.source) ~cls:El.class_name with
+        | Policy.Time_bound.Cycles n -> Alcotest.(check bool) "positive" true (n > 0)
+        | Policy.Time_bound.Unbounded why -> Alcotest.failf "unbounded: %s" why);
+    case "serves a single request and opens the door" (fun () ->
+        let trace = drive [ 2; -1; -1; -1; -1; -1 ] in
+        let floors = List.map (fun s -> s.El.floor) trace in
+        Alcotest.(check (list int)) "ascends then dwells" [ 1; 2; 2; 2; 2; 2 ] floors;
+        let doors = List.map (fun s -> s.El.door_open) trace in
+        Alcotest.(check (list bool)) "door opens after arrival"
+          [ false; false; true; true; false; false ]
+          doors);
+    case "request at current floor opens immediately" (fun () ->
+        let trace = drive [ 0; -1; -1 ] in
+        match trace with
+        | first :: _ ->
+            Alcotest.(check bool) "door open" true first.El.door_open;
+            Alcotest.(check int) "still floor 0" 0 first.El.floor
+        | [] -> Alcotest.fail "empty trace");
+    case "matches the OCaml reference on a scenario" (fun () ->
+        let requests = [ 3; -1; 1; -1; -1; -1; -1; 5; -1; -1; -1; -1; -1; -1; 0 ] in
+        Alcotest.(check bool) "equal traces" true
+          (drive requests = El.reference requests));
+    qcase ~count:25 "matches the reference on random request streams" gen_requests
+      (fun requests -> drive requests = El.reference requests);
+    qcase ~count:25 "safety: never moves with the door open" gen_requests
+      (fun requests -> List.for_all El.safe (drive requests));
+    qcase ~count:25 "liveness-ish: a lone request is eventually served"
+      (QCheck.make QCheck.Gen.(int_range 1 (El.floors - 1)))
+      (fun target ->
+        let requests = target :: List.init (2 * El.floors + 3) (fun _ -> -1) in
+        let trace = drive requests in
+        List.exists (fun s -> s.El.floor = target && s.El.door_open) trace);
+    qcase ~count:20 "floor stays within the shaft" gen_requests
+      (fun requests ->
+        List.for_all
+          (fun s -> s.El.floor >= 0 && s.El.floor < El.floors)
+          (drive requests));
+    case "waveform rendering of an elevator run" (fun () ->
+        (* drive the MJ block through the ASR simulator via react and
+           render the trace with Waves *)
+        let elab = E.elaborate (check_src El.source) ~cls:El.class_name in
+        let trace =
+          List.mapi
+            (fun i request ->
+              let inputs = [ ("req", Asr.Domain.int request) ] in
+              let s = react_state elab request in
+              { Asr.Simulate.instant = i; inputs;
+                outputs =
+                  [ ("floor", Asr.Domain.int s.El.floor);
+                    ("door", Asr.Domain.bool s.El.door_open) ];
+                iterations = 1 })
+            [ 2; -1; -1; -1 ]
+        in
+        let text = Asr.Waves.render trace in
+        Alcotest.(check bool) "has rows" true
+          (contains ~substring:"in:req" text
+          && contains ~substring:"out:floor" text)) ]

@@ -1,0 +1,201 @@
+open Util
+
+(* Run main() and compare the console output. *)
+let out name src expected =
+  case name (fun () ->
+      Alcotest.(check string) name expected (interp_output src "Main"))
+
+let wrap_main body =
+  Printf.sprintf "class Main { public static void main() { %s } }" body
+
+let outw name body expected = out name (wrap_main body) expected
+
+let p e = Printf.sprintf "System.out.println(%s);" e
+
+let suite =
+  [ outw "int arithmetic" (p "2 + 3 * 4 - 1") "13\n";
+    outw "integer division truncates toward zero" (p "(-7) / 2") "-3\n";
+    outw "modulo sign follows dividend" (p "(-7) % 3") "-1\n";
+    outw "32-bit wrap-around" (p "2147483647 + 1") "-2147483648\n";
+    outw "32-bit multiply wrap" (p "65536 * 65536") "0\n";
+    outw "shifts" (p "(1 << 10) + (1024 >> 3)") "1152\n";
+    outw "negative shift right is arithmetic" (p "(-8) >> 1") "-4\n";
+    outw "bit ops" (p "(12 & 10) + (12 | 10) + (12 ^ 10)") "28\n";
+    outw "double arithmetic" (p "1.5 * 4.0") "6.0\n";
+    outw "mixed int double promotes" (p "3 / 2.0") "1.5\n";
+    outw "double division by zero is infinite"
+      "double d = 1.0 / 0.0; System.out.println(d > 1000000.0);" "true\n";
+    outw "double formatting non-integral" (p "0.125") "0.125\n";
+    outw "comparisons" (p "(1 < 2) == (3 >= 3)") "true\n";
+    outw "short circuit and"
+      "int[] a = new int[1]; boolean b = false && a[5] == 0; System.out.println(b);"
+      "false\n";
+    outw "short circuit or"
+      "int[] a = new int[1]; boolean b = true || a[5] == 0; System.out.println(b);"
+      "true\n";
+    outw "ternary" (p "3 > 2 ? \"yes\" : \"no\"") "yes\n";
+    outw "string concat order" (p "1 + 2 + \"x\"") "3x\n";
+    outw "string concat right" (p "\"x\" + 1 + 2") "x12\n";
+    outw "string of double" (p "\"d=\" + 2.0") "d=2.0\n";
+    outw "string of null" ("Main m = null; " ^ p "\"n=\" + m") "n=null\n";
+    outw "compound assignment narrows"
+      "int x = 7; x /= 2; System.out.println(x);" "3\n";
+    outw "compound on double" "double d = 1.0; d += 2; System.out.println(d);" "3.0\n";
+    outw "pre and post increment"
+      "int x = 5; System.out.println(x++); System.out.println(++x); System.out.println(x);"
+      "5\n7\n7\n";
+    outw "post decrement on array"
+      "int[] a = new int[2]; a[0] = 9; System.out.println(a[0]--); System.out.println(a[0]);"
+      "9\n8\n";
+    outw "cast double to int truncates" (p "(int)(-2.7)") "-2\n";
+    outw "locals default via declaration" "int x; System.out.println(x);" "0\n";
+    outw "while and break"
+      "int i = 0; while (true) { i = i + 1; if (i == 4) break; } System.out.println(i);"
+      "4\n";
+    outw "continue skips"
+      "int s = 0; for (int i = 0; i < 5; i++) { if (i == 2) continue; s += i; } System.out.println(s);"
+      "8\n";
+    outw "do while runs once"
+      "int i = 9; do { i = i + 1; } while (i < 5); System.out.println(i);" "10\n";
+    outw "nested loops with labels via flags"
+      "int c = 0; for (int i = 0; i < 3; i++) for (int j = 0; j < 3; j++) c++; System.out.println(c);"
+      "9\n";
+    (* objects *)
+    out "fields and methods"
+      {|class Point {
+          private int x; private int y;
+          Point(int x0, int y0) { x = x0; y = y0; }
+          public int manhattan() { return Math.iabs(x) + Math.iabs(y); }
+        }
+        class Main { public static void main() {
+          Point point = new Point(-3, 4);
+          System.out.println(point.manhattan());
+        } }|}
+      "7\n";
+    out "field initializers run before ctor body"
+      {|class A { private int n = 41; A() { n = n + 1; } public int get() { return n; } }
+        class Main { public static void main() { System.out.println(new A().get()); } }|}
+      "42\n";
+    out "constructor chain super first"
+      {|class B { B() { System.out.println("B"); } }
+        class C extends B { C() { super(); System.out.println("C"); } }
+        class Main { public static void main() { new C(); } }|}
+      "B\nC\n";
+    out "implicit super constructor"
+      {|class B { B() { System.out.println("B"); } }
+        class C extends B { C() { System.out.println("C"); } }
+        class Main { public static void main() { new C(); } }|}
+      "B\nC\n";
+    out "dynamic dispatch"
+      {|class B { public String name() { return "B"; } }
+        class C extends B { public String name() { return "C"; } }
+        class Main { public static void main() {
+          B b = new C();
+          System.out.println(b.name());
+        } }|}
+      "C\n";
+    out "super call dispatches statically"
+      {|class B { public String name() { return "B"; } }
+        class C extends B { public String name() { return "via " + super.name(); } }
+        class Main { public static void main() { System.out.println(new C().name()); } }|}
+      "via B\n";
+    out "static fields shared and initialized in order"
+      {|class S { static int a = 2; static int b = S.a + 3; }
+        class Main { public static void main() {
+          System.out.println(S.b);
+          S.b = 9;
+          System.out.println(S.b);
+        } }|}
+      "5\n9\n";
+    out "instanceof-like cast succeeds on subclass"
+      {|class B {} class C extends B { public int v() { return 5; } }
+        class Main { public static void main() {
+          B b = new C();
+          C c = (C)b;
+          System.out.println(c.v());
+        } }|}
+      "5\n";
+    out "recursion (design phase)"
+      {|class Main {
+          static int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+          public static void main() { System.out.println(fib(12)); }
+        }|}
+      "144\n";
+    out "mutual recursion"
+      {|class Main {
+          static boolean even(int n) { if (n == 0) return true; return odd(n - 1); }
+          static boolean odd(int n) { if (n == 0) return false; return even(n - 1); }
+          public static void main() { System.out.println(even(10)); }
+        }|}
+      "true\n";
+    outw "multi-dim arrays are arrays of arrays"
+      "int[][] m = new int[2][2]; int[] row = m[0]; row[1] = 5; System.out.println(m[0][1]);"
+      "5\n";
+    outw "array aliasing"
+      "int[] a = new int[2]; int[] b = a; b[0] = 3; System.out.println(a[0]);" "3\n";
+    outw "math round half up" (p "Math.round(2.5)") "3\n";
+    outw "math min max" (p "Math.min(3, 1) + Math.max(3, 1)") "4\n";
+    outw "math pow" (p "Math.pow(2.0, 10.0)") "1024.0\n";
+    (* runtime errors *)
+    case "null pointer" (fun () ->
+        expect_runtime_error ~substring:"null pointer" (fun () ->
+            interp_output
+              "class B { public int n; } class Main { public static void main() { B b = null; int x = b.n; } }"
+              "Main"));
+    case "array bounds" (fun () ->
+        expect_runtime_error ~substring:"out of bounds" (fun () ->
+            interp_output (wrap_main "int[] a = new int[2]; a[2] = 1;") "Main"));
+    case "negative array size" (fun () ->
+        expect_runtime_error ~substring:"negative array size" (fun () ->
+            interp_output (wrap_main "int[] a = new int[0 - 1];") "Main"));
+    case "division by zero" (fun () ->
+        expect_runtime_error ~substring:"division by zero" (fun () ->
+            interp_output (wrap_main "int z = 0; int x = 1 / z;") "Main"));
+    case "bad downcast" (fun () ->
+        expect_runtime_error ~substring:"class cast" (fun () ->
+            interp_output
+              "class B {} class C extends B {} class D extends B {}
+               class Main { public static void main() { B b = new D(); C c = (C)b; } }"
+              "Main"));
+    case "cost cycles are deterministic" (fun () ->
+        let src = wrap_main "int s = 0; for (int i = 0; i < 100; i++) s += i; System.out.println(s);" in
+        let run () =
+          let session = Mj_runtime.Interp.create (check_src src) in
+          Mj_runtime.Interp.run_main session "Main";
+          Mj_runtime.Interp.cycles session
+        in
+        let a = run () and b = run () in
+        Alcotest.(check int) "same cycles" a b;
+        Alcotest.(check bool) "nonzero" true (a > 0));
+    case "heap allocation accounting by phase" (fun () ->
+        let src =
+          {|class X extends ASR {
+              private int[] buf;
+              X() { declarePorts(0, 0); buf = new int[8]; }
+              public void run() { int[] t = new int[4]; t[0] = 1; }
+            }|}
+        in
+        let session = Mj_runtime.Interp.create (check_src src) in
+        let heap = Mj_runtime.Interp.heap session in
+        let obj = Mj_runtime.Interp.new_instance session "X" [] in
+        Mj_runtime.Heap.set_phase heap Mj_runtime.Heap.Reactive;
+        ignore (Mj_runtime.Interp.call session obj "run" []);
+        let stats = Mj_runtime.Heap.stats heap in
+        Alcotest.(check bool) "init allocs counted" true
+          (stats.Mj_runtime.Heap.init_allocations >= 2);
+        Alcotest.(check int) "reactive allocs" 1
+          stats.Mj_runtime.Heap.reactive_allocations);
+    case "bounded memory enforcement trips" (fun () ->
+        let src =
+          {|class X extends ASR {
+              X() { declarePorts(0, 0); }
+              public void run() { int[] t = new int[4]; t[0] = 1; }
+            }|}
+        in
+        let session = Mj_runtime.Interp.create (check_src src) in
+        let heap = Mj_runtime.Interp.heap session in
+        let obj = Mj_runtime.Interp.new_instance session "X" [] in
+        Mj_runtime.Heap.set_phase heap Mj_runtime.Heap.Reactive;
+        Mj_runtime.Heap.forbid_reactive_alloc heap true;
+        expect_runtime_error ~substring:"bounded-memory" (fun () ->
+            Mj_runtime.Interp.call session obj "run" [])) ]

@@ -1,0 +1,70 @@
+open Util
+
+let tokens_of src =
+  List.map (fun t -> t.Mj.Token.token) (Mj.Lexer.tokenize ~file:"<lex>" src)
+
+let tok = Alcotest.testable (fun ppf t -> Fmt.string ppf (Mj.Token.to_string t)) ( = )
+
+let check_tokens name src expected =
+  case name (fun () ->
+      Alcotest.(check (list tok)) name (expected @ [ Mj.Token.EOF ]) (tokens_of src))
+
+let lex_error name src substring =
+  case name (fun () ->
+      match Mj.Lexer.tokenize ~file:"<lex>" src with
+      | (_ : Mj.Token.spanned list) -> Alcotest.fail "expected a lexer error"
+      | exception Mj.Diag.Compile_error d ->
+          if not (contains ~substring d.Mj.Diag.message) then
+            Alcotest.failf "error %S lacks %S" d.Mj.Diag.message substring)
+
+let suite =
+  let open Mj.Token in
+  [ check_tokens "integers" "0 42 123456" [ INT_LIT 0; INT_LIT 42; INT_LIT 123456 ];
+    check_tokens "doubles" "0.5 3.25 1.0e3 2.5E-2"
+      [ DOUBLE_LIT 0.5; DOUBLE_LIT 3.25; DOUBLE_LIT 1000.0; DOUBLE_LIT 0.025 ];
+    check_tokens "int then dot-call stays int" "x.length"
+      [ IDENT "x"; DOT; IDENT "length" ];
+    check_tokens "number followed by dot-ident" "1.x" [ INT_LIT 1; DOT; IDENT "x" ];
+    check_tokens "strings" {|"hi" "a\nb" "q\"q" "t\\t"|}
+      [ STRING_LIT "hi"; STRING_LIT "a\nb"; STRING_LIT "q\"q"; STRING_LIT "t\\t" ];
+    check_tokens "keywords vs identifiers" "class classy if iffy"
+      [ CLASS; IDENT "classy"; IF; IDENT "iffy" ];
+    check_tokens "all keywords"
+      "class extends public private protected static final native void int \
+       boolean double String if else while do for return break continue new \
+       this super true false null"
+      [ CLASS; EXTENDS; PUBLIC; PRIVATE; PROTECTED; STATIC; FINAL; NATIVE; VOID;
+        KINT; KBOOLEAN; KDOUBLE; KSTRING; IF; ELSE; WHILE; DO; FOR; RETURN;
+        BREAK; CONTINUE; NEW; THIS; SUPER; TRUE; FALSE; NULL ];
+    check_tokens "operators longest match" "++ + += -- - -= == = != ! <= < << >= > >>"
+      [ PLUS_PLUS; PLUS; PLUS_ASSIGN; MINUS_MINUS; MINUS; MINUS_ASSIGN; EQ;
+        ASSIGN; NEQ; BANG; LE; LT; SHL; GE; GT; SHR ];
+    check_tokens "logic and bit operators" "&& & || | ^ ? :"
+      [ AND_AND; AMP; OR_OR; PIPE; CARET; QUESTION; COLON ];
+    check_tokens "punctuation" "( ) { } [ ] ; , ."
+      [ LPAREN; RPAREN; LBRACE; RBRACE; LBRACKET; RBRACKET; SEMI; COMMA; DOT ];
+    check_tokens "line comment" "a // nope\nb" [ IDENT "a"; IDENT "b" ];
+    check_tokens "block comment" "a /* x\ny */ b" [ IDENT "a"; IDENT "b" ];
+    check_tokens "comment containing stars" "a /* ** * */ b" [ IDENT "a"; IDENT "b" ];
+    check_tokens "empty input" "" [];
+    check_tokens "identifier chars" "_x $y a1_b2"
+      [ IDENT "_x"; IDENT "$y"; IDENT "a1_b2" ];
+    lex_error "unterminated string" "\"abc" "unterminated string";
+    lex_error "string with newline" "\"ab\nc\"" "unterminated string";
+    lex_error "unterminated comment" "/* foo" "unterminated block comment";
+    lex_error "bad escape" {|"a\qb"|} "unknown escape";
+    lex_error "stray character" "a # b" "unexpected character";
+    case "locations are 1-based and track lines" (fun () ->
+        let toks = Mj.Lexer.tokenize ~file:"f" "ab\n  cd" in
+        match toks with
+        | [ a; c; _eof ] ->
+            Alcotest.(check int) "a line" 1 a.Mj.Token.loc.Mj.Loc.start_pos.Mj.Loc.line;
+            Alcotest.(check int) "a col" 1 a.Mj.Token.loc.Mj.Loc.start_pos.Mj.Loc.col;
+            Alcotest.(check int) "c line" 2 c.Mj.Token.loc.Mj.Loc.start_pos.Mj.Loc.line;
+            Alcotest.(check int) "c col" 3 c.Mj.Token.loc.Mj.Loc.start_pos.Mj.Loc.col
+        | _ -> Alcotest.fail "expected two tokens");
+    case "double without trailing digits is int-dot" (fun () ->
+        Alcotest.(check (list tok)) "1."
+          [ INT_LIT 1; DOT; EOF ]
+          (tokens_of "1."))
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "javatime"
+    [ ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("syntax-properties", Test_qcheck_syntax.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("interp", Test_interp.suite);
+      ("threads", Test_threads.suite);
+      ("bytecode", Test_bytecode.suite);
+      ("asr", Test_asr.suite);
+      ("policy", Test_policy.suite);
+      ("transforms", Test_transforms.suite);
+      ("elaborate", Test_elaborate.suite);
+      ("workloads", Test_workloads.suite);
+      ("extensions", Test_extensions.suite);
+      ("cells", Test_cells.suite);
+      ("elevator", Test_elevator.suite);
+      ("analysis-extras", Test_analysis_extras.suite);
+      ("misc", Test_misc.suite);
+      ("random-graphs", Test_random_graphs.suite);
+      ("uart", Test_uart.suite) ]

@@ -1,0 +1,197 @@
+open Util
+
+(* Coverage of the smaller modules: Loc/Diag, Symtab, Machine helpers,
+   Heap edge cases, Instant, Render, Time_bound details, Engine limits. *)
+
+let suite =
+  [ (* Loc / Diag *)
+    case "loc merge spans and dummy absorbs" (fun () ->
+        let p line col offset = { Mj.Loc.line; col; offset } in
+        let a = Mj.Loc.make ~file:"f" ~start_pos:(p 1 1 0) ~end_pos:(p 1 5 4) in
+        let b = Mj.Loc.make ~file:"f" ~start_pos:(p 2 1 10) ~end_pos:(p 2 3 12) in
+        let merged = Mj.Loc.merge a b in
+        Alcotest.(check int) "start" 1 merged.Mj.Loc.start_pos.Mj.Loc.line;
+        Alcotest.(check int) "end" 2 merged.Mj.Loc.end_pos.Mj.Loc.line;
+        Alcotest.(check bool) "dummy left" true
+          (Mj.Loc.merge Mj.Loc.dummy a = a);
+        Alcotest.(check bool) "dummy right" true (Mj.Loc.merge a Mj.Loc.dummy = a);
+        Alcotest.(check string) "pp" "f:1:1" (Mj.Loc.to_string a));
+    case "diag formats severity and location" (fun () ->
+        let d =
+          Mj.Diag.make Mj.Diag.Warning
+            (Mj.Loc.make ~file:"x.mj"
+               ~start_pos:{ Mj.Loc.line = 3; col = 7; offset = 30 }
+               ~end_pos:{ Mj.Loc.line = 3; col = 9; offset = 32 })
+            "odd"
+        in
+        Alcotest.(check string) "rendered" "x.mj:3:7: warning: odd"
+          (Mj.Diag.to_string d));
+    (* Symtab *)
+    case "symtab ancestors order root-last" (fun () ->
+        let checked =
+          check_src "class A {} class B extends A {} class C extends B {}"
+        in
+        Alcotest.(check (list string)) "chain" [ "C"; "B"; "A" ]
+          (Mj.Symtab.ancestors checked.Mj.Typecheck.symtab "C"));
+    case "symtab default constructor is synthesized" (fun () ->
+        let checked = check_src "class A {}" in
+        Alcotest.(check bool) "arity 0" true
+          (Mj.Symtab.lookup_ctor checked.Mj.Typecheck.symtab "A" 0 <> None);
+        Alcotest.(check bool) "arity 1 absent" true
+          (Mj.Symtab.lookup_ctor checked.Mj.Typecheck.symtab "A" 1 = None));
+    case "symtab instance field layout inherits first" (fun () ->
+        let checked =
+          check_src "class A { int a; } class B extends A { int b; }"
+        in
+        let fields = Mj.Symtab.instance_fields checked.Mj.Typecheck.symtab "B" in
+        Alcotest.(check (list string)) "order" [ "a"; "b" ]
+          (List.map (fun (_, f) -> f.Mj.Ast.f_name) fields));
+    case "symtab method lookup walks upward" (fun () ->
+        let checked =
+          check_src "class A { void m() {} } class B extends A {}"
+        in
+        match Mj.Symtab.lookup_method checked.Mj.Typecheck.symtab "B" "m" with
+        | Some ("A", _) -> ()
+        | Some (cls, _) -> Alcotest.failf "found in %s" cls
+        | None -> Alcotest.fail "not found");
+    (* Machine / Heap *)
+    case "machine int array round-trips" (fun () ->
+        let checked = check_src "class A {}" in
+        let m = Mj_runtime.Machine.create checked.Mj.Typecheck.symtab in
+        let contents = [| 5; -3; 0; 2147483647 |] in
+        let v = Mj_runtime.Machine.make_int_array m contents in
+        Alcotest.(check (array int)) "same" contents
+          (Mj_runtime.Machine.int_array m v));
+    case "heap rejects dangling and null derefs" (fun () ->
+        let heap = Mj_runtime.Heap.create () in
+        expect_runtime_error ~substring:"null pointer" (fun () ->
+            Mj_runtime.Heap.deref heap Mj_runtime.Value.Null);
+        expect_runtime_error ~substring:"dangling" (fun () ->
+            Mj_runtime.Heap.get heap 99));
+    case "heap word accounting" (fun () ->
+        Alcotest.(check int) "object words" 5 (Mj_runtime.Heap.words_of_object 3);
+        Alcotest.(check int) "array words" 10 (Mj_runtime.Heap.words_of_array 8));
+    case "value display follows java conventions" (fun () ->
+        Alcotest.(check string) "double" "2.0"
+          (Mj_runtime.Value.to_display (Mj_runtime.Value.Double 2.0));
+        Alcotest.(check string) "bool" "true"
+          (Mj_runtime.Value.to_display (Mj_runtime.Value.Bool true));
+        Alcotest.(check string) "null" "null"
+          (Mj_runtime.Value.to_display Mj_runtime.Value.Null));
+    case "wrap32 behaves like java int" (fun () ->
+        Alcotest.(check int) "max+1" (-2147483648)
+          (Mj_runtime.Value.wrap32 2147483648);
+        Alcotest.(check int) "identity" 12345 (Mj_runtime.Value.wrap32 12345));
+    (* interp natives edge cases *)
+    case "exitInstant without enter is an error" (fun () ->
+        expect_runtime_error ~substring:"exitInstant" (fun () ->
+            interp_output
+              {|class Main { public static void main() { JTime.exitInstant(); } }|}
+              "Main"));
+    case "port access on undeclared port fails" (fun () ->
+        let src =
+          {|class X extends ASR {
+              X() { declarePorts(1, 1); }
+              public void run() { writePort(5, 1); }
+            }|}
+        in
+        let checked = check_src src in
+        let elab = Javatime.Elaborate.elaborate checked ~cls:"X" in
+        expect_runtime_error ~substring:"no output port" (fun () ->
+            Javatime.Elaborate.react elab [| Asr.Domain.int 0 |]));
+    case "portCount reports the signature" (fun () ->
+        let src =
+          {|class X extends ASR {
+              X() { declarePorts(2, 3); }
+              public void run() { writePort(0, portCount(0) * 10 + portCount(1)); }
+            }|}
+        in
+        let checked = check_src src in
+        let elab = Javatime.Elaborate.elaborate checked ~cls:"X" in
+        match
+          Javatime.Elaborate.react elab [| Asr.Domain.Bottom; Asr.Domain.Bottom |]
+        with
+        | [| v; _; _ |] ->
+            Alcotest.(check (option int)) "23" (Some 23) (Asr.Domain.to_int v)
+        | _ -> Alcotest.fail "three outputs");
+    case "currentTimeMillis is deterministic" (fun () ->
+        let src =
+          {|class Main { public static void main() {
+              int t0 = System.currentTimeMillis();
+              int s = 0;
+              for (int i = 0; i < 1000; i++) s += i;
+              int t1 = System.currentTimeMillis();
+              System.out.println((t1 >= t0) + "," + (s > 0));
+            } }|}
+        in
+        let a = interp_output src "Main" in
+        Alcotest.(check string) "monotone" "true,true\n" a;
+        Alcotest.(check string) "reproducible" a (interp_output src "Main"));
+    (* Time_bound details *)
+    case "time bound takes the max over if branches" (fun () ->
+        let bound_of body =
+          let src =
+            Printf.sprintf
+              {|class X extends ASR {
+                  X() { declarePorts(1, 1); }
+                  public void run() { int x = readPort(0); %s writePort(0, x); }
+                }|}
+              body
+          in
+          match Policy.Time_bound.reaction_bound (check_src src) ~cls:"X" with
+          | Policy.Time_bound.Cycles n -> n
+          | Policy.Time_bound.Unbounded why -> Alcotest.failf "unbounded: %s" why
+        in
+        let heavy = "for (int i = 0; i < 100; i++) x += i;" in
+        let with_if =
+          bound_of (Printf.sprintf "if (x > 0) { %s } else { x = 1; }" heavy)
+        in
+        let plain = bound_of heavy in
+        (* branch max should be close to the loop's own cost *)
+        Alcotest.(check bool) "within 20%%" true
+          (float_of_int with_if < 1.2 *. float_of_int plain
+          && with_if >= plain * 9 / 10));
+    (* Engine limits *)
+    case "engine respects max_iterations" (fun () ->
+        let outcome =
+          Javatime.Engine.refine ~max_iterations:1
+            (parse Workloads.Fir_mj.unrestricted_source)
+        in
+        Alcotest.(check bool) "stopped early" true
+          (List.length outcome.Javatime.Engine.steps <= 2));
+    (* Render *)
+    case "summary counts everything" (fun () ->
+        let g = Asr.Cells.counter () in
+        let s = Asr.Render.summary g in
+        List.iter
+          (fun needle ->
+            if not (contains ~substring:needle s) then
+              Alcotest.failf "missing %s in %s" needle s)
+          [ "blocks=5"; "delays=1"; "inputs=1"; "outputs=1" ]);
+    case "runaway recursion raises a runtime error, not a crash" (fun () ->
+        let src =
+          {|class Main {
+              static int down(int n) { if (n == 0) return 0; return down(n - 1); }
+              public static void main() { System.out.println(down(100000)); }
+            }|}
+        in
+        List.iter
+          (fun runner ->
+            expect_runtime_error ~substring:"stack overflow" (fun () ->
+                runner src "Main"))
+          [ interp_output; vm_output; jit_output ]);
+    case "deep but bounded recursion still works" (fun () ->
+        let src =
+          {|class Main {
+              static int down(int n) { if (n == 0) return 0; return down(n - 1); }
+              public static void main() { System.out.println(down(2000)); }
+            }|}
+        in
+        Alcotest.(check string) "ok" "0\n" (vm_output src "Main"));
+    (* Pretty/metrics of the builtins *)
+    case "builtins parse to the expected classes" (fun () ->
+        Alcotest.(check (list string)) "names" Mj.Builtins.class_names
+          (List.map (fun c -> c.Mj.Ast.cl_name) (Mj.Builtins.classes ())));
+    case "builtin detection" (fun () ->
+        Alcotest.(check bool) "ASR" true (Mj.Builtins.is_builtin "ASR");
+        Alcotest.(check bool) "user class" false (Mj.Builtins.is_builtin "Foo")) ]

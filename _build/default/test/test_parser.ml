@@ -1,0 +1,127 @@
+open Util
+
+(* Parse an expression and compare its canonical printing, which
+   encodes precedence and associativity decisions. *)
+let expr_prints name src expected =
+  case name (fun () ->
+      let e = Mj.Parser.parse_expr src in
+      Alcotest.(check string) name expected (Mj.Pretty.expr_to_string e))
+
+let stmt_prints name src expected =
+  case name (fun () ->
+      let s = Mj.Parser.parse_stmt src in
+      Alcotest.(check string) name expected (Mj.Pretty.stmt_to_string s))
+
+let parse_error name src substring =
+  case name (fun () ->
+      match Mj.Parser.parse_program ~file:"<p>" src with
+      | (_ : Mj.Ast.program) -> Alcotest.fail "expected a parse error"
+      | exception Mj.Diag.Compile_error d ->
+          if not (contains ~substring d.Mj.Diag.message) then
+            Alcotest.failf "error %S lacks %S" d.Mj.Diag.message substring)
+
+let roundtrip name src =
+  case name (fun () ->
+      let p1 = parse src in
+      let printed = Mj.Pretty.program_to_string p1 in
+      let p2 = parse printed in
+      if not (Mj.Ast.equal_program p1 p2) then
+        Alcotest.failf "round-trip mismatch; printed:\n%s" printed)
+
+let suite =
+  [ expr_prints "precedence mul over add" "1 + 2 * 3" "1 + 2 * 3";
+    expr_prints "parens preserved by need" "(1 + 2) * 3" "(1 + 2) * 3";
+    expr_prints "left assoc sub" "1 - 2 - 3" "1 - 2 - 3";
+    expr_prints "right operand parens" "1 - (2 - 3)" "1 - (2 - 3)";
+    expr_prints "shift binds tighter than compare" "a << 2 > b" "a << 2 > b";
+    expr_prints "shift in arithmetic needs parens" "(a << 2) + 1" "(a << 2) + 1";
+    expr_prints "and over or" "a && b || c && d" "a && b || c && d";
+    expr_prints "bitand under equality" "(a & b) == 0" "(a & b) == 0";
+    expr_prints "unary minus folds literals" "-5" "(-5)";
+    expr_prints "unary minus on expr" "-x" "-x";
+    expr_prints "not" "!a && b" "!a && b";
+    expr_prints "ternary" "a < b ? 1 : 2" "a < b ? 1 : 2";
+    expr_prints "nested ternary right assoc" "a ? 1 : b ? 2 : 3" "a ? 1 : b ? 2 : 3";
+    expr_prints "assignment" "x = y = 3" "x = y = 3";
+    expr_prints "compound assignment" "x += 2 * y" "x += 2 * y";
+    expr_prints "pre/post increment" "x++ + ++y" "x++ + ++y";
+    expr_prints "field chain" "a.b.c" "a.b.c";
+    expr_prints "array index chain" "m[i][j]" "m[i][j]";
+    expr_prints "call with args" "f(1, x + 2)" "f(1, x + 2)";
+    expr_prints "method on expr" "a.get(i).length" "a.get(i).length";
+    expr_prints "new object" "new Foo(1, 2)" "new Foo(1, 2)";
+    expr_prints "new array" "new int[10]" "new int[10]";
+    expr_prints "new multi array" "new double[2][3]" "new double[2][3]";
+    expr_prints "primitive cast" "(int)x" "(int)x";
+    expr_prints "cast of parenthesized" "(double)(a + b)" "(double)(a + b)";
+    expr_prints "class cast heuristic" "(Foo)x" "(Foo)(x)";
+    expr_prints "lowercase paren is grouping" "(foo) - x" "foo - x";
+    expr_prints "string literal concat" {|"a" + 1|} {|"a" + 1|};
+    expr_prints "super call" "super.go(1)" "super.go(1)";
+    stmt_prints "empty statement" ";" ";";
+    stmt_prints "if without else" "if (a) b = 1;" "if (a)\n  b = 1;";
+    stmt_prints "dangling else binds inner" "if (a) if (b) x = 1; else x = 2;"
+      "if (a)\n  if (b)\n    x = 1;\n  else\n    x = 2;";
+    stmt_prints "while" "while (i < 10) i++;" "while (i < 10)\n  i++;";
+    stmt_prints "do while" "do i++; while (i < 10);" "do\n  i++;\nwhile (i < 10);";
+    stmt_prints "for full" "for (int i = 0; i < n; i++) f(i);"
+      "for (int i = 0; i < n; i++)\n  f(i);";
+    stmt_prints "for empty header" "for (;;) x = 1;" "for (; ; )\n  x = 1;";
+    stmt_prints "break continue" "{ break; continue; }" "{\n  break;\n  continue;\n}";
+    stmt_prints "var decl with init" "int[] a = new int[3];" "int[] a = new int[3];";
+    stmt_prints "return value" "return x + 1;" "return x + 1;";
+    parse_error "missing semicolon" "class A { void f() { int x = 1 } }" "expected";
+    parse_error "unbalanced brace" "class A { void f() {" "expected";
+    parse_error "top level junk" "int x;" "expected 'class'";
+    parse_error "bad member" "class A { void f() = 3; }" "expected";
+    parse_error "assignment to literal" "class A { void f() { 3 = x; } }"
+      "not assignable";
+    parse_error "constructor with wrong name parses as method missing type"
+      "class A { B() {} }" "expected";
+    roundtrip "roundtrip: class with everything"
+      {|class A extends B {
+          public static final int N = 4;
+          private double[] data;
+          A(int n) { super(n); data = new double[n]; }
+          A() { this.go(1 + 2 * 3); }
+          protected native int peek(int i);
+          public void go(int k) {
+            for (int i = 0; i < k; i++) { data[i] = (double)i / 2.0; }
+            int j = 0;
+            while (j < k) { j += 1; }
+            do { j--; } while (j > 0);
+            if (j == 0 && k > 1 || false) return; else j = -1;
+            boolean b = !(j != 0);
+            String s = "x=" + j;
+            System.out.println(s);
+          }
+        }|};
+    roundtrip "roundtrip: jpeg restricted"
+      (Workloads.Jpeg_mj.restricted_source ~width:16 ~height:8 ());
+    roundtrip "roundtrip: jpeg unrestricted"
+      (Workloads.Jpeg_mj.unrestricted_source ~width:16 ~height:8 ());
+    roundtrip "roundtrip: fir" Workloads.Fir_mj.unrestricted_source;
+    roundtrip "roundtrip: traffic" Workloads.Traffic_mj.source;
+    roundtrip "roundtrip: fig8" Workloads.Fig8_mj.threaded_source;
+    roundtrip "roundtrip: builtins" Mj.Builtins.source;
+    case "member kinds sorted into buckets" (fun () ->
+        let p =
+          parse
+            "class A { int f; A() {} A(int x) {} void m() {} int g; int n() \
+             { return 1; } }"
+        in
+        match p.Mj.Ast.classes with
+        | [ c ] ->
+            Alcotest.(check int) "fields" 2 (List.length c.Mj.Ast.cl_fields);
+            Alcotest.(check int) "ctors" 2 (List.length c.Mj.Ast.cl_ctors);
+            Alcotest.(check int) "methods" 2 (List.length c.Mj.Ast.cl_methods)
+        | _ -> Alcotest.fail "one class expected");
+    case "super() only as leading statement shape" (fun () ->
+        let p = parse "class A { A() { super(); int x = 1; } }" in
+        match (List.hd p.Mj.Ast.classes).Mj.Ast.cl_ctors with
+        | [ c ] -> (
+            match c.Mj.Ast.c_body with
+            | { Mj.Ast.stmt = Mj.Ast.Super_call []; _ } :: _ -> ()
+            | _ -> Alcotest.fail "super call not first")
+        | _ -> Alcotest.fail "one ctor expected")
+  ]

@@ -1,0 +1,196 @@
+(* Property: pretty-printing a parsed program re-parses to an equal AST,
+   for arbitrary generated MJ syntax. *)
+
+open QCheck
+open Mj.Ast
+
+let mk = Mj.Ast.mk_expr
+
+let mk_stmt = Mj.Ast.mk_stmt
+
+let ident_pool = [ "x"; "y"; "zz"; "val1"; "tmp"; "acc"; "idx" ]
+
+let class_pool = [ "Foo"; "Bar"; "Baz" ]
+
+let field_pool = [ "f"; "g"; "next" ]
+
+let method_pool = [ "go"; "get"; "update" ]
+
+let gen_ident = Gen.oneofl ident_pool
+
+let gen_class = Gen.oneofl class_pool
+
+let gen_ty =
+  Gen.oneof
+    [ Gen.return TInt; Gen.return TBool; Gen.return TDouble;
+      Gen.map (fun c -> TClass c) gen_class;
+      Gen.return (TArray TInt); Gen.return (TArray TDouble) ]
+
+let gen_binop =
+  Gen.oneofl
+    [ Add; Sub; Mul; Div; Mod; Eq; Neq; Lt; Gt; Le; Ge; And; Or; Band; Bor;
+      Bxor; Shl; Shr ]
+
+let gen_opassign_op = Gen.oneofl [ Add; Sub; Mul; Div ]
+
+let gen_double = Gen.map (fun n -> float_of_int n /. 8.0) (Gen.int_range 0 10_000)
+
+let gen_string_lit =
+  Gen.string_size ~gen:(Gen.oneofl [ 'a'; 'b'; ' '; 'Z'; '!'; '\n'; '"'; '\\' ])
+    (Gen.int_range 0 6)
+
+let rec gen_expr n =
+  let open Gen in
+  if n <= 0 then
+    oneof
+      [ map (fun i -> mk (Int_lit i)) (int_range (-1000) 1000);
+        map (fun f -> mk (Double_lit f)) gen_double;
+        map (fun b -> mk (Bool_lit b)) bool;
+        map (fun s -> mk (String_lit s)) gen_string_lit;
+        return (mk Null_lit);
+        return (mk This);
+        map (fun x -> mk (Name x)) gen_ident ]
+  else
+    let sub = gen_expr (n / 2) in
+    oneof
+      [ gen_expr 0;
+        map3 (fun op a b -> mk (Binary (op, a, b))) gen_binop sub sub;
+        map
+          (fun a ->
+            (* the parser folds negated literals; generate the folded form *)
+            match a.expr with
+            | Int_lit n -> mk (Int_lit (-n))
+            | Double_lit f -> mk (Double_lit (-.f))
+            | _ -> mk (Unary (Neg, a)))
+          sub;
+        map (fun a -> mk (Unary (Not, a))) sub;
+        map2 (fun o f -> mk (Field_access (o, f))) sub (oneofl field_pool);
+        map (fun a -> mk (Array_length a)) sub;
+        map2 (fun a i -> mk (Index (a, i))) sub sub;
+        map2
+          (fun recv args ->
+            mk (Call { recv; mname = "go"; args; resolved = None }))
+          (oneof [ return Rimplicit; map (fun e -> Rexpr e) sub ])
+          (list_size (int_range 0 3) sub);
+        map2 (fun c args -> mk (New_object (c, args))) gen_class
+          (list_size (int_range 0 2) sub);
+        map (fun dims -> mk (New_array (TInt, dims))) (list_size (int_range 1 2) sub);
+        map2 (fun lv e -> mk (Assign (lv, e))) (gen_lvalue (n / 2)) sub;
+        map3 (fun op lv e -> mk (Op_assign (op, lv, e))) gen_opassign_op
+          (gen_lvalue (n / 2)) sub;
+        map2
+          (fun d lv -> mk (Pre_incr ((if d then 1 else -1), lv)))
+          bool (gen_lvalue (n / 2));
+        map2
+          (fun d lv -> mk (Post_incr ((if d then 1 else -1), lv)))
+          bool (gen_lvalue (n / 2));
+        map2 (fun ty e -> mk (Cast (ty, e)))
+          (oneofl [ TInt; TDouble; TClass "Foo" ])
+          sub;
+        map3 (fun c a b -> mk (Cond (c, a, b))) sub sub sub ]
+
+and gen_lvalue n =
+  let open Gen in
+  if n <= 0 then map (fun x -> Lname x) gen_ident
+  else
+    oneof
+      [ map (fun x -> Lname x) gen_ident;
+        map2 (fun o f -> Lfield (o, f)) (gen_expr (n / 2)) (oneofl field_pool);
+        map2 (fun a i -> Lindex (a, i)) (gen_expr (n / 2)) (gen_expr (n / 2)) ]
+
+let rec gen_stmt n =
+  let open Gen in
+  if n <= 0 then
+    oneof
+      [ return (mk_stmt Empty);
+        map (fun e -> mk_stmt (Expr e)) (gen_expr 1);
+        return (mk_stmt Break);
+        return (mk_stmt Continue);
+        map (fun e -> mk_stmt (Return e)) (option (gen_expr 1)) ]
+  else
+    let sub = gen_stmt (n / 2) in
+    let expr = gen_expr (n / 2) in
+    oneof
+      [ gen_stmt 0;
+        map (fun ss -> mk_stmt (Block ss)) (list_size (int_range 0 3) sub);
+        map3
+          (fun ty x e -> mk_stmt (Var_decl (ty, x, e)))
+          gen_ty gen_ident (option expr);
+        map3 (fun c t e -> mk_stmt (If (c, t, e))) expr sub (option sub);
+        map2 (fun c b -> mk_stmt (While (c, b))) expr sub;
+        map2 (fun b c -> mk_stmt (Do_while (b, c))) sub expr;
+        map3
+          (fun init cond body -> mk_stmt (For (init, cond, None, body)))
+          (option
+             (oneof
+                [ map2 (fun x e -> For_var (TInt, x, Some e)) gen_ident expr;
+                  map (fun e -> For_expr e) expr ]))
+          (option expr) sub ]
+
+let gen_member =
+  let open Gen in
+  let gen_mods =
+    map2
+      (fun visibility is_static ->
+        { visibility; is_static; is_final = false; is_native = false })
+      (oneofl [ Public; Private; Protected; Package ])
+      bool
+  in
+  oneof
+    [ map3
+        (fun mods ty (name, init) ->
+          `Field { f_mods = mods; f_ty = ty; f_name = name; f_init = init;
+                   f_loc = Mj.Loc.dummy })
+        gen_mods gen_ty
+        (pair (oneofl field_pool) (option (gen_expr 2)));
+      map3
+        (fun mods name body ->
+          `Method
+            { m_mods = mods; m_ret = TVoid; m_name = name; m_params = [];
+              m_body = Some body; m_loc = Mj.Loc.dummy })
+        gen_mods (oneofl method_pool)
+        (list_size (int_range 0 4) (gen_stmt 3)) ]
+
+let gen_class_decl =
+  let open Gen in
+  map3
+    (fun name super members ->
+      let fields =
+        List.filter_map (function `Field f -> Some f | `Method _ -> None) members
+      in
+      (* Deduplicate field/method names: the symbol table rejects
+         duplicates, but the parser/printer round-trip does not care. *)
+      let methods =
+        List.filter_map (function `Method m -> Some m | `Field _ -> None) members
+      in
+      { cl_name = name; cl_super = super; cl_fields = fields; cl_ctors = [];
+        cl_methods = methods; cl_loc = Mj.Loc.dummy })
+    gen_class (option gen_class)
+    (list_size (int_range 0 4) gen_member)
+
+let gen_program =
+  Gen.map (fun c -> { classes = [ c ] }) gen_class_decl
+
+let arbitrary_program =
+  make ~print:(fun p -> Mj.Pretty.program_to_string p) gen_program
+
+let arbitrary_expr =
+  make ~print:(fun e -> Mj.Pretty.expr_to_string e) (gen_expr 6)
+
+let arbitrary_stmt =
+  make ~print:(fun s -> Mj.Pretty.stmt_to_string s) (gen_stmt 5)
+
+let suite =
+  [ Util.qcase ~count:500 "expr: parse(print(e)) = e" arbitrary_expr (fun e ->
+        let printed = Mj.Pretty.expr_to_string e in
+        let reparsed = Mj.Parser.parse_expr printed in
+        Mj.Ast.equal_expr e reparsed);
+    Util.qcase ~count:500 "stmt: parse(print(s)) = s" arbitrary_stmt (fun s ->
+        let printed = Mj.Pretty.stmt_to_string s in
+        let reparsed = Mj.Parser.parse_stmt printed in
+        Mj.Ast.equal_stmt s reparsed);
+    Util.qcase ~count:200 "program: parse(print(p)) = p" arbitrary_program
+      (fun p ->
+        let printed = Mj.Pretty.program_to_string p in
+        let reparsed = Mj.Parser.parse_program ~file:"<q>" printed in
+        Mj.Ast.equal_program p reparsed) ]

@@ -1,0 +1,134 @@
+open Util
+module D = Asr.Domain
+module G = Asr.Graph
+module B = Asr.Block
+
+(* Generator of random well-formed ASR systems over the integer cells:
+   layered DAG construction plus randomly-inserted delay feedback, so
+   every graph compiles (all in-ports driven, no delay-free cycles). *)
+
+type spec = {
+  sp_seed : int;
+  sp_inputs : int;
+  sp_layers : int list; (* blocks per layer: 0 = unary gain, 1 = add *)
+  sp_delays : int;
+  sp_instants : (int * int) list list; (* (input index, value) per instant *)
+}
+
+let gen_spec =
+  let open QCheck.Gen in
+  let* sp_seed = int_bound 100_000 in
+  let* sp_inputs = int_range 1 3 in
+  let* sp_layers = list_size (int_range 1 3) (int_range 1 3) in
+  let* sp_delays = int_range 0 2 in
+  let* sp_instants =
+    list_size (int_range 1 8)
+      (list_size (int_range 0 3) (pair (int_bound 10) (int_range (-20) 20)))
+  in
+  return { sp_seed; sp_inputs; sp_layers; sp_delays; sp_instants }
+
+(* Build a graph from a spec deterministically. Sources accumulate: the
+   environment inputs, every block output, every delay output. Each new
+   node draws its operands from the existing sources; delays feed from a
+   random source and are sources themselves (their output is available
+   even before their input is connected). *)
+let build spec =
+  let rng = Random.State.make [| spec.sp_seed |] in
+  let g = G.create (Printf.sprintf "rand%d" spec.sp_seed) in
+  let sources = ref [] in
+  let add_source endpoint = sources := endpoint :: !sources in
+  for i = 0 to spec.sp_inputs - 1 do
+    let input = G.add_input g (Printf.sprintf "x%d" i) in
+    add_source (G.out_port input 0)
+  done;
+  (* delays first so layers can consume them; remember them to wire their
+     inputs afterwards *)
+  let delays =
+    List.init spec.sp_delays (fun i ->
+        let d = G.add_delay g ~init:(D.int i) in
+        add_source (G.out_port d 0);
+        d)
+  in
+  let pick () = List.nth !sources (Random.State.int rng (List.length !sources)) in
+  List.iter
+    (fun blocks_in_layer ->
+      for _ = 1 to blocks_in_layer do
+        if Random.State.bool rng then begin
+          let b = G.add_block g (B.gain (1 + Random.State.int rng 4)) in
+          G.connect g ~src:(pick ()) ~dst:(G.in_port b 0);
+          add_source (G.out_port b 0)
+        end
+        else begin
+          let b = G.add_block g B.add in
+          G.connect g ~src:(pick ()) ~dst:(G.in_port b 0);
+          G.connect g ~src:(pick ()) ~dst:(G.in_port b 1);
+          add_source (G.out_port b 0)
+        end
+      done)
+    spec.sp_layers;
+  (* wire delay inputs from any source (may create cycles, always broken
+     by the delay itself) and a single observed output *)
+  List.iter
+    (fun d -> G.connect g ~src:(pick ()) ~dst:(G.in_port d 0))
+    delays;
+  let out = G.add_output g "y" in
+  G.connect g ~src:(pick ()) ~dst:(G.in_port out 0);
+  g
+
+let stimuli spec =
+  List.map
+    (fun pairs ->
+      List.filteri
+        (fun i _ -> i < spec.sp_inputs)
+        (List.map
+           (fun (port, v) -> (Printf.sprintf "x%d" (port mod spec.sp_inputs), D.int v))
+           pairs)
+      (* deduplicate port names: the simulator rejects double drives *)
+      |> List.fold_left
+           (fun acc ((name, _) as entry) ->
+             if List.mem_assoc name acc then acc else entry :: acc)
+           []
+      |> List.rev)
+    spec.sp_instants
+
+let run_graph g inputs_stream =
+  let sim = Asr.Simulate.create g in
+  List.map (Asr.Simulate.step sim) inputs_stream
+
+let arbitrary_spec =
+  QCheck.make
+    ~print:(fun spec -> Asr.Render.to_string (build spec))
+    gen_spec
+
+let suite =
+  [ qcase ~count:150 "random systems: abstraction is trace-equivalent"
+      arbitrary_spec
+      (fun spec ->
+        let stream = stimuli spec in
+        let original = run_graph (build spec) stream in
+        let abstracted = run_graph (Asr.Compose.abstract (build spec)) stream in
+        original = abstracted);
+    qcase ~count:100 "random systems: fixpoint order-independent"
+      arbitrary_spec
+      (fun spec ->
+        let g = build spec in
+        let compiled = G.compile g in
+        ignore compiled;
+        let stream = stimuli spec in
+        let reference = run_graph (build spec) stream in
+        (* reversed evaluation order *)
+        let n_blocks = G.block_count g in
+        let order = Array.init n_blocks (fun i -> n_blocks - 1 - i) in
+        let sim = Asr.Simulate.create ~order (build spec) in
+        let reversed = List.map (Asr.Simulate.step sim) stream in
+        reference = reversed);
+    qcase ~count:100 "random systems: repeated runs are deterministic"
+      arbitrary_spec
+      (fun spec ->
+        let stream = stimuli spec in
+        run_graph (build spec) stream = run_graph (build spec) stream);
+    qcase ~count:100 "random systems: abstraction has at most one delay"
+      arbitrary_spec
+      (fun spec ->
+        let a = Asr.Compose.abstract (build spec) in
+        G.block_count a = 1 && G.delay_count a <= 1) ]

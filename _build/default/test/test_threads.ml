@@ -1,0 +1,157 @@
+open Util
+
+let racer_src = Workloads.Fig8_mj.threaded_source
+
+let run_seeded src cls seed =
+  let session = Mj_runtime.Interp.create (check_src src) in
+  let trace =
+    Mj_runtime.Threads.run ~policy:(Mj_runtime.Threads.Seeded seed) (fun () ->
+        Mj_runtime.Interp.run_main session cls)
+  in
+  (Mj_runtime.Interp.output session, trace)
+
+let suite =
+  [ case "same seed gives the same outcome" (fun () ->
+        let a, _ = run_seeded racer_src "Fig8" 7 in
+        let b, _ = run_seeded racer_src "Fig8" 7 in
+        Alcotest.(check string) "deterministic per seed" a b);
+    case "different seeds can give different outcomes" (fun () ->
+        Alcotest.(check bool) "several outcomes" true
+          (Workloads.Fig8_mj.distinct_outcomes ~seeds:30 > 1));
+    case "round robin is one fixed interleaving" (fun () ->
+        let run () =
+          let session = Mj_runtime.Interp.create (check_src racer_src) in
+          ignore
+            (Mj_runtime.Threads.run ~policy:Mj_runtime.Threads.Round_robin
+               (fun () -> Mj_runtime.Interp.run_main session "Fig8"));
+          Mj_runtime.Interp.output session
+        in
+        Alcotest.(check string) "stable" (run ()) (run ()));
+    case "join waits for completion" (fun () ->
+        let src =
+          {|class Worker extends Thread {
+              public static int done = 0;
+              Worker() {}
+              public void run() {
+                for (int i = 0; i < 10; i++) Thread.yield();
+                done = 1;
+              }
+            }
+            class Main { public static void main() {
+              Worker w = new Worker();
+              w.start();
+              w.join();
+              System.out.println("done=" + Worker.done);
+            } }|}
+        in
+        for seed = 0 to 9 do
+          let output, _ = run_seeded src "Main" seed in
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d" seed)
+            "done=1\n" output
+        done);
+    case "traces record shared-variable accesses" (fun () ->
+        let _, trace = run_seeded racer_src "Fig8" 0 in
+        let reads =
+          List.filter
+            (fun e -> contains ~substring:"read SharedX.x" e.Mj_runtime.Threads.description)
+            trace
+        in
+        let writes =
+          List.filter
+            (fun e -> contains ~substring:"write SharedX.x" e.Mj_runtime.Threads.description)
+            trace
+        in
+        Alcotest.(check bool) "has reads" true (List.length reads >= 2);
+        Alcotest.(check bool) "has writes" true (List.length writes >= 2));
+    case "per-thread program order is preserved in traces" (fun () ->
+        (* each writer reads x before writing it, in every schedule *)
+        for seed = 0 to 9 do
+          let _, trace = run_seeded racer_src "Fig8" seed in
+          let by_thread = Hashtbl.create 8 in
+          List.iter
+            (fun e ->
+              let existing =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt by_thread e.Mj_runtime.Threads.thread)
+              in
+              Hashtbl.replace by_thread e.Mj_runtime.Threads.thread
+                (existing @ [ e.Mj_runtime.Threads.description ]))
+            trace;
+          Hashtbl.iter
+            (fun _ events ->
+              let rec check_order seen_write = function
+                | [] -> ()
+                | d :: rest ->
+                    if contains ~substring:"read SharedX.x" d && seen_write then
+                      Alcotest.fail "writer read after its own write"
+                    else
+                      check_order
+                        (seen_write || contains ~substring:"write SharedX.x" d)
+                        rest
+              in
+              check_order false events)
+            by_thread
+        done);
+    case "deadlock is detected" (fun () ->
+        (* Two threads joining each other can deadlock under schedules
+           where both start before either finishes. *)
+        let src =
+          {|class A extends Thread {
+              public static Thread other = null;
+              A() {}
+              public void run() { Thread.yield(); other.join(); }
+            }
+            class Main { public static void main() {
+              A a = new A();
+              A b = new A();
+              A.other = b;
+              a.start();
+              Thread.yield();
+              A.other = a;
+              b.start();
+              a.join();
+              b.join();
+            } }|}
+        in
+        let saw_deadlock = ref false in
+        for seed = 0 to 19 do
+          match run_seeded src "Main" seed with
+          | (_ : string * Mj_runtime.Threads.event list) -> ()
+          | exception Mj_runtime.Threads.Deadlock _ -> saw_deadlock := true
+          | exception Mj_runtime.Heap.Runtime_error _ -> ()
+        done;
+        Alcotest.(check bool) "some schedule deadlocks" true !saw_deadlock);
+    case "start without scheduler runs synchronously" (fun () ->
+        let src =
+          {|class T extends Thread {
+              T() {}
+              public void run() { System.out.println("ran"); }
+            }
+            class Main { public static void main() {
+              T t = new T();
+              t.start();
+              System.out.println("after");
+            } }|}
+        in
+        Alcotest.(check string) "sequential" "ran\nafter\n"
+          (interp_output src "Main"));
+    case "scheduler not reentrant" (fun () ->
+        Alcotest.check_raises "invalid" (Invalid_argument "Threads.run is not reentrant")
+          (fun () ->
+            ignore
+              (Mj_runtime.Threads.run ~policy:Mj_runtime.Threads.Round_robin
+                 (fun () ->
+                   ignore
+                     (Mj_runtime.Threads.run ~policy:Mj_runtime.Threads.Round_robin
+                        (fun () -> ()))))));
+    case "vm engine interleaves threads too" (fun () ->
+        let outcomes = Hashtbl.create 8 in
+        for seed = 0 to 19 do
+          let session = Mj_bytecode.Vm.create (check_src racer_src) in
+          ignore
+            (Mj_runtime.Threads.run ~policy:(Mj_runtime.Threads.Seeded seed)
+               (fun () -> Mj_bytecode.Vm.run_main session "Fig8"));
+          Hashtbl.replace outcomes (Mj_bytecode.Vm.output session) ()
+        done;
+        Alcotest.(check bool) "several outcomes" true (Hashtbl.length outcomes > 1)) ]

@@ -1,0 +1,320 @@
+open Util
+
+(* Apply a single transform to a program and return the rewritten source. *)
+let apply_transform id src =
+  let checked = check_src src in
+  let transform = Option.get (Javatime.Transforms.find id) in
+  let rewritten, count = transform.Javatime.Transforms.apply checked in
+  (Mj.Pretty.program_to_string rewritten, count)
+
+(* Semantic preservation: main() output identical before and after. *)
+let preserves name id src =
+  case name (fun () ->
+      let before = interp_output src "Main" in
+      let rewritten, count = apply_transform id src in
+      Alcotest.(check bool) (name ^ ": fired") true (count > 0);
+      let after = interp_output rewritten "Main" in
+      Alcotest.(check string) (name ^ ": output") before after)
+
+(* Generated programs with counted while loops, compound assignments and
+   helper calls: refinement must preserve the printed result, and the
+   refined program must re-typecheck. *)
+let gen_refinable =
+  let open QCheck.Gen in
+  let body =
+    list_size (int_range 1 5)
+      (oneof
+         [ map2
+             (fun n start ->
+               Printf.sprintf
+                 "{ int i%d = %d; while (i%d < %d) { acc += i%d; i%d = i%d + 1; } }"
+                 start start start (start + n) start start start)
+             (int_range 0 8) (int_range 0 99);
+           map (Printf.sprintf "acc = twist(acc + %d);") (int_range (-50) 50);
+           map
+             (fun n ->
+               Printf.sprintf
+                 "{ int[] buf%d = new int[6]; for (int j = 0; j < 6; j++)                   buf%d[j] = acc + j * %d; acc = buf%d[5]; }"
+                 n n n n)
+             (int_range 0 99) ])
+  in
+  map
+    (fun stmts ->
+      Printf.sprintf
+        {|class Main {
+            public static int twist(int x) { return x * 3 - (x >> 2); }
+            public static void main() {
+              int acc = 1;
+              %s
+              System.out.println(acc);
+            }
+          }|}
+        (String.concat "
+" stmts))
+    body
+
+let suite =
+  [ qcase ~count:60 "refinement preserves generated program outputs"
+      (QCheck.make ~print:(fun s -> s) gen_refinable)
+      (fun src ->
+        let before = interp_output src "Main" in
+        let outcome = Javatime.Engine.refine (parse src) in
+        let refined =
+          Mj.Pretty.program_to_string outcome.Javatime.Engine.final
+        in
+        before = interp_output refined "Main");
+    preserves "while-to-for preserves sum" "while-to-for"
+      {|class Main { public static void main() {
+          int s = 0;
+          int i = 0;
+          while (i < 10) { s += i * i; i = i + 1; }
+          System.out.println(s);
+        } }|};
+    preserves "while-to-for with assignment initializer" "while-to-for"
+      {|class Main { public static void main() {
+          int s = 0;
+          int i;
+          i = 2;
+          while (i < 20) { s += i; i += 3; }
+          System.out.println(s + "," + i);
+        } }|};
+    preserves "while-to-for downward" "while-to-for"
+      {|class Main { public static void main() {
+          int s = 0;
+          int i = 9;
+          while (i >= 0) { s = s * 2 + i; i -= 1; }
+          System.out.println(s);
+        } }|};
+    preserves "do-while-to-for when entry provable" "do-while-to-for"
+      {|class Main { public static void main() {
+          int s = 0;
+          int i = 0;
+          do { s += i; i++; } while (i < 5);
+          System.out.println(s);
+        } }|};
+    case "do-while with failing entry test is untouched" (fun () ->
+        let src =
+          {|class Main { public static void main() {
+              int i = 10;
+              do { i++; } while (i < 5);
+              System.out.println(i);
+            } }|}
+        in
+        let _, count = apply_transform "do-while-to-for" src in
+        Alcotest.(check int) "not fired" 0 count);
+    case "while with break is not converted" (fun () ->
+        let src =
+          {|class Main { public static void main() {
+              int i = 0;
+              while (i < 10) { if (i == 3) break; i = i + 1; }
+              System.out.println(i);
+            } }|}
+        in
+        let _, count = apply_transform "while-to-for" src in
+        Alcotest.(check int) "not fired" 0 count);
+    case "while-to-for result passes R3" (fun () ->
+        let src =
+          {|class Main { public static void main() {
+              int i = 0;
+              while (i < 10) { i = i + 1; }
+              System.out.println(i);
+            } }|}
+        in
+        let rewritten, _ = apply_transform "while-to-for" src in
+        Alcotest.(check bool) "no more whiles" false
+          (List.exists
+             (fun v -> v.Policy.Rule.rule_id = "R3-no-while-loops")
+             (Policy.Asr_policy.check (check_src rewritten))));
+    preserves "hoist-alloc preserves behaviour" "hoist-alloc"
+      {|class Worker extends ASR {
+          Worker() { declarePorts(0, 0); }
+          public int work(int seed) {
+            int[] scratch = new int[8];
+            for (int i = 0; i < 8; i++) scratch[i] = seed + i;
+            int s = 0;
+            for (int i = 0; i < 8; i++) s += scratch[i];
+            return s;
+          }
+          public void run() { }
+        }
+        class Main { public static void main() {
+          Worker w = new Worker();
+          System.out.println(w.work(3) + "," + w.work(4));
+        } }|};
+    case "hoist-alloc preserves fresh-array zeroing across calls" (fun () ->
+        (* the scratch array must appear zeroed on every call even though
+           the hoisted buffer is reused *)
+        let src =
+          {|class Worker extends ASR {
+              Worker() { declarePorts(0, 0); }
+              public int probe(int which) {
+                int[] scratch = new int[4];
+                if (which == 0) scratch[2] = 99;
+                return scratch[2];
+              }
+              public void run() { }
+            }
+            class Main { public static void main() {
+              Worker w = new Worker();
+              System.out.println(w.probe(0) + "," + w.probe(1));
+            } }|}
+        in
+        let before = interp_output src "Main" in
+        Alcotest.(check string) "reference" "99,0\n" before;
+        let rewritten, count = apply_transform "hoist-alloc" src in
+        Alcotest.(check int) "fired" 1 count;
+        Alcotest.(check string) "zeroed per call" before
+          (interp_output rewritten "Main"));
+    case "hoist-alloc eliminates reactive allocation" (fun () ->
+        let src =
+          {|class X extends ASR {
+              X() { declarePorts(1, 1); }
+              public void run() {
+                int[] t = new int[4];
+                for (int i = 0; i < 4; i++) t[i] = readPort(0) + i;
+                writePort(0, t[3]);
+              }
+            }|}
+        in
+        let checked = check_src src in
+        let transform = Option.get (Javatime.Transforms.find "hoist-alloc") in
+        let rewritten, count = transform.Javatime.Transforms.apply checked in
+        Alcotest.(check int) "one site" 1 count;
+        let rechecked = Mj.Typecheck.check rewritten in
+        let r2 =
+          List.filter
+            (fun v -> v.Policy.Rule.rule_id = "R2-no-reactive-allocation")
+            (Policy.Asr_policy.check rechecked)
+        in
+        Alcotest.(check (list string)) "no R2 left" []
+          (List.map (fun v -> v.Policy.Rule.message) r2);
+        (* run it: no reactive allocations at runtime either *)
+        let elab = Javatime.Elaborate.elaborate rechecked ~cls:"X" in
+        Alcotest.(check int) "output" 8 (react_int elab 5));
+    case "hoist-alloc skips escaping arrays" (fun () ->
+        let src =
+          {|class X extends ASR {
+              X() { declarePorts(1, 1); }
+              public void run() {
+                int[] t = new int[4];
+                writePortArray(0, t);
+              }
+            }|}
+        in
+        let _, count = apply_transform "hoist-alloc" src in
+        Alcotest.(check int) "not fired" 0 count);
+    case "privatize-fields makes unreferenced fields private" (fun () ->
+        let src = "class A { public int n; int m; private int p; }" in
+        let checked = check_src src in
+        let transform = Option.get (Javatime.Transforms.find "privatize-fields") in
+        let rewritten, count = transform.Javatime.Transforms.apply checked in
+        Alcotest.(check int) "two changed" 2 count;
+        let cls = List.hd rewritten.Mj.Ast.classes in
+        List.iter
+          (fun f ->
+            Alcotest.(check bool) ("private " ^ f.Mj.Ast.f_name) true
+              (f.Mj.Ast.f_mods.Mj.Ast.visibility = Mj.Ast.Private))
+          cls.Mj.Ast.cl_fields);
+    case "privatize-fields leaves externally used fields alone" (fun () ->
+        let src = "class A { public int n; } class B { void f(A a) { a.n = 1; } }" in
+        let _, count = apply_transform "privatize-fields" src in
+        Alcotest.(check int) "not fired" 0 count);
+    case "remove-finalizers deletes unused finalize" (fun () ->
+        let src = "class A { void finalize() {} void f() {} }" in
+        let checked = check_src src in
+        let transform = Option.get (Javatime.Transforms.find "remove-finalizers") in
+        let rewritten, count = transform.Javatime.Transforms.apply checked in
+        Alcotest.(check int) "one removed" 1 count;
+        let cls = List.hd rewritten.Mj.Ast.classes in
+        Alcotest.(check int) "one method left" 1 (List.length cls.Mj.Ast.cl_methods));
+    case "remove-finalizers keeps invoked finalize" (fun () ->
+        let src = "class A { void finalize() {} void f() { finalize(); } }" in
+        let _, count = apply_transform "remove-finalizers" src in
+        Alcotest.(check int) "not fired" 0 count);
+    (* engine *)
+    case "engine refines FIR to full compliance" (fun () ->
+        let outcome =
+          Javatime.Engine.refine (parse Workloads.Fir_mj.unrestricted_source)
+        in
+        Alcotest.(check bool) "compliant" true outcome.Javatime.Engine.compliant;
+        Alcotest.(check bool) "steps recorded" true
+          (List.length outcome.Javatime.Engine.steps >= 2));
+    case "engine is idempotent on compliant programs" (fun () ->
+        let outcome = Javatime.Engine.refine (parse Workloads.Traffic_mj.source) in
+        Alcotest.(check bool) "compliant" true outcome.Javatime.Engine.compliant;
+        Alcotest.(check int) "no steps" 0 (List.length outcome.Javatime.Engine.steps));
+    case "engine leaves manual residue on jpeg" (fun () ->
+        let outcome =
+          Javatime.Engine.refine
+            (parse (Workloads.Jpeg_mj.unrestricted_source ~width:16 ~height:8 ()))
+        in
+        Alcotest.(check bool) "not fully compliant" false
+          outcome.Javatime.Engine.compliant;
+        Alcotest.(check bool) "manual residue" true
+          (List.length outcome.Javatime.Engine.residual > 0);
+        (* every residual violation has no applicable automatic fix *)
+        List.iter
+          (fun v ->
+            List.iter
+              (fun id ->
+                let transform = Option.get (Javatime.Transforms.find id) in
+                let _, count =
+                  transform.Javatime.Transforms.apply outcome.Javatime.Engine.checked
+                in
+                Alcotest.(check int) ("residual auto-fix " ^ id) 0 count)
+              (Policy.Rule.automatic_fixes v))
+          outcome.Javatime.Engine.residual);
+    case "engine retargets to the SDF policy" (fun () ->
+        let outcome =
+          Javatime.Engine.refine ~policy:Policy.Sdf_policy.rules
+            (parse Workloads.Fir_mj.unrestricted_source)
+        in
+        Alcotest.(check bool) "sdf compliant after refinement" true
+          outcome.Javatime.Engine.compliant;
+        (* and the refined program satisfies the SDF checker directly *)
+        Alcotest.(check bool) "checker agrees" true
+          (Policy.Sdf_policy.compliant outcome.Javatime.Engine.checked));
+    case "sdf-refined program keeps its behaviour" (fun () ->
+        let outcome =
+          Javatime.Engine.refine ~policy:Policy.Sdf_policy.rules
+            (parse Workloads.Fir_mj.unrestricted_source)
+        in
+        let refined = Mj.Pretty.program_to_string outcome.Javatime.Engine.final in
+        let run src =
+          let elab =
+            Javatime.Elaborate.elaborate ~enforce_policy:false
+              ~bounded_memory:false (check_src src) ~cls:"FirFilter"
+          in
+          List.map (react_int elab) [ 9; 8; 7; 6; 5 ]
+        in
+        Alcotest.(check (list int)) "same"
+          (run Workloads.Fir_mj.unrestricted_source)
+          (run refined));
+    case "refined FIR output matches original" (fun () ->
+        let outcome =
+          Javatime.Engine.refine (parse Workloads.Fir_mj.unrestricted_source)
+        in
+        let refined = Mj.Pretty.program_to_string outcome.Javatime.Engine.final in
+        let run src =
+          let elab =
+            Javatime.Elaborate.elaborate ~enforce_policy:false
+              ~bounded_memory:false (check_src src) ~cls:"FirFilter"
+          in
+          List.map (react_int elab) [ 10; 20; 30; 40; 50 ]
+        in
+        Alcotest.(check (list int)) "same stream"
+          (run Workloads.Fir_mj.unrestricted_source)
+          (run refined));
+    case "refined jpeg still matches original output" (fun () ->
+        let src = Workloads.Jpeg_mj.unrestricted_source ~width:16 ~height:8 () in
+        let outcome = Javatime.Engine.refine (parse src) in
+        let refined = Mj.Pretty.program_to_string outcome.Javatime.Engine.final in
+        let image = Workloads.Images.synthetic ~width:16 ~height:8 in
+        let run s =
+          let elab =
+            Javatime.Elaborate.elaborate ~enforce_policy:false
+              ~bounded_memory:false (check_src s) ~cls:"JpegCodec"
+          in
+          Javatime.Elaborate.react elab [| Asr.Domain.int_array image |]
+        in
+        Alcotest.(check bool) "outputs equal" true (run src = run refined)) ]

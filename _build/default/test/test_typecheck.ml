@@ -1,0 +1,159 @@
+open Util
+
+let ok name src =
+  case name (fun () -> ignore (check_src src))
+
+let err name src substring =
+  case name (fun () -> expect_compile_error ~substring src)
+
+let wrap body = Printf.sprintf "class A { void f() { %s } }" body
+
+let suite =
+  [ (* resolution *)
+    ok "locals shadow nothing and resolve"
+      (wrap "int x = 1; x = x + 1;");
+    ok "field resolution through this"
+      "class A { private int n; void f() { n = n + 1; this.n = 2; } }";
+    ok "static field via class name"
+      "class A { static int n; void f() { A.n = 1; int m = A.n; } }";
+    ok "inherited field resolution"
+      "class B { protected int n; } class A extends B { void f() { n = 3; } }";
+    ok "inherited method resolution"
+      "class B { int g() { return 1; } } class A extends B { int f() { return g(); } }";
+    ok "static method implicit call"
+      "class A { static int g() { return 1; } static int f() { return g(); } }";
+    err "unknown identifier" (wrap "y = 1;") "unknown identifier";
+    err "unknown class" "class A extends Nope { }" "unknown class";
+    err "unknown method" (wrap "g();") "unknown method";
+    err "class used as value" "class B {} class A { void f() { int x = 1; B = x; } }"
+      "unknown identifier";
+    err "this in static context" "class A { static void f() { A x = this; } }"
+      "static context";
+    err "instance field from static" "class A { int n; static void f() { n = 1; } }"
+      "static context";
+    err "instance method from static"
+      "class A { void g() {} static void f() { g(); } }" "static context";
+    err "duplicate local" (wrap "int x = 1; int x = 2;") "already defined";
+    ok "sibling blocks may reuse a name"
+      (wrap "{ int t = 1; t = t; } { int t = 2; t = t; }");
+    err "duplicate class" "class A {} class A {}" "duplicate class";
+    err "duplicate field" "class A { int x; int x; }" "duplicate field";
+    err "duplicate method" "class A { void f() {} void f() {} }" "duplicate method";
+    err "field shadowing rejected"
+      "class B { int x; } class A extends B { int x; }" "shadows";
+    err "cyclic inheritance" "class A extends B {} class B extends A {}" "cyclic";
+    err "override signature mismatch"
+      "class B { int g() { return 1; } } class A extends B { double g() { return 1.0; } }"
+      "incompatible signature";
+    (* types *)
+    ok "numeric widening int to double" (wrap "double d = 3; d = d + 1;");
+    err "no double to int assignment" (wrap "int x = 1.5;") "cannot assign";
+    ok "explicit narrowing cast" (wrap "int x = (int)1.5;");
+    err "boolean arithmetic" (wrap "int x = true + 1;") "";
+    err "condition must be boolean" (wrap "if (1) { }") "boolean";
+    err "while condition must be boolean" (wrap "while (1) { }") "boolean";
+    ok "string concat with anything"
+      (wrap "String s = \"v=\" + 1 + true + 2.5 + null;");
+    err "comparison needs numbers" (wrap "boolean b = true < false;") "numeric";
+    ok "reference equality with null"
+      "class B {} class A { void f() { B b = null; boolean q = b == null; } }";
+    err "incompatible reference comparison"
+      "class B {} class C {} class A { void f(B b, C c) { boolean q = b == c; } }"
+      "cannot compare";
+    err "modulo on doubles" (wrap "double d = 1.5 % 2.0;") "int operands";
+    ok "bit operations on ints" (wrap "int x = 1 << 4 & 255 | 7 ^ 3;");
+    err "array index must be int" (wrap "int[] a = new int[3]; int x = a[1.0];")
+      "index must be int";
+    ok "array length" (wrap "int[] a = new int[3]; int n = a.length;");
+    err "length not assignable" (wrap "int[] a = new int[3]; a.length = 4;")
+      "not assignable";
+    err "indexing a non-array" (wrap "int x = 1; int y = x[0];") "non-array";
+    ok "multi-dimensional arrays"
+      (wrap "int[][] m = new int[2][3]; m[0][1] = 4; int n = m.length + m[0].length;");
+    err "void variable is rejected at parse" (wrap "void x;") "expected";
+    (* calls *)
+    err "arity mismatch"
+      "class A { int g(int x) { return x; } void f() { g(1, 2); } }"
+      "expected 1 argument";
+    err "argument type mismatch"
+      "class A { int g(int x) { return x; } void f() { g(true); } }"
+      "cannot assign";
+    ok "argument widening"
+      "class A { double g(double x) { return x; } void f() { g(3); } }";
+    err "static call of instance method"
+      "class B { void g() {} } class A { void f() { B.g(); } }" "called statically";
+    err "instance call of static method"
+      "class B { static void g() {} } class A { void f(B b) { b.g(); } }"
+      "through an instance";
+    err "call on primitive" (wrap "int x = 1; x.f();") "non-object";
+    (* visibility *)
+    err "private field blocked"
+      "class B { private int n; } class A { void f(B b) { int x = b.n; } }"
+      "is private";
+    err "private method blocked"
+      "class B { private void g() {} } class A { void f(B b) { b.g(); } }"
+      "is private";
+    ok "private member within class"
+      "class A { private int n; private void g() { n = 1; } void f() { g(); } }";
+    (* constructors and super *)
+    ok "constructor overloading by arity"
+      "class A { A() {} A(int x) {} void f() { A a = new A(); A b = new A(1); } }";
+    err "missing constructor arity" "class A { A(int x) {} void f() { new A(); } }"
+      "no constructor";
+    ok "super call with args"
+      "class B { B(int x) {} } class A extends B { A() { super(3); } }";
+    err "implicit super needs zero-arg ctor"
+      "class B { B(int x) {} } class A extends B { A() { } }"
+      "zero-argument constructor";
+    err "super call not first"
+      "class B { B() {} } class A extends B { A() { int x = 1; super(); } }"
+      "super constructor call";
+    err "super in class without parent" "class A { A() { super(); } }"
+      "no superclass";
+    (* returns *)
+    err "missing return" "class A { int f() { int x = 1; } }" "may not return";
+    ok "return through both branches"
+      "class A { int f(boolean b) { if (b) return 1; else return 2; } }";
+    err "return value from void" "class A { void f() { return 1; } }"
+      "cannot return a value";
+    err "missing return value" "class A { int f() { return; } }" "missing return value";
+    (* final fields *)
+    err "final field reassignment"
+      "class A { final int n = 1; void f() { n = 2; } }" "final";
+    ok "final field assigned in ctor" "class A { final int n; A() { n = 2; } }";
+    err "final static reassignment"
+      "class A { static final int N = 1; void f() { A.N = 2; } }" "final";
+    (* builtins *)
+    ok "math natives" (wrap "double d = Math.sqrt(2.0) + Math.cos(Math.PI);");
+    ok "println accepts any type" (wrap "System.out.println(1); System.out.println(2.5);");
+    err "println arity" (wrap "System.out.println(1, 2);") "printable argument";
+    err "instantiating Math" (wrap "Math m = new Math();") "cannot be instantiated";
+    ok "thread subclassing"
+      "class T extends Thread { public void run() {} void f() { start(); join(); } }";
+    ok "asr ports"
+      "class X extends ASR { X() { declarePorts(1, 1); } public void run() { writePort(0, readPort(0)); } }";
+    (* break/continue *)
+    err "break outside loop" (wrap "break;") "outside of a loop";
+    err "continue outside loop" (wrap "continue;") "outside of a loop";
+    ok "break inside for" (wrap "for (int i = 0; i < 9; i++) { if (i > 2) break; }");
+    (* ternary *)
+    ok "ternary numeric unification" (wrap "double d = true ? 1 : 2.5;");
+    err "ternary incompatible branches" (wrap "int x = true ? 1 : true;")
+      "incompatible types";
+    err "ternary condition boolean" (wrap "int x = 1 ? 2 : 3;") "boolean";
+    (* casts *)
+    ok "upcast and downcast"
+      "class B {} class C extends B { void f() { B b = new C(); C c = (C)b; } }";
+    err "unrelated cast"
+      "class B {} class C {} class A { void f(B b) { C c = (C)b; } }" "cannot cast";
+    case "annotations are filled in" (fun () ->
+        let checked = check_src (wrap "int x = 1 + 2; double d = x + 0.5;") in
+        let cls = List.hd checked.Mj.Typecheck.program.Mj.Ast.classes in
+        let m = Option.get (Mj.Ast.find_method cls "f") in
+        let count = ref 0 in
+        Mj.Visit.iter_exprs
+          (fun e ->
+            incr count;
+            if e.Mj.Ast.ety = None then Alcotest.fail "missing annotation")
+          (Option.get m.Mj.Ast.m_body);
+        Alcotest.(check bool) "visited some exprs" true (!count > 4)) ]

@@ -1,0 +1,87 @@
+open Util
+module E = Javatime.Elaborate
+module U = Workloads.Uart_mj
+
+let make_pair () =
+  let checked = check_src U.source in
+  let tx = E.elaborate checked ~cls:U.serializer_class in
+  let rx = E.elaborate checked ~cls:U.deserializer_class in
+  (tx, rx)
+
+(* One instant of the composed link: feed [word] (or -1) to TX, TX's
+   line level to RX; return (line, busy, completed). *)
+let step tx rx word =
+  match E.react tx [| Asr.Domain.int word |] with
+  | [| line; busy |] ->
+      let line_v = Option.get (Asr.Domain.to_int line) in
+      (match E.react rx [| Asr.Domain.int line_v |] with
+      | [| completed |] ->
+          ( line_v,
+            Option.get (Asr.Domain.to_int busy),
+            Option.get (Asr.Domain.to_int completed) )
+      | _ -> Alcotest.fail "rx output")
+  | _ -> Alcotest.fail "tx outputs"
+
+let send_byte tx rx byte =
+  let received = ref [] in
+  let _, _, c0 = step tx rx byte in
+  if c0 >= 0 then received := c0 :: !received;
+  for _ = 2 to U.frame_instants do
+    let _, _, c = step tx rx (-1) in
+    if c >= 0 then received := c :: !received
+  done;
+  List.rev !received
+
+let suite =
+  [ case "uart classes are policy compliant under both policies" (fun () ->
+        let checked = check_src U.source in
+        Alcotest.(check bool) "asr" true (Policy.Asr_policy.compliant checked);
+        Alcotest.(check bool) "sdf" true (Policy.Sdf_policy.compliant checked));
+    case "a byte crosses the line in one frame" (fun () ->
+        let tx, rx = make_pair () in
+        Alcotest.(check (list int)) "0xA5" [ 0xA5 ] (send_byte tx rx 0xA5));
+    case "idle line carries nothing" (fun () ->
+        let tx, rx = make_pair () in
+        for _ = 1 to 15 do
+          let line, busy, completed = step tx rx (-1) in
+          Alcotest.(check int) "line idle" 1 line;
+          Alcotest.(check int) "not busy" 0 busy;
+          Alcotest.(check int) "nothing" (-1) completed
+        done);
+    case "busy flag spans exactly the frame" (fun () ->
+        let tx, rx = make_pair () in
+        let _, busy0, _ = step tx rx 0x42 in
+        Alcotest.(check int) "busy at start" 1 busy0;
+        let busies =
+          List.init (U.frame_instants - 1) (fun _ ->
+              let _, b, _ = step tx rx (-1) in
+              b)
+        in
+        Alcotest.(check int) "idle after stop" 0 (List.nth busies (U.frame_instants - 2));
+        Alcotest.(check bool) "busy during data" true
+          (List.for_all (fun b -> b = 1)
+             (List.filteri (fun i _ -> i < U.frame_instants - 2) busies)));
+    case "words offered while busy are dropped" (fun () ->
+        let tx, rx = make_pair () in
+        ignore (step tx rx 0x01);
+        (* offer a second byte mid-frame *)
+        let received = ref [] in
+        for i = 2 to 2 * U.frame_instants do
+          let _, _, c = step tx rx (if i = 3 then 0x7F else -1) in
+          if c >= 0 then received := c :: !received
+        done;
+        Alcotest.(check (list int)) "only the first byte" [ 0x01 ]
+          (List.rev !received));
+    qcase ~count:40 "round-trip of random byte sequences"
+      (QCheck.make
+         ~print:(fun l -> String.concat "," (List.map string_of_int l))
+         QCheck.Gen.(list_size (int_range 1 6) (int_bound 255)))
+      (fun bytes ->
+        let tx, rx = make_pair () in
+        List.for_all (fun b -> send_byte tx rx b = [ b ]) bytes);
+    case "abstraction of time: one message = ten detail instants" (fun () ->
+        (* the Fig. 4 claim, measured *)
+        let tx, rx = make_pair () in
+        let received = send_byte tx rx 0x5A in
+        Alcotest.(check (list int)) "delivered" [ 0x5A ] received;
+        Alcotest.(check int) "frame length" 10 U.frame_instants) ]

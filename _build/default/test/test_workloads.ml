@@ -1,0 +1,204 @@
+open Util
+module E = Javatime.Elaborate
+
+let jpeg_react src image ~bounded =
+  let elab =
+    E.elaborate ~enforce_policy:false ~bounded_memory:bounded (check_src src)
+      ~cls:"JpegCodec"
+  in
+  match E.react elab [| Asr.Domain.int_array image |] with
+  | [| Asr.Domain.Def (Asr.Data.Int_array reconstructed);
+       Asr.Domain.Def (Asr.Data.Int stream_len) |] ->
+      (reconstructed, stream_len, elab)
+  | _ -> Alcotest.fail "unexpected codec outputs"
+
+let suite =
+  [ case "jpeg: restricted variant is policy compliant" (fun () ->
+        Alcotest.(check bool) "compliant" true
+          (Policy.Asr_policy.compliant
+             (check_src (Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 ()))));
+    case "jpeg: variants produce identical outputs" (fun () ->
+        let image = Workloads.Images.synthetic ~width:24 ~height:16 in
+        let r, len_r, _ =
+          jpeg_react (Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 ())
+            image ~bounded:true
+        in
+        let u, len_u, _ =
+          jpeg_react (Workloads.Jpeg_mj.unrestricted_source ~width:24 ~height:16 ())
+            image ~bounded:false
+        in
+        Alcotest.(check int) "stream length" len_r len_u;
+        Alcotest.(check bool) "images equal" true (r = u));
+    case "jpeg: reconstruction quality is reasonable" (fun () ->
+        let image = Workloads.Images.synthetic ~width:24 ~height:16 in
+        let r, _, _ =
+          jpeg_react (Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 ())
+            image ~bounded:true
+        in
+        let psnr = Workloads.Images.psnr image r in
+        Alcotest.(check bool)
+          (Printf.sprintf "psnr %.1f within [24, 60]" psnr)
+          true
+          (psnr > 24.0 && psnr < 60.0));
+    case "jpeg: flat image compresses to near nothing" (fun () ->
+        let image = Workloads.Images.flat ~width:24 ~height:16 ~rgb:0x808080 in
+        let r, len, _ =
+          jpeg_react (Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 ())
+            image ~bounded:true
+        in
+        (* flat blocks: mostly DC coefficients; stream far below worst case *)
+        Alcotest.(check bool) "small stream" true (len < 6 * 3 * 18);
+        Alcotest.(check bool) "almost exact" true
+          (Workloads.Images.max_abs_channel_error image r <= 12));
+    case "jpeg: compression responds to detail" (fun () ->
+        let flat = Workloads.Images.flat ~width:24 ~height:16 ~rgb:0x336699 in
+        let busy = Workloads.Images.synthetic ~width:24 ~height:16 in
+        let src = Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 () in
+        let _, len_flat, _ = jpeg_react src flat ~bounded:true in
+        let _, len_busy, _ = jpeg_react src busy ~bounded:true in
+        Alcotest.(check bool) "busy larger" true (len_busy > len_flat));
+    case "jpeg: restricted does zero reactive allocation" (fun () ->
+        let image = Workloads.Images.synthetic ~width:24 ~height:16 in
+        let _, _, elab =
+          jpeg_react (Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 ())
+            image ~bounded:true
+        in
+        let stats = Mj_runtime.Heap.stats (E.machine elab).Mj_runtime.Machine.heap in
+        Alcotest.(check int) "zero" 0 stats.Mj_runtime.Heap.reactive_allocations);
+    case "jpeg: unrestricted allocates reactively" (fun () ->
+        let image = Workloads.Images.synthetic ~width:24 ~height:16 in
+        let _, _, elab =
+          jpeg_react (Workloads.Jpeg_mj.unrestricted_source ~width:24 ~height:16 ())
+            image ~bounded:false
+        in
+        let stats = Mj_runtime.Heap.stats (E.machine elab).Mj_runtime.Machine.heap in
+        Alcotest.(check bool) "hundreds of allocations" true
+          (stats.Mj_runtime.Heap.reactive_allocations > 100));
+    case "jpeg: table 1 shape on the cost model" (fun () ->
+        let image = Workloads.Images.synthetic ~width:24 ~height:16 in
+        let _, _, elab_r =
+          jpeg_react (Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 ())
+            image ~bounded:true
+        in
+        let _, _, elab_u =
+          jpeg_react (Workloads.Jpeg_mj.unrestricted_source ~width:24 ~height:16 ())
+            image ~bounded:false
+        in
+        Alcotest.(check bool) "restricted init slower" true
+          (E.init_cycles elab_r > E.init_cycles elab_u);
+        Alcotest.(check bool) "restricted reaction faster" true
+          (E.last_reaction_cycles elab_r < E.last_reaction_cycles elab_u));
+    case "jpeg: program sizes roughly equal" (fun () ->
+        let size source classes =
+          let image = Mj_bytecode.Compile.compile (check_src source) in
+          Mj_bytecode.Classfile.program_size image ~classes
+        in
+        let u =
+          size (Workloads.Jpeg_mj.unrestricted_source ~width:24 ~height:16 ())
+            Workloads.Jpeg_mj.unrestricted_classes
+        in
+        let r =
+          size (Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 ())
+            Workloads.Jpeg_mj.restricted_classes
+        in
+        let ratio = float_of_int r /. float_of_int u in
+        Alcotest.(check bool)
+          (Printf.sprintf "ratio %.2f in [0.7, 1.4]" ratio)
+          true
+          (ratio > 0.7 && ratio < 1.4));
+    case "jpeg: multiple reactions are independent" (fun () ->
+        let src = Workloads.Jpeg_mj.restricted_source ~width:24 ~height:16 () in
+        let image = Workloads.Images.synthetic ~width:24 ~height:16 in
+        let elab = E.elaborate (check_src src) ~cls:"JpegCodec" in
+        let react () =
+          match E.react elab [| Asr.Domain.int_array image |] with
+          | [| Asr.Domain.Def (Asr.Data.Int_array r); _ |] -> r
+          | _ -> Alcotest.fail "bad output"
+        in
+        let first = react () in
+        let second = react () in
+        Alcotest.(check bool) "same result" true (first = second));
+    (* FIR *)
+    case "fir: refined program matches OCaml reference" (fun () ->
+        let outcome =
+          Javatime.Engine.refine (parse Workloads.Fir_mj.unrestricted_source)
+        in
+        Alcotest.(check bool) "compliant" true outcome.Javatime.Engine.compliant;
+        let elab =
+          E.elaborate outcome.Javatime.Engine.checked ~cls:"FirFilter"
+        in
+        let samples = [ 100; -3; 7; 0; 55; 1000; -1000; 8; 8; 8; 8; 8; 8; 8; 8 ] in
+        Alcotest.(check (list int)) "stream"
+          (Workloads.Fir_mj.reference samples)
+          (List.map (react_int elab) samples));
+    qcase ~count:30 "fir: random streams match the reference"
+      QCheck.(small_list (int_range (-500) 500))
+      (fun samples ->
+        let outcome =
+          Javatime.Engine.refine (parse Workloads.Fir_mj.unrestricted_source)
+        in
+        let elab = E.elaborate outcome.Javatime.Engine.checked ~cls:"FirFilter" in
+        List.map (react_int elab) samples = Workloads.Fir_mj.reference samples);
+    (* traffic *)
+    case "traffic: matches reference and stays safe" (fun () ->
+        let elab = E.elaborate (check_src Workloads.Traffic_mj.source) ~cls:"TrafficLight" in
+        let sensors = [ 0; 1; 1; 1; 1; 1; 0; 0; 0; 0; 0; 0; 0; 1; 1; 0; 0; 0; 0; 0 ] in
+        let lights =
+          List.map
+            (fun s ->
+              match E.react elab [| Asr.Domain.int s |] with
+              | [| a; b |] ->
+                  ( Option.get (Asr.Domain.to_int a),
+                    Option.get (Asr.Domain.to_int b) )
+              | _ -> Alcotest.fail "two lights")
+            sensors
+        in
+        Alcotest.(check bool) "reference" true
+          (lights = Workloads.Traffic_mj.reference sensors);
+        Alcotest.(check bool) "safety" true
+          (List.for_all Workloads.Traffic_mj.safe lights));
+    qcase ~count:25 "traffic: safety invariant under random sensors"
+      (QCheck.make
+         QCheck.Gen.(list_size (int_range 1 60) (int_bound 1)))
+      (fun sensors ->
+        let elab = E.elaborate (check_src Workloads.Traffic_mj.source) ~cls:"TrafficLight" in
+        List.for_all
+          (fun s ->
+            match E.react elab [| Asr.Domain.int s |] with
+            | [| a; b |] ->
+                Workloads.Traffic_mj.safe
+                  ( Option.get (Asr.Domain.to_int a),
+                    Option.get (Asr.Domain.to_int b) )
+            | _ -> false)
+          sensors);
+    case "traffic: no car means main stays green" (fun () ->
+        let elab = E.elaborate (check_src Workloads.Traffic_mj.source) ~cls:"TrafficLight" in
+        for _ = 1 to 20 do
+          match E.react elab [| Asr.Domain.int 0 |] with
+          | [| a; _ |] ->
+              Alcotest.(check (option int)) "green" (Some 2) (Asr.Domain.to_int a)
+          | _ -> Alcotest.fail "two lights"
+        done);
+    (* fig8 *)
+    case "fig8: threaded program is nondeterministic" (fun () ->
+        Alcotest.(check bool) "several outcomes" true
+          (Workloads.Fig8_mj.distinct_outcomes ~seeds:25 > 1));
+    case "fig8: refined stream is the deterministic series" (fun () ->
+        Alcotest.(check (list int)) "11,22,33" [ 11; 22; 33 ]
+          (Workloads.Fig8_mj.run_refined ~instants:3));
+    case "fig8: refined graph has one block per former thread" (fun () ->
+        let g = Workloads.Fig8_mj.refined_graph () in
+        (* IncA, IncB and the fan-out *)
+        Alcotest.(check int) "three blocks" 3 (Asr.Graph.block_count g);
+        Alcotest.(check int) "one delay" 1 (Asr.Graph.delay_count g));
+    (* images *)
+    case "psnr of identical images is infinite" (fun () ->
+        let a = Workloads.Images.synthetic ~width:8 ~height:8 in
+        Alcotest.(check bool) "inf" true (Workloads.Images.psnr a a = infinity));
+    case "synthetic image is deterministic" (fun () ->
+        let a = Workloads.Images.synthetic ~width:16 ~height:16 in
+        let b = Workloads.Images.synthetic ~width:16 ~height:16 in
+        Alcotest.(check bool) "equal" true (a = b));
+    case "paper dimensions constant" (fun () ->
+        Alcotest.(check (pair int int)) "130x135" (130, 135)
+          (Workloads.Images.paper_width, Workloads.Images.paper_height)) ]

@@ -1,0 +1,55 @@
+(* Shared helpers for the test suites. *)
+
+let contains ~substring s =
+  let n = String.length substring and m = String.length s in
+  if n = 0 then true
+  else
+    let rec loop i = i + n <= m && (String.sub s i n = substring || loop (i + 1)) in
+    loop 0
+
+let check_src ?(file = "<test>") src = Mj.Typecheck.check_source ~file src
+
+let parse ?(file = "<test>") src = Mj.Parser.parse_program ~file src
+
+(* Console output of [cls]'s static main() under each engine. *)
+let interp_output src cls =
+  let session = Mj_runtime.Interp.create (check_src src) in
+  Mj_runtime.Interp.run_main session cls;
+  Mj_runtime.Interp.output session
+
+let vm_output src cls =
+  let session = Mj_bytecode.Vm.create (check_src src) in
+  Mj_bytecode.Vm.run_main session cls;
+  Mj_bytecode.Vm.output session
+
+let jit_output src cls =
+  let session = Mj_bytecode.Jit.create (check_src src) in
+  Mj_bytecode.Jit.run_main session cls;
+  Mj_bytecode.Jit.output session
+
+(* Expect a compile error whose message contains [substring]. *)
+let expect_compile_error ?(substring = "") src =
+  match Mj.Typecheck.check_source ~file:"<test>" src with
+  | (_ : Mj.Typecheck.checked) ->
+      Alcotest.failf "expected a compile error (containing %S)" substring
+  | exception Mj.Diag.Compile_error d ->
+      if not (contains ~substring d.Mj.Diag.message) then
+        Alcotest.failf "error %S does not mention %S" d.Mj.Diag.message substring
+
+let expect_runtime_error ?(substring = "") f =
+  match f () with
+  | _ -> Alcotest.failf "expected a runtime error (containing %S)" substring
+  | exception Mj_runtime.Heap.Runtime_error message ->
+      if not (contains ~substring message) then
+        Alcotest.failf "runtime error %S does not mention %S" message substring
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qcase ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* A tiny ASR harness: one int input port, one int output port. *)
+let react_int elab x =
+  match Javatime.Elaborate.react elab [| Asr.Domain.int x |] with
+  | [| v |] -> Option.get (Asr.Domain.to_int v)
+  | outs -> Alcotest.failf "expected 1 output, got %d" (Array.length outs)
