@@ -496,6 +496,307 @@ let ablation () =
   allocs "hand-restricted" restricted
 
 (* ------------------------------------------------------------------ *)
+(* Fixpoint scheduling strategies                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares chaotic iteration (declaration order and best/topological
+   order) against the static schedule and the worklist evaluator on
+   feed-forward, cyclic, and random topologies, reporting per-strategy
+   block-evaluation counts and wall time. The feed-forward graphs are
+   declared output-first — a legal construction order on which chaotic
+   iteration exhibits its O(blocks x nets) behaviour. *)
+
+module Sched_bench = struct
+  module D = Asr.Domain
+  module G = Asr.Graph
+  module B = Asr.Block
+
+  let conn g src dst = G.connect g ~src ~dst
+
+  (* FIR filter with [taps] taps, adder chain declared output-first:
+     chain position k uses the node declared at index taps-2-k, so every
+     chain consumer precedes its producer in declaration order (the
+     chaotic worst case). Feed-forward. *)
+  let fir_graph taps =
+    let g = G.create (Printf.sprintf "fir%d" taps) in
+    let output = G.add_output g "y" in
+    let rev_adders = Array.init (taps - 1) (fun _ -> G.add_block g B.add) in
+    let adders = Array.init (taps - 1) (fun k -> rev_adders.(taps - 2 - k)) in
+    let gains = Array.init taps (fun k -> G.add_block g (B.gain (taps - k))) in
+    let forks = Array.init (taps - 1) (fun _ -> G.add_block g (B.fork 2)) in
+    let delays =
+      Array.init (taps - 1) (fun _ -> G.add_delay g ~init:(D.int 0))
+    in
+    let input = G.add_input g "x" in
+    conn g (G.out_port input 0) (G.in_port forks.(0) 0);
+    for k = 0 to taps - 2 do
+      (* tap k's fork feeds its gain and the next delay *)
+      conn g (G.out_port forks.(k) 0) (G.in_port gains.(k) 0);
+      conn g (G.out_port forks.(k) 1) (G.in_port delays.(k) 0);
+      if k < taps - 2 then
+        conn g (G.out_port delays.(k) 0) (G.in_port forks.(k + 1) 0)
+    done;
+    conn g (G.out_port delays.(taps - 2) 0) (G.in_port gains.(taps - 1) 0);
+    (* adder chain *)
+    conn g (G.out_port gains.(0) 0) (G.in_port adders.(0) 0);
+    conn g (G.out_port gains.(1) 0) (G.in_port adders.(0) 1);
+    for k = 1 to taps - 2 do
+      conn g (G.out_port adders.(k - 1) 0) (G.in_port adders.(k) 0);
+      conn g (G.out_port gains.(k + 1) 0) (G.in_port adders.(k) 1)
+    done;
+    conn g (G.out_port adders.(taps - 2) 0) (G.in_port output 0);
+    g
+
+  (* Deep diamond pipeline shaped like the JPEG stage chain (each stage:
+     fork -> two unary transforms -> recombine), declared output-first. *)
+  let pipeline_graph stages =
+    let g = G.create (Printf.sprintf "pipe%d" stages) in
+    let output = G.add_output g "y" in
+    let stage_blocks =
+      (* declare stage [stages-1] (closest to the output) first *)
+      Array.init stages (fun _ ->
+          let add = G.add_block g B.add in
+          let hi = G.add_block g (B.gain 3) in
+          let lo = G.add_block g (B.gain 2) in
+          let fork = G.add_block g (B.fork 2) in
+          (fork, lo, hi, add))
+    in
+    let input = G.add_input g "x" in
+    let wire_stage (fork, lo, hi, add) src =
+      conn g src (G.in_port fork 0);
+      conn g (G.out_port fork 0) (G.in_port lo 0);
+      conn g (G.out_port fork 1) (G.in_port hi 0);
+      conn g (G.out_port lo 0) (G.in_port add 0);
+      conn g (G.out_port hi 0) (G.in_port add 1);
+      G.out_port add 0
+    in
+    let last =
+      Array.fold_left
+        (fun src stage -> wire_stage stage src)
+        (G.out_port input 0)
+        (Array.init stages (fun i -> stage_blocks.(stages - 1 - i)))
+    in
+    conn g last (G.in_port output 0);
+    g
+
+  (* [loops] independent delay-free cycles, each resolved through the
+     dead branch of a mux (genuinely cyclic SCCs, still constructive). *)
+  let cyclic_graph loops =
+    let g = G.create (Printf.sprintf "cyclic%d" loops) in
+    for i = 0 to loops - 1 do
+      let sel = G.add_block g (B.const ~name:"sel" (Asr.Data.Bool true)) in
+      let v = G.add_block g (B.const ~name:"v" (Asr.Data.Int i)) in
+      let mux = G.add_block g B.mux in
+      let fork = G.add_block g (B.fork 2) in
+      let out = G.add_output g (Printf.sprintf "y%d" i) in
+      conn g (G.out_port sel 0) (G.in_port mux 0);
+      conn g (G.out_port v 0) (G.in_port mux 1);
+      conn g (G.out_port mux 0) (G.in_port fork 0);
+      conn g (G.out_port fork 0) (G.in_port mux 2);
+      conn g (G.out_port fork 1) (G.in_port out 0)
+    done;
+    g
+
+  (* Random layered DAG with delay feedback, declaration order shuffled
+     by construction: consumers draw from any previously declared source. *)
+  let random_graph ~seed ~inputs ~layers ~per_layer ~delays =
+    let rng = Random.State.make [| seed |] in
+    let g = G.create (Printf.sprintf "rand%d" seed) in
+    let sources = ref [] in
+    let add_source e = sources := e :: !sources in
+    for i = 0 to inputs - 1 do
+      let input = G.add_input g (Printf.sprintf "x%d" i) in
+      add_source (G.out_port input 0)
+    done;
+    let delay_nodes =
+      List.init delays (fun i ->
+          let d = G.add_delay g ~init:(D.int i) in
+          add_source (G.out_port d 0);
+          d)
+    in
+    let pick () =
+      List.nth !sources (Random.State.int rng (List.length !sources))
+    in
+    for _ = 1 to layers do
+      for _ = 1 to per_layer do
+        if Random.State.bool rng then begin
+          let b = G.add_block g (B.gain (1 + Random.State.int rng 4)) in
+          conn g (pick ()) (G.in_port b 0);
+          add_source (G.out_port b 0)
+        end
+        else begin
+          let b = G.add_block g B.add in
+          conn g (pick ()) (G.in_port b 0);
+          conn g (pick ()) (G.in_port b 1);
+          add_source (G.out_port b 0)
+        end
+      done
+    done;
+    List.iter (fun d -> conn g (pick ()) (G.in_port d 0)) delay_nodes;
+    let out = G.add_output g "y" in
+    conn g (pick ()) (G.in_port out 0);
+    g
+
+  let input_names g =
+    List.filter_map
+      (fun (_, kind) ->
+        match kind with G.Kinput label -> Some label | _ -> None)
+      (G.nodes g)
+
+  let stimulus g ~instants =
+    let names = input_names g in
+    List.init instants (fun t ->
+        List.mapi (fun i name -> (name, D.int ((t + i) mod 97))) names)
+
+  type run = {
+    r_label : string;
+    r_evals : int;
+    r_wall : float;
+    r_outputs : (string * D.t) list list;
+  }
+
+  let run_strategy g stream ~label ?order ?strategy () =
+    let sim = Asr.Simulate.create ?order ?strategy g in
+    let t0 = Unix.gettimeofday () in
+    let trace = Asr.Simulate.run sim stream in
+    let wall = Unix.gettimeofday () -. t0 in
+    { r_label = label;
+      r_evals = Asr.Simulate.block_evaluations sim;
+      r_wall = wall;
+      r_outputs = List.map (fun e -> e.Asr.Simulate.outputs) trace }
+
+  type report = {
+    w_name : string;
+    w_blocks : int;
+    w_nets : int;
+    w_cyclic : int;
+    w_instants : int;
+    w_runs : run list;
+    w_equal : bool;
+    w_speedup_scheduled : float;
+    w_speedup_worklist : float;
+  }
+
+  let bench_graph name g ~instants =
+    let compiled = G.compile g in
+    let schedule = Asr.Schedule.of_compiled compiled in
+    let stream = stimulus g ~instants in
+    let n_blocks = Array.length compiled.G.c_blocks in
+    let chaotic =
+      run_strategy g stream ~label:"chaotic (declaration order)"
+        ~strategy:Asr.Fixpoint.Chaotic ()
+    in
+    let chaotic_best =
+      run_strategy g stream ~label:"chaotic (topological order)"
+        ~order:(Asr.Schedule.linear_order schedule) ()
+    in
+    let scheduled =
+      run_strategy g stream ~label:"scheduled" ~strategy:Asr.Fixpoint.Scheduled ()
+    in
+    let worklist =
+      run_strategy g stream ~label:"worklist" ~strategy:Asr.Fixpoint.Worklist ()
+    in
+    let runs = [ chaotic; chaotic_best; scheduled; worklist ] in
+    let equal =
+      List.for_all (fun r -> r.r_outputs = chaotic.r_outputs) runs
+    in
+    { w_name = name;
+      w_blocks = n_blocks;
+      w_nets = compiled.G.n_nets;
+      w_cyclic = Asr.Schedule.cyclic_block_count schedule;
+      w_instants = instants;
+      w_runs = runs;
+      w_equal = equal;
+      w_speedup_scheduled =
+        float_of_int chaotic.r_evals /. float_of_int scheduled.r_evals;
+      w_speedup_worklist =
+        float_of_int chaotic.r_evals /. float_of_int worklist.r_evals }
+
+  let reports ~smoke () =
+    let scale n small = if smoke then small else n in
+    [ bench_graph "fir" (fir_graph (scale 64 12)) ~instants:(scale 200 20);
+      bench_graph "jpeg-pipeline"
+        (pipeline_graph (scale 40 10))
+        ~instants:(scale 200 20);
+      bench_graph "cyclic" (cyclic_graph (scale 16 4)) ~instants:(scale 200 20);
+      bench_graph "random"
+        (random_graph ~seed:11 ~inputs:3 ~layers:(scale 12 4)
+           ~per_layer:(scale 25 6) ~delays:4)
+        ~instants:(scale 200 20) ]
+
+  let print_text reports =
+    print_endline
+      "Fixpoint strategies: chaotic vs. static schedule vs. worklist";
+    print_newline ();
+    List.iter
+      (fun w ->
+        Printf.printf "%s: %d blocks, %d nets, %d cyclic, %d instants%s\n"
+          w.w_name w.w_blocks w.w_nets w.w_cyclic w.w_instants
+          (if w.w_cyclic = 0 then " (feed-forward)" else "");
+        List.iter
+          (fun r ->
+            Printf.printf "  %-30s %10d evals   %8.2f evals/instant   %8.4f s\n"
+              r.r_label r.r_evals
+              (float_of_int r.r_evals /. float_of_int w.w_instants)
+              r.r_wall)
+          w.w_runs;
+        Printf.printf
+          "  fixpoints equal: %s   speedup (evals) scheduled %.1fx, worklist \
+           %.1fx\n\n"
+          (if w.w_equal then "yes" else "NO (BUG)")
+          w.w_speedup_scheduled w.w_speedup_worklist)
+      reports
+
+  let print_json reports =
+    let run_json r =
+      Printf.sprintf
+        "{\"label\": %S, \"evaluations\": %d, \"wall_s\": %.6f}" r.r_label
+        r.r_evals r.r_wall
+    in
+    let report_json w =
+      Printf.sprintf
+        "    {\"name\": %S, \"blocks\": %d, \"nets\": %d, \"cyclic_blocks\": \
+         %d, \"instants\": %d, \"equal_fixpoints\": %b,\n\
+        \     \"speedup_evals_scheduled\": %.2f, \"speedup_evals_worklist\": \
+         %.2f,\n\
+        \     \"strategies\": [%s]}"
+        w.w_name w.w_blocks w.w_nets w.w_cyclic w.w_instants w.w_equal
+        w.w_speedup_scheduled w.w_speedup_worklist
+        (String.concat ", " (List.map run_json w.w_runs))
+    in
+    Printf.printf
+      "{\n  \"bench\": \"asr_schedule\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" (List.map report_json reports))
+
+  (* Smoke contract (wired into `dune runtest` via the bench-smoke
+     alias): identical fixpoints everywhere, >= 5x fewer evaluations on
+     the feed-forward workloads. *)
+  let check reports =
+    let failed = ref false in
+    List.iter
+      (fun w ->
+        if not w.w_equal then begin
+          Printf.eprintf "FAIL %s: strategies disagree on the fixpoint\n"
+            w.w_name;
+          failed := true
+        end;
+        let deep_feed_forward = List.mem w.w_name [ "fir"; "jpeg-pipeline" ] in
+        if deep_feed_forward && w.w_speedup_worklist < 5.0 then begin
+          Printf.eprintf
+            "FAIL %s: worklist speedup %.1fx < 5x on a feed-forward workload\n"
+            w.w_name w.w_speedup_worklist;
+          failed := true
+        end)
+      reports;
+    if !failed then exit 1
+
+  let run ~json ~smoke () =
+    let reports = reports ~smoke () in
+    if json then print_json reports else print_text reports;
+    check reports
+end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -546,8 +847,14 @@ let bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+let json_flag = ref false
+
+let smoke_flag = ref false
+
 let experiments =
-  [ ("table1", `Sized table1);
+  [ ("schedule",
+     `Plain (fun () -> Sched_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
+    ("table1", `Sized table1);
     ("fig1", `Plain fig1);
     ("fig2", `Plain fig2);
     ("fig3", `Plain fig3);
@@ -575,9 +882,14 @@ let run_one ~small name =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let small = List.mem "--small" args in
-  let names = List.filter (fun a -> a <> "--small") args in
+  json_flag := List.mem "--json" args;
+  smoke_flag := List.mem "--smoke" args;
+  let names =
+    List.filter (fun a -> not (List.mem a [ "--small"; "--json"; "--smoke" ])) args
+  in
   let sep name =
-    Printf.printf "==== %s ====\n" name
+    (* keep stdout pure JSON under --json *)
+    if not !json_flag then Printf.printf "==== %s ====\n" name
   in
   match names with
   | [] | [ "all" ] ->

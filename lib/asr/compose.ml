@@ -7,14 +7,18 @@ let component_to_domain = function
   | v -> Domain.Def v
 
 (* Shared machinery: run the inner fixpoint of [compiled] as the body of
-   a single block application. State is the tuple of delay values. *)
-let make_abstract_block ?instants ~name compiled =
+   a single block application. State is the tuple of delay values. The
+   schedule is compiled once per abstraction, and one net buffer is
+   reused across applications. *)
+let make_abstract_block ?instants ?(strategy = Fixpoint.Worklist) ~name compiled =
   let in_names = Array.map fst compiled.Graph.c_inputs in
   let out_names = Array.map fst compiled.Graph.c_outputs in
   let n_delays = Array.length compiled.Graph.c_delays in
   let has_state = n_delays > 0 in
   let n_in = Array.length in_names + if has_state then 1 else 0 in
   let n_out = Array.length out_names + if has_state then 1 else 0 in
+  let schedule = Schedule.of_compiled compiled in
+  let nets_buffer = Array.make compiled.Graph.n_nets Domain.Bottom in
   let applications = ref 0 in
   let fn inputs =
     incr applications;
@@ -33,16 +37,17 @@ let make_abstract_block ?instants ~name compiled =
               (Printf.sprintf "abstract block %s: bad state %s" name
                  (Data.to_string v))
     in
-    let result = Fixpoint.eval compiled ~inputs:env_inputs ~delay_values () in
+    let result =
+      Fixpoint.eval compiled ~inputs:env_inputs ~delay_values ~strategy
+        ~schedule ~nets:nets_buffer ()
+    in
     (match instants with
     | Some parent ->
         let app =
           Instant.add_child parent
             (Printf.sprintf "%s: application %d" name !applications)
         in
-        for sweep = 1 to result.Fixpoint.iterations do
-          ignore (Instant.add_child app (Printf.sprintf "sweep %d" sweep))
-        done
+        Instant.add_leaves app ~prefix:"sweep" result.Fixpoint.iterations
     | None -> ());
     let outs =
       Array.map
@@ -61,21 +66,21 @@ let make_abstract_block ?instants ~name compiled =
   in
   (Block.make ~name ~n_in ~n_out fn, in_names, out_names, has_state)
 
-let to_block ?instants g =
+let to_block ?instants ?strategy g =
   if Graph.delay_count g > 0 then
     invalid_arg
       (Printf.sprintf "Compose.to_block: graph %s contains delay elements"
          (Graph.name g));
   let compiled = Graph.compile g in
   let block, _, _, _ =
-    make_abstract_block ?instants ~name:(Graph.name g ^ "^") compiled
+    make_abstract_block ?instants ?strategy ~name:(Graph.name g ^ "^") compiled
   in
   block
 
-let abstract ?instants g =
+let abstract ?instants ?strategy g =
   let compiled = Graph.compile g in
   let block, in_names, out_names, has_state =
-    make_abstract_block ?instants ~name:(Graph.name g ^ "^") compiled
+    make_abstract_block ?instants ?strategy ~name:(Graph.name g ^ "^") compiled
   in
   let out_graph = Graph.create (Graph.name g ^ "_abstract") in
   let b = Graph.add_block out_graph block in

@@ -4,21 +4,47 @@ type result = {
   block_evaluations : int;
 }
 
+type strategy = Chaotic | Scheduled | Worklist
+
 exception Nonmonotonic of string
 
-let eval (c : Graph.compiled) ~inputs ~delay_values ?order () =
-  let nets = Array.make c.Graph.n_nets Domain.Bottom in
-  List.iter
-    (fun (label, v) ->
-      match Array.find_opt (fun (l, _) -> String.equal l label) c.Graph.c_inputs with
-      | Some (_, net) -> nets.(net) <- v
-      | None -> invalid_arg (Printf.sprintf "fixpoint: unknown input '%s'" label))
-    inputs;
-  if Array.length delay_values <> Array.length c.Graph.c_delays then
-    invalid_arg "fixpoint: delay vector length mismatch";
+let strategy_name = function
+  | Chaotic -> "chaotic"
+  | Scheduled -> "scheduled"
+  | Worklist -> "worklist"
+
+(* Apply block [bi] once, lub-merging its outputs into [nets]. Returns
+   true when some output net changed. A lub conflict means the block
+   retracted or rewrote a defined value: not monotone. *)
+let apply_block (c : Graph.compiled) nets bi =
+  let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
+  let inputs = Array.map (fun net -> nets.(net)) in_nets in
+  let outputs = Block.apply block inputs in
+  let changed = ref false in
   Array.iteri
-    (fun i (_, out_net, _) -> nets.(out_net) <- delay_values.(i))
-    c.Graph.c_delays;
+    (fun port v ->
+      let net = out_nets.(port) in
+      let merged =
+        try Domain.lub nets.(net) v
+        with Domain.Inconsistent msg ->
+          raise
+            (Nonmonotonic
+               (Printf.sprintf "block %s retracted output %d: %s"
+                  block.Block.name port msg))
+      in
+      if not (Domain.equal merged nets.(net)) then begin
+        nets.(net) <- merged;
+        changed := true
+      end)
+    outputs;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Chaotic iteration: the reference oracle. Re-evaluates every block on
+   every sweep until a sweep changes nothing.                           *)
+(* ------------------------------------------------------------------ *)
+
+let eval_chaotic c nets ~order =
   let order =
     match order with
     | Some order -> order
@@ -37,29 +63,151 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order () =
     incr sweeps;
     Array.iter
       (fun bi ->
-        let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
-        let inputs = Array.map (fun net -> nets.(net)) in_nets in
-        let outputs = Block.apply block inputs in
         incr evaluations;
-        Array.iteri
-          (fun port v ->
-            let net = out_nets.(port) in
-            let merged =
-              try Domain.lub nets.(net) v
-              with Domain.Inconsistent msg ->
-                raise
-                  (Nonmonotonic
-                     (Printf.sprintf "block %s retracted output %d: %s"
-                        block.Block.name port msg))
-            in
-            if not (Domain.equal merged nets.(net)) then begin
-              nets.(net) <- merged;
-              changed := true
-            end)
-          outputs)
+        if apply_block c nets bi then changed := true)
       order
   done;
-  { nets; iterations = !sweeps; block_evaluations = !evaluations }
+  (!sweeps, !evaluations)
+
+(* ------------------------------------------------------------------ *)
+(* Static schedule: acyclic blocks once, in topological order; cyclic
+   SCCs iterate locally until stable (bounded by the SCC's net count).  *)
+(* ------------------------------------------------------------------ *)
+
+let eval_scheduled c nets ~schedule =
+  let evaluations = ref 0 in
+  let max_rounds = ref 1 in
+  List.iter
+    (fun group ->
+      match group with
+      | Schedule.Acyclic bi ->
+          incr evaluations;
+          ignore (apply_block c nets bi)
+      | Schedule.Cyclic members ->
+          (* Local domain height = nets written inside the SCC; one
+             extra round detects stability. *)
+          let scc_nets =
+            Array.fold_left
+              (fun acc bi ->
+                let _, _, outs = c.Graph.c_blocks.(bi) in
+                acc + Array.length outs)
+              0 members
+          in
+          let bound = scc_nets + 2 in
+          let rounds = ref 0 in
+          let changed = ref true in
+          while !changed do
+            if !rounds > bound then
+              raise
+                (Nonmonotonic
+                   "cyclic component exceeded the monotone iteration bound");
+            changed := false;
+            incr rounds;
+            Array.iter
+              (fun bi ->
+                incr evaluations;
+                if apply_block c nets bi then changed := true)
+              members
+          done;
+          if !rounds > !max_rounds then max_rounds := !rounds)
+    (Schedule.groups schedule);
+  (!max_rounds, !evaluations)
+
+(* ------------------------------------------------------------------ *)
+(* Worklist: every block is seeded once; afterwards a block re-enters
+   the queue only when one of its input nets actually changed.          *)
+(* ------------------------------------------------------------------ *)
+
+let eval_worklist c nets ~seed =
+  let n_blocks = Array.length c.Graph.c_blocks in
+  let queue = Queue.create () in
+  let in_queue = Array.make n_blocks false in
+  let eval_count = Array.make n_blocks 0 in
+  Array.iter
+    (fun bi ->
+      Queue.push bi queue;
+      in_queue.(bi) <- true)
+    seed;
+  let evaluations = ref 0 in
+  (* Monotone blocks change each net at most n_nets times in total, so
+     every block re-enters the queue a bounded number of times. *)
+  let max_evaluations = (n_blocks + 1) * (c.Graph.n_nets + 2) in
+  while not (Queue.is_empty queue) do
+    let bi = Queue.pop queue in
+    in_queue.(bi) <- false;
+    incr evaluations;
+    eval_count.(bi) <- eval_count.(bi) + 1;
+    if !evaluations > max_evaluations then
+      raise (Nonmonotonic "worklist exceeded the monotone evaluation bound");
+    let _, _, out_nets = c.Graph.c_blocks.(bi) in
+    let before = Array.map (fun net -> nets.(net)) out_nets in
+    if apply_block c nets bi then
+      Array.iteri
+        (fun port net ->
+          if not (Domain.equal before.(port) nets.(net)) then
+            Array.iter
+              (fun consumer ->
+                if not in_queue.(consumer) then begin
+                  Queue.push consumer queue;
+                  in_queue.(consumer) <- true
+                end)
+              c.Graph.c_consumers.(net))
+        out_nets
+  done;
+  let deepest = Array.fold_left max 1 eval_count in
+  (deepest, !evaluations)
+
+(* ------------------------------------------------------------------ *)
+
+let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
+    ?schedule ?nets () =
+  (match (order, strategy) with
+  | Some _, (Scheduled | Worklist) ->
+      invalid_arg
+        (Printf.sprintf
+           "fixpoint: explicit evaluation order requires the chaotic \
+            strategy, not %s"
+           (strategy_name strategy))
+  | _ -> ());
+  let nets =
+    match nets with
+    | None -> Array.make c.Graph.n_nets Domain.Bottom
+    | Some buf ->
+        if Array.length buf <> c.Graph.n_nets then
+          invalid_arg "fixpoint: net buffer length mismatch";
+        Array.fill buf 0 (Array.length buf) Domain.Bottom;
+        buf
+  in
+  List.iter
+    (fun (label, v) ->
+      match Graph.input_net c label with
+      | Some net -> nets.(net) <- v
+      | None -> invalid_arg (Printf.sprintf "fixpoint: unknown input '%s'" label))
+    inputs;
+  if Array.length delay_values <> Array.length c.Graph.c_delays then
+    invalid_arg "fixpoint: delay vector length mismatch";
+  Array.iteri
+    (fun i (_, out_net, _) -> nets.(out_net) <- delay_values.(i))
+    c.Graph.c_delays;
+  let iterations, block_evaluations =
+    match strategy with
+    | Chaotic -> eval_chaotic c nets ~order
+    | Scheduled ->
+        let schedule =
+          match schedule with
+          | Some s -> s
+          | None -> Schedule.of_compiled c
+        in
+        eval_scheduled c nets ~schedule
+    | Worklist ->
+        let seed =
+          match schedule with
+          | Some s -> Schedule.linear_order s
+          | None -> Array.init (Array.length c.Graph.c_blocks) (fun i -> i)
+        in
+        eval_worklist c nets ~seed
+  in
+  { nets; iterations; block_evaluations }
 
 let outputs (c : Graph.compiled) result =
   Array.to_list

@@ -1,17 +1,44 @@
 (** Fixed-point semantics of a single instant (paper §3, after Edwards).
 
     All nets start at ⊥; environment inputs and delay outputs are then
-    fixed, and blocks are evaluated by chaotic iteration until no net
-    changes. Monotone blocks over the finite-height domain guarantee
-    convergence to the least fixed point, independent of evaluation
-    order — that order-independence is ASR determinism, and tests
-    randomize [order] to check it. *)
+    fixed, and blocks are evaluated until no net changes. Monotone
+    blocks over the finite-height domain guarantee convergence to the
+    least fixed point, independent of evaluation order — that
+    order-independence is ASR determinism, and tests randomize [order]
+    to check it.
+
+    Three evaluation strategies compute the same least fixed point:
+
+    - {!Chaotic} — re-evaluate every block on every sweep until a sweep
+      changes nothing. O(blocks × nets) applications; the reference
+      oracle the others are differentially tested against.
+    - {!Scheduled} — follow a precompiled {!Schedule}: acyclic blocks
+      run exactly once in topological order; only delay-free cyclic
+      components iterate (bounded by their net count).
+    - {!Worklist} — seed every block once, then re-evaluate a block
+      only when one of its input nets actually changed (driven by the
+      [c_consumers] reverse index).
+
+    Caveat on non-monotone blocks: chaotic iteration and the worklist
+    re-apply blocks whose inputs rose and therefore observe retraction
+    ({!Nonmonotonic}). [Scheduled] applies an acyclic block exactly
+    once, with final inputs, so a non-monotone block in acyclic position
+    silently yields its value at those inputs; inside cyclic components
+    every strategy detects retraction. *)
 
 type result = {
   nets : Domain.t array;        (** value of every net at the fixed point *)
-  iterations : int;             (** full sweeps until convergence *)
+  iterations : int;             (** chaotic: full sweeps until convergence;
+                                    scheduled: deepest cyclic-component
+                                    round count (1 if feed-forward);
+                                    worklist: most evaluations of any
+                                    single block *)
   block_evaluations : int;      (** total block applications *)
 }
+
+type strategy = Chaotic | Scheduled | Worklist
+
+val strategy_name : strategy -> string
 
 exception Nonmonotonic of string
 (** A block changed or retracted a defined output during iteration, or
@@ -23,12 +50,25 @@ val eval :
   inputs:(string * Domain.t) list ->
   delay_values:Domain.t array ->
   ?order:int array ->
+  ?strategy:strategy ->
+  ?schedule:Schedule.t ->
+  ?nets:Domain.t array ->
   unit ->
   result
 (** [delay_values.(i)] is the output of the i-th delay this instant.
-    [order] permutes block evaluation (default: declaration order).
     Unknown input names raise [Invalid_argument]; inputs not mentioned
-    are ⊥ (absent). *)
+    are ⊥ (absent).
+
+    [strategy] defaults to [Chaotic]. [order] permutes chaotic block
+    evaluation (default: declaration order) and is rejected under the
+    other strategies. [schedule] supplies a precompiled schedule
+    ([Scheduled] computes one on the fly otherwise; [Worklist] uses it
+    only as its seed order, defaulting to declaration order).
+
+    [nets] optionally supplies a preallocated buffer of length [n_nets]
+    that is cleared and reused — the returned {!result} aliases it, so
+    callers reusing a buffer across instants must consume the result
+    before the next call. *)
 
 val outputs : Graph.compiled -> result -> (string * Domain.t) list
 

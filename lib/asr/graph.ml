@@ -104,7 +104,11 @@ type compiled = {
   c_delays : (int * int * Domain.t) array;
   c_inputs : (string * int) array;
   c_outputs : (string * int) array;
+  c_input_index : (string, int) Hashtbl.t;
+  c_consumers : int array array;
 }
+
+let input_net c label = Hashtbl.find_opt c.c_input_index label
 
 let compile g =
   let node_list = nodes g in
@@ -147,11 +151,29 @@ let compile g =
       | Kinput label -> inputs := (label, Hashtbl.find net_of (id, 0)) :: !inputs
       | Koutput label -> outputs := (label, in_net id 0) :: !outputs)
     node_list;
+  let c_blocks = Array.of_list (List.rev !blocks) in
+  let c_inputs = Array.of_list (List.rev !inputs) in
+  let c_input_index = Hashtbl.create (Array.length c_inputs) in
+  Array.iter (fun (label, net) -> Hashtbl.replace c_input_index label net) c_inputs;
+  (* Reverse index: net -> blocks reading it (each block once, even when
+     it reads the net on several ports). Drives the worklist evaluator. *)
+  let rev_consumers = Array.make !n_nets [] in
+  Array.iteri
+    (fun bi (_, ins, _) ->
+      Array.iter
+        (fun net ->
+          match rev_consumers.(net) with
+          | b :: _ when b = bi -> ()
+          | existing -> rev_consumers.(net) <- bi :: existing)
+        ins)
+    c_blocks;
   { n_nets = !n_nets;
-    c_blocks = Array.of_list (List.rev !blocks);
+    c_blocks;
     c_delays = Array.of_list (List.rev !delays);
-    c_inputs = Array.of_list (List.rev !inputs);
-    c_outputs = Array.of_list (List.rev !outputs) }
+    c_inputs;
+    c_outputs = Array.of_list (List.rev !outputs);
+    c_input_index;
+    c_consumers = Array.map (fun l -> Array.of_list (List.rev l)) rev_consumers }
 
 (* Detect a channel cycle through blocks only: DFS on the block-to-block
    reachability induced by channels, cutting edges at delays. *)

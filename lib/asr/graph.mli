@@ -67,7 +67,16 @@ type compiled = {
       (** input net, output net, initial value *)
   c_inputs : (string * int) array;   (** env input name, driven net *)
   c_outputs : (string * int) array;  (** env output name, observed net *)
+  c_input_index : (string, int) Hashtbl.t;
+      (** env input name -> driven net, for O(1) stimulus binding *)
+  c_consumers : int array array;
+      (** net -> indices into [c_blocks] of the blocks reading it (each
+          block listed once); the reverse index behind the worklist
+          fixpoint strategy *)
 }
+
+val input_net : compiled -> string -> int option
+(** Net driven by the named environment input, if any. *)
 
 val compile : t -> compiled
 (** Validates that every in-port is driven. Raises [Invalid_argument]

@@ -7,6 +7,11 @@ let add_child node label =
   node.children <- node.children @ [ child ];
   child
 
+let add_leaves node ~prefix n =
+  for i = 1 to n do
+    ignore (add_child node (Printf.sprintf "%s %d" prefix i))
+  done
+
 let rec leaf_count node =
   match node.children with
   | [] -> 1

@@ -11,6 +11,10 @@ val make : string -> t
 val add_child : t -> string -> t
 (** Append a child and return it. *)
 
+val add_leaves : t -> prefix:string -> int -> unit
+(** Append [n] numbered leaf children ["prefix 1" .. "prefix n"] — how
+    composite blocks record their internal sweeps as sub-instants. *)
+
 val leaf_count : t -> int
 
 val depth : t -> int

@@ -1,0 +1,147 @@
+type group =
+  | Acyclic of int
+  | Cyclic of int array
+
+type t = {
+  groups : group array;
+  linear : int array;
+  n_blocks : int;
+  n_cyclic_blocks : int;
+}
+
+(* Block-dependency successors: block [j] feeds block [i] when one of
+   [j]'s output nets is an input net of [i]. Delay elements break edges
+   by construction — a delay's output net has no producing block, so a
+   path through a delay never appears here. *)
+let successors (c : Graph.compiled) =
+  Array.map
+    (fun (_, _, outs) ->
+      let seen = Hashtbl.create 4 in
+      let acc = ref [] in
+      Array.iter
+        (fun net ->
+          Array.iter
+            (fun bi ->
+              if not (Hashtbl.mem seen bi) then begin
+                Hashtbl.add seen bi ();
+                acc := bi :: !acc
+              end)
+            c.Graph.c_consumers.(net))
+        outs;
+      Array.of_list (List.rev !acc))
+    c.Graph.c_blocks
+
+(* Iterative Tarjan (explicit DFS frames: deep pipelines must not blow
+   the OCaml stack). Emits SCCs in topological order of the condensation
+   DAG: Tarjan completes an SCC only after everything it reaches, so
+   consing each completed component yields sources-first. *)
+let sccs (c : Graph.compiled) =
+  let n = Array.length c.Graph.c_blocks in
+  let succ = successors c in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let counter = ref 0 in
+  let out = ref [] in
+  let discover v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    Stack.push v stack;
+    on_stack.(v) <- true
+  in
+  let visit root =
+    let frames = Stack.create () in
+    discover root;
+    Stack.push (root, ref 0) frames;
+    while not (Stack.is_empty frames) do
+      let v, next_child = Stack.top frames in
+      if !next_child < Array.length succ.(v) then begin
+        let w = succ.(v).(!next_child) in
+        incr next_child;
+        if index.(w) < 0 then begin
+          discover w;
+          Stack.push (w, ref 0) frames
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+      end
+      else begin
+        ignore (Stack.pop frames);
+        if lowlink.(v) = index.(v) then begin
+          let members = ref [] in
+          let more = ref true in
+          while !more do
+            let w = Stack.pop stack in
+            on_stack.(w) <- false;
+            members := w :: !members;
+            if w = v then more := false
+          done;
+          out := !members :: !out
+        end;
+        match Stack.top_opt frames with
+        | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+        | None -> ()
+      end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then visit v
+  done;
+  !out
+
+let reads_own_output (c : Graph.compiled) bi =
+  let _, ins, outs = c.Graph.c_blocks.(bi) in
+  Array.exists (fun o -> Array.exists (fun i -> i = o) ins) outs
+
+let of_compiled (c : Graph.compiled) =
+  let n_blocks = Array.length c.Graph.c_blocks in
+  let n_cyclic = ref 0 in
+  let groups =
+    List.map
+      (fun members ->
+        match members with
+        | [ b ] when not (reads_own_output c b) -> Acyclic b
+        | members ->
+            let members = Array.of_list (List.sort compare members) in
+            n_cyclic := !n_cyclic + Array.length members;
+            Cyclic members)
+      (sccs c)
+  in
+  let groups = Array.of_list groups in
+  let linear = Array.make n_blocks 0 in
+  let k = ref 0 in
+  Array.iter
+    (fun g ->
+      let push b =
+        linear.(!k) <- b;
+        incr k
+      in
+      match g with Acyclic b -> push b | Cyclic ms -> Array.iter push ms)
+    groups;
+  { groups; linear; n_blocks; n_cyclic_blocks = !n_cyclic }
+
+let groups t = Array.to_list t.groups
+
+let linear_order t = t.linear
+
+let block_count t = t.n_blocks
+
+let cyclic_block_count t = t.n_cyclic_blocks
+
+let is_feed_forward t = t.n_cyclic_blocks = 0
+
+let pp ppf t =
+  Format.fprintf ppf "schedule: %d block(s), %d group(s), %d cyclic@."
+    t.n_blocks (Array.length t.groups) t.n_cyclic_blocks;
+  Array.iter
+    (fun g ->
+      match g with
+      | Acyclic b -> Format.fprintf ppf "  once   #%d@." b
+      | Cyclic ms ->
+          Format.fprintf ppf "  iterate {%s}@."
+            (String.concat " "
+               (Array.to_list (Array.map string_of_int ms))))
+    t.groups
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,48 @@
+(** Static evaluation schedule for the per-instant fixed point.
+
+    The block-dependency graph (delay elements break edges) is condensed
+    with Tarjan's SCC algorithm and the condensation DAG is ordered
+    topologically. The resulting schedule evaluates every acyclic block
+    exactly once, in dependency order; only genuinely cyclic strongly
+    connected components need bounded inner iteration (paper §3 after
+    Edwards' exact static scheduling of synchronous programs).
+
+    A schedule is computed once per {!Graph.compile}d system and reused
+    for every instant by {!Fixpoint}, {!Simulate} and {!Compose}. *)
+
+type group =
+  | Acyclic of int
+      (** A block (index into [c_blocks]) outside every delay-free
+          cycle: one application with final inputs suffices. *)
+  | Cyclic of int array
+      (** A delay-free strongly connected component (block indices in
+          declaration order): needs inner iteration to its local fixed
+          point, bounded by the component's net count. *)
+
+type t
+
+val of_compiled : Graph.compiled -> t
+
+val sccs : Graph.compiled -> int list list
+(** Strongly connected components of the block-dependency graph in
+    topological order of the condensation DAG (producers before
+    consumers). Exposed for tests. *)
+
+val groups : t -> group list
+(** Schedule groups in evaluation (topological) order. *)
+
+val linear_order : t -> int array
+(** All block indices flattened in schedule order — a valid [order] for
+    chaotic iteration and the seed order of the worklist evaluator. *)
+
+val block_count : t -> int
+
+val cyclic_block_count : t -> int
+(** Number of blocks sitting inside delay-free cycles (0 for
+    feed-forward systems). *)
+
+val is_feed_forward : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -7,49 +7,75 @@ type trace_entry = {
 
 type t = {
   compiled : Graph.compiled;
+  schedule : Schedule.t;
+  strategy : Fixpoint.strategy;
   order : int array option;
+  nets_buffer : Domain.t array;
   mutable delays : Domain.t array;
   mutable instant : int;
+  mutable evaluations : int;
 }
 
 let initial_delays compiled =
   Array.map (fun (_, _, init) -> init) compiled.Graph.c_delays
 
-let create ?order graph =
+let create ?order ?strategy graph =
   let compiled = Graph.compile graph in
-  { compiled; order; delays = initial_delays compiled; instant = 0 }
+  let schedule = Schedule.of_compiled compiled in
+  let strategy =
+    match (strategy, order) with
+    | Some s, _ -> s
+    | None, Some _ -> Fixpoint.Chaotic
+    | None, None -> Fixpoint.Worklist
+  in
+  (match (order, strategy) with
+  | Some _, (Fixpoint.Scheduled | Fixpoint.Worklist) ->
+      invalid_arg
+        "Simulate.create: explicit evaluation order requires the chaotic \
+         strategy"
+  | _ -> ());
+  { compiled;
+    schedule;
+    strategy;
+    order;
+    nets_buffer = Array.make compiled.Graph.n_nets Domain.Bottom;
+    delays = initial_delays compiled;
+    instant = 0;
+    evaluations = 0 }
 
-let step t inputs =
+(* One instant: run the fixed point into the reused net buffer, harvest
+   outputs and the next delay state before the buffer is recycled. *)
+let react t inputs =
   let result =
-    match t.order with
-    | Some order ->
-        Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ~order ()
-    | None -> Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ()
+    Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ?order:t.order
+      ~strategy:t.strategy ~schedule:t.schedule ~nets:t.nets_buffer ()
   in
   t.delays <- Fixpoint.delay_next t.compiled result;
   t.instant <- t.instant + 1;
-  Fixpoint.outputs t.compiled result
+  t.evaluations <- t.evaluations + result.Fixpoint.block_evaluations;
+  (Fixpoint.outputs t.compiled result, result.Fixpoint.iterations)
+
+let step t inputs = fst (react t inputs)
 
 let run t stream =
   List.map
     (fun inputs ->
       let instant = t.instant in
-      let result =
-        match t.order with
-        | Some order ->
-            Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ~order ()
-        | None -> Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ()
-      in
-      t.delays <- Fixpoint.delay_next t.compiled result;
-      t.instant <- t.instant + 1;
-      { instant; inputs; outputs = Fixpoint.outputs t.compiled result;
-        iterations = result.Fixpoint.iterations })
+      let outputs, iterations = react t inputs in
+      { instant; inputs; outputs; iterations })
     stream
 
+let strategy t = t.strategy
+
+let schedule t = t.schedule
+
 let instant_count t = t.instant
+
+let block_evaluations t = t.evaluations
 
 let delay_state t = Array.copy t.delays
 
 let reset t =
   t.delays <- initial_delays t.compiled;
-  t.instant <- 0
+  t.instant <- 0;
+  t.evaluations <- 0

@@ -2,7 +2,9 @@
 
     ASR systems are reactive — the environment initiates every instant
     by presenting inputs; with no input the system sits idle (paper §3).
-    The simulator owns the delay state between instants. *)
+    The simulator owns the delay state between instants, compiles the
+    evaluation {!Schedule} once at creation, and reuses one net buffer
+    across instants instead of allocating per reaction. *)
 
 type t
 
@@ -13,9 +15,13 @@ type trace_entry = {
   iterations : int;
 }
 
-val create : ?order:int array -> Graph.t -> t
-(** Compiles the graph; [order] fixes a block evaluation order for all
-    instants (determinism tests shuffle it). *)
+val create : ?order:int array -> ?strategy:Fixpoint.strategy -> Graph.t -> t
+(** Compiles the graph and its schedule. [strategy] defaults to
+    {!Fixpoint.Worklist} — near-linear per instant on feed-forward
+    systems — unless [order] is given, which selects chaotic iteration
+    under that fixed block order (determinism tests shuffle it).
+    Passing [order] together with a non-chaotic [strategy] raises
+    [Invalid_argument]. *)
 
 val step : t -> (string * Domain.t) list -> (string * Domain.t) list
 (** React to one instant's inputs; returns the outputs and advances the
@@ -24,9 +30,18 @@ val step : t -> (string * Domain.t) list -> (string * Domain.t) list
 val run : t -> (string * Domain.t) list list -> trace_entry list
 (** Feed a stream of instants. *)
 
+val strategy : t -> Fixpoint.strategy
+
+val schedule : t -> Schedule.t
+(** The schedule precompiled at creation. *)
+
 val instant_count : t -> int
+
+val block_evaluations : t -> int
+(** Total block applications across all instants since creation (or the
+    last {!reset}) — the quantity the scheduling strategies minimize. *)
 
 val delay_state : t -> Domain.t array
 
 val reset : t -> unit
-(** Back to initial delay values and instant 0. *)
+(** Back to initial delay values, instant 0, evaluation count 0. *)

@@ -18,4 +18,5 @@ let () =
       ("analysis-extras", Test_analysis_extras.suite);
       ("misc", Test_misc.suite);
       ("random-graphs", Test_random_graphs.suite);
+      ("schedule", Test_schedule.suite);
       ("uart", Test_uart.suite) ]
