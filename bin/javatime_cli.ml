@@ -31,7 +31,7 @@ let class_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"CLASS")
 
 let check_cmd =
-  let run file policy =
+  let run file policy json =
     handle (fun () ->
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
         let violations =
@@ -42,20 +42,27 @@ let check_cmd =
               Format.eprintf "unknown policy '%s' (asr|sdf)@." other;
               exit 1
         in
-        Policy.Rule.pp_report Format.std_formatter violations;
-        List.iter
-          (fun f ->
-            Format.printf "note: %a@." Mj.Definite_assignment.pp_finding f)
-          (Mj.Definite_assignment.check checked.Mj.Typecheck.program);
+        if json then print_endline (Policy.Rule.report_to_json violations)
+        else begin
+          Policy.Rule.pp_report Format.std_formatter violations;
+          List.iter
+            (fun f ->
+              Format.printf "note: %a@." Mj.Definite_assignment.pp_finding f)
+            (Mj.Definite_assignment.check checked.Mj.Typecheck.program)
+        end;
         if List.exists Policy.Rule.is_blocking violations then exit 2)
   in
   let policy_arg =
     Arg.(value & opt string "asr" & info [ "policy" ] ~docv:"POLICY"
            ~doc:"Policy of use: asr (synchronous reactive) or sdf (dataflow)")
   in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the report as JSON (rule id, severity, span, fixes)")
+  in
   Cmd.v
     (Cmd.info "check" ~doc:"Type-check and verify a policy of use")
-    Term.(const run $ file_arg $ policy_arg)
+    Term.(const run $ file_arg $ policy_arg $ json_flag)
 
 let refine_cmd =
   let run file print_program policy =

@@ -1,0 +1,163 @@
+(* Control-flow graphs over typed MJ method bodies.
+
+   Statements are flattened into basic blocks of atomic commands.
+   Branching conditions are decomposed recursively: short-circuit
+   operators ([&&], [||], [!]) become separate blocks and edges, so each
+   [Assume] command carries one atomic condition with its evaluation
+   order preserved (the right operand of [&&] is only evaluated on the
+   path where the left operand held). [break]/[continue] become edges to
+   the loop exit/continuation blocks; [return] jumps to the dedicated
+   exit block.
+
+   A [Loop_head] marker command is placed immediately before each [for]
+   statement's initializer; clients use it to observe the abstract state
+   at loop entry (keyed by the statement's source span). *)
+
+open Mj.Ast
+
+type command =
+  | Decl of ty * string * expr option
+  | Eval of expr
+  | Assume of expr * bool  (* condition, branch sense *)
+  | Ret of expr option
+  | Loop_head of Mj.Loc.t  (* marks entry of the [for] at this span *)
+
+type block = {
+  id : int;
+  mutable cmds : command list;  (* execution order (reversed while building) *)
+  mutable succs : int list;
+}
+
+type t = { blocks : block array; entry : int; exit_id : int }
+
+let build stmts =
+  let rev_blocks = ref [] in
+  let count = ref 0 in
+  let new_block () =
+    let b = { id = !count; cmds = []; succs = [] } in
+    incr count;
+    rev_blocks := b :: !rev_blocks;
+    b
+  in
+  let entry = new_block () in
+  let exit_b = new_block () in
+  let add b c = b.cmds <- c :: b.cmds in
+  let edge a b = if not (List.mem b.id a.succs) then a.succs <- b.id :: a.succs in
+  (* Route control on [cond] from [cur] to [tb] (held) or [fb] (failed),
+     splitting short-circuit operators into their evaluation order. *)
+  let rec branch cur cond tb fb =
+    match cond.expr with
+    | Binary (And, a, b) ->
+        let mid = new_block () in
+        branch cur a mid fb;
+        branch mid b tb fb
+    | Binary (Or, a, b) ->
+        let mid = new_block () in
+        branch cur a tb mid;
+        branch mid b tb fb
+    | Unary (Not, a) -> branch cur a fb tb
+    | _ ->
+        let ta = new_block () in
+        add ta (Assume (cond, true));
+        edge ta tb;
+        let fa = new_block () in
+        add fa (Assume (cond, false));
+        edge fa fb;
+        edge cur ta;
+        edge cur fa
+  in
+  (* Translate [s] starting in block [cur]; return the block where the
+     fall-through continuation lives. [brk]/[cont] are the innermost
+     loop's exit and continuation blocks. *)
+  let rec stmt cur ~brk ~cont s =
+    match s.stmt with
+    | Block ss -> seq cur ~brk ~cont ss
+    | Var_decl (ty, name, init) ->
+        add cur (Decl (ty, name, init));
+        cur
+    | Expr e ->
+        add cur (Eval e);
+        cur
+    | Empty -> cur
+    | Super_call args ->
+        List.iter (fun a -> add cur (Eval a)) args;
+        cur
+    | Return e ->
+        add cur (Ret e);
+        edge cur exit_b;
+        new_block ()
+    | Break ->
+        (match brk with Some b -> edge cur b | None -> edge cur exit_b);
+        new_block ()
+    | Continue ->
+        (match cont with Some b -> edge cur b | None -> edge cur exit_b);
+        new_block ()
+    | If (c, then_s, else_s) ->
+        let tb = new_block () and fb = new_block () and join = new_block () in
+        branch cur c tb fb;
+        edge (stmt tb ~brk ~cont then_s) join;
+        (match else_s with
+        | Some else_s -> edge (stmt fb ~brk ~cont else_s) join
+        | None -> edge fb join);
+        join
+    | While (c, body) ->
+        let head = new_block () and bb = new_block () and out = new_block () in
+        edge cur head;
+        branch head c bb out;
+        edge (stmt bb ~brk:(Some out) ~cont:(Some head) body) head;
+        out
+    | Do_while (body, c) ->
+        let bb = new_block () and cb = new_block () and out = new_block () in
+        edge cur bb;
+        edge (stmt bb ~brk:(Some out) ~cont:(Some cb) body) cb;
+        branch cb c bb out;
+        out
+    | For (init, cond, update, body) ->
+        add cur (Loop_head s.sloc);
+        (match init with
+        | Some (For_var (ty, name, e)) -> add cur (Decl (ty, name, e))
+        | Some (For_expr e) -> add cur (Eval e)
+        | None -> ());
+        let head = new_block ()
+        and bb = new_block ()
+        and ub = new_block ()
+        and out = new_block () in
+        edge cur head;
+        (match cond with
+        | Some c -> branch head c bb out
+        | None -> edge head bb);
+        edge (stmt bb ~brk:(Some out) ~cont:(Some ub) body) ub;
+        (match update with Some u -> add ub (Eval u) | None -> ());
+        edge ub head;
+        out
+  and seq cur ~brk ~cont ss =
+    List.fold_left (fun cur s -> stmt cur ~brk ~cont s) cur ss
+  in
+  let last = seq entry ~brk:None ~cont:None stmts in
+  edge last exit_b;
+  let blocks =
+    Array.make !count { id = 0; cmds = []; succs = [] }
+  in
+  List.iter
+    (fun b -> blocks.(b.id) <- { b with cmds = List.rev b.cmds })
+    !rev_blocks;
+  { blocks; entry = entry.id; exit_id = exit_b.id }
+
+let pp_command ppf = function
+  | Decl (_, name, _) -> Format.fprintf ppf "decl %s" name
+  | Eval _ -> Format.fprintf ppf "eval"
+  | Assume (_, sense) -> Format.fprintf ppf "assume(%b)" sense
+  | Ret _ -> Format.fprintf ppf "ret"
+  | Loop_head loc -> Format.fprintf ppf "loop-head %a" Mj.Loc.pp loc
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "B%d%s -> [%s]:@."
+        b.id
+        (if b.id = t.entry then " (entry)"
+         else if b.id = t.exit_id then " (exit)"
+         else "")
+        (String.concat ", " (List.map string_of_int b.succs));
+      List.iter (fun c -> Format.fprintf ppf "  %a@." pp_command c) b.cmds)
+    t.blocks

@@ -1,0 +1,200 @@
+(* Static shared-field race detector.
+
+   The static counterpart of the paper's Fig. 8 demonstration: instead
+   of exhibiting one bad interleaving with seeded schedules, walk the
+   call graph from every thread's [run] entry point and report each
+   static field that is reachable from more than one thread class with
+   at least one write. Programs without [Thread] subclasses (the ASR
+   style the policy of use enforces) trivially have no races — reactions
+   are executed sequentially by the simulator.
+
+   Accesses performed by [main] after [Thread.join] are ordered by the
+   join and therefore not counted: only the [run] methods (and everything
+   they reach, including constructors of objects they allocate) are
+   roots. *)
+
+open Mj.Ast
+
+type access = { a_root : string; a_loc : Mj.Loc.t; a_write : bool }
+
+type race = {
+  r_class : string;  (* class declaring the field *)
+  r_field : string;
+  r_roots : string list;  (* thread classes that reach the field *)
+  r_writes : (string * Mj.Loc.t) list;  (* root, write site *)
+  r_reads : (string * Mj.Loc.t) list;
+  r_loc : Mj.Loc.t;  (* representative source span (first write) *)
+}
+
+let thread_classes checked =
+  let tab = checked.Mj.Typecheck.symtab in
+  List.filter_map
+    (fun cls ->
+      if
+        (not (String.equal cls.cl_name "Thread"))
+        && Mj.Symtab.is_subclass tab ~sub:cls.cl_name ~super:"Thread"
+      then Some cls.cl_name
+      else None)
+    checked.Mj.Typecheck.program.classes
+
+(* Bodies reachable from one root method, across resolved calls,
+   dynamic-dispatch overrides, and constructor invocations. *)
+let reachable_bodies checked ~cls ~mname =
+  let tab = checked.Mj.Typecheck.symtab in
+  let program = Mj.Symtab.program tab in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let override_bodies defining mname =
+    List.filter_map
+      (fun c ->
+        if
+          (not (String.equal c.cl_name defining))
+          && Mj.Symtab.is_subclass tab ~sub:c.cl_name ~super:defining
+        then
+          Option.bind (find_method c mname) (fun m ->
+              Option.map (fun b -> (c.cl_name, mname, b)) m.m_body)
+        else None)
+      program.classes
+  in
+  let rec visit_method cls mname =
+    let key = ("m", cls, mname) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      match Mj.Symtab.lookup_method tab cls mname with
+      | None -> ()
+      | Some (defining, m) ->
+          (match m.m_body with
+          | Some body -> take (Printf.sprintf "%s.%s" defining mname) body
+          | None -> ());
+          List.iter
+            (fun (owner, mn, body) ->
+              let key = ("m", owner, mn) in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                take (Printf.sprintf "%s.%s" owner mn) body
+              end)
+            (override_bodies defining mname)
+    end
+  and visit_ctor cls arity =
+    let key = ("c", cls, string_of_int arity) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      (match find_class program cls with
+      | Some decl ->
+          List.iter
+            (fun f ->
+              match f.f_init with
+              | Some e when not f.f_mods.is_static ->
+                  take
+                    (Printf.sprintf "%s.%s=" cls f.f_name)
+                    [ { stmt = Expr e; sloc = e.eloc } ]
+              | _ -> ())
+            decl.cl_fields
+      | None -> ());
+      match Mj.Symtab.lookup_ctor tab cls arity with
+      | Some ctor -> take (Printf.sprintf "%s.<init>" cls) ctor.c_body
+      | None -> (
+          (* Implicit default constructor: field inits only, plus the
+             superclass chain. *)
+          match Mj.Symtab.superclass tab cls with
+          | Some super -> visit_ctor super 0
+          | None -> ())
+    end
+  and take name stmts =
+    out := (name, stmts) :: !out;
+    Mj.Visit.iter_exprs
+      (fun e ->
+        match e.expr with
+        | Call { resolved = Some r; mname; _ } when not r.rc_native ->
+            visit_method r.rc_class mname
+        | New_object (ncls, args) -> visit_ctor ncls (List.length args)
+        | _ -> ())
+      stmts
+  in
+  visit_method cls mname;
+  !out
+
+(* Canonical owner of a possibly-inherited static field. *)
+let owner_of checked cls fname =
+  match Mj.Symtab.lookup_field checked.Mj.Typecheck.symtab cls fname with
+  | Some (defining, _) -> defining
+  | None -> cls
+
+let detect checked =
+  let user =
+    List.map (fun c -> c.cl_name) checked.Mj.Typecheck.program.classes
+  in
+  let accesses : (string * string, access list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let note root ~cls ~field ~write loc =
+    let cls = owner_of checked cls field in
+    if List.mem cls user then begin
+      let key = (cls, field) in
+      let cell =
+        match Hashtbl.find_opt accesses key with
+        | Some c -> c
+        | None ->
+            let c = ref [] in
+            Hashtbl.replace accesses key c;
+            c
+      in
+      cell := { a_root = root; a_loc = loc; a_write = write } :: !cell
+    end
+  in
+  List.iter
+    (fun root ->
+      List.iter
+        (fun (_, stmts) ->
+          Mj.Visit.iter_exprs
+            (fun e ->
+              match e.expr with
+              | Static_field (cls, field) ->
+                  note root ~cls ~field ~write:false e.eloc
+              | Assign (Lstatic_field (cls, field), _) ->
+                  note root ~cls ~field ~write:true e.eloc
+              | Op_assign (_, Lstatic_field (cls, field), _)
+              | Pre_incr (_, Lstatic_field (cls, field))
+              | Post_incr (_, Lstatic_field (cls, field)) ->
+                  note root ~cls ~field ~write:true e.eloc;
+                  note root ~cls ~field ~write:false e.eloc
+              | _ -> ())
+            stmts)
+        (reachable_bodies checked ~cls:root ~mname:"run"))
+    (thread_classes checked);
+  let races = ref [] in
+  Hashtbl.iter
+    (fun (cls, field) cell ->
+      let accs = List.rev !cell in
+      let roots = List.sort_uniq compare (List.map (fun a -> a.a_root) accs) in
+      let writes =
+        List.filter_map
+          (fun a -> if a.a_write then Some (a.a_root, a.a_loc) else None)
+          accs
+      in
+      if List.length roots >= 2 && writes <> [] then
+        races :=
+          { r_class = cls;
+            r_field = field;
+            r_roots = roots;
+            r_writes = writes;
+            r_reads =
+              List.filter_map
+                (fun a -> if a.a_write then None else Some (a.a_root, a.a_loc))
+                accs;
+            r_loc = snd (List.hd writes) }
+          :: !races)
+    accesses;
+  List.sort (fun a b -> compare (a.r_class, a.r_field) (b.r_class, b.r_field))
+    !races
+
+let describe r =
+  let writers =
+    List.sort_uniq compare (List.map (fun (root, _) -> root) r.r_writes)
+  in
+  Printf.sprintf
+    "static field '%s.%s' is shared by %s and written from %s without \
+     synchronization"
+    r.r_class r.r_field
+    (String.concat ", " (List.map (fun c -> c ^ ".run") r.r_roots))
+    (String.concat ", " (List.map (fun c -> c ^ ".run") writers))

@@ -155,6 +155,8 @@ let w_instr buf (instr : Instr.t) =
   | Instr.Dup_x2 -> w_u8 buf 35
   | Instr.Coerce ty -> w_u8 buf 36; w_ty buf ty
   | Instr.Yield_point -> w_u8 buf 37
+  | Instr.Aload_u -> w_u8 buf 38
+  | Instr.Astore_u -> w_u8 buf 39
 
 let r_instr r : Instr.t =
   match r_u8 r with
@@ -202,6 +204,8 @@ let r_instr r : Instr.t =
   | 35 -> Instr.Dup_x2
   | 36 -> Instr.Coerce (r_ty r)
   | 37 -> Instr.Yield_point
+  | 38 -> Instr.Aload_u
+  | 39 -> Instr.Astore_u
   | n -> failwith (Printf.sprintf "classfile: bad instruction tag %d" n)
 
 let magic = "MJC1"

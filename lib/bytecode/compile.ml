@@ -22,6 +22,9 @@ type emitter = {
   mutable scopes : (string * (int * ty)) list list; (* innermost first *)
   mutable break_patches : int list list;
   mutable continue_patches : int list list;
+  (* Array-access sites (keyed by the span of the index subexpression)
+     whose bounds check the static analysis proved redundant. *)
+  elide : (Mj.Loc.t, unit) Hashtbl.t;
 }
 
 let emit em instr =
@@ -95,6 +98,13 @@ let static_field_type em cls fname =
 let coerce_into em ~target ~src =
   if is_double_ty target && not (is_double_ty src) then emit em Instr.I2d
 
+(* Checked or unchecked array access, per the elision plan. *)
+let aload em idx =
+  if Hashtbl.mem em.elide idx.eloc then Instr.Aload_u else Instr.Array_load
+
+let astore em idx =
+  if Hashtbl.mem em.elide idx.eloc then Instr.Astore_u else Instr.Array_store
+
 let rec compile_expr em e =
   match e.expr with
   | Int_lit n -> emit em (Instr.Const (Value.Int (Value.wrap32 n)))
@@ -117,7 +127,7 @@ let rec compile_expr em e =
   | Index (arr, idx) ->
       compile_expr em arr;
       compile_expr em idx;
-      emit em Instr.Array_load
+      emit em (aload em idx)
   | Call call -> compile_call em call
   | New_object (cls, args) ->
       List.iter2
@@ -244,7 +254,7 @@ and compile_assign em lv rhs =
       (match ety arr with
       | TArray elem -> coerce_into em ~target:elem ~src:(ety rhs)
       | _ -> ());
-      emit em Instr.Array_store
+      emit em (astore em idx)
 
 and lvalue_read_ty em = function
   | Lname name | Llocal name -> (
@@ -306,11 +316,11 @@ and compile_op_assign em op lv rhs =
       compile_expr em arr;
       compile_expr em idx;
       emit em Instr.Dup2;
-      emit em Instr.Array_load;
+      emit em (aload em idx);
       widen_old ();
       compile_rhs ();
       emit_op ();
-      emit em Instr.Array_store
+      emit em (astore em idx)
 
 and compile_incr em d lv ~post =
   let bump () =
@@ -364,17 +374,17 @@ and compile_incr em d lv ~post =
       compile_expr em arr;
       compile_expr em idx;
       emit em Instr.Dup2;
-      emit em Instr.Array_load;
+      emit em (aload em idx);
       if post then begin
         (* [a; i; old] -> [old; a; i; old] *)
         emit em Instr.Dup_x2;
         bump ();
-        emit em Instr.Array_store;
+        emit em (astore em idx);
         emit em Instr.Pop
       end
       else begin
         bump ();
-        emit em Instr.Array_store
+        emit em (astore em idx)
       end
 
 and compile_call em call =
@@ -556,11 +566,12 @@ and exit_loop em =
 (* Declarations                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let make_emitter tab cls ~is_static params =
+let make_emitter ~elide tab cls ~is_static params =
   let em =
     { code = Array.make 64 Instr.Ret; len = 0;
       next_slot = (if is_static then 0 else 1); max_slot = 0;
-      tab; cls; scopes = [ [] ]; break_patches = []; continue_patches = [] }
+      tab; cls; scopes = [ [] ]; break_patches = []; continue_patches = [];
+      elide }
   in
   em.max_slot <- em.next_slot;
   List.iter (fun (ty, name) -> ignore (alloc_slot em name ty)) params;
@@ -572,16 +583,19 @@ let finish em ~cls ~name ~params ~ret =
     mc_ret = ret; mc_nlocals = em.max_slot;
     mc_code = Array.sub em.code 0 em.len }
 
-let compile_method tab cls (m : method_decl) =
+let compile_method ~elide tab cls (m : method_decl) =
   match m.m_body with
   | None -> None
   | Some body ->
-      let em = make_emitter tab cls.cl_name ~is_static:m.m_mods.is_static m.m_params in
+      let em =
+        make_emitter ~elide tab cls.cl_name ~is_static:m.m_mods.is_static
+          m.m_params
+      in
       List.iter (compile_stmt em) body;
       Some (finish em ~cls:cls.cl_name ~name:m.m_name ~params:m.m_params ~ret:m.m_ret)
 
-let compile_ctor tab cls (c : ctor_decl) =
-  let em = make_emitter tab cls.cl_name ~is_static:false c.c_params in
+let compile_ctor ~elide tab cls (c : ctor_decl) =
+  let em = make_emitter ~elide tab cls.cl_name ~is_static:false c.c_params in
   let body_after_super =
     match c.c_body with
     | { stmt = Super_call args; _ } :: rest ->
@@ -625,7 +639,10 @@ let compile_ctor tab cls (c : ctor_decl) =
 let default_ctor_decl =
   { c_mods = Mj.Ast.no_mods; c_params = []; c_body = []; c_loc = Mj.Loc.dummy }
 
-let compile checked =
+let compile ?elide checked =
+  let elide =
+    match elide with Some h -> h | None -> Hashtbl.create 0
+  in
   let tab = checked.Mj.Typecheck.symtab in
   let all = (Mj.Symtab.program tab).classes in
   let im_methods = Hashtbl.create 64 in
@@ -634,7 +651,7 @@ let compile checked =
     (fun cls ->
       List.iter
         (fun m ->
-          match compile_method tab cls m with
+          match compile_method ~elide tab cls m with
           | Some mc -> Hashtbl.replace im_methods (cls.cl_name, m.m_name) mc
           | None -> ())
         cls.cl_methods;
@@ -643,11 +660,11 @@ let compile checked =
         (fun c ->
           Hashtbl.replace im_ctors
             (cls.cl_name, List.length c.c_params)
-            (compile_ctor tab cls c))
+            (compile_ctor ~elide tab cls c))
         ctors)
     all;
   (* Synthetic static initializer covering all classes in order. *)
-  let em = make_emitter tab "<clinit>" ~is_static:true [] in
+  let em = make_emitter ~elide tab "<clinit>" ~is_static:true [] in
   List.iter
     (fun (cls, f) ->
       match f.f_init with

@@ -14,8 +14,13 @@ type image = {
   im_static_init : Instr.method_code;
 }
 
-val compile : Mj.Typecheck.checked -> image
-(** Compile every class (builtins included). *)
+val compile :
+  ?elide:(Mj.Loc.t, unit) Hashtbl.t -> Mj.Typecheck.checked -> image
+(** Compile every class (builtins included). [elide] is the set of
+    array-access sites — keyed by the source span of the index
+    subexpression — whose bounds checks were statically proven
+    redundant; those sites compile to [Aload_u]/[Astore_u]. Defaults to
+    empty (all accesses checked). *)
 
 val find_method : image -> string -> string -> (string * Instr.method_code) option
 (** Resolve a method by dynamic dispatch from a class upward; returns the

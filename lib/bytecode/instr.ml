@@ -11,6 +11,10 @@ type t =
   | Array_load
   | Array_store
   | Array_len
+  (* Unchecked variants: the elision planner proved the index in range,
+     so the bounds check (and its cycle cost) is dropped. *)
+  | Aload_u
+  | Astore_u
   | New_object of string * int
   | New_array of Mj.Ast.ty
   | New_multi of Mj.Ast.ty * int
@@ -62,6 +66,8 @@ let pp ppf instr =
   | Array_load -> p "aload"
   | Array_store -> p "astore"
   | Array_len -> p "arraylen"
+  | Aload_u -> p "aload_u"
+  | Astore_u -> p "astore_u"
   | New_object (c, n) -> p "new %s/%d" c n
   | New_array ty -> p "newarray %s" (Mj.Ast.ty_to_string ty)
   | New_multi (ty, n) -> p "multianewarray %s/%d" (Mj.Ast.ty_to_string ty) n

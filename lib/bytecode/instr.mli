@@ -14,6 +14,8 @@ type t =
   | Array_load             (** [arr; idx] -> [value] *)
   | Array_store            (** [arr; idx; value] -> [value] *)
   | Array_len              (** [arr] -> [length] *)
+  | Aload_u                (** [Array_load] with the bounds check elided *)
+  | Astore_u               (** [Array_store] with the bounds check elided *)
   | New_object of string * int  (** [args...] -> [obj]; runs constructor *)
   | New_array of Mj.Ast.ty      (** element type; [len] -> [arr] *)
   | New_multi of Mj.Ast.ty * int (** element type, #dims; [d1..dn] -> [arr] *)

@@ -175,6 +175,27 @@ let rec translate t (mc : Instr.method_code) ~takes_this =
           Heap.array_set heap r i v;
           push fr v;
           pc + 1
+    | Instr.Aload_u ->
+        fun fr ->
+          Cost.array_unchecked cost;
+          let i = as_int (pop fr) in
+          let r = Heap.deref heap (pop fr) in
+          push fr (Heap.array_get_unchecked heap r i);
+          pc + 1
+    | Instr.Astore_u ->
+        fun fr ->
+          Cost.array_unchecked cost;
+          let v = pop fr in
+          let i = as_int (pop fr) in
+          let r = Heap.deref heap (pop fr) in
+          let v =
+            match Heap.get heap r with
+            | Heap.Arr { elem; _ } -> Machine.coerce elem v
+            | Heap.Object _ -> v
+          in
+          Heap.array_set_unchecked heap r i v;
+          push fr v;
+          pc + 1
     | Instr.Array_len ->
         fun fr ->
           let r = Heap.deref heap (pop fr) in
@@ -460,4 +481,5 @@ let of_image ?(tariff = Cost.jit_tariff) image =
   ignore (run_compiled static_init ~this:None []);
   t
 
-let create ?tariff checked = of_image ?tariff (Compile.compile checked)
+let create ?tariff ?elide checked =
+  of_image ?tariff (Compile.compile ?elide checked)

@@ -8,7 +8,11 @@
 
 type t
 
-val create : ?tariff:Mj_runtime.Cost.tariff -> Mj.Typecheck.checked -> t
+val create :
+  ?tariff:Mj_runtime.Cost.tariff ->
+  ?elide:(Mj.Loc.t, unit) Hashtbl.t ->
+  Mj.Typecheck.checked ->
+  t
 (** Default tariff is {!Mj_runtime.Cost.jit_tariff}. *)
 
 val of_image : ?tariff:Mj_runtime.Cost.tariff -> Compile.image -> t

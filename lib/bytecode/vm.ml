@@ -174,6 +174,25 @@ let rec exec t (mc : Instr.method_code) ~this args =
         Heap.array_set heap r i v;
         push fr v;
         step (pc + 1)
+    | Instr.Aload_u ->
+        Cost.array_unchecked cost;
+        let i = as_int (pop fr) in
+        let r = Heap.deref heap (pop fr) in
+        push fr (Heap.array_get_unchecked heap r i);
+        step (pc + 1)
+    | Instr.Astore_u ->
+        Cost.array_unchecked cost;
+        let v = pop fr in
+        let i = as_int (pop fr) in
+        let r = Heap.deref heap (pop fr) in
+        let v =
+          match Heap.get heap r with
+          | Heap.Arr { elem; _ } -> Machine.coerce elem v
+          | Heap.Object _ -> v
+        in
+        Heap.array_set_unchecked heap r i v;
+        push fr v;
+        step (pc + 1)
     | Instr.Array_len ->
         Cost.field cost;
         let r = Heap.deref heap (pop fr) in
@@ -390,4 +409,5 @@ let of_image ?tariff image =
   ignore (exec t image.Compile.im_static_init ~this:None []);
   t
 
-let create ?tariff checked = of_image ?tariff (Compile.compile checked)
+let create ?tariff ?elide checked =
+  of_image ?tariff (Compile.compile ?elide checked)

@@ -6,7 +6,11 @@
 
 type t
 
-val create : ?tariff:Mj_runtime.Cost.tariff -> Mj.Typecheck.checked -> t
+val create :
+  ?tariff:Mj_runtime.Cost.tariff ->
+  ?elide:(Mj.Loc.t, unit) Hashtbl.t ->
+  Mj.Typecheck.checked ->
+  t
 (** Compile the program, allocate machine state, run the static
     initializer. *)
 

@@ -18,15 +18,19 @@ val elaborate :
   ?bounded_memory:bool ->
   ?gc_threshold:int ->
   ?ctor_args:Mj_runtime.Value.t list ->
+  ?elide_bounds_checks:bool ->
   Mj.Typecheck.checked ->
   cls:string ->
   t
 (** Defaults: VM engine, policy enforced (raises [Invalid_argument] on a
     non-compliant program), bounded memory armed (reactive-phase
     allocation raises), garbage collection disabled, zero constructor
-    arguments. [gc_threshold] (in heap words) arms the JDK-style
-    collector: reactive allocation beyond the threshold charges a pause
-    proportional to the approximate live size. *)
+    arguments, bounds checks kept. [gc_threshold] (in heap words) arms
+    the JDK-style collector: reactive allocation beyond the threshold
+    charges a pause proportional to the approximate live size.
+    [elide_bounds_checks] runs the interval analysis and compiles
+    statically safe array accesses to unchecked instructions (bytecode
+    engines only; the interpreter ignores it). *)
 
 val ports : t -> int * int
 (** Input and output port counts declared during initialization. *)

@@ -125,3 +125,10 @@ let exists_stmt pred stmts =
   let found = ref false in
   iter_stmts ~stmt:(fun s -> if pred s then found := true) ~expr:(fun _ -> ()) stmts;
   !found
+
+let iter_expr = iter_expr_deep
+
+let exists_expr_deep pred e =
+  let found = ref false in
+  iter_expr_deep (fun x -> if pred x then found := true) e;
+  !found

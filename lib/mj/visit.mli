@@ -28,3 +28,9 @@ val iter_exprs : (Ast.expr -> unit) -> Ast.stmt list -> unit
 val exists_expr : (Ast.expr -> bool) -> Ast.stmt list -> bool
 
 val exists_stmt : (Ast.stmt -> bool) -> Ast.stmt list -> bool
+
+val iter_expr : (Ast.expr -> unit) -> Ast.expr -> unit
+(** Pre-order walk of one expression tree (including lvalue
+    subexpressions). *)
+
+val exists_expr_deep : (Ast.expr -> bool) -> Ast.expr -> bool

@@ -183,7 +183,10 @@ and check_bounded_for checked =
             ~stmt:(fun s ->
               match s.stmt with
               | For _ -> (
-                  match Loop_bounds.for_bound checked s with
+                  match
+                    Loop_bounds.for_bound ~enclosing:body.Mj.Visit.b_stmts
+                      checked s
+                  with
                   | Loop_bounds.Bounded _ -> ()
                   | Loop_bounds.Index_modified name ->
                       violations :=
@@ -433,11 +436,47 @@ and check_bounded_reaction checked =
     (Phases.asr_classes checked)
 
 (* ------------------------------------------------------------------ *)
+(* R10: no shared-field races                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec rule_no_races =
+  { Rule.id = "R10-no-shared-field-races";
+    title = "static fields may not be shared between threads with writes";
+    paper_ref =
+      "§4.2/Fig. 8: the unrestricted threaded example communicates through \
+       an unprotected shared variable; the ASR restriction removes the race \
+       by construction";
+    check = check_no_races }
+
+and check_no_races checked =
+  List.concat_map
+    (fun (r : Analysis.Races.race) ->
+      let head =
+        Rule.make_violation ~rule:rule_no_races ~loc:r.Analysis.Races.r_loc
+          ~subject:(r.r_class ^ "." ^ r.r_field)
+          ~fixes:
+            [ Rule.Manual
+                "communicate through an ASR channel (or join before reading) \
+                 instead of an unsynchronized static field" ]
+          (Analysis.Races.describe r)
+      in
+      let site (root, loc) what =
+        Rule.make_violation ~rule:rule_no_races ~severity:Rule.Caution ~loc
+          ~subject:(r.r_class ^ "." ^ r.r_field)
+          ~fixes:[]
+          (Printf.sprintf "%s of racy field from %s.run" what root)
+      in
+      head
+      :: (List.map (fun w -> site w "write") r.r_writes
+         @ List.map (fun rd -> site rd "read") r.r_reads))
+    (Analysis.Races.detect checked)
+
+(* ------------------------------------------------------------------ *)
 
 let rules =
   [ rule_no_threads; rule_no_reactive_alloc; rule_no_while; rule_bounded_for;
     rule_no_recursion; rule_private_state; rule_no_finalizers;
-    rule_linked_structures; rule_bounded_reaction ]
+    rule_linked_structures; rule_bounded_reaction; rule_no_races ]
 
 let rule_ids = List.map (fun r -> r.Rule.id) rules
 

@@ -2,8 +2,13 @@ open Mj.Ast
 
 let local_escapes name stmts =
   let escapes = ref false in
-  let is_x e =
-    match e.expr with Local n | Name n -> String.equal n name | _ -> false
+  (* A cast does not launder the reference: [(int[]) x] still escapes
+     wherever [x] would. *)
+  let rec is_x e =
+    match e.expr with
+    | Local n | Name n -> String.equal n name
+    | Cast (_, inner) -> is_x inner
+    | _ -> false
   in
   Mj.Visit.iter_stmts stmts
     ~stmt:(fun s ->
@@ -15,7 +20,7 @@ let local_escapes name stmts =
       match e.expr with
       | Call { args; _ } -> if List.exists is_x args then escapes := true
       | New_object (_, args) -> if List.exists is_x args then escapes := true
-      | Assign (lv, rhs) ->
+      | Assign (lv, rhs) | Op_assign (_, lv, rhs) ->
           if is_x rhs then (
             match lv with
             | Lname n | Llocal n when String.equal n name -> ()

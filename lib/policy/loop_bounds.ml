@@ -79,7 +79,10 @@ let iterations ~start ~limit ~step ~op =
   in
   if count < 0 then None else Some (max 0 count)
 
-let for_bound checked s =
+(* The original syntactic recognizer: [int i = <const>; i REL <const>;
+   i += <const>]. Kept as the fast path; the interval fallback below
+   subsumes it for everything it accepts. *)
+let syntactic_for_bound checked s =
   match s.stmt with
   | For (init, cond, update, body) -> (
       let index =
@@ -120,6 +123,23 @@ let for_bound checked s =
   | Block _ | Var_decl _ | Expr _ | If _ | While _ | Do_while _ | Return _
   | Break | Continue | Super_call _ | Empty ->
       invalid_arg "Loop_bounds.for_bound: not a for statement"
+
+(* Full bound computation: syntactic first, then the interval analysis
+   over [enclosing] (the method body containing the loop; defaults to
+   the loop alone). The fallback sees bounds flowing through locals,
+   affine limit arithmetic, and nested-loop index ranges — anything the
+   abstract environment at the loop head pins down. Entry parameters
+   and call results are top there, so loops governed by runtime inputs
+   stay Unrecognized. *)
+let for_bound ?enclosing checked s =
+  match syntactic_for_bound checked s with
+  | (Bounded _ | Index_modified _) as r -> r
+  | Unrecognized _ as r -> (
+      let enclosing = match enclosing with Some ss -> ss | None -> [ s ] in
+      let summary = Analysis.Interval.analyze checked enclosing in
+      match Analysis.Interval.for_bound checked summary s with
+      | Some n -> Bounded n
+      | None -> r)
 
 (* while (i REL limit) { body...; i += c; } where body does not
    otherwise touch i, and limit/step are compile-time constants. A

@@ -11,8 +11,20 @@ type bound_result =
   | Index_modified of string
   | Unrecognized of string
 
-val for_bound : Mj.Typecheck.checked -> Mj.Ast.stmt -> bound_result
-(** Analyze a [For] statement ([Invalid_argument] on other kinds). *)
+val for_bound :
+  ?enclosing:Mj.Ast.stmt list ->
+  Mj.Typecheck.checked ->
+  Mj.Ast.stmt ->
+  bound_result
+(** Analyze a [For] statement ([Invalid_argument] on other kinds). The
+    syntactic recognizer runs first; on [Unrecognized] the interval
+    analysis over [enclosing] (the surrounding method body, defaulting
+    to the loop alone) gets a chance to bound the loop — it sees
+    constants flowing through locals and affine limit arithmetic the
+    syntactic shape misses. *)
+
+val syntactic_for_bound : Mj.Typecheck.checked -> Mj.Ast.stmt -> bound_result
+(** The purely syntactic recognizer alone (no interval fallback). *)
 
 val while_convertible : Mj.Typecheck.checked -> Mj.Ast.stmt -> bool
 (** True when the SFR catalogue's while-to-for transformation applies:

@@ -44,3 +44,43 @@ let pp_report ppf violations =
   | vs ->
       Format.fprintf ppf "policy of use: %d violation(s)@." (List.length vs);
       List.iter (fun v -> Format.fprintf ppf "  %a@." pp_violation v) vs
+
+(* Machine-readable report (hand-rolled JSON; no external deps). *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fix_to_json = function
+  | Automatic id ->
+      Printf.sprintf {|{"kind":"automatic","transform":"%s"}|} (json_escape id)
+  | Manual hint ->
+      Printf.sprintf {|{"kind":"manual","hint":"%s"}|} (json_escape hint)
+
+let violation_to_json v =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d,"subject":"%s","message":"%s","fixes":[%s]}|}
+    (json_escape v.rule_id)
+    (match v.severity with Forbidden -> "forbidden" | Caution -> "caution")
+    (json_escape v.loc.Mj.Loc.file)
+    v.loc.Mj.Loc.start_pos.Mj.Loc.line v.loc.Mj.Loc.start_pos.Mj.Loc.col
+    v.loc.Mj.Loc.end_pos.Mj.Loc.line v.loc.Mj.Loc.end_pos.Mj.Loc.col
+    (json_escape v.subject) (json_escape v.message)
+    (String.concat "," (List.map fix_to_json v.fixes))
+
+let report_to_json violations =
+  Printf.sprintf
+    {|{"compliant":%b,"violations":[%s]}|}
+    (not (List.exists is_blocking violations))
+    (String.concat ",\n " (List.map violation_to_json violations))

@@ -10,7 +10,15 @@ type ctx = {
   tariff : Cost.tariff;
   memo : (string * string, int) Hashtbl.t;
   in_progress : (string * string, unit) Hashtbl.t;
+  (* The statements of the body currently being costed, so loop-bound
+     queries can hand the interval analysis its enclosing context. *)
+  mutable enclosing : stmt list;
 }
+
+let with_enclosing ctx stmts f =
+  let saved = ctx.enclosing in
+  ctx.enclosing <- stmts;
+  Fun.protect ~finally:(fun () -> ctx.enclosing <- saved) f
 
 let rec expr_cost ctx e =
   let t = ctx.tariff in
@@ -105,7 +113,8 @@ and ctor_cost ctx cls arity =
             | { stmt = Super_call _; _ } :: rest -> rest
             | body -> body
           in
-          super_cost + fields_cost + stmts_cost ctx body)
+          super_cost + fields_cost
+          + with_enclosing ctx body (fun () -> stmts_cost ctx body))
 
 and named_method_cost ctx cls mname =
   match Mj.Symtab.lookup_method ctx.checked.Mj.Typecheck.symtab cls mname with
@@ -133,11 +142,13 @@ and named_method_cost ctx cls mname =
             match m.m_body with
             | None -> ctx.tariff.Cost.native
             | Some body ->
-                body_cost ctx (owner, mname) (fun () -> stmts_cost ctx body)
+                body_cost ctx (owner, mname) (fun () ->
+                    with_enclosing ctx body (fun () -> stmts_cost ctx body))
           in
           List.fold_left
             (fun acc target -> max acc (cost_of target))
-            (body_cost ctx (defining, mname) (fun () -> stmts_cost ctx body))
+            (body_cost ctx (defining, mname) (fun () ->
+                 with_enclosing ctx body (fun () -> stmts_cost ctx body)))
             overrides)
 
 and body_cost ctx key compute =
@@ -175,7 +186,7 @@ and stmt_cost ctx s =
   | While _ -> raise (Unbounded_exc "while loop")
   | Do_while _ -> raise (Unbounded_exc "do-while loop")
   | For (init, cond, update, body) -> (
-      match Loop_bounds.for_bound ctx.checked s with
+      match Loop_bounds.for_bound ~enclosing:ctx.enclosing ctx.checked s with
       | Loop_bounds.Bounded n ->
           let header =
             (match init with
@@ -200,7 +211,8 @@ and stmt_cost ctx s =
 
 let method_bound ?(tariff = Cost.interpreter_tariff) checked ~cls ~mname =
   let ctx =
-    { checked; tariff; memo = Hashtbl.create 32; in_progress = Hashtbl.create 8 }
+    { checked; tariff; memo = Hashtbl.create 32;
+      in_progress = Hashtbl.create 8; enclosing = [] }
   in
   try Cycles (named_method_cost ctx cls mname)
   with Unbounded_exc why -> Unbounded why

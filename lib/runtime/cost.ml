@@ -4,6 +4,7 @@ type tariff = {
   load_store : int;
   field : int;
   array : int;
+  array_unchecked : int;  (* array access with the bounds check elided *)
   call : int;
   alloc_base : int;
   alloc_word : int;
@@ -13,14 +14,14 @@ type tariff = {
 }
 
 let interpreter_tariff =
-  { dispatch = 10; arith = 1; load_store = 2; field = 4; array = 6; call = 40;
-    alloc_base = 120; alloc_word = 4; native = 20; gc_base = 50_000;
-    gc_word = 8 }
+  { dispatch = 10; arith = 1; load_store = 2; field = 4; array = 6;
+    array_unchecked = 3; call = 40; alloc_base = 120; alloc_word = 4;
+    native = 20; gc_base = 50_000; gc_word = 8 }
 
 let jit_tariff =
-  { dispatch = 0; arith = 1; load_store = 1; field = 2; array = 3; call = 10;
-    alloc_base = 120; alloc_word = 4; native = 20; gc_base = 50_000;
-    gc_word = 8 }
+  { dispatch = 0; arith = 1; load_store = 1; field = 2; array = 3;
+    array_unchecked = 1; call = 10; alloc_base = 120; alloc_word = 4;
+    native = 20; gc_base = 50_000; gc_word = 8 }
 
 type t = { tariff : tariff; mutable cycles : int; mutable budget : int option }
 
@@ -45,6 +46,7 @@ let arith t = charge t t.tariff.arith
 let load_store t = charge t t.tariff.load_store
 let field t = charge t t.tariff.field
 let array t = charge t t.tariff.array
+let array_unchecked t = charge t t.tariff.array_unchecked
 let call t = charge t t.tariff.call
 let alloc t ~words = charge t (t.tariff.alloc_base + (t.tariff.alloc_word * words))
 let native t = charge t t.tariff.native

@@ -11,6 +11,8 @@ type tariff = {
   load_store : int; (** local variable access *)
   field : int;
   array : int;      (** element access, bounds check included *)
+  array_unchecked : int;
+      (** element access whose bounds check was statically elided *)
   call : int;       (** invocation overhead *)
   alloc_base : int; (** per allocation *)
   alloc_word : int; (** per allocated word *)
@@ -49,6 +51,7 @@ val arith : t -> unit
 val load_store : t -> unit
 val field : t -> unit
 val array : t -> unit
+val array_unchecked : t -> unit
 val call : t -> unit
 val alloc : t -> words:int -> unit
 val native : t -> unit

@@ -162,3 +162,9 @@ let array_set t index i value =
          (Printf.sprintf "array index %d out of bounds for length %d" i
             (Array.length cells)))
   else cells.(i) <- value
+
+(* Unchecked accessors for statically verified sites. OCaml's own array
+   check remains as a backstop: an unsound elision plan surfaces as
+   [Invalid_argument] rather than silent corruption. *)
+let array_get_unchecked t index i = (array_cells t index).(i)
+let array_set_unchecked t index i value = (array_cells t index).(i) <- value

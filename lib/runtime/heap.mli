@@ -59,6 +59,13 @@ val array_get : t -> int -> int -> Value.t
 
 val array_set : t -> int -> int -> Value.t -> unit
 
+val array_get_unchecked : t -> int -> int -> Value.t
+(** Like {!array_get} without the modelled bounds check — for sites the
+    static analysis proved in range. OCaml's own check backstops an
+    unsound plan with [Invalid_argument] instead of silent corruption. *)
+
+val array_set_unchecked : t -> int -> int -> Value.t -> unit
+
 val words_of_object : int -> int
 (** Heap words occupied by an object with n fields (header included). *)
 

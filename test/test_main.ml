@@ -15,6 +15,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("cells", Test_cells.suite);
       ("elevator", Test_elevator.suite);
+      ("analysis", Test_analysis.suite);
       ("analysis-extras", Test_analysis_extras.suite);
       ("misc", Test_misc.suite);
       ("random-graphs", Test_random_graphs.suite);
