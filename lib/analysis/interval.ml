@@ -460,6 +460,22 @@ let refine_itv x rel y =
 let local_of e =
   match e.expr with Local n | Name n -> Some n | _ -> None
 
+(* Locals written anywhere inside [e] (assignments, compound
+   assignments, increments). *)
+let written_locals e =
+  let acc = ref [] in
+  Mj.Visit.iter_expr
+    (fun x ->
+      match x.expr with
+      | Assign (lv, _) | Op_assign (_, lv, _) | Pre_incr (_, lv)
+      | Post_incr (_, lv) -> (
+          match lv with
+          | Lname n | Llocal n -> if not (List.mem n !acc) then acc := n :: !acc
+          | Lfield _ | Lstatic_field _ | Lindex _ -> ())
+      | _ -> ())
+    e;
+  !acc
+
 let rec assume ctx env cond sense : state =
   match cond.expr with
   | Bool_lit b -> if b = sense then Some env else None
@@ -470,17 +486,25 @@ let rec assume ctx env cond sense : state =
       let env, rv = eval ctx env r in
       let op = if sense then op else negate_rel op in
       let li = as_itv lv and ri = as_itv rv in
+      (* The relation constrains the operand *values at comparison
+         time*. If the condition itself writes a local (e.g.
+         [i < ++i]), that local's post-condition binding differs from
+         the compared value, so narrowing it with the relation would be
+         unsound — skip those. *)
+      let written = written_locals cond in
       let narrow env name rel other =
-        match SMap.find_opt name env with
-        | Some (Vint cur) -> (
-            match refine_itv cur rel other with
-            | Some i -> Some (SMap.add name (Vint i) env)
-            | None -> None)
-        | Some (Varr _) -> Some env
-        | None -> (
-            match refine_itv top rel other with
-            | Some i -> Some (SMap.add name (Vint i) env)
-            | None -> None)
+        if List.mem name written then Some env
+        else
+          match SMap.find_opt name env with
+          | Some (Vint cur) -> (
+              match refine_itv cur rel other with
+              | Some i -> Some (SMap.add name (Vint i) env)
+              | None -> None)
+          | Some (Varr _) -> Some env
+          | None -> (
+              match refine_itv top rel other with
+              | Some i -> Some (SMap.add name (Vint i) env)
+              | None -> None)
       in
       let st =
         match local_of l with
@@ -559,8 +583,10 @@ let analyze_uncached checked stmts =
   { s_checked = checked; s_safe_sites = safe; s_loop_envs = ctx.loop_envs }
 
 (* Memoized on the physical identity of the statement list: policy
-   passes ask about every loop of the same body in turn. *)
-module Cache = Hashtbl.Make (struct
+   passes ask about every loop of the same body in turn. Weak keys
+   (ephemerons) so a long-lived process analyzing many programs does
+   not pin every checked program it has ever seen. *)
+module Cache = Ephemeron.K1.Make (struct
   type t = stmt list
 
   let equal = ( == )
@@ -632,7 +658,24 @@ let iterations ~start ~limit ~step ~op =
     | Ge -> if step < 0 then (start - limit - step) / -step else -1
     | _ -> -1
   in
-  if count < 0 then None else Some (max 0 count)
+  if count < 0 then None
+  else if count = 0 then Some 0
+  else
+    (* The closed form assumes exact arithmetic, but the concrete index
+       wraps at int32: the last executed increment starts from the
+       largest (smallest) index still inside the loop, and its result
+       must stay representable or the loop runs far past the computed
+       count (e.g. [i < 2147483646; i += 4] wraps before ever failing
+       the test). *)
+    let no_wrap =
+      match op with
+      | Lt -> limit - 1 + step <= max32
+      | Le -> limit + step <= max32
+      | Gt -> limit + 1 + step >= min32
+      | Ge -> limit + step >= min32
+      | _ -> false
+    in
+    if no_wrap then Some count else None
 
 (* Constant step detection by abstract probing: running the update from
    i = c must land on exactly i = c + step for two distinct probes —
@@ -683,17 +726,31 @@ let for_bound checked summary s =
               match test with
               | None -> None
               | Some (op, limit_e) -> (
+                  let loop_stmts = [ body; { s with stmt = Expr update } ] in
                   let stable =
                     pure_limit limit_e
                     && (not (List.mem name (locals_of limit_e)))
                     && List.for_all
-                         (fun n ->
-                           not
-                             (modifies_local n
-                                [ body; { s with stmt = Expr update } ]))
+                         (fun n -> not (modifies_local n loop_stmts))
                          (locals_of limit_e)
                   in
-                  if (not stable) || modifies_local name [ body ] then None
+                  (* The constant step from [step_of] is probed in the
+                     loop-entry environment, so every local the update
+                     reads (other than the index itself) must keep its
+                     entry value across iterations — reject if the body
+                     or the update writes one (e.g. [i += k] with
+                     [k = 1] in the body). *)
+                  let step_stable =
+                    List.for_all
+                      (fun n ->
+                        String.equal n name
+                        || not (modifies_local n loop_stmts))
+                      (locals_of update)
+                  in
+                  if
+                    (not stable) || (not step_stable)
+                    || modifies_local name [ body ]
+                  then None
                   else
                     match (start_v, eval ctx env1 limit_e) with
                     | Aint start, (_, Aint limit) -> (

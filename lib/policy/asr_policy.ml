@@ -464,7 +464,8 @@ and check_no_races checked =
         Rule.make_violation ~rule:rule_no_races ~severity:Rule.Caution ~loc
           ~subject:(r.r_class ^ "." ^ r.r_field)
           ~fixes:[]
-          (Printf.sprintf "%s of racy field from %s.run" what root)
+          (Printf.sprintf "%s of racy field from %s" what
+             (Analysis.Races.root_label root))
       in
       head
       :: (List.map (fun w -> site w "write") r.r_writes

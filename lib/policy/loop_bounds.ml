@@ -68,6 +68,9 @@ let test_of checked name cond =
       | None -> None)
   | _ -> None
 
+let min32 = -0x8000_0000
+let max32 = 0x7fff_ffff
+
 let iterations ~start ~limit ~step ~op =
   let count =
     match op with
@@ -77,7 +80,22 @@ let iterations ~start ~limit ~step ~op =
     | Ge -> if step < 0 then (start - limit - step) / -step else -1
     | _ -> -1
   in
-  if count < 0 then None else Some (max 0 count)
+  if count < 0 then None
+  else if count = 0 then Some 0
+  else
+    (* The closed form assumes exact arithmetic, but the concrete index
+       wraps at int32: the last executed increment must stay
+       representable or the loop runs far past the computed count
+       (e.g. [i < 2147483646; i += 4] wraps before failing the test). *)
+    let no_wrap =
+      match op with
+      | Lt -> limit - 1 + step <= max32
+      | Le -> limit + step <= max32
+      | Gt -> limit + 1 + step >= min32
+      | Ge -> limit + step >= min32
+      | _ -> false
+    in
+    if no_wrap then Some count else None
 
 (* The original syntactic recognizer: [int i = <const>; i REL <const>;
    i += <const>]. Kept as the fast path; the interval fallback below
@@ -119,7 +137,8 @@ let syntactic_for_bound checked s =
                             | Some n -> Bounded n
                             | None ->
                                 Unrecognized
-                                  "step direction does not terminate the loop"))))))
+                                  "step direction or int32 wrap-around leaves \
+                                   the loop unbounded"))))))
   | Block _ | Var_decl _ | Expr _ | If _ | While _ | Do_while _ | Return _
   | Break | Continue | Super_call _ | Empty ->
       invalid_arg "Loop_bounds.for_bound: not a for statement"

@@ -110,7 +110,17 @@ let interval_suite =
     expect_unbounded "parameter-length array bound stays unrecognized"
       "for (int i = 0; i < arr.length; i++) { p = p + arr[i]; }";
     expect_unbounded "index modified in the body stays flagged"
-      "for (int i = 0; i < N; i++) { i = i - 1; }" ]
+      "for (int i = 0; i < N; i++) { i = i - 1; }";
+    (* the step may flow through a local, but only a stable one *)
+    expect_bounded "step through an unmodified local"
+      "int k = 100; for (int i = 0; i < 1000; i += k) { p = p + i; }" 10;
+    expect_unbounded "step local modified in the body is rejected"
+      "int k = 100; for (int i = 0; i < 1000; i += k) { k = 1; }";
+    (* the closed form must not claim loops whose index wraps at int32 *)
+    expect_unbounded "stride that wraps past int32 is rejected"
+      "for (int i = 0; i < 2147483646; i += 4) { p = p + 1; }";
+    expect_bounded "unit stride to the int32 limit still bounds"
+      "for (int i = 0; i < 2147483647; i++) { p = p + 1; }" 2147483647 ]
 
 (* ------------------------------------------------------------------ *)
 (* Static race detector                                                *)
@@ -159,6 +169,51 @@ let race_suite =
         | [ r ] ->
             Alcotest.(check string) "field" "v" r.Analysis.Races.r_field
         | rs -> Alcotest.failf "expected 1 race, got %d" (List.length rs));
+    case "one thread class instantiated twice races with itself" (fun () ->
+        let src =
+          {|class S { public static int v = 0; }
+            class W extends Thread { W() {} public void run() { S.v = S.v + 1; } }
+            class M { public static void main() { W a = new W(); W b = new W(); a.start(); b.start(); a.join(); b.join(); } }|}
+        in
+        match races src with
+        | [ r ] ->
+            Alcotest.(check (list string)) "roots" [ "W" ]
+              r.Analysis.Races.r_roots
+        | rs -> Alcotest.failf "expected 1 race, got %d" (List.length rs));
+    case "one thread class instantiated once does not race with itself"
+      (fun () ->
+        let src =
+          {|class S { public static int v = 0; }
+            class W extends Thread { W() {} public void run() { S.v = S.v + 1; } }
+            class M { public static void main() { W a = new W(); a.start(); a.join(); } }|}
+        in
+        Alcotest.(check int) "races" 0 (List.length (races src)));
+    case "instantiation under a loop counts as multiple instances" (fun () ->
+        let src =
+          {|class S { public static int v = 0; }
+            class W extends Thread { W() {} public void run() { S.v = S.v + 1; } }
+            class M { public static void main() { for (int i = 0; i < 3; i++) { W w = new W(); w.start(); } } }|}
+        in
+        Alcotest.(check int) "races" 1 (List.length (races src)));
+    case "main reading between start and join races with the writer"
+      (fun () ->
+        let src =
+          {|class S { public static int v = 0; }
+            class W extends Thread { W() {} public void run() { S.v = S.v + 1; } }
+            class M { public static void main() { W a = new W(); a.start(); int t = S.v; a.join(); } }|}
+        in
+        match races src with
+        | [ r ] ->
+            Alcotest.(check (list string)) "roots" [ "W"; "main" ]
+              (List.sort compare r.Analysis.Races.r_roots)
+        | rs -> Alcotest.failf "expected 1 race, got %d" (List.length rs));
+    case "main reading after all joins does not race" (fun () ->
+        let src =
+          {|class S { public static int v = 0; }
+            class W extends Thread { W() {} public void run() { S.v = S.v + 1; } }
+            class M { public static void main() { W a = new W(); a.start(); a.join(); int t = S.v; } }|}
+        in
+        Alcotest.(check int) "races" 0 (List.length (races src)));
     case "R10 flags the threaded fig8 and not the refined version" (fun () ->
         let ids src =
           List.filter_map
@@ -349,6 +404,27 @@ let elision_suite =
     a[2] = 5;
     System.out.println("pre=" + a[2]);
     a[7] = 1;
+    System.out.println("unreached");
+  }
+}|}
+        in
+        (match vm_run ~elide:true checked "P" with
+        | Trapped _, _ -> ()
+        | Finished out, _ -> Alcotest.failf "no trap; output %S" out);
+        differential_case checked "P");
+    case "side-effecting condition does not mislead narrowing" (fun () ->
+        (* [i < ++i] compares the pre-increment value, so the true
+           branch always runs and a[5] must trap; narrowing [i] with
+           the post-increment binding used to mark it dead and elide
+           the (failing) check. *)
+        let checked =
+          check_src
+            {|class P {
+  static void main() {
+    int[] a = new int[1];
+    int i = 3;
+    if (i < ++i) { i = 5; } else { i = 0; }
+    a[i] = 1;
     System.out.println("unreached");
   }
 }|}
