@@ -1170,6 +1170,244 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: exact profile reconciliation, exporter validity, and     *)
+(* instrumentation overhead (enabled vs disabled sink).                *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry_bench = struct
+  module J = Telemetry.Json
+
+  type recon_row = {
+    t_workload : string;
+    t_engine : string;
+    t_cycles : int;  (* Cost.cycles after init + all reactions *)
+    t_profile_total : int;  (* what the sink-fed profile attributed *)
+    t_methods : int;
+    t_top : (string * int) list;  (* top methods by self cycles *)
+  }
+
+  type overhead_row = {
+    o_workload : string;
+    o_engine : string;
+    o_reactions : int;
+    o_disabled_s : float;
+    o_enabled_s : float;
+  }
+
+  type report = {
+    recon : recon_row list;
+    overhead : overhead_row list;
+    trace_events : int;
+    trace_valid : bool;
+    vcd_ok : bool;
+  }
+
+  (* Same two workloads the boundscheck bench uses: the SFR-refined FIR
+     (many small reactions) and the restricted JPEG codec (one large
+     reaction). *)
+  let drive ~engine ?profile (w : Boundscheck.workload) =
+    let checked =
+      Mj.Typecheck.check_source ~file:(w.Boundscheck.b_name ^ ".mj")
+        w.Boundscheck.b_source
+    in
+    let cost_sink = Option.map Mj_runtime.Cost.profile_sink profile in
+    let elab =
+      Javatime.Elaborate.elaborate ~engine ~enforce_policy:false
+        ~bounded_memory:false ?cost_sink checked ~cls:w.Boundscheck.b_cls
+    in
+    List.iter
+      (fun inputs -> ignore (Javatime.Elaborate.react elab inputs))
+      w.Boundscheck.b_inputs;
+    Javatime.Elaborate.total_cycles elab
+
+  let engines =
+    [ ("interp", Javatime.Elaborate.Engine_interp);
+      ("vm", Javatime.Elaborate.Engine_vm);
+      ("jit", Javatime.Elaborate.Engine_jit) ]
+
+  let reconcile ~smoke () =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun (label, engine) ->
+            let profile = Telemetry.Profile.create () in
+            let cycles = drive ~engine ~profile w in
+            let top =
+              List.filteri (fun i _ -> i < 3) (Telemetry.Profile.by_self profile)
+              |> List.map (fun r ->
+                     (r.Telemetry.Profile.r_label, r.Telemetry.Profile.r_self))
+            in
+            { t_workload = w.Boundscheck.b_name;
+              t_engine = label;
+              t_cycles = cycles;
+              t_profile_total = Telemetry.Profile.total profile;
+              t_methods = List.length (Telemetry.Profile.rows profile) - 1;
+              t_top = top })
+          engines)
+      (Boundscheck.workloads ~smoke ())
+
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+
+  let measure_overhead ~smoke () =
+    List.map
+      (fun w ->
+        let disabled = wall (fun () -> ignore (drive ~engine:Javatime.Elaborate.Engine_vm w)) in
+        let enabled =
+          wall (fun () ->
+              let profile = Telemetry.Profile.create () in
+              ignore (drive ~engine:Javatime.Elaborate.Engine_vm ~profile w))
+        in
+        { o_workload = w.Boundscheck.b_name;
+          o_engine = "vm";
+          o_reactions = List.length w.Boundscheck.b_inputs;
+          o_disabled_s = disabled;
+          o_enabled_s = enabled })
+      (Boundscheck.workloads ~smoke ())
+
+  (* Chrome-trace validity: profile the FIR workload with span recording,
+     export, parse the JSON back and structurally check the events. *)
+  let trace_roundtrip ~smoke () =
+    let w =
+      List.find
+        (fun w -> w.Boundscheck.b_name = "fir-refined")
+        (Boundscheck.workloads ~smoke ())
+    in
+    let reg = Telemetry.Registry.create () in
+    let profile = Telemetry.Profile.create ~spans:reg () in
+    ignore (drive ~engine:Javatime.Elaborate.Engine_vm ~profile w);
+    let text = Telemetry.Export.chrome_trace reg in
+    match J.parse text with
+    | exception J.Parse_error _ -> (0, false)
+    | parsed -> (
+        match J.member "traceEvents" parsed with
+        | Some (J.List events) ->
+            let well_formed ev =
+              let has k =
+                match J.member k ev with Some _ -> true | None -> false
+              in
+              has "name" && has "ph" && has "ts" && has "dur" && has "pid"
+              && has "tid"
+            in
+            (List.length events, events <> [] && List.for_all well_formed events)
+        | _ -> (0, false))
+
+  let vcd_smoke () =
+    let open Asr in
+    let vcd =
+      Waves.signals_to_vcd
+        [ ("x", [ Domain.int 1; Domain.int 2; Domain.Bottom ]);
+          ("go", [ Domain.bool true; Domain.bool false; Domain.bool false ]) ]
+    in
+    String.length vcd > 0
+    && String.sub vcd 0 10 = "$timescale"
+    && String.index_opt vcd 'x' <> None
+
+  let report ~smoke () =
+    let trace_events, trace_valid = trace_roundtrip ~smoke () in
+    { recon = reconcile ~smoke ();
+      overhead = measure_overhead ~smoke ();
+      trace_events;
+      trace_valid;
+      vcd_ok = vcd_smoke () }
+
+  let overhead_pct r =
+    if r.o_disabled_s <= 0.0 then 0.0
+    else 100.0 *. (r.o_enabled_s -. r.o_disabled_s) /. r.o_disabled_s
+
+  let print_text r =
+    print_endline
+      "Telemetry: deterministic profiling reconciles exactly with Cost.cycles";
+    print_newline ();
+    List.iter
+      (fun row ->
+        Printf.printf "  %-16s %-7s %12d cycles  profile %12d  %s\n"
+          row.t_workload row.t_engine row.t_cycles row.t_profile_total
+          (if row.t_cycles = row.t_profile_total then "exact" else "DRIFT");
+        List.iter
+          (fun (label, self) -> Printf.printf "      %-28s %12d self\n" label self)
+          row.t_top)
+      r.recon;
+    print_newline ();
+    List.iter
+      (fun o ->
+        Printf.printf
+          "  overhead %-16s %-4s %4d reaction(s): %.4fs off, %.4fs on (%+.1f%%)\n"
+          o.o_workload o.o_engine o.o_reactions o.o_disabled_s o.o_enabled_s
+          (overhead_pct o))
+      r.overhead;
+    Printf.printf "  chrome trace: %d events, %s\n" r.trace_events
+      (if r.trace_valid then "parses and is well-formed" else "INVALID");
+    Printf.printf "  vcd: %s\n" (if r.vcd_ok then "ok" else "INVALID")
+
+  let print_json r =
+    let recon_json row =
+      J.Obj
+        [ ("workload", J.Str row.t_workload);
+          ("engine", J.Str row.t_engine);
+          ("cycles", J.Int row.t_cycles);
+          ("profile_total", J.Int row.t_profile_total);
+          ("equal", J.Bool (row.t_cycles = row.t_profile_total));
+          ("methods", J.Int row.t_methods);
+          ( "top_self",
+            J.List
+              (List.map
+                 (fun (label, self) ->
+                   J.Obj [ ("method", J.Str label); ("self", J.Int self) ])
+                 row.t_top) ) ]
+    in
+    let overhead_json o =
+      J.Obj
+        [ ("workload", J.Str o.o_workload);
+          ("engine", J.Str o.o_engine);
+          ("reactions", J.Int o.o_reactions);
+          ("disabled_wall_s", J.Float o.o_disabled_s);
+          ("enabled_wall_s", J.Float o.o_enabled_s);
+          ("overhead_pct", J.Float (overhead_pct o)) ]
+    in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [ ("bench", J.Str "telemetry");
+              ("reconcile", J.List (List.map recon_json r.recon));
+              ("overhead", J.List (List.map overhead_json r.overhead));
+              ( "chrome_trace",
+                J.Obj
+                  [ ("events", J.Int r.trace_events);
+                    ("valid", J.Bool r.trace_valid) ] );
+              ("vcd_ok", J.Bool r.vcd_ok) ]))
+
+  (* Smoke contract: every engine/workload pair reconciles to the cycle,
+     the Chrome trace parses back well-formed, the VCD smoke passes. *)
+  let check r =
+    let failed = ref false in
+    List.iter
+      (fun row ->
+        if row.t_cycles <> row.t_profile_total then begin
+          Printf.eprintf "FAIL %s/%s: profile %d != cycles %d\n" row.t_workload
+            row.t_engine row.t_profile_total row.t_cycles;
+          failed := true
+        end)
+      r.recon;
+    if not r.trace_valid then begin
+      Printf.eprintf "FAIL chrome trace did not parse back well-formed\n";
+      failed := true
+    end;
+    if not r.vcd_ok then begin
+      Printf.eprintf "FAIL vcd export smoke\n";
+      failed := true
+    end;
+    if !failed then exit 1
+
+  let run ~json ~smoke () =
+    let r = report ~smoke () in
+    if json then print_json r else print_text r;
+    check r
+end
+
+(* ------------------------------------------------------------------ *)
 
 let json_flag = ref false
 
@@ -1182,6 +1420,8 @@ let experiments =
      `Plain (fun () -> Boundscheck.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("analysis",
      `Plain (fun () -> Analysis_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
+    ("telemetry",
+     `Plain (fun () -> Telemetry_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("table1", `Sized table1);
     ("fig1", `Plain fig1);
     ("fig2", `Plain fig2);

@@ -3,6 +3,8 @@
    javatime check <file.mj>     — parse, type-check, report policy violations
    javatime refine <file.mj>    — run SFR; print the trace and the refined program
    javatime run <file.mj> <cls> — execute the static main() of a class
+   javatime profile <file.mj> <cls> — per-method cycle profile of main()
+   javatime simulate <file.mj> <cls> — drive an ASR class instant by instant
    javatime size <file.mj>      — per-class and total bytecode size
    javatime bound <file.mj> <cls> — worst-case reaction bound of an ASR class
    javatime disasm <file.mj>    — dump compiled bytecode *)
@@ -14,6 +16,19 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* Wall clock in µs (the unit the Chrome trace format assumes). *)
+let wall_us () = Sys.time () *. 1e6
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE.json"
+         ~doc:"Write a Chrome trace_event file (chrome://tracing, Perfetto)")
 
 let handle f =
   try f () with
@@ -65,7 +80,7 @@ let check_cmd =
     Term.(const run $ file_arg $ policy_arg $ json_flag)
 
 let refine_cmd =
-  let run file print_program policy =
+  let run file print_program policy trace_out =
     handle (fun () ->
         let program = Mj.Parser.parse_program ~file (read_file file) in
         let policy =
@@ -76,8 +91,17 @@ let refine_cmd =
               Format.eprintf "unknown policy '%s' (asr|sdf)@." other;
               exit 1
         in
-        let outcome = Javatime.Engine.refine ~policy program in
+        let telemetry =
+          match trace_out with
+          | Some _ -> Some (Telemetry.Registry.create ~clock:wall_us ())
+          | None -> None
+        in
+        let outcome = Javatime.Engine.refine ~policy ?telemetry program in
         Javatime.Engine.pp_trace Format.std_formatter outcome;
+        (match (trace_out, telemetry) with
+        | Some path, Some reg ->
+            write_file path (Telemetry.Export.chrome_trace reg)
+        | _ -> ());
         if print_program then begin
           print_newline ();
           print_string (Mj.Pretty.program_to_string outcome.Javatime.Engine.final)
@@ -92,39 +116,174 @@ let refine_cmd =
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Apply successive formal refinement")
-    Term.(const run $ file_arg $ print_flag $ policy_arg)
+    Term.(const run $ file_arg $ print_flag $ policy_arg $ trace_out_arg)
+
+let engine_arg =
+  Arg.(value & opt string "vm" & info [ "e"; "engine" ] ~docv:"ENGINE"
+         ~doc:"Execution engine: interp, vm or jit")
+
+(* Run main() under [engine], optionally feeding a profile sink.
+   Returns (console output, Cost.cycles). *)
+let run_main_with ?sink engine checked cls =
+  match engine with
+  | "interp" ->
+      let s = Mj_runtime.Interp.create ?sink checked in
+      Mj_runtime.Interp.run_main s cls;
+      (Mj_runtime.Interp.output s, Mj_runtime.Interp.cycles s)
+  | "vm" ->
+      let s = Mj_bytecode.Vm.create ?sink checked in
+      Mj_bytecode.Vm.run_main s cls;
+      (Mj_bytecode.Vm.output s, Mj_bytecode.Vm.cycles s)
+  | "jit" ->
+      let s = Mj_bytecode.Jit.create ?sink checked in
+      Mj_bytecode.Jit.run_main s cls;
+      (Mj_bytecode.Jit.output s, Mj_bytecode.Jit.cycles s)
+  | other ->
+      Format.eprintf "unknown engine '%s' (interp|vm|jit)@." other;
+      exit 1
 
 let run_cmd =
-  let run file cls engine =
+  let run file cls engine trace_out =
     handle (fun () ->
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
-        let output =
+        match trace_out with
+        | None ->
+            let output, _ = run_main_with engine checked cls in
+            print_string output
+        | Some path ->
+            (* A method-level call tree on the cycle timeline. *)
+            let reg = Telemetry.Registry.create () in
+            let profile = Telemetry.Profile.create ~spans:reg () in
+            let sink = Mj_runtime.Cost.profile_sink profile in
+            let output, _ = run_main_with ~sink engine checked cls in
+            write_file path (Telemetry.Export.chrome_trace reg);
+            print_string output)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute the static main() of a class")
+    Term.(const run $ file_arg $ class_arg $ engine_arg $ trace_out_arg)
+
+let profile_cmd =
+  let run file cls engine json limit trace_out =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let span_reg =
+          match trace_out with
+          | Some _ -> Some (Telemetry.Registry.create ())
+          | None -> None
+        in
+        let profile = Telemetry.Profile.create ?spans:span_reg () in
+        let sink = Mj_runtime.Cost.profile_sink profile in
+        let _, cycles = run_main_with ~sink engine checked cls in
+        if json then
+          print_endline
+            (Telemetry.Json.to_string (Telemetry.Export.profile_json profile))
+        else print_string (Telemetry.Export.profile_table ?limit profile);
+        (match (trace_out, span_reg) with
+        | Some path, Some reg ->
+            write_file path (Telemetry.Export.chrome_trace reg)
+        | _ -> ());
+        if Telemetry.Profile.total profile <> cycles then begin
+          Format.eprintf
+            "profile does not reconcile: %d profiled vs %d metered cycles@."
+            (Telemetry.Profile.total profile)
+            cycles;
+          exit 3
+        end
+        else if not json then
+          Printf.printf "reconciled: %d cycles (profile total = Cost.cycles)\n"
+            cycles)
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+           ~doc:"Show only the top N methods by self cycles")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Execute main() and print a per-method cycle profile")
+    Term.(const run $ file_arg $ class_arg $ engine_arg $ json_flag $ limit_arg
+          $ trace_out_arg)
+
+let simulate_cmd =
+  let run file cls engine instants vcd_out trace_out =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let engine =
           match engine with
-          | "interp" ->
-              let s = Mj_runtime.Interp.create checked in
-              Mj_runtime.Interp.run_main s cls;
-              Mj_runtime.Interp.output s
-          | "vm" ->
-              let s = Mj_bytecode.Vm.create checked in
-              Mj_bytecode.Vm.run_main s cls;
-              Mj_bytecode.Vm.output s
-          | "jit" ->
-              let s = Mj_bytecode.Jit.create checked in
-              Mj_bytecode.Jit.run_main s cls;
-              Mj_bytecode.Jit.output s
+          | "interp" -> Javatime.Elaborate.Engine_interp
+          | "vm" -> Javatime.Elaborate.Engine_vm
+          | "jit" -> Javatime.Elaborate.Engine_jit
           | other ->
               Format.eprintf "unknown engine '%s' (interp|vm|jit)@." other;
               exit 1
         in
-        print_string output)
+        let elab =
+          Javatime.Elaborate.elaborate ~engine ~enforce_policy:false
+            ~bounded_memory:false checked ~cls
+        in
+        let n_in, _ = Javatime.Elaborate.ports elab in
+        let reg =
+          match trace_out with
+          | Some _ -> Some (Telemetry.Registry.create ~clock:wall_us ())
+          | None -> None
+        in
+        (* Deterministic input ramp: port i at instant t carries
+           (t + 1) * (i + 2) mod 17. *)
+        let trace =
+          List.init instants (fun t ->
+              let inputs =
+                Array.init n_in (fun i ->
+                    Asr.Domain.Def (Asr.Data.Int ((t + 1) * (i + 2) mod 17)))
+              in
+              (match reg with
+              | Some r -> Telemetry.Registry.enter r ~cat:"asr" "instant"
+              | None -> ());
+              let outputs = Javatime.Elaborate.react elab inputs in
+              (match reg with
+              | Some r ->
+                  Telemetry.Registry.exit r
+                    ~args:
+                      [ ("instant", Telemetry.Registry.Int t);
+                        ( "reaction_cycles",
+                          Telemetry.Registry.Int
+                            (Javatime.Elaborate.last_reaction_cycles elab) ) ]
+                    ()
+              | None -> ());
+              { Asr.Simulate.instant = t;
+                inputs =
+                  Array.to_list
+                    (Array.mapi (fun i v -> (string_of_int i, v)) inputs);
+                outputs =
+                  Array.to_list
+                    (Array.mapi (fun i v -> (string_of_int i, v)) outputs);
+                iterations = 1 })
+        in
+        print_string (Asr.Waves.render trace);
+        Printf.printf "%d instant(s), %d cycles total\n" instants
+          (Javatime.Elaborate.total_cycles elab);
+        (match vcd_out with
+        | Some path -> write_file path (Asr.Waves.to_vcd trace)
+        | None -> ());
+        match (trace_out, reg) with
+        | Some path, Some r -> write_file path (Telemetry.Export.chrome_trace r)
+        | _ -> ())
   in
-  let engine_arg =
-    Arg.(value & opt string "vm" & info [ "e"; "engine" ] ~docv:"ENGINE"
-           ~doc:"Execution engine: interp, vm or jit")
+  let instants_arg =
+    Arg.(value & opt int 8 & info [ "n"; "instants" ] ~docv:"N"
+           ~doc:"Number of instants to simulate")
+  in
+  let vcd_arg =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE.vcd"
+           ~doc:"Write the signal trace as a VCD waveform (GTKWave)")
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute the static main() of a class")
-    Term.(const run $ file_arg $ class_arg $ engine_arg)
+    (Cmd.info "simulate"
+       ~doc:"Drive an ASR class with a deterministic input ramp")
+    Term.(const run $ file_arg $ class_arg $ engine_arg $ instants_arg
+          $ vcd_arg $ trace_out_arg)
 
 let size_cmd =
   let run file =
@@ -148,10 +307,31 @@ let size_cmd =
     Term.(const run $ file_arg)
 
 let bound_cmd =
-  let run file cls =
+  let run file cls trace_out =
     handle (fun () ->
-        let checked = Mj.Typecheck.check_source ~file (read_file file) in
-        match Policy.Time_bound.reaction_bound checked ~cls with
+        let reg =
+          match trace_out with
+          | Some _ -> Some (Telemetry.Registry.create ~clock:wall_us ())
+          | None -> None
+        in
+        let phase name f =
+          match reg with
+          | Some r -> Telemetry.Registry.with_span r ~cat:"bound" name f
+          | None -> f ()
+        in
+        let result =
+          phase "bound" (fun () ->
+              let checked =
+                phase "typecheck" (fun () ->
+                    Mj.Typecheck.check_source ~file (read_file file))
+              in
+              phase "reaction_bound" (fun () ->
+                  Policy.Time_bound.reaction_bound checked ~cls))
+        in
+        (match (trace_out, reg) with
+        | Some path, Some r -> write_file path (Telemetry.Export.chrome_trace r)
+        | _ -> ());
+        match result with
         | Policy.Time_bound.Cycles n ->
             Printf.printf "%s.run: bounded, %d cycles worst case\n" cls n
         | Policy.Time_bound.Unbounded why ->
@@ -160,7 +340,7 @@ let bound_cmd =
   in
   Cmd.v
     (Cmd.info "bound" ~doc:"Worst-case reaction bound of an ASR class")
-    Term.(const run $ file_arg $ class_arg)
+    Term.(const run $ file_arg $ class_arg $ trace_out_arg)
 
 let metrics_cmd =
   let run file =
@@ -186,9 +366,9 @@ let disasm_cmd =
         let image =
           if optimize then Mj_bytecode.Optimize.image image else image
         in
-        Hashtbl.iter
-          (fun _ mc -> Format.printf "%a@." Mj_bytecode.Instr.pp_method mc)
-          image.Mj_bytecode.Compile.im_methods)
+        List.iter
+          (fun mc -> Format.printf "%a@." Mj_bytecode.Instr.pp_method mc)
+          (Mj_bytecode.Compile.sorted_methods image))
   in
   let optimize_arg =
     Arg.(value & flag & info [ "O"; "optimize" ] ~doc:"Run the peephole optimizer")
@@ -232,4 +412,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "javatime" ~version:"1.0.0" ~doc)
-          [ check_cmd; refine_cmd; run_cmd; size_cmd; bound_cmd; metrics_cmd; disasm_cmd; demo_cmd ]))
+          [ check_cmd; refine_cmd; run_cmd; profile_cmd; simulate_cmd; size_cmd;
+            bound_cmd; metrics_cmd; disasm_cmd; demo_cmd ]))

@@ -44,7 +44,12 @@ let apply_block (c : Graph.compiled) nets bi =
    every sweep until a sweep changes nothing.                           *)
 (* ------------------------------------------------------------------ *)
 
-let eval_chaotic c nets ~order =
+(* Optional per-block evaluation tally for telemetry; a zero-length
+   array (the default) disables counting. *)
+let bump counts bi =
+  if Array.length counts > 0 then counts.(bi) <- counts.(bi) + 1
+
+let eval_chaotic c nets ~order ~counts =
   let order =
     match order with
     | Some order -> order
@@ -64,6 +69,7 @@ let eval_chaotic c nets ~order =
     Array.iter
       (fun bi ->
         incr evaluations;
+        bump counts bi;
         if apply_block c nets bi then changed := true)
       order
   done;
@@ -74,7 +80,7 @@ let eval_chaotic c nets ~order =
    SCCs iterate locally until stable (bounded by the SCC's net count).  *)
 (* ------------------------------------------------------------------ *)
 
-let eval_scheduled c nets ~schedule =
+let eval_scheduled c nets ~schedule ~counts =
   let evaluations = ref 0 in
   let max_rounds = ref 1 in
   List.iter
@@ -82,6 +88,7 @@ let eval_scheduled c nets ~schedule =
       match group with
       | Schedule.Acyclic bi ->
           incr evaluations;
+          bump counts bi;
           ignore (apply_block c nets bi)
       | Schedule.Cyclic members ->
           (* Local domain height = nets written inside the SCC; one
@@ -106,6 +113,7 @@ let eval_scheduled c nets ~schedule =
             Array.iter
               (fun bi ->
                 incr evaluations;
+                bump counts bi;
                 if apply_block c nets bi then changed := true)
               members
           done;
@@ -118,7 +126,7 @@ let eval_scheduled c nets ~schedule =
    the queue only when one of its input nets actually changed.          *)
 (* ------------------------------------------------------------------ *)
 
-let eval_worklist c nets ~seed =
+let eval_worklist c nets ~seed ~counts =
   let n_blocks = Array.length c.Graph.c_blocks in
   let queue = Queue.create () in
   let in_queue = Array.make n_blocks false in
@@ -136,6 +144,7 @@ let eval_worklist c nets ~seed =
     let bi = Queue.pop queue in
     in_queue.(bi) <- false;
     incr evaluations;
+    bump counts bi;
     eval_count.(bi) <- eval_count.(bi) + 1;
     if !evaluations > max_evaluations then
       raise (Nonmonotonic "worklist exceeded the monotone evaluation bound");
@@ -160,7 +169,7 @@ let eval_worklist c nets ~seed =
 (* ------------------------------------------------------------------ *)
 
 let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
-    ?schedule ?nets () =
+    ?schedule ?nets ?(eval_counts = [||]) () =
   (match (order, strategy) with
   | Some _, (Scheduled | Worklist) ->
       invalid_arg
@@ -189,23 +198,26 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
   Array.iteri
     (fun i (_, out_net, _) -> nets.(out_net) <- delay_values.(i))
     c.Graph.c_delays;
+  let counts = eval_counts in
+  if Array.length counts > 0 && Array.length counts <> Array.length c.Graph.c_blocks
+  then invalid_arg "fixpoint: eval_counts length mismatch";
   let iterations, block_evaluations =
     match strategy with
-    | Chaotic -> eval_chaotic c nets ~order
+    | Chaotic -> eval_chaotic c nets ~order ~counts
     | Scheduled ->
         let schedule =
           match schedule with
           | Some s -> s
           | None -> Schedule.of_compiled c
         in
-        eval_scheduled c nets ~schedule
+        eval_scheduled c nets ~schedule ~counts
     | Worklist ->
         let seed =
           match schedule with
           | Some s -> Schedule.linear_order s
           | None -> Array.init (Array.length c.Graph.c_blocks) (fun i -> i)
         in
-        eval_worklist c nets ~seed
+        eval_worklist c nets ~seed ~counts
   in
   { nets; iterations; block_evaluations }
 

@@ -53,6 +53,7 @@ val eval :
   ?strategy:strategy ->
   ?schedule:Schedule.t ->
   ?nets:Domain.t array ->
+  ?eval_counts:int array ->
   unit ->
   result
 (** [delay_values.(i)] is the output of the i-th delay this instant.
@@ -68,7 +69,11 @@ val eval :
     [nets] optionally supplies a preallocated buffer of length [n_nets]
     that is cleared and reused — the returned {!result} aliases it, so
     callers reusing a buffer across instants must consume the result
-    before the next call. *)
+    before the next call.
+
+    [eval_counts], when non-empty, must have length [n_blocks]; entry
+    [bi] is incremented on each application of block [bi] (telemetry).
+    The default empty array disables counting. *)
 
 val outputs : Graph.compiled -> result -> (string * Domain.t) list
 

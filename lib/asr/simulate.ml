@@ -14,12 +14,16 @@ type t = {
   mutable delays : Domain.t array;
   mutable instant : int;
   mutable evaluations : int;
+  telemetry : Telemetry.Registry.t option;
+  eval_counts : int array;  (* per-block tally buffer, [||] w/o telemetry *)
+  prev_nets : Domain.t array;  (* last instant's fixed point, for churn *)
+  block_counters : Telemetry.Registry.counter array;
 }
 
 let initial_delays compiled =
   Array.map (fun (_, _, init) -> init) compiled.Graph.c_delays
 
-let create ?order ?strategy graph =
+let create ?order ?strategy ?telemetry graph =
   let compiled = Graph.compile graph in
   let schedule = Schedule.of_compiled compiled in
   let strategy =
@@ -34,6 +38,7 @@ let create ?order ?strategy graph =
         "Simulate.create: explicit evaluation order requires the chaotic \
          strategy"
   | _ -> ());
+  let n_blocks = Array.length compiled.Graph.c_blocks in
   { compiled;
     schedule;
     strategy;
@@ -41,18 +46,75 @@ let create ?order ?strategy graph =
     nets_buffer = Array.make compiled.Graph.n_nets Domain.Bottom;
     delays = initial_delays compiled;
     instant = 0;
-    evaluations = 0 }
+    evaluations = 0;
+    telemetry;
+    eval_counts =
+      (match telemetry with
+      | Some _ -> Array.make n_blocks 0
+      | None -> [||]);
+    prev_nets =
+      (match telemetry with
+      | Some _ -> Array.make compiled.Graph.n_nets Domain.Bottom
+      | None -> [||]);
+    block_counters =
+      (match telemetry with
+      | Some reg ->
+          Array.map
+            (fun (block, _, _) ->
+              Telemetry.Registry.counter reg
+                ("asr.block." ^ block.Block.name ^ ".evals"))
+            compiled.Graph.c_blocks
+      | None -> [||]) }
 
 (* One instant: run the fixed point into the reused net buffer, harvest
    outputs and the next delay state before the buffer is recycled. *)
 let react t inputs =
+  let tele =
+    match t.telemetry with
+    | Some reg when Telemetry.Registry.is_enabled reg -> Some reg
+    | _ -> None
+  in
+  (match tele with
+  | Some reg ->
+      Telemetry.Registry.enter reg ~cat:"asr" "instant";
+      Array.fill t.eval_counts 0 (Array.length t.eval_counts) 0
+  | None -> ());
   let result =
     Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ?order:t.order
-      ~strategy:t.strategy ~schedule:t.schedule ~nets:t.nets_buffer ()
+      ~strategy:t.strategy ~schedule:t.schedule ~nets:t.nets_buffer
+      ~eval_counts:(match tele with Some _ -> t.eval_counts | None -> [||])
+      ()
   in
   t.delays <- Fixpoint.delay_next t.compiled result;
   t.instant <- t.instant + 1;
   t.evaluations <- t.evaluations + result.Fixpoint.block_evaluations;
+  (match tele with
+  | Some reg ->
+      let churn = ref 0 in
+      Array.iteri
+        (fun i v ->
+          if not (Domain.equal v t.prev_nets.(i)) then begin
+            incr churn;
+            t.prev_nets.(i) <- v
+          end)
+        result.Fixpoint.nets;
+      Array.iteri
+        (fun bi n -> if n > 0 then Telemetry.Registry.add t.block_counters.(bi) n)
+        t.eval_counts;
+      Telemetry.Registry.count reg "asr.instants" 1;
+      Telemetry.Registry.count reg "asr.block_evaluations"
+        result.Fixpoint.block_evaluations;
+      Telemetry.Registry.observe_value reg "asr.fixpoint_iterations"
+        result.Fixpoint.iterations;
+      Telemetry.Registry.exit reg
+        ~args:
+          [ ("instant", Telemetry.Registry.Int (t.instant - 1));
+            ("iterations", Telemetry.Registry.Int result.Fixpoint.iterations);
+            ( "block_evaluations",
+              Telemetry.Registry.Int result.Fixpoint.block_evaluations );
+            ("net_churn", Telemetry.Registry.Int !churn) ]
+        ()
+  | None -> ());
   (Fixpoint.outputs t.compiled result, result.Fixpoint.iterations)
 
 let step t inputs = fst (react t inputs)

@@ -15,13 +15,26 @@ type trace_entry = {
   iterations : int;
 }
 
-val create : ?order:int array -> ?strategy:Fixpoint.strategy -> Graph.t -> t
+val create :
+  ?order:int array ->
+  ?strategy:Fixpoint.strategy ->
+  ?telemetry:Telemetry.Registry.t ->
+  Graph.t ->
+  t
 (** Compiles the graph and its schedule. [strategy] defaults to
     {!Fixpoint.Worklist} — near-linear per instant on feed-forward
     systems — unless [order] is given, which selects chaotic iteration
     under that fixed block order (determinism tests shuffle it).
     Passing [order] together with a non-chaotic [strategy] raises
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    [telemetry]: each reaction emits one ["instant"] span (args:
+    instant index, fixpoint iterations, block evaluations, net churn —
+    nets whose fixed-point value differs from the previous instant's),
+    maintains ["asr.instants"] / ["asr.block_evaluations"] and one
+    ["asr.block.<name>.evals"] counter per block, and feeds the
+    ["asr.fixpoint_iterations"] histogram. Disabled registries cost one
+    check per reaction. *)
 
 val step : t -> (string * Domain.t) list -> (string * Domain.t) list
 (** React to one instant's inputs; returns the outputs and advances the

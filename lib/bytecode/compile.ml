@@ -680,6 +680,11 @@ let compile ?elide checked =
   in
   { im_tab = tab; im_methods; im_ctors; im_static_init }
 
+let sorted_methods image =
+  Hashtbl.fold (fun key mc acc -> (key, mc) :: acc) image.im_methods []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
 let find_method image cls mname =
   let rec loop cls_name =
     match Hashtbl.find_opt image.im_methods (cls_name, mname) with

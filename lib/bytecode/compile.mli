@@ -25,3 +25,8 @@ val compile :
 val find_method : image -> string -> string -> (string * Instr.method_code) option
 (** Resolve a method by dynamic dispatch from a class upward; returns the
     defining class. [None] means the method is native (or absent). *)
+
+val sorted_methods : image -> Instr.method_code list
+(** All compiled method bodies ordered by (class, method) name — a
+    deterministic view of [im_methods] for listings and disassembly
+    ([Hashtbl] iteration order is seeded per run). *)

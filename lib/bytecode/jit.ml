@@ -12,6 +12,7 @@ type frame = {
 }
 
 type compiled = {
+  c_label : string;  (* "Class.method", precomputed for the cost sink *)
   c_nlocals : int;
   c_params : ty list;
   c_takes_this : bool;
@@ -359,7 +360,8 @@ let rec translate t (mc : Instr.method_code) ~takes_this =
           Threads.maybe_yield ();
           pc + 1
   in
-  { c_nlocals = mc.Instr.mc_nlocals; c_params = mc.Instr.mc_params;
+  { c_label = mc.Instr.mc_class ^ "." ^ mc.Instr.mc_name;
+    c_nlocals = mc.Instr.mc_nlocals; c_params = mc.Instr.mc_params;
     c_takes_this = takes_this;
     c_steps = Array.mapi translate_instr mc.Instr.mc_code }
 
@@ -416,13 +418,19 @@ and invoke_virtual t recv mname args =
   let dyn = Heap.object_class t.m.Machine.heap r in
   invoke_from_class t recv dyn mname args
 
-and bracketed t f =
+and bracketed t label f =
   Machine.enter_frame t.m;
-  Fun.protect ~finally:(fun () -> Machine.leave_frame t.m) f
+  Cost.enter_method t.m.Machine.cost label;
+  Fun.protect
+    ~finally:(fun () ->
+      Cost.leave_method t.m.Machine.cost;
+      Machine.leave_frame t.m)
+    f
 
 and invoke_from_class t recv cls mname args =
   match lookup_compiled t cls mname with
-  | Some c -> bracketed t (fun () -> run_compiled c ~this:(Some recv) args)
+  | Some c ->
+      bracketed t c.c_label (fun () -> run_compiled c ~this:(Some recv) args)
   | None -> (
       match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
       | Some (defining, m) when m.m_mods.is_native ->
@@ -432,7 +440,7 @@ and invoke_from_class t recv cls mname args =
 
 and invoke_static t cls mname args =
   match lookup_compiled t cls mname with
-  | Some c -> bracketed t (fun () -> run_compiled c ~this:None args)
+  | Some c -> bracketed t c.c_label (fun () -> run_compiled c ~this:None args)
   | None -> (
       match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
       | Some (defining, m) when m.m_mods.is_native ->
@@ -452,7 +460,7 @@ and run_ctor t cls recv args =
             c
         | None -> fail "jit: no constructor %s/%d" cls arity)
   in
-  ignore (bracketed t (fun () -> run_compiled c ~this:(Some recv) args))
+  ignore (bracketed t c.c_label (fun () -> run_compiled c ~this:(Some recv) args))
 
 and construct t cls args =
   let tab = t.image.Compile.im_tab in
@@ -473,13 +481,13 @@ let new_instance t cls args = construct t cls args
 
 let run_main t cls = ignore (call_static t cls "main" [])
 
-let of_image ?(tariff = Cost.jit_tariff) image =
-  let m = Machine.create ~tariff image.Compile.im_tab in
+let of_image ?(tariff = Cost.jit_tariff) ?sink image =
+  let m = Machine.create ~tariff ?sink image.Compile.im_tab in
   let t = { image; m; methods = Hashtbl.create 64; ctors = Hashtbl.create 16 } in
   m.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
   let static_init = translate t image.Compile.im_static_init ~takes_this:false in
-  ignore (run_compiled static_init ~this:None []);
+  ignore (bracketed t static_init.c_label (fun () -> run_compiled static_init ~this:None []));
   t
 
-let create ?tariff ?elide checked =
-  of_image ?tariff (Compile.compile ?elide checked)
+let create ?tariff ?sink ?elide checked =
+  of_image ?tariff ?sink (Compile.compile ?elide checked)

@@ -10,12 +10,16 @@ type t
 
 val create :
   ?tariff:Mj_runtime.Cost.tariff ->
+  ?sink:Mj_runtime.Cost.sink ->
   ?elide:(Mj.Loc.t, unit) Hashtbl.t ->
   Mj.Typecheck.checked ->
   t
-(** Default tariff is {!Mj_runtime.Cost.jit_tariff}. *)
+(** Default tariff is {!Mj_runtime.Cost.jit_tariff}. [sink] observes
+    every cycle from creation on. *)
 
-val of_image : ?tariff:Mj_runtime.Cost.tariff -> Compile.image -> t
+val of_image :
+  ?tariff:Mj_runtime.Cost.tariff -> ?sink:Mj_runtime.Cost.sink ->
+  Compile.image -> t
 
 val machine : t -> Mj_runtime.Machine.t
 

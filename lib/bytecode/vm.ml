@@ -93,7 +93,12 @@ let pop_n fr n =
 
 let rec exec t (mc : Instr.method_code) ~this args =
   Machine.enter_frame t.m;
-  Fun.protect ~finally:(fun () -> Machine.leave_frame t.m) @@ fun () ->
+  Cost.enter_method_in t.m.Machine.cost mc.Instr.mc_class mc.Instr.mc_name;
+  Fun.protect
+    ~finally:(fun () ->
+      Cost.leave_method t.m.Machine.cost;
+      Machine.leave_frame t.m)
+  @@ fun () ->
   let fr =
     { locals = Array.make (max 1 mc.Instr.mc_nlocals) Value.Null;
       stack = Array.make 32 Value.Null; sp = 0 }
@@ -398,16 +403,16 @@ let new_instance t cls args = construct t cls args
 
 let run_main t cls = ignore (call_static t cls "main" [])
 
-let of_image ?tariff image =
+let of_image ?tariff ?sink image =
   let m =
     match tariff with
-    | Some tariff -> Machine.create ~tariff image.Compile.im_tab
-    | None -> Machine.create image.Compile.im_tab
+    | Some tariff -> Machine.create ~tariff ?sink image.Compile.im_tab
+    | None -> Machine.create ?sink image.Compile.im_tab
   in
   let t = { image; m } in
   m.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
   ignore (exec t image.Compile.im_static_init ~this:None []);
   t
 
-let create ?tariff ?elide checked =
-  of_image ?tariff (Compile.compile ?elide checked)
+let create ?tariff ?sink ?elide checked =
+  of_image ?tariff ?sink (Compile.compile ?elide checked)

@@ -8,13 +8,16 @@ type t
 
 val create :
   ?tariff:Mj_runtime.Cost.tariff ->
+  ?sink:Mj_runtime.Cost.sink ->
   ?elide:(Mj.Loc.t, unit) Hashtbl.t ->
   Mj.Typecheck.checked ->
   t
 (** Compile the program, allocate machine state, run the static
-    initializer. *)
+    initializer. [sink] observes every cycle from creation on. *)
 
-val of_image : ?tariff:Mj_runtime.Cost.tariff -> Compile.image -> t
+val of_image :
+  ?tariff:Mj_runtime.Cost.tariff -> ?sink:Mj_runtime.Cost.sink ->
+  Compile.image -> t
 (** Same, reusing a precompiled image (compile once, run many). *)
 
 val machine : t -> Mj_runtime.Machine.t

@@ -19,6 +19,7 @@ val elaborate :
   ?gc_threshold:int ->
   ?ctor_args:Mj_runtime.Value.t list ->
   ?elide_bounds_checks:bool ->
+  ?cost_sink:Mj_runtime.Cost.sink ->
   Mj.Typecheck.checked ->
   cls:string ->
   t
@@ -30,7 +31,9 @@ val elaborate :
     charges a pause proportional to the approximate live size.
     [elide_bounds_checks] runs the interval analysis and compiles
     statically safe array accesses to unchecked instructions (bytecode
-    engines only; the interpreter ignores it). *)
+    engines only; the interpreter ignores it). [cost_sink] is installed
+    on the engine's cost meter at creation, so a profile fed by it
+    reconciles exactly with {!total_cycles} — initialization included. *)
 
 val ports : t -> int * int
 (** Input and output port counts declared during initialization. *)

@@ -15,15 +15,47 @@ type outcome = {
   residual : Policy.Rule.violation list;
 }
 
+(* First-occurrence order preserved; membership via a seen-set rather
+   than [List.mem] over a growing accumulator (which was quadratic). *)
 let dedup ids =
-  List.fold_left (fun acc id -> if List.mem id acc then acc else acc @ [ id ]) [] ids
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun id ->
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    ids
 
-let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules) program =
+let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
+    ?telemetry program =
+  let module Reg = Telemetry.Registry in
+  let tele =
+    match telemetry with
+    | Some reg when Reg.is_enabled reg -> Some reg
+    | _ -> None
+  in
   let initial = program in
   let check_policy checked =
-    List.concat_map (fun r -> r.Policy.Rule.check checked) policy
+    List.concat_map
+      (fun r ->
+        match tele with
+        | None -> r.Policy.Rule.check checked
+        | Some reg ->
+            Reg.enter reg ~cat:"rule" ("check." ^ r.Policy.Rule.id);
+            let vs = r.Policy.Rule.check checked in
+            Reg.exit reg ~args:[ ("violations", Reg.Int (List.length vs)) ] ();
+            vs)
+      policy
   in
   let rec loop iteration program steps =
+    (match tele with
+    | Some reg ->
+        Reg.enter reg ~cat:"refine" "iteration"
+          ~args:[ ("iteration", Reg.Int iteration) ];
+        Reg.count reg "refine.iterations" 1
+    | None -> ());
     let checked = Mj.Typecheck.check program in
     let violations = check_policy checked in
     let wanted =
@@ -34,17 +66,45 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules) program =
       List.filter (fun t -> List.mem t.Transforms.id wanted) Transforms.catalogue
     in
     let blocking = List.filter Policy.Rule.is_blocking violations in
-    if transforms = [] || iteration > max_iterations then
+    let close_iteration ~outcome ~applied =
+      match tele with
+      | Some reg ->
+          Reg.exit reg
+            ~args:
+              [ ("violations", Reg.Int (List.length violations));
+                ("blocking", Reg.Int (List.length blocking));
+                ("applied", Reg.Str applied);
+                ("outcome", Reg.Str outcome) ]
+            ()
+      | None -> ()
+    in
+    let finish () =
+      close_iteration
+        ~outcome:(if blocking = [] then "compliant" else "residual")
+        ~applied:"";
       { initial; final = checked.Mj.Typecheck.program; checked;
         steps = List.rev steps; compliant = blocking = [];
         residual = violations }
+    in
+    if transforms = [] || iteration > max_iterations then finish ()
     else begin
       (* Apply the first transformation that changes something, then
          re-analyze: one incremental refinement per iteration. *)
+      let apply_one t =
+        match tele with
+        | None -> t.Transforms.apply checked
+        | Some reg ->
+            Reg.enter reg ~cat:"transform" ("apply." ^ t.Transforms.id);
+            let rewritten, sites = t.Transforms.apply checked in
+            Reg.exit reg ~args:[ ("sites", Reg.Int sites) ] ();
+            if sites > 0 then
+              Reg.count reg ("transform." ^ t.Transforms.id ^ ".sites") sites;
+            (rewritten, sites)
+      in
       let rec try_transforms = function
         | [] -> None
         | t :: rest -> (
-            let rewritten, sites = t.Transforms.apply checked in
+            let rewritten, sites = apply_one t in
             if sites = 0 then try_transforms rest
             else
               Some
@@ -53,19 +113,17 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules) program =
                     a_description = t.Transforms.description; a_sites = sites } ))
       in
       match try_transforms transforms with
-      | None ->
-          { initial; final = checked.Mj.Typecheck.program; checked;
-            steps = List.rev steps; compliant = blocking = [];
-            residual = violations }
+      | None -> finish ()
       | Some (rewritten, applied) ->
+          close_iteration ~outcome:"transformed" ~applied:applied.a_transform;
           let step = { iteration; violations; applied = [ applied ] } in
           loop (iteration + 1) rewritten (step :: steps)
     end
   in
   loop 1 program []
 
-let refine_source ?(file = "<source>") ?max_iterations ?policy src =
-  refine ?max_iterations ?policy (Mj.Parser.parse_program ~file src)
+let refine_source ?(file = "<source>") ?max_iterations ?policy ?telemetry src =
+  refine ?max_iterations ?policy ?telemetry (Mj.Parser.parse_program ~file src)
 
 let pp_trace ppf outcome =
   Format.fprintf ppf "successive formal refinement: %d iteration(s)@."

@@ -23,19 +23,35 @@ type outcome = {
   residual : Policy.Rule.violation list;  (** violations needing manual work *)
 }
 
+val dedup : string list -> string list
+(** Remove duplicates preserving first-occurrence order (the order
+    automatic fixes were suggested in). Exposed for tests. *)
+
 val refine :
-  ?max_iterations:int -> ?policy:Policy.Rule.t list -> Mj.Ast.program -> outcome
+  ?max_iterations:int ->
+  ?policy:Policy.Rule.t list ->
+  ?telemetry:Telemetry.Registry.t ->
+  Mj.Ast.program ->
+  outcome
 (** Raises {!Mj.Diag.Compile_error} if the program does not type-check
     (initially or — a bug — after a transformation). Default
     [max_iterations] is 20; default [policy] is the ASR policy of use.
     Pass {!Policy.Sdf_policy.rules} to refine toward the dataflow model
     instead — the paper's "variety of target models, each with its own
-    policy of use". *)
+    policy of use".
+
+    [telemetry]: each iteration emits an ["iteration"] span containing
+    one ["check.<rule>"] span per policy rule (args: violation count —
+    rule timings come from the registry clock) and one
+    ["apply.<transform>"] span per attempted transformation (args: site
+    count); counters ["refine.iterations"] and
+    ["transform.<id>.sites"] accumulate across the run. *)
 
 val refine_source :
   ?file:string ->
   ?max_iterations:int ->
   ?policy:Policy.Rule.t list ->
+  ?telemetry:Telemetry.Registry.t ->
   string ->
   outcome
 

@@ -23,23 +23,73 @@ let jit_tariff =
     array_unchecked = 1; call = 10; alloc_base = 120; alloc_word = 4;
     native = 20; gc_base = 50_000; gc_word = 8 }
 
-type t = { tariff : tariff; mutable cycles : int; mutable budget : int option }
+type sink = {
+  sink_charge : int -> unit;
+  sink_enter : string -> unit;
+  sink_leave : unit -> unit;
+  sink_alloc : words:int -> unit;
+  sink_gc : cycles:int -> unit;
+}
+
+type t = {
+  tariff : tariff;
+  mutable cycles : int;
+  mutable budget : int option;
+  mutable sink : sink option;
+  (* [slow] caches [budget <> None || sink <> None] so the common path of
+     [charge] — no watchdog, no telemetry — is a single flag test. *)
+  mutable slow : bool;
+}
 
 exception Budget_exceeded of int
 
-let create tariff = { tariff; cycles = 0; budget = None }
+let create ?sink tariff =
+  { tariff; cycles = 0; budget = None; sink; slow = sink <> None }
 
-let set_budget t budget = t.budget <- budget
+let refresh_slow t = t.slow <- t.budget <> None || t.sink <> None
+
+let set_budget t budget =
+  t.budget <- budget;
+  refresh_slow t
+
+let set_sink t sink =
+  t.sink <- sink;
+  refresh_slow t
 
 let cycles t = t.cycles
 
 let reset t = t.cycles <- 0
 
-let charge t n =
-  t.cycles <- t.cycles + n;
+(* The sink sees the charge even when it trips the watchdog: the cycles
+   were added to the meter, so a profile stays reconciled on the
+   Budget_exceeded path too. *)
+let charge_slow t n =
+  (match t.sink with None -> () | Some s -> s.sink_charge n);
   match t.budget with
   | Some limit when t.cycles > limit -> raise (Budget_exceeded t.cycles)
   | Some _ | None -> ()
+
+let charge t n =
+  t.cycles <- t.cycles + n;
+  if t.slow then charge_slow t n
+
+let enter_method t label =
+  match t.sink with None -> () | Some s -> s.sink_enter label
+
+(* Variant taking the qualified name in two halves so the disabled path
+   does not even pay the string concatenation. *)
+let enter_method_in t cls name =
+  match t.sink with None -> () | Some s -> s.sink_enter (cls ^ "." ^ name)
+
+let leave_method t =
+  match t.sink with None -> () | Some s -> s.sink_leave ()
+
+let profile_sink p =
+  { sink_charge = Telemetry.Profile.charge p;
+    sink_enter = Telemetry.Profile.enter p;
+    sink_leave = (fun () -> Telemetry.Profile.leave p);
+    sink_alloc = (fun ~words -> Telemetry.Profile.alloc p ~words);
+    sink_gc = (fun ~cycles -> Telemetry.Profile.gc p ~cycles) }
 
 let dispatch t = charge t t.tariff.dispatch
 let arith t = charge t t.tariff.arith
@@ -48,8 +98,13 @@ let field t = charge t t.tariff.field
 let array t = charge t t.tariff.array
 let array_unchecked t = charge t t.tariff.array_unchecked
 let call t = charge t t.tariff.call
-let alloc t ~words = charge t (t.tariff.alloc_base + (t.tariff.alloc_word * words))
+let alloc t ~words =
+  charge t (t.tariff.alloc_base + (t.tariff.alloc_word * words));
+  match t.sink with None -> () | Some s -> s.sink_alloc ~words
+
 let native t = charge t t.tariff.native
 
 let gc t ~live_words =
-  charge t (t.tariff.gc_base + (t.tariff.gc_word * live_words))
+  let pause = t.tariff.gc_base + (t.tariff.gc_word * live_words) in
+  charge t pause;
+  match t.sink with None -> () | Some s -> s.sink_gc ~cycles:pause

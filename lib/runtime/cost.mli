@@ -27,6 +27,21 @@ val interpreter_tariff : tariff
 val jit_tariff : tariff
 (** Models compiled code (the paper's "Café JIT"): dispatch eliminated. *)
 
+type sink = {
+  sink_charge : int -> unit;  (** after every cycle charge, with its size *)
+  sink_enter : string -> unit;  (** method entry, label ["Class.method"] *)
+  sink_leave : unit -> unit;
+  sink_alloc : words:int -> unit;  (** per allocation, after its charge *)
+  sink_gc : cycles:int -> unit;  (** per GC pause, after its charge *)
+}
+(** Observation interface for the cost meter. The engines bracket every
+    method body with {!enter_method}/{!leave_method}; a sink attached at
+    machine creation therefore sees every cycle from load time onward
+    and can attribute each to the innermost open method — the basis of
+    the deterministic profiler ({!Telemetry.Profile}, adapted by
+    {!profile_sink}). Allocation and GC events are reported in addition
+    to (not instead of) their cycle charges. *)
+
 type t
 
 exception Budget_exceeded of int
@@ -35,10 +50,14 @@ exception Budget_exceeded of int
     watchdog: a compliant reaction run under its static worst-case
     bound can never trip it. *)
 
-val create : tariff -> t
+val create : ?sink:sink -> tariff -> t
 
 val set_budget : t -> int option -> unit
 (** Absolute cycle count the meter may not exceed; [None] disables. *)
+
+val set_sink : t -> sink option -> unit
+(** Attaching after cycles have been spent loses the exact-reconciliation
+    property; prefer [?sink] on creation (or on the engine's [create]). *)
 
 val cycles : t -> int
 
@@ -56,3 +75,15 @@ val call : t -> unit
 val alloc : t -> words:int -> unit
 val native : t -> unit
 val gc : t -> live_words:int -> unit
+
+val enter_method : t -> string -> unit
+(** Notify the sink of a method entry. One branch when no sink is set. *)
+
+val enter_method_in : t -> string -> string -> unit
+(** [enter_method_in t cls name] = [enter_method t (cls ^ "." ^ name)],
+    but only pays the concatenation when a sink is attached. *)
+
+val leave_method : t -> unit
+
+val profile_sink : Telemetry.Profile.t -> sink
+(** The standard sink: feed a deterministic per-method cycle profile. *)

@@ -336,7 +336,12 @@ and run_method t ~defining ~m ~this args =
   | None -> Machine.native_call t ~defining ~mname:m.m_name this args
   | Some body ->
       Machine.enter_frame t;
-      Fun.protect ~finally:(fun () -> Machine.leave_frame t) @@ fun () ->
+      Cost.enter_method_in t.Machine.cost defining m.m_name;
+      Fun.protect
+        ~finally:(fun () ->
+          Cost.leave_method t.Machine.cost;
+          Machine.leave_frame t)
+      @@ fun () ->
       let frame =
         { locals = Hashtbl.create 16; local_types = Hashtbl.create 16;
           this; cls = defining }
@@ -370,6 +375,9 @@ and construct t cls args =
 (* Constructor chain: superclass constructor first, then this class's
    field initializers, then the constructor body. *)
 and init_chain t obj cls args =
+  Cost.enter_method_in t.Machine.cost cls "<init>";
+  Fun.protect ~finally:(fun () -> Cost.leave_method t.Machine.cost)
+  @@ fun () ->
   let ctor =
     match Mj.Symtab.lookup_ctor t.Machine.tab cls (List.length args) with
     | Some c -> c
@@ -502,8 +510,9 @@ let new_instance t cls args = construct t cls args
 
 let run_main t cls = ignore (call_static t cls "main" [])
 
-let create ?(tariff = Cost.interpreter_tariff) (checked : Mj.Typecheck.checked) =
-  let t = Machine.create ~tariff checked.symtab in
+let create ?(tariff = Cost.interpreter_tariff) ?sink
+    (checked : Mj.Typecheck.checked) =
+  let t = Machine.create ~tariff ?sink checked.symtab in
   t.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
   (* Run static field initializers in declaration order. *)
   List.iter

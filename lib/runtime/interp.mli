@@ -8,9 +8,10 @@
 
 type t
 
-val create : ?tariff:Cost.tariff -> Mj.Typecheck.checked -> t
+val create : ?tariff:Cost.tariff -> ?sink:Cost.sink -> Mj.Typecheck.checked -> t
 (** Build a session: allocates static storage and runs static field
-    initializers ("loading, linking and initialization"). *)
+    initializers ("loading, linking and initialization"). [sink]
+    observes every cycle from creation on (see {!Cost.sink}). *)
 
 val machine : t -> Machine.t
 

@@ -23,11 +23,11 @@ and ports = {
 
 let fail fmt = Format.kasprintf (fun m -> raise (Heap.Runtime_error m)) fmt
 
-let create ?(tariff = Cost.interpreter_tariff) tab =
+let create ?(tariff = Cost.interpreter_tariff) ?sink tab =
   let root = { label = "<root>"; subs = [] } in
   let t =
     { tab; heap = Heap.create (); statics = Hashtbl.create 64;
-      cost = Cost.create tariff; console = Buffer.create 256;
+      cost = Cost.create ?sink tariff; console = Buffer.create 256;
       asr_ports = Hashtbl.create 8; instant_stack = [ root ]; root;
       invoke_run = (fun _ -> fail "no engine installed for Thread.start");
       call_depth = 0; max_call_depth = 4096 }
@@ -83,6 +83,8 @@ let ports_state t recv =
       p
 
 let native_call t ~defining ~mname recv args =
+  Cost.enter_method_in t.cost defining mname;
+  Fun.protect ~finally:(fun () -> Cost.leave_method t.cost) @@ fun () ->
   Cost.native t.cost;
   match (defining, mname, args) with
   | "Math", "sqrt", [ x ] -> Value.Double (sqrt (as_double x))

@@ -1,0 +1,24 @@
+(** Exporters over {!Registry} and {!Profile} data: human-readable
+    tables, a machine-readable JSON dump, and Chrome [trace_event]
+    files loadable in [chrome://tracing] / Perfetto. *)
+
+val table : Registry.t -> string
+(** Pretty text: counters, histograms, then the span tree (indented by
+    nesting depth, with durations and args). *)
+
+val json : Registry.t -> Json.t
+(** Full structured dump: [{"counters": {...}, "histograms": [...],
+    "spans": [...]}]. *)
+
+val chrome_trace : Registry.t -> string
+(** JSON Object Format per the Trace Event specification: closed spans
+    become complete ([ph = "X"]) events with µs timestamps; counters
+    ride along under ["otherData"]. *)
+
+val profile_table : ?limit:int -> Profile.t -> string
+(** Flat profile sorted by self cycles (descending), gprof-style, with
+    calls, self/cumulative cycles, percentages, allocation and GC
+    columns. [limit] caps the number of rows shown. *)
+
+val profile_json : Profile.t -> Json.t
+(** [{"total": n, "methods": [...]}] in self-descending order. *)

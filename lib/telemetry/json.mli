@@ -1,0 +1,34 @@
+(** Minimal JSON tree, printer and parser.
+
+    The telemetry exporters need to emit JSON (Chrome trace files,
+    machine-readable profiles) and the test suite needs to parse that
+    output back to validate it structurally. The switch carries no JSON
+    library, so this is a small, dependency-free implementation: it
+    covers exactly the constructs the exporters produce (objects,
+    arrays, strings, ints, floats, bools, null) plus enough of RFC 8259
+    to re-read them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Strings are escaped; non-finite
+    floats are rendered as [0] (JSON has no representation for them). *)
+
+val parse : string -> t
+(** Inverse of {!to_string} on its image; accepts any whitespace-
+    separated JSON text with ASCII escapes. Raises {!Parse_error} with
+    an offset on malformed input. Numbers without [.], [e] or [E] parse
+    as [Int]; everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the first binding of [k], [None] otherwise
+    or when the value is not an object. *)

@@ -1,0 +1,100 @@
+(** Process-local instrumentation registry: monotonic counters,
+    power-of-two histograms, and nestable spans.
+
+    One registry is one observation session. Components take a registry
+    as an optional argument and record into it when it is enabled; a
+    disabled registry costs one branch per operation. Timestamps come
+    from a caller-supplied clock (microseconds by convention — the
+    Chrome trace exporter assumes µs) or, by default, from a
+    deterministic tick counter so unit tests are reproducible. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+(** Key/value payload attached to spans. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+      (** 64 buckets: bucket [0] holds values ≤ 0, bucket [i ≥ 1] holds
+          values in [2{^i-1}, 2{^i}). *)
+}
+
+type span = {
+  sp_id : int;
+  sp_name : string;
+  sp_cat : string;
+  sp_depth : int;  (** nesting depth at entry, 0 for roots *)
+  sp_parent : int;  (** [sp_id] of the enclosing span, [-1] for roots *)
+  sp_start : float;
+  mutable sp_stop : float;
+  mutable sp_closed : bool;
+  mutable sp_args : (string * arg) list;
+}
+
+type t
+
+val create : ?enabled:bool -> ?clock:(unit -> float) -> ?max_spans:int -> unit -> t
+(** Defaults: enabled, deterministic tick clock (1.0 per reading,
+    starting at 1.0), [max_spans = 1_000_000] retained span records
+    (further spans still nest and time correctly but are not retained;
+    see {!dropped_spans}). *)
+
+val is_enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** {2 Counters} *)
+
+val counter : t -> string -> counter
+(** Find-or-create. The handle is valid for the registry's lifetime;
+    callers caching handles on hot paths guard with {!is_enabled}
+    themselves. *)
+
+val add : counter -> int -> unit
+(** Saturates at [max_int]; negative increments are ignored (counters
+    are monotonic). Not gated on {!is_enabled} — use {!count} for the
+    gated one-shot form. *)
+
+val count : t -> string -> int -> unit
+(** [count t name n]: find-or-create + {!add}, skipped when disabled. *)
+
+(** {2 Histograms} *)
+
+val histogram : t -> string -> histogram
+val observe : histogram -> int -> unit
+val observe_value : t -> string -> int -> unit
+(** Gated find-or-create + {!observe}. *)
+
+val mean : histogram -> float
+
+(** {2 Spans} *)
+
+val enter :
+  t -> ?cat:string -> ?args:(string * arg) list -> ?ts:float -> string -> unit
+(** Open a span nested under the innermost open span. [ts] overrides the
+    registry clock (used by the cycle profiler, whose timeline is cycle
+    counts rather than wall time). No-op when disabled. *)
+
+val exit : t -> ?args:(string * arg) list -> ?ts:float -> unit -> unit
+(** Close the innermost open span, appending [args] to it. Unbalanced
+    calls are ignored. *)
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [enter]/[exit] bracket, exception-safe. *)
+
+(** {2 Inspection} *)
+
+val counters : t -> counter list
+(** In creation order. *)
+
+val histograms : t -> histogram list
+val spans : t -> span list
+(** In start order, including any still-open spans ([sp_closed = false]). *)
+
+val dropped_spans : t -> int
+val reset : t -> unit

@@ -20,4 +20,5 @@ let () =
       ("misc", Test_misc.suite);
       ("random-graphs", Test_random_graphs.suite);
       ("schedule", Test_schedule.suite);
-      ("uart", Test_uart.suite) ]
+      ("uart", Test_uart.suite);
+      ("telemetry", Test_telemetry.suite) ]
