@@ -1205,7 +1205,7 @@ module Telemetry_bench = struct
   (* Same two workloads the boundscheck bench uses: the SFR-refined FIR
      (many small reactions) and the restricted JPEG codec (one large
      reaction). *)
-  let drive ~engine ?profile (w : Boundscheck.workload) =
+  let drive ~engine ?profile ?lines (w : Boundscheck.workload) =
     let checked =
       Mj.Typecheck.check_source ~file:(w.Boundscheck.b_name ^ ".mj")
         w.Boundscheck.b_source
@@ -1213,7 +1213,8 @@ module Telemetry_bench = struct
     let cost_sink = Option.map Mj_runtime.Cost.profile_sink profile in
     let elab =
       Javatime.Elaborate.elaborate ~engine ~enforce_policy:false
-        ~bounded_memory:false ?cost_sink checked ~cls:w.Boundscheck.b_cls
+        ~bounded_memory:false ?cost_sink ?cost_lines:lines checked
+        ~cls:w.Boundscheck.b_cls
     in
     List.iter
       (fun inputs -> ignore (Javatime.Elaborate.react elab inputs))
@@ -1408,6 +1409,257 @@ module Telemetry_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Line profiling: per-line attribution reconciles exactly with        *)
+(* Cost.cycles on every engine, the modeled cycle counts are identical *)
+(* with attribution on and off (the disabled path is free in the cost  *)
+(* model), and the wall-clock overhead of both paths is reported.      *)
+(* ------------------------------------------------------------------ *)
+
+module Lineprof_bench = struct
+  module J = Telemetry.Json
+
+  type row = {
+    l_workload : string;
+    l_engine : string;
+    l_cycles_off : int;  (* Cost.cycles without a line table *)
+    l_cycles_on : int;   (* Cost.cycles with attribution enabled *)
+    l_lines_total : int; (* what the line table attributed *)
+    l_rows : int;        (* distinct (file, line) rows *)
+    l_top : (string * int * int) list;  (* (file, line, cycles) *)
+    l_off_wall : float;
+    l_on_wall : float;
+  }
+
+  let measure ~smoke () =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun (label, engine) ->
+            let cycles_off = ref 0 and cycles_on = ref 0 in
+            let lt = Telemetry.Lines.create () in
+            let off_wall =
+              Telemetry_bench.wall (fun () ->
+                  cycles_off := Telemetry_bench.drive ~engine w)
+            in
+            let on_wall =
+              Telemetry_bench.wall (fun () ->
+                  cycles_on := Telemetry_bench.drive ~engine ~lines:lt w)
+            in
+            let top =
+              List.filteri (fun i _ -> i < 3) (Telemetry.Lines.by_cycles lt)
+              |> List.map (fun e ->
+                     Telemetry.Lines.
+                       (e.e_file, e.e_line, e.e_cycles))
+            in
+            { l_workload = w.Boundscheck.b_name;
+              l_engine = label;
+              l_cycles_off = !cycles_off;
+              l_cycles_on = !cycles_on;
+              l_lines_total = Telemetry.Lines.total lt;
+              l_rows = List.length (Telemetry.Lines.rows lt);
+              l_top = top;
+              l_off_wall = off_wall;
+              l_on_wall = on_wall })
+          Telemetry_bench.engines)
+      (Boundscheck.workloads ~smoke ())
+
+  let overhead_pct r =
+    if r.l_off_wall <= 0.0 then 0.0
+    else 100.0 *. (r.l_on_wall -. r.l_off_wall) /. r.l_off_wall
+
+  let print_text rows =
+    print_endline
+      "Line profiling: per-line attribution reconciles exactly with \
+       Cost.cycles";
+    print_newline ();
+    List.iter
+      (fun r ->
+        Printf.printf
+          "  %-16s %-7s %12d cycles  lines %12d (%4d rows)  %s%s\n"
+          r.l_workload r.l_engine r.l_cycles_on r.l_lines_total r.l_rows
+          (if r.l_lines_total = r.l_cycles_on then "exact" else "DRIFT")
+          (if r.l_cycles_on = r.l_cycles_off then "" else " COST-CHANGED");
+        List.iter
+          (fun (file, line, cycles) ->
+            Printf.printf "      %s:%-5d %12d\n" file line cycles)
+          r.l_top;
+        Printf.printf
+          "      wall: %.4fs off, %.4fs on (%+.1f%%)\n" r.l_off_wall
+          r.l_on_wall (overhead_pct r))
+      rows
+
+  let print_json rows =
+    let row_json r =
+      J.Obj
+        [ ("workload", J.Str r.l_workload);
+          ("engine", J.Str r.l_engine);
+          ("cycles", J.Int r.l_cycles_off);
+          ("cycles_lines_enabled", J.Int r.l_cycles_on);
+          ("cost_model_unchanged", J.Bool (r.l_cycles_on = r.l_cycles_off));
+          ("lines_total", J.Int r.l_lines_total);
+          ("reconciles", J.Bool (r.l_lines_total = r.l_cycles_on));
+          ("rows", J.Int r.l_rows);
+          ( "top_lines",
+            J.List
+              (List.map
+                 (fun (file, line, cycles) ->
+                   J.Obj
+                     [ ("file", J.Str file); ("line", J.Int line);
+                       ("cycles", J.Int cycles) ])
+                 r.l_top) );
+          ("disabled_wall_s", J.Float r.l_off_wall);
+          ("enabled_wall_s", J.Float r.l_on_wall);
+          ("overhead_pct", J.Float (overhead_pct r)) ]
+    in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [ ("bench", J.Str "lineprof");
+              ("rows", J.List (List.map row_json rows)) ]))
+
+  (* Smoke contract: attribution reconciles to the cycle on every
+     engine/workload pair, and enabling it never changes the modeled
+     cycle count (so PR-level cycle baselines remain comparable). *)
+  let check rows =
+    let failed = ref false in
+    List.iter
+      (fun r ->
+        if r.l_lines_total <> r.l_cycles_on then begin
+          Printf.eprintf "FAIL %s/%s: line table %d != cycles %d\n"
+            r.l_workload r.l_engine r.l_lines_total r.l_cycles_on;
+          failed := true
+        end;
+        if r.l_cycles_on <> r.l_cycles_off then begin
+          Printf.eprintf
+            "FAIL %s/%s: enabling line profiling changed modeled cycles \
+             (%d -> %d)\n"
+            r.l_workload r.l_engine r.l_cycles_off r.l_cycles_on;
+          failed := true
+        end;
+        if r.l_rows < 2 then begin
+          Printf.eprintf "FAIL %s/%s: only %d line rows attributed\n"
+            r.l_workload r.l_engine r.l_rows;
+          failed := true
+        end)
+      rows;
+    if !failed then exit 1
+
+  let run ~json ~smoke () =
+    let rows = measure ~smoke () in
+    if json then print_json rows else print_text rows;
+    check rows
+end
+
+(* ------------------------------------------------------------------ *)
+(* Artifact comparison: diff two BENCH_*.json files metric by metric   *)
+(* and fail on cycle/eval regressions beyond the threshold.            *)
+(* ------------------------------------------------------------------ *)
+
+module Compare = struct
+  module J = Telemetry.Json
+
+  let regression_threshold_pct = 10.0
+
+  (* Flatten a BENCH artifact into dotted-path numeric leaves. List
+     elements are keyed by their identifying string fields (workload,
+     engine, ...) when present, falling back to the index, so rows
+     line up across artifacts even if reordered. *)
+  let rec flatten path acc = function
+    | J.Int n -> (path, float_of_int n) :: acc
+    | J.Float f -> (path, f) :: acc
+    | J.Bool _ | J.Str _ | J.Null -> acc
+    | J.Obj kvs ->
+        List.fold_left
+          (fun acc (k, v) -> flatten (path ^ "." ^ k) acc v)
+          acc kvs
+    | J.List items ->
+        List.fold_left
+          (fun (i, acc) item ->
+            let key =
+              let parts =
+                List.filter_map
+                  (fun field ->
+                    match J.member field item with
+                    | Some (J.Str s) -> Some s
+                    | _ -> None)
+                  [ "workload"; "engine"; "name"; "method"; "file" ]
+              in
+              match parts with
+              | [] -> string_of_int i
+              | parts -> String.concat ":" parts
+            in
+            (i + 1, flatten (path ^ "." ^ key) acc item))
+          (0, acc) items
+        |> snd
+
+  let load path =
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match J.parse text with
+    | parsed -> List.rev (flatten "" [] parsed)
+    | exception J.Parse_error msg ->
+        Printf.eprintf "cannot parse %s: %s\n" path msg;
+        exit 1
+
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+
+  (* Bigger-is-worse metrics guarded against regression. *)
+  let guarded path =
+    let p = String.lowercase_ascii path in
+    contains ~sub:"cycles" p || contains ~sub:"eval" p
+
+  let run baseline_path current_path =
+    let baseline = load baseline_path and current = load current_path in
+    let current_tbl = Hashtbl.create 64 in
+    List.iter (fun (k, v) -> Hashtbl.replace current_tbl k v) current;
+    Printf.printf "comparing %s (baseline) vs %s (current)\n\n" baseline_path
+      current_path;
+    Printf.printf "%-64s %14s %14s %9s\n" "metric" "baseline" "current"
+      "delta";
+    let regressions = ref 0 in
+    List.iter
+      (fun (path, base) ->
+        match Hashtbl.find_opt current_tbl path with
+        | None -> Printf.printf "%-64s %14.6g %14s\n" path base "(gone)"
+        | Some cur ->
+            Hashtbl.remove current_tbl path;
+            let delta_pct =
+              if base = 0.0 then if cur = 0.0 then 0.0 else infinity
+              else 100.0 *. (cur -. base) /. base
+            in
+            let regressed =
+              guarded path && delta_pct > regression_threshold_pct
+            in
+            if regressed then incr regressions;
+            if base <> cur || regressed then
+              Printf.printf "%-64s %14.6g %14.6g %+8.2f%%%s\n" path base cur
+                delta_pct
+                (if regressed then "  REGRESSION" else ""))
+      baseline;
+    List.iter
+      (fun (path, cur) ->
+        if Hashtbl.mem current_tbl path then
+          Printf.printf "%-64s %14s %14.6g\n" path "(new)" cur)
+      current;
+    if !regressions > 0 then begin
+      Printf.printf
+        "\n%d guarded metric(s) regressed more than %.0f%%\n" !regressions
+        regression_threshold_pct;
+      exit 1
+    end
+    else
+      Printf.printf "\nno cycle/eval metric regressed more than %.0f%%\n"
+        regression_threshold_pct
+end
+
+(* ------------------------------------------------------------------ *)
 
 let json_flag = ref false
 
@@ -1422,6 +1674,8 @@ let experiments =
      `Plain (fun () -> Analysis_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("telemetry",
      `Plain (fun () -> Telemetry_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
+    ("lineprof",
+     `Plain (fun () -> Lineprof_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("table1", `Sized table1);
     ("fig1", `Plain fig1);
     ("fig2", `Plain fig2);
@@ -1447,8 +1701,21 @@ let run_one ~small name =
         (String.concat " " (List.map fst experiments @ [ "all" ]));
       exit 1
 
+let rec compare_files = function
+  | "--compare" :: baseline :: current :: _ -> Some (baseline, current)
+  | "--compare" :: _ ->
+      Printf.eprintf "usage: --compare BASELINE.json CURRENT.json\n";
+      exit 1
+  | _ :: rest -> compare_files rest
+  | [] -> None
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (match compare_files args with
+  | Some (baseline, current) ->
+      Compare.run baseline current;
+      exit 0
+  | None -> ());
   let small = List.mem "--small" args in
   json_flag := List.mem "--json" args;
   smoke_flag := List.mem "--smoke" args;

@@ -80,7 +80,7 @@ let check_cmd =
     Term.(const run $ file_arg $ policy_arg $ json_flag)
 
 let refine_cmd =
-  let run file print_program policy trace_out =
+  let run file print_program policy audit audit_out trace_out =
     handle (fun () ->
         let program = Mj.Parser.parse_program ~file (read_file file) in
         let policy =
@@ -96,8 +96,21 @@ let refine_cmd =
           | Some _ -> Some (Telemetry.Registry.create ~clock:wall_us ())
           | None -> None
         in
-        let outcome = Javatime.Engine.refine ~policy ?telemetry program in
+        let provenance = audit || audit_out <> None in
+        let outcome =
+          Javatime.Engine.refine ~policy ?telemetry ~provenance program
+        in
         Javatime.Engine.pp_trace Format.std_formatter outcome;
+        (match (outcome.Javatime.Engine.provenance, audit_out) with
+        | Some p, Some path ->
+            write_file path
+              (Telemetry.Json.to_string (Javatime.Provenance.to_json p))
+        | _ -> ());
+        (match outcome.Javatime.Engine.provenance with
+        | Some p when audit ->
+            print_newline ();
+            print_string (Javatime.Provenance.to_string p)
+        | _ -> ());
         (match (trace_out, telemetry) with
         | Some path, Some reg ->
             write_file path (Telemetry.Export.chrome_trace reg)
@@ -114,28 +127,38 @@ let refine_cmd =
     Arg.(value & opt string "asr" & info [ "policy" ] ~docv:"POLICY"
            ~doc:"Target policy of use: asr or sdf")
   in
+  let audit_flag =
+    Arg.(value & flag & info [ "audit" ]
+           ~doc:"Print the provenance audit: per-iteration violations and \
+                 source-level diffs of every applied transformation")
+  in
+  let audit_out_arg =
+    Arg.(value & opt (some string) None & info [ "audit-out" ]
+           ~docv:"FILE.json" ~doc:"Write the provenance audit as JSON")
+  in
   Cmd.v
     (Cmd.info "refine" ~doc:"Apply successive formal refinement")
-    Term.(const run $ file_arg $ print_flag $ policy_arg $ trace_out_arg)
+    Term.(const run $ file_arg $ print_flag $ policy_arg $ audit_flag
+          $ audit_out_arg $ trace_out_arg)
 
 let engine_arg =
   Arg.(value & opt string "vm" & info [ "e"; "engine" ] ~docv:"ENGINE"
          ~doc:"Execution engine: interp, vm or jit")
 
-(* Run main() under [engine], optionally feeding a profile sink.
-   Returns (console output, Cost.cycles). *)
-let run_main_with ?sink engine checked cls =
+(* Run main() under [engine], optionally feeding a profile sink and a
+   per-line attribution table. Returns (console output, Cost.cycles). *)
+let run_main_with ?sink ?lines engine checked cls =
   match engine with
   | "interp" ->
-      let s = Mj_runtime.Interp.create ?sink checked in
+      let s = Mj_runtime.Interp.create ?sink ?lines checked in
       Mj_runtime.Interp.run_main s cls;
       (Mj_runtime.Interp.output s, Mj_runtime.Interp.cycles s)
   | "vm" ->
-      let s = Mj_bytecode.Vm.create ?sink checked in
+      let s = Mj_bytecode.Vm.create ?sink ?lines checked in
       Mj_bytecode.Vm.run_main s cls;
       (Mj_bytecode.Vm.output s, Mj_bytecode.Vm.cycles s)
   | "jit" ->
-      let s = Mj_bytecode.Jit.create ?sink checked in
+      let s = Mj_bytecode.Jit.create ?sink ?lines checked in
       Mj_bytecode.Jit.run_main s cls;
       (Mj_bytecode.Jit.output s, Mj_bytecode.Jit.cycles s)
   | other ->
@@ -163,22 +186,92 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute the static main() of a class")
     Term.(const run $ file_arg $ class_arg $ engine_arg $ trace_out_arg)
 
+(* Annotated source listing: the program's own lines with cycle and
+   allocation counts in the margin; the hottest lines are flagged. *)
+let annotate_source ~file ~src lt =
+  let open Telemetry.Lines in
+  let rows = rows lt in
+  let here = List.filter (fun r -> r.e_file = file) rows in
+  let elsewhere = List.filter (fun r -> r.e_file <> file) rows in
+  let by_line = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace by_line r.e_line r) here;
+  let hot =
+    (* flag the top three lines by cycles (only genuinely hot ones) *)
+    List.filter (fun r -> r.e_cycles > 0) here
+    |> List.sort (fun a b -> compare b.e_cycles a.e_cycles)
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map (fun r -> r.e_line)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%12s %8s %6s  %s\n" "cycles" "allocs" "" file);
+  let src_lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i text ->
+      let n = i + 1 in
+      match Hashtbl.find_opt by_line n with
+      | Some r ->
+          Buffer.add_string buf
+            (Printf.sprintf "%12d %8d %c%5d| %s\n" r.e_cycles r.e_allocs
+               (if List.mem n hot then '*' else ' ')
+               n text)
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "%12s %8s  %5d| %s\n" "" "" n text))
+    src_lines;
+  if elsewhere <> [] then begin
+    Buffer.add_string buf "attributed outside this file:\n";
+    List.iter
+      (fun r ->
+        let name =
+          if r.e_file = "" then "<unattributed>"
+          else Printf.sprintf "%s:%d" r.e_file r.e_line
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%12d %8d  %s\n" r.e_cycles r.e_allocs name))
+      elsewhere
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "%12d %8s  total\n" (total lt) "");
+  Buffer.contents buf
+
 let profile_cmd =
-  let run file cls engine json limit trace_out =
+  let run file cls engine json limit lines_flag flame_out trace_out =
     handle (fun () ->
-        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let src = read_file file in
+        let checked = Mj.Typecheck.check_source ~file src in
         let span_reg =
-          match trace_out with
-          | Some _ -> Some (Telemetry.Registry.create ())
-          | None -> None
+          match (trace_out, flame_out) with
+          | None, None -> None
+          | _ -> Some (Telemetry.Registry.create ())
         in
         let profile = Telemetry.Profile.create ?spans:span_reg () in
         let sink = Mj_runtime.Cost.profile_sink profile in
-        let _, cycles = run_main_with ~sink engine checked cls in
-        if json then
-          print_endline
-            (Telemetry.Json.to_string (Telemetry.Export.profile_json profile))
-        else print_string (Telemetry.Export.profile_table ?limit profile);
+        let lines =
+          if lines_flag then Some (Telemetry.Lines.create ()) else None
+        in
+        let _, cycles = run_main_with ~sink ?lines engine checked cls in
+        (match (json, lines) with
+        | true, None ->
+            print_endline
+              (Telemetry.Json.to_string (Telemetry.Export.profile_json profile))
+        | true, Some lt ->
+            print_endline
+              (Telemetry.Json.to_string
+                 (Telemetry.Json.Obj
+                    [ ("profile", Telemetry.Export.profile_json profile);
+                      ("lines", Telemetry.Export.lines_json lt) ]))
+        | false, None ->
+            print_string (Telemetry.Export.profile_table ?limit profile)
+        | false, Some lt ->
+            print_string (Telemetry.Export.profile_table ?limit profile);
+            print_newline ();
+            print_string (annotate_source ~file ~src lt));
+        (match (flame_out, span_reg) with
+        | Some path, Some reg ->
+            write_file path
+              (Telemetry.Flame.to_string (Telemetry.Flame.collapse reg))
+        | _ -> ());
         (match (trace_out, span_reg) with
         | Some path, Some reg ->
             write_file path (Telemetry.Export.chrome_trace reg)
@@ -189,8 +282,16 @@ let profile_cmd =
             (Telemetry.Profile.total profile)
             cycles;
           exit 3
-        end
-        else if not json then
+        end;
+        (match lines with
+        | Some lt when Telemetry.Lines.total lt <> cycles ->
+            Format.eprintf
+              "line profile does not reconcile: %d attributed vs %d metered \
+               cycles@."
+              (Telemetry.Lines.total lt) cycles;
+            exit 3
+        | _ -> ());
+        if not json then
           Printf.printf "reconciled: %d cycles (profile total = Cost.cycles)\n"
             cycles)
   in
@@ -201,11 +302,20 @@ let profile_cmd =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
            ~doc:"Show only the top N methods by self cycles")
   in
+  let lines_arg =
+    Arg.(value & flag & info [ "lines" ]
+           ~doc:"Also profile per source line and print an annotated listing")
+  in
+  let flame_arg =
+    Arg.(value & opt (some string) None & info [ "flame-out" ]
+           ~docv:"FILE.folded"
+           ~doc:"Write a collapsed-stack file (flamegraph.pl, speedscope)")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Execute main() and print a per-method cycle profile")
     Term.(const run $ file_arg $ class_arg $ engine_arg $ json_flag $ limit_arg
-          $ trace_out_arg)
+          $ lines_arg $ flame_arg $ trace_out_arg)
 
 let simulate_cmd =
   let run file cls engine instants vcd_out trace_out =

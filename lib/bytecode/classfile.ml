@@ -208,7 +208,30 @@ let r_instr r : Instr.t =
   | 39 -> Instr.Astore_u
   | n -> failwith (Printf.sprintf "classfile: bad instruction tag %d" n)
 
-let magic = "MJC1"
+(* "MJC2" = "MJC1" + per-method line tables. *)
+let magic = "MJC2"
+
+let w_pos buf (p : Mj.Loc.pos) =
+  w_u32 buf p.Mj.Loc.line;
+  w_u32 buf p.Mj.Loc.col;
+  w_i64 buf (Int64.of_int p.Mj.Loc.offset)
+
+let r_pos r =
+  let line = r_u32 r in
+  let col = r_u32 r in
+  let offset = Int64.to_int (r_i64 r) in
+  { Mj.Loc.line; col; offset }
+
+let w_loc buf (loc : Mj.Loc.t) =
+  w_str buf loc.Mj.Loc.file;
+  w_pos buf loc.Mj.Loc.start_pos;
+  w_pos buf loc.Mj.Loc.end_pos
+
+let r_loc r =
+  let file = r_str r in
+  let start_pos = r_pos r in
+  let end_pos = r_pos r in
+  { Mj.Loc.file; start_pos; end_pos }
 
 let encode_method (mc : Instr.method_code) =
   let buf = Buffer.create 256 in
@@ -221,6 +244,12 @@ let encode_method (mc : Instr.method_code) =
   w_u32 buf mc.Instr.mc_nlocals;
   w_u32 buf (Array.length mc.Instr.mc_code);
   Array.iter (w_instr buf) mc.Instr.mc_code;
+  w_u32 buf (Array.length mc.Instr.mc_lines);
+  Array.iter
+    (fun (pc, loc) ->
+      w_u32 buf pc;
+      w_loc buf loc)
+    mc.Instr.mc_lines;
   Buffer.contents buf
 
 let decode_method s =
@@ -236,7 +265,14 @@ let decode_method s =
   let mc_nlocals = r_u32 r in
   let n_code = r_u32 r in
   let mc_code = Array.init n_code (fun _ -> r_instr r) in
-  { Instr.mc_class; mc_name; mc_params; mc_ret; mc_nlocals; mc_code }
+  let n_lines = r_u32 r in
+  let mc_lines =
+    Array.init n_lines (fun _ ->
+        let pc = r_u32 r in
+        let loc = r_loc r in
+        (pc, loc))
+  in
+  { Instr.mc_class; mc_name; mc_params; mc_ret; mc_nlocals; mc_code; mc_lines }
 
 let methods_of_class image cls =
   let methods =

@@ -25,6 +25,12 @@ type emitter = {
   (* Array-access sites (keyed by the span of the index subexpression)
      whose bounds check the static analysis proved redundant. *)
   elide : (Mj.Loc.t, unit) Hashtbl.t;
+  (* Line-table entries in reverse emission order: a new entry is pushed
+     whenever the source position of the code being emitted changes
+     line (or file). [lt_file]/[lt_line] cache the last noted position. *)
+  mutable lines_rev : (int * Mj.Loc.t) list;
+  mutable lt_file : string;
+  mutable lt_line : int;
 }
 
 let emit em instr =
@@ -37,6 +43,30 @@ let emit em instr =
   em.len <- em.len + 1
 
 let here em = em.len
+
+(* Note that subsequent instructions compile source at [loc]. Dummy
+   locations are skipped (synthesized code stays on the current line). *)
+let note_loc em loc =
+  if not (Mj.Loc.is_dummy loc) then begin
+    let line = loc.Mj.Loc.start_pos.Mj.Loc.line in
+    let file = loc.Mj.Loc.file in
+    if line <> em.lt_line || not (String.equal file em.lt_file) then begin
+      em.lt_file <- file;
+      em.lt_line <- line;
+      em.lines_rev <- (em.len, loc) :: em.lines_rev
+    end
+  end
+
+(* The finished table: ascending pc, one entry per pc (when several
+   positions were noted at the same pc — e.g. an empty statement —
+   only the last survives). *)
+let line_table em =
+  let rec dedupe = function
+    | (pc1, _) :: ((pc2, _) :: _ as rest) when pc1 = pc2 -> dedupe rest
+    | e :: rest -> e :: dedupe rest
+    | [] -> []
+  in
+  Array.of_list (dedupe (List.rev em.lines_rev))
 
 let emit_placeholder em =
   let at = em.len in
@@ -106,6 +136,7 @@ let astore em idx =
   if Hashtbl.mem em.elide idx.eloc then Instr.Astore_u else Instr.Array_store
 
 let rec compile_expr em e =
+  note_loc em e.eloc;
   match e.expr with
   | Int_lit n -> emit em (Instr.Const (Value.Int (Value.wrap32 n)))
   | Double_lit f -> emit em (Instr.Const (Value.Double f))
@@ -443,6 +474,7 @@ and compile_call em call =
 (* ------------------------------------------------------------------ *)
 
 let rec compile_stmt em s =
+  note_loc em s.sloc;
   emit em Instr.Yield_point;
   match s.stmt with
   | Block stmts ->
@@ -571,7 +603,7 @@ let make_emitter ~elide tab cls ~is_static params =
     { code = Array.make 64 Instr.Ret; len = 0;
       next_slot = (if is_static then 0 else 1); max_slot = 0;
       tab; cls; scopes = [ [] ]; break_patches = []; continue_patches = [];
-      elide }
+      elide; lines_rev = []; lt_file = ""; lt_line = 0 }
   in
   em.max_slot <- em.next_slot;
   List.iter (fun (ty, name) -> ignore (alloc_slot em name ty)) params;
@@ -581,7 +613,7 @@ let finish em ~cls ~name ~params ~ret =
   emit em Instr.Ret;
   { Instr.mc_class = cls; mc_name = name; mc_params = List.map fst params;
     mc_ret = ret; mc_nlocals = em.max_slot;
-    mc_code = Array.sub em.code 0 em.len }
+    mc_code = Array.sub em.code 0 em.len; mc_lines = line_table em }
 
 let compile_method ~elide tab cls (m : method_decl) =
   match m.m_body with

@@ -51,7 +51,26 @@ type method_code = {
   mc_ret : Mj.Ast.ty;
   mc_nlocals : int;
   mc_code : t array;
+  mc_lines : (int * Mj.Loc.t) array;
 }
+
+(* Binary search the line table for the entry covering [pc]: the one
+   with the greatest start pc ≤ [pc]. *)
+let line_at mc pc =
+  let tbl = mc.mc_lines in
+  let n = Array.length tbl in
+  if n = 0 || pc < fst tbl.(0) then Mj.Loc.dummy
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if fst tbl.(mid) <= pc then lo := mid else hi := mid - 1
+    done;
+    snd tbl.(!lo)
+  end
+
+let expand_lines mc =
+  Array.init (Array.length mc.mc_code) (fun pc -> line_at mc pc)
 
 let pp ppf instr =
   let p fmt = Format.fprintf ppf fmt in

@@ -53,7 +53,20 @@ type method_code = {
   mc_ret : Mj.Ast.ty;
   mc_nlocals : int;  (** includes slot 0 (this) and parameters *)
   mc_code : t array;
+  mc_lines : (int * Mj.Loc.t) array;
+      (** Line table: sorted by strictly increasing start pc; entry
+          [(pc, loc)] covers instructions from [pc] up to (excluding)
+          the next entry's pc. Instructions before the first entry have
+          no source attribution. *)
 }
+
+val line_at : method_code -> int -> Mj.Loc.t
+(** Source location of the instruction at [pc] per the line table
+    (binary search); {!Mj.Loc.dummy} when unattributed. *)
+
+val expand_lines : method_code -> Mj.Loc.t array
+(** Per-pc expansion of the line table — used by the JIT so executed
+    code pays an array read, not a search. *)
 
 val pp : Format.formatter -> t -> unit
 

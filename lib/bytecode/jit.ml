@@ -17,6 +17,7 @@ type compiled = {
   c_params : ty list;
   c_takes_this : bool;
   c_steps : (frame -> int) array;
+  c_locs : Mj.Loc.t array;  (* per-pc source positions, precomputed *)
 }
 
 type t = {
@@ -363,7 +364,8 @@ let rec translate t (mc : Instr.method_code) ~takes_this =
   { c_label = mc.Instr.mc_class ^ "." ^ mc.Instr.mc_name;
     c_nlocals = mc.Instr.mc_nlocals; c_params = mc.Instr.mc_params;
     c_takes_this = takes_this;
-    c_steps = Array.mapi translate_instr mc.Instr.mc_code }
+    c_steps = Array.mapi translate_instr mc.Instr.mc_code;
+    c_locs = Instr.expand_lines mc }
 
 and alloc_multi t elem dims =
   let heap = t.m.Machine.heap in
@@ -380,7 +382,7 @@ and alloc_multi t elem dims =
       done;
       arr
 
-and run_compiled c ~this args =
+and run_compiled cost c ~this args =
   let fr =
     { locals = Array.make (max 1 c.c_nlocals) Value.Null;
       stack = Array.make 32 Value.Null; sp = 0 }
@@ -398,8 +400,20 @@ and run_compiled c ~this args =
        (List.combine args c.c_params)
    with Invalid_argument _ -> fail "jit: arity mismatch");
   let steps = c.c_steps in
-  let rec go pc = go (steps.(pc) fr) in
-  try go 0 with Jit_return v -> v
+  (* Two dispatch loops, selected once per frame: the line-profiling
+     path updates the source position before every step, the default
+     path pays nothing. *)
+  if Cost.lines_on cost then begin
+    let locs = c.c_locs in
+    let rec go_ln pc =
+      Cost.at_line cost locs.(pc);
+      go_ln (steps.(pc) fr)
+    in
+    try go_ln 0 with Jit_return v -> v
+  end
+  else
+    let rec go pc = go (steps.(pc) fr) in
+    try go 0 with Jit_return v -> v
 
 and lookup_compiled t cls mname =
   match Hashtbl.find_opt t.methods (cls, mname) with
@@ -430,7 +444,7 @@ and bracketed t label f =
 and invoke_from_class t recv cls mname args =
   match lookup_compiled t cls mname with
   | Some c ->
-      bracketed t c.c_label (fun () -> run_compiled c ~this:(Some recv) args)
+      bracketed t c.c_label (fun () -> run_compiled t.m.Machine.cost c ~this:(Some recv) args)
   | None -> (
       match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
       | Some (defining, m) when m.m_mods.is_native ->
@@ -440,7 +454,7 @@ and invoke_from_class t recv cls mname args =
 
 and invoke_static t cls mname args =
   match lookup_compiled t cls mname with
-  | Some c -> bracketed t c.c_label (fun () -> run_compiled c ~this:None args)
+  | Some c -> bracketed t c.c_label (fun () -> run_compiled t.m.Machine.cost c ~this:None args)
   | None -> (
       match Mj.Symtab.lookup_method t.image.Compile.im_tab cls mname with
       | Some (defining, m) when m.m_mods.is_native ->
@@ -460,7 +474,7 @@ and run_ctor t cls recv args =
             c
         | None -> fail "jit: no constructor %s/%d" cls arity)
   in
-  ignore (bracketed t c.c_label (fun () -> run_compiled c ~this:(Some recv) args))
+  ignore (bracketed t c.c_label (fun () -> run_compiled t.m.Machine.cost c ~this:(Some recv) args))
 
 and construct t cls args =
   let tab = t.image.Compile.im_tab in
@@ -481,13 +495,13 @@ let new_instance t cls args = construct t cls args
 
 let run_main t cls = ignore (call_static t cls "main" [])
 
-let of_image ?(tariff = Cost.jit_tariff) ?sink image =
-  let m = Machine.create ~tariff ?sink image.Compile.im_tab in
+let of_image ?(tariff = Cost.jit_tariff) ?sink ?lines image =
+  let m = Machine.create ~tariff ?sink ?lines image.Compile.im_tab in
   let t = { image; m; methods = Hashtbl.create 64; ctors = Hashtbl.create 16 } in
   m.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
   let static_init = translate t image.Compile.im_static_init ~takes_this:false in
-  ignore (bracketed t static_init.c_label (fun () -> run_compiled static_init ~this:None []));
+  ignore (bracketed t static_init.c_label (fun () -> run_compiled t.m.Machine.cost static_init ~this:None []));
   t
 
-let create ?tariff ?sink ?elide checked =
-  of_image ?tariff ?sink (Compile.compile ?elide checked)
+let create ?tariff ?sink ?lines ?elide checked =
+  of_image ?tariff ?sink ?lines (Compile.compile ?elide checked)

@@ -11,14 +11,19 @@ type t
 val create :
   ?tariff:Mj_runtime.Cost.tariff ->
   ?sink:Mj_runtime.Cost.sink ->
+  ?lines:Telemetry.Lines.t ->
   ?elide:(Mj.Loc.t, unit) Hashtbl.t ->
   Mj.Typecheck.checked ->
   t
 (** Default tariff is {!Mj_runtime.Cost.jit_tariff}. [sink] observes
-    every cycle from creation on. *)
+    every cycle from creation on; [lines] receives per-source-line
+    attribution via per-pc positions precomputed at translate time
+    (the disabled path runs the original dispatch loop untouched). *)
 
 val of_image :
-  ?tariff:Mj_runtime.Cost.tariff -> ?sink:Mj_runtime.Cost.sink ->
+  ?tariff:Mj_runtime.Cost.tariff ->
+  ?sink:Mj_runtime.Cost.sink ->
+  ?lines:Telemetry.Lines.t ->
   Compile.image -> t
 
 val machine : t -> Mj_runtime.Machine.t

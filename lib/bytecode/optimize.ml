@@ -153,7 +153,25 @@ let compact code keep replacement =
       incr j
     end
   done;
-  out
+  (out, new_index)
+
+(* Remap line-table pcs through the same index. A range whose every
+   instruction was deleted collapses onto the next kept pc; when several
+   entries collide the last wins (its source region owns the survivor).
+   Entries pushed past the end of the compacted code are dropped. *)
+let compact_lines lines new_index total =
+  let mapped =
+    Array.to_list lines
+    |> List.filter_map (fun (pc, loc) ->
+           let np = new_index.(pc) in
+           if np >= total then None else Some (np, loc))
+  in
+  let rec dedupe = function
+    | (p1, _) :: ((p2, _) :: _ as rest) when p1 = p2 -> dedupe rest
+    | e :: rest -> e :: dedupe rest
+    | [] -> []
+  in
+  Array.of_list (dedupe mapped)
 
 (* Thread jump chains: Jump t where code[t] = Jump u  becomes Jump u. *)
 let thread_jumps code =
@@ -182,18 +200,26 @@ let thread_jumps code =
   in
   (!changed, out)
 
-let optimize_code code =
-  let rec loop code fuel =
-    if fuel = 0 then code
+let optimize_code code lines =
+  let rec loop code lines fuel =
+    if fuel = 0 then (code, lines)
     else
       let changed1, code = thread_jumps code in
       let changed2, keep, replacement = local_pass code in
-      let code = if changed2 then compact code keep replacement else code in
-      if changed1 || changed2 then loop code (fuel - 1) else code
+      let code, lines =
+        if changed2 then begin
+          let code, new_index = compact code keep replacement in
+          (code, compact_lines lines new_index (Array.length code))
+        end
+        else (code, lines)
+      in
+      if changed1 || changed2 then loop code lines (fuel - 1) else (code, lines)
   in
-  loop code 10
+  loop code lines 10
 
-let method_code mc = { mc with Instr.mc_code = optimize_code mc.Instr.mc_code }
+let method_code mc =
+  let code, lines = optimize_code mc.Instr.mc_code mc.Instr.mc_lines in
+  { mc with Instr.mc_code = code; mc_lines = lines }
 
 let image (im : Compile.image) =
   let im_methods = Hashtbl.create (Hashtbl.length im.Compile.im_methods) in

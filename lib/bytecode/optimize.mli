@@ -12,7 +12,8 @@
     - collapsing of consecutive {!Instr.Yield_point}s (a single
       preemption point per statement boundary suffices).
 
-    Jump targets are remapped after deletions. *)
+    Jump targets — and line-table entry pcs — are remapped after
+    deletions, so source attribution survives optimization. *)
 
 val method_code : Instr.method_code -> Instr.method_code
 

@@ -119,7 +119,10 @@ let rec exec t (mc : Instr.method_code) ~this args =
   let code = mc.Instr.mc_code in
   let cost = t.m.Machine.cost in
   let heap = t.m.Machine.heap in
+  (* Checked once per frame: the disabled path pays nothing per step. *)
+  let lines_on = Cost.lines_on cost in
   let rec step pc =
+    if lines_on then Cost.at_line cost (Instr.line_at mc pc);
     Cost.dispatch cost;
     match code.(pc) with
     | Instr.Const v ->
@@ -403,16 +406,16 @@ let new_instance t cls args = construct t cls args
 
 let run_main t cls = ignore (call_static t cls "main" [])
 
-let of_image ?tariff ?sink image =
+let of_image ?tariff ?sink ?lines image =
   let m =
     match tariff with
-    | Some tariff -> Machine.create ~tariff ?sink image.Compile.im_tab
-    | None -> Machine.create ?sink image.Compile.im_tab
+    | Some tariff -> Machine.create ~tariff ?sink ?lines image.Compile.im_tab
+    | None -> Machine.create ?sink ?lines image.Compile.im_tab
   in
   let t = { image; m } in
   m.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
   ignore (exec t image.Compile.im_static_init ~this:None []);
   t
 
-let create ?tariff ?sink ?elide checked =
-  of_image ?tariff ?sink (Compile.compile ?elide checked)
+let create ?tariff ?sink ?lines ?elide checked =
+  of_image ?tariff ?sink ?lines (Compile.compile ?elide checked)

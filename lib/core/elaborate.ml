@@ -22,7 +22,7 @@ type t = {
   stateless : bool;
 }
 
-let ops_of_engine ~elide ?sink engine checked =
+let ops_of_engine ~elide ?sink ?lines engine checked =
   (* The elision plan only affects the bytecode engines; the interpreter
      walks the AST and always performs the modelled bounds check. *)
   let plan () =
@@ -30,17 +30,17 @@ let ops_of_engine ~elide ?sink engine checked =
   in
   match engine with
   | Engine_interp ->
-      let s = Mj_runtime.Interp.create ?sink checked in
+      let s = Mj_runtime.Interp.create ?sink ?lines checked in
       { o_machine = Mj_runtime.Interp.machine s;
         o_new = Mj_runtime.Interp.new_instance s;
         o_call = Mj_runtime.Interp.call s }
   | Engine_vm ->
-      let s = Mj_bytecode.Vm.create ?sink ?elide:(plan ()) checked in
+      let s = Mj_bytecode.Vm.create ?sink ?lines ?elide:(plan ()) checked in
       { o_machine = Mj_bytecode.Vm.machine s;
         o_new = Mj_bytecode.Vm.new_instance s;
         o_call = Mj_bytecode.Vm.call s }
   | Engine_jit ->
-      let s = Mj_bytecode.Jit.create ?sink ?elide:(plan ()) checked in
+      let s = Mj_bytecode.Jit.create ?sink ?lines ?elide:(plan ()) checked in
       { o_machine = Mj_bytecode.Jit.machine s;
         o_new = Mj_bytecode.Jit.new_instance s;
         o_call = Mj_bytecode.Jit.call s }
@@ -90,7 +90,7 @@ let value_to_data m = function
 
 let elaborate ?(engine = Engine_vm) ?(enforce_policy = true)
     ?(bounded_memory = true) ?gc_threshold ?(ctor_args = [])
-    ?(elide_bounds_checks = false) ?cost_sink checked ~cls =
+    ?(elide_bounds_checks = false) ?cost_sink ?cost_lines checked ~cls =
   if enforce_policy && not (Policy.Asr_policy.compliant checked) then
     invalid_arg
       (Printf.sprintf
@@ -100,7 +100,8 @@ let elaborate ?(engine = Engine_vm) ?(enforce_policy = true)
   if not (List.mem cls (Policy.Phases.asr_classes checked)) then
     invalid_arg (Printf.sprintf "elaborate: class %s does not extend ASR" cls);
   let ops =
-    ops_of_engine ~elide:elide_bounds_checks ?sink:cost_sink engine checked
+    ops_of_engine ~elide:elide_bounds_checks ?sink:cost_sink
+      ?lines:cost_lines engine checked
   in
   let m = ops.o_machine in
   Heap.set_phase m.Machine.heap Heap.Init;

@@ -20,6 +20,7 @@ val elaborate :
   ?ctor_args:Mj_runtime.Value.t list ->
   ?elide_bounds_checks:bool ->
   ?cost_sink:Mj_runtime.Cost.sink ->
+  ?cost_lines:Telemetry.Lines.t ->
   Mj.Typecheck.checked ->
   cls:string ->
   t
@@ -33,7 +34,9 @@ val elaborate :
     statically safe array accesses to unchecked instructions (bytecode
     engines only; the interpreter ignores it). [cost_sink] is installed
     on the engine's cost meter at creation, so a profile fed by it
-    reconciles exactly with {!total_cycles} — initialization included. *)
+    reconciles exactly with {!total_cycles} — initialization included.
+    [cost_lines] is a per-source-line attribution table with the same
+    exact-reconciliation property. *)
 
 val ports : t -> int * int
 (** Input and output port counts declared during initialization. *)

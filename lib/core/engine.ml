@@ -13,6 +13,7 @@ type outcome = {
   steps : step list;
   compliant : bool;
   residual : Policy.Rule.violation list;
+  provenance : Provenance.t option;
 }
 
 (* First-occurrence order preserved; membership via a seen-set rather
@@ -29,7 +30,7 @@ let dedup ids =
     ids
 
 let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
-    ?telemetry program =
+    ?telemetry ?(provenance = false) program =
   let module Reg = Telemetry.Registry in
   let tele =
     match telemetry with
@@ -49,7 +50,7 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
             vs)
       policy
   in
-  let rec loop iteration program steps =
+  let rec loop iteration program steps prov =
     (match tele with
     | Some reg ->
         Reg.enter reg ~cat:"refine" "iteration"
@@ -82,9 +83,23 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
       close_iteration
         ~outcome:(if blocking = [] then "compliant" else "residual")
         ~applied:"";
+      let audit =
+        if not provenance then None
+        else
+          let last =
+            { Provenance.it_index = iteration; it_violations = violations;
+              it_transform = None; it_description = ""; it_sites = 0;
+              it_changes = [] }
+          in
+          Some
+            { Provenance.p_iterations = List.rev (last :: prov);
+              p_compliant = blocking = []; p_residual = violations;
+              p_final =
+                Mj.Pretty.program_to_string checked.Mj.Typecheck.program }
+      in
       { initial; final = checked.Mj.Typecheck.program; checked;
         steps = List.rev steps; compliant = blocking = [];
-        residual = violations }
+        residual = violations; provenance = audit }
     in
     if transforms = [] || iteration > max_iterations then finish ()
     else begin
@@ -117,13 +132,30 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
       | Some (rewritten, applied) ->
           close_iteration ~outcome:"transformed" ~applied:applied.a_transform;
           let step = { iteration; violations; applied = [ applied ] } in
-          loop (iteration + 1) rewritten (step :: steps)
+          let prov =
+            if not provenance then prov
+            else
+              { Provenance.it_index = iteration; it_violations = violations;
+                it_transform = Some applied.a_transform;
+                it_description = applied.a_description;
+                it_sites = applied.a_sites;
+                it_changes =
+                  (* diff the resolved program this iteration analyzed
+                     against the transform's output, so snippets match
+                     what the next iteration parses *)
+                  Provenance.diff_program
+                    ~before:checked.Mj.Typecheck.program ~after:rewritten }
+              :: prov
+          in
+          loop (iteration + 1) rewritten (step :: steps) prov
     end
   in
-  loop 1 program []
+  loop 1 program [] []
 
-let refine_source ?(file = "<source>") ?max_iterations ?policy ?telemetry src =
-  refine ?max_iterations ?policy ?telemetry (Mj.Parser.parse_program ~file src)
+let refine_source ?(file = "<source>") ?max_iterations ?policy ?telemetry
+    ?provenance src =
+  refine ?max_iterations ?policy ?telemetry ?provenance
+    (Mj.Parser.parse_program ~file src)
 
 let pp_trace ppf outcome =
   Format.fprintf ppf "successive formal refinement: %d iteration(s)@."

@@ -21,6 +21,8 @@ type outcome = {
   steps : step list;
   compliant : bool;
   residual : Policy.Rule.violation list;  (** violations needing manual work *)
+  provenance : Provenance.t option;
+      (** full audit trail, present iff [refine ~provenance:true] *)
 }
 
 val dedup : string list -> string list
@@ -31,6 +33,7 @@ val refine :
   ?max_iterations:int ->
   ?policy:Policy.Rule.t list ->
   ?telemetry:Telemetry.Registry.t ->
+  ?provenance:bool ->
   Mj.Ast.program ->
   outcome
 (** Raises {!Mj.Diag.Compile_error} if the program does not type-check
@@ -45,13 +48,18 @@ val refine :
     rule timings come from the registry clock) and one
     ["apply.<transform>"] span per attempted transformation (args: site
     count); counters ["refine.iterations"] and
-    ["transform.<id>.sites"] accumulate across the run. *)
+    ["transform.<id>.sites"] accumulate across the run.
+
+    [provenance] (default off) additionally records, per iteration, the
+    outstanding violations and a source-level diff of what the applied
+    transformation changed — see {!Provenance}. *)
 
 val refine_source :
   ?file:string ->
   ?max_iterations:int ->
   ?policy:Policy.Rule.t list ->
   ?telemetry:Telemetry.Registry.t ->
+  ?provenance:bool ->
   string ->
   outcome
 

@@ -451,6 +451,14 @@ let rec rule_no_races =
 and check_no_races checked =
   List.concat_map
     (fun (r : Analysis.Races.race) ->
+      let related =
+        (* at least one racing write and one racing read, so a JSON
+           consumer can point at both sides of the race *)
+        let take what sites =
+          match sites with (_, loc) :: _ -> [ (what, loc) ] | [] -> []
+        in
+        take "write" r.Analysis.Races.r_writes @ take "read" r.r_reads
+      in
       let head =
         Rule.make_violation ~rule:rule_no_races ~loc:r.Analysis.Races.r_loc
           ~subject:(r.r_class ^ "." ^ r.r_field)
@@ -458,6 +466,7 @@ and check_no_races checked =
             [ Rule.Manual
                 "communicate through an ASR channel (or join before reading) \
                  instead of an unsynchronized static field" ]
+          ~related
           (Analysis.Races.describe r)
       in
       let site (root, loc) what =

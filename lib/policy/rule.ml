@@ -9,6 +9,9 @@ type violation = {
   subject : string;
   message : string;
   fixes : fix list;
+  related : (string * Mj.Loc.t) list;
+      (* secondary locations: (role, loc), e.g. a racing read and a
+         racing write backing up a shared-field report *)
 }
 
 type t = {
@@ -18,8 +21,9 @@ type t = {
   check : Mj.Typecheck.checked -> violation list;
 }
 
-let make_violation ~rule ?(severity = Forbidden) ~loc ~subject ?(fixes = []) message =
-  { rule_id = rule.id; severity; loc; subject; message; fixes }
+let make_violation ~rule ?(severity = Forbidden) ~loc ~subject ?(fixes = [])
+    ?(related = []) message =
+  { rule_id = rule.id; severity; loc; subject; message; fixes; related }
 
 let is_blocking v = v.severity = Forbidden
 
@@ -68,9 +72,15 @@ let fix_to_json = function
   | Manual hint ->
       Printf.sprintf {|{"kind":"manual","hint":"%s"}|} (json_escape hint)
 
+let related_to_json (role, loc) =
+  Printf.sprintf {|{"role":"%s","file":"%s","line":%d,"col":%d}|}
+    (json_escape role)
+    (json_escape loc.Mj.Loc.file)
+    loc.Mj.Loc.start_pos.Mj.Loc.line loc.Mj.Loc.start_pos.Mj.Loc.col
+
 let violation_to_json v =
   Printf.sprintf
-    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d,"subject":"%s","message":"%s","fixes":[%s]}|}
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d,"subject":"%s","message":"%s","fixes":[%s],"related":[%s]}|}
     (json_escape v.rule_id)
     (match v.severity with Forbidden -> "forbidden" | Caution -> "caution")
     (json_escape v.loc.Mj.Loc.file)
@@ -78,6 +88,7 @@ let violation_to_json v =
     v.loc.Mj.Loc.end_pos.Mj.Loc.line v.loc.Mj.Loc.end_pos.Mj.Loc.col
     (json_escape v.subject) (json_escape v.message)
     (String.concat "," (List.map fix_to_json v.fixes))
+    (String.concat "," (List.map related_to_json v.related))
 
 let report_to_json violations =
   Printf.sprintf

@@ -19,6 +19,10 @@ type violation = {
   subject : string;  (** "Class.method" or "Class.field" context *)
   message : string;
   fixes : fix list;
+  related : (string * Mj.Loc.t) list;
+      (** secondary locations as [(role, loc)] pairs — e.g. a race
+          report carries at least one racing ["write"] and one racing
+          ["read"] site in addition to the field declaration *)
 }
 
 type t = {
@@ -34,6 +38,7 @@ val make_violation :
   loc:Mj.Loc.t ->
   subject:string ->
   ?fixes:fix list ->
+  ?related:(string * Mj.Loc.t) list ->
   string ->
   violation
 
@@ -48,7 +53,8 @@ val pp_report : Format.formatter -> violation list -> unit
 
 val violation_to_json : violation -> string
 (** One violation as a JSON object: rule id, severity, span (file, line,
-    col, end_line, end_col), subject, message, suggested fixes. *)
+    col, end_line, end_col), subject, message, suggested fixes, and a
+    ["related"] array of secondary locations. *)
 
 val report_to_json : violation list -> string
 (** Whole report as [{"compliant": bool, "violations": [...]}]. *)

@@ -36,17 +36,21 @@ type t = {
   mutable cycles : int;
   mutable budget : int option;
   mutable sink : sink option;
-  (* [slow] caches [budget <> None || sink <> None] so the common path of
-     [charge] — no watchdog, no telemetry — is a single flag test. *)
+  mutable lines : Telemetry.Lines.t option;
+  (* [slow] caches [budget <> None || sink <> None || lines <> None] so
+     the common path of [charge] — no watchdog, no telemetry — is a
+     single flag test. *)
   mutable slow : bool;
 }
 
 exception Budget_exceeded of int
 
-let create ?sink tariff =
-  { tariff; cycles = 0; budget = None; sink; slow = sink <> None }
+let create ?sink ?lines tariff =
+  { tariff; cycles = 0; budget = None; sink; lines;
+    slow = sink <> None || lines <> None }
 
-let refresh_slow t = t.slow <- t.budget <> None || t.sink <> None
+let refresh_slow t =
+  t.slow <- t.budget <> None || t.sink <> None || t.lines <> None
 
 let set_budget t budget =
   t.budget <- budget;
@@ -56,6 +60,25 @@ let set_sink t sink =
   t.sink <- sink;
   refresh_slow t
 
+let set_lines t lines =
+  t.lines <- lines;
+  refresh_slow t
+
+let lines_on t = t.lines <> None
+
+let lines t = t.lines
+
+(* Move the line profiler's current-position pointer. Positions without
+   source information are skipped, so charges stay on the last known
+   line rather than resetting to the unattributed row. *)
+let at_line t loc =
+  match t.lines with
+  | None -> ()
+  | Some l ->
+      if not (Mj.Loc.is_dummy loc) then
+        Telemetry.Lines.set l ~file:loc.Mj.Loc.file
+          ~line:loc.Mj.Loc.start_pos.Mj.Loc.line
+
 let cycles t = t.cycles
 
 let reset t = t.cycles <- 0
@@ -64,6 +87,7 @@ let reset t = t.cycles <- 0
    were added to the meter, so a profile stays reconciled on the
    Budget_exceeded path too. *)
 let charge_slow t n =
+  (match t.lines with None -> () | Some l -> Telemetry.Lines.charge l n);
   (match t.sink with None -> () | Some s -> s.sink_charge n);
   match t.budget with
   | Some limit when t.cycles > limit -> raise (Budget_exceeded t.cycles)
@@ -74,15 +98,21 @@ let charge t n =
   if t.slow then charge_slow t n
 
 let enter_method t label =
-  match t.sink with None -> () | Some s -> s.sink_enter label
+  (match t.sink with None -> () | Some s -> s.sink_enter label);
+  match t.lines with None -> () | Some l -> Telemetry.Lines.enter l
 
 (* Variant taking the qualified name in two halves so the disabled path
    does not even pay the string concatenation. *)
 let enter_method_in t cls name =
-  match t.sink with None -> () | Some s -> s.sink_enter (cls ^ "." ^ name)
+  (match t.sink with None -> () | Some s -> s.sink_enter (cls ^ "." ^ name));
+  match t.lines with None -> () | Some l -> Telemetry.Lines.enter l
 
 let leave_method t =
-  match t.sink with None -> () | Some s -> s.sink_leave ()
+  (match t.sink with None -> () | Some s -> s.sink_leave ());
+  match t.lines with None -> () | Some l -> Telemetry.Lines.leave l
+
+let bounds_trap t =
+  match t.lines with None -> () | Some l -> Telemetry.Lines.trap l
 
 let profile_sink p =
   { sink_charge = Telemetry.Profile.charge p;
@@ -100,6 +130,7 @@ let array_unchecked t = charge t t.tariff.array_unchecked
 let call t = charge t t.tariff.call
 let alloc t ~words =
   charge t (t.tariff.alloc_base + (t.tariff.alloc_word * words));
+  (match t.lines with None -> () | Some l -> Telemetry.Lines.alloc l ~words);
   match t.sink with None -> () | Some s -> s.sink_alloc ~words
 
 let native t = charge t t.tariff.native

@@ -50,7 +50,7 @@ exception Budget_exceeded of int
     watchdog: a compliant reaction run under its static worst-case
     bound can never trip it. *)
 
-val create : ?sink:sink -> tariff -> t
+val create : ?sink:sink -> ?lines:Telemetry.Lines.t -> tariff -> t
 
 val set_budget : t -> int option -> unit
 (** Absolute cycle count the meter may not exceed; [None] disables. *)
@@ -58,6 +58,22 @@ val set_budget : t -> int option -> unit
 val set_sink : t -> sink option -> unit
 (** Attaching after cycles have been spent loses the exact-reconciliation
     property; prefer [?sink] on creation (or on the engine's [create]). *)
+
+val set_lines : t -> Telemetry.Lines.t option -> unit
+(** Same caveat as {!set_sink}: attach at creation for exact
+    reconciliation ([Telemetry.Lines.total] = {!cycles}). *)
+
+val lines_on : t -> bool
+(** Whether a line table is attached — engines with per-instruction
+    position updates check this once per frame and skip the updates
+    entirely when disabled. *)
+
+val lines : t -> Telemetry.Lines.t option
+
+val at_line : t -> Mj.Loc.t -> unit
+(** Move the line profiler's position pointer to [loc]'s starting line.
+    Dummy locations are ignored (charges stay on the last known line).
+    One branch when no line table is attached. *)
 
 val cycles : t -> int
 
@@ -84,6 +100,11 @@ val enter_method_in : t -> string -> string -> unit
     but only pays the concatenation when a sink is attached. *)
 
 val leave_method : t -> unit
+
+val bounds_trap : t -> unit
+(** Record a bounds-check violation on the current source line (fired by
+    the heap just before it raises). No cycle charge — the trap aborts
+    the reaction. *)
 
 val profile_sink : Telemetry.Profile.t -> sink
 (** The standard sink: feed a deterministic per-method cycle profile. *)

@@ -27,13 +27,15 @@ type t = {
   mutable words_since_gc : int;
   mutable gc_count : int;
   mutable on_gc : live_words:int -> unit;
+  mutable on_trap : unit -> unit;
 }
 
 let create () =
   { cells = Array.make 1024 None; next = 0; phase = Init;
     forbid_reactive = false; init_allocations = 0; reactive_allocations = 0;
     init_words = 0; reactive_words = 0; gc_threshold = None;
-    words_since_gc = 0; gc_count = 0; on_gc = (fun ~live_words:_ -> ()) }
+    words_since_gc = 0; gc_count = 0; on_gc = (fun ~live_words:_ -> ());
+    on_trap = (fun () -> ()) }
 
 let phase t = t.phase
 
@@ -52,6 +54,8 @@ let configure_gc t ~threshold_words =
   t.words_since_gc <- 0
 
 let set_gc_hook t hook = t.on_gc <- hook
+
+let set_trap_hook t hook = t.on_trap <- hook
 
 let gc_count t = t.gc_count
 
@@ -147,20 +151,24 @@ let array_length t index = Array.length (array_cells t index)
 
 let array_get t index i =
   let cells = array_cells t index in
-  if i < 0 || i >= Array.length cells then
+  if i < 0 || i >= Array.length cells then begin
+    t.on_trap ();
     raise
       (Runtime_error
          (Printf.sprintf "array index %d out of bounds for length %d" i
             (Array.length cells)))
+  end
   else cells.(i)
 
 let array_set t index i value =
   let cells = array_cells t index in
-  if i < 0 || i >= Array.length cells then
+  if i < 0 || i >= Array.length cells then begin
+    t.on_trap ();
     raise
       (Runtime_error
          (Printf.sprintf "array index %d out of bounds for length %d" i
             (Array.length cells)))
+  end
   else cells.(i) <- value
 
 (* Unchecked accessors for statically verified sites. OCaml's own array

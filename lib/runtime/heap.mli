@@ -84,4 +84,9 @@ val configure_gc : t -> threshold_words:int option -> unit
 
 val set_gc_hook : t -> (live_words:int -> unit) -> unit
 
+val set_trap_hook : t -> (unit -> unit) -> unit
+(** Called just before a checked array access raises [Runtime_error] on
+    an out-of-bounds index — the machine wires this to
+    [Cost.bounds_trap] so the trap is attributed to a source line. *)
+
 val gc_count : t -> int

@@ -98,6 +98,7 @@ let eval_binop op x y =
 (* ------------------------------------------------------------------ *)
 
 let rec eval_expr (t : t) frame e =
+  Cost.at_line t.Machine.cost e.eloc;
   Cost.dispatch t.Machine.cost;
   match e.expr with
   | Int_lit n -> Value.Int (Value.wrap32 n)
@@ -432,6 +433,7 @@ and exec_stmts t frame stmts = List.iter (exec_stmt t frame) stmts
 
 and exec_stmt (t : t) frame s =
   Threads.maybe_yield ();
+  Cost.at_line t.Machine.cost s.sloc;
   Cost.dispatch t.Machine.cost;
   match s.stmt with
   | Block stmts -> exec_stmts t frame stmts
@@ -510,9 +512,9 @@ let new_instance t cls args = construct t cls args
 
 let run_main t cls = ignore (call_static t cls "main" [])
 
-let create ?(tariff = Cost.interpreter_tariff) ?sink
+let create ?(tariff = Cost.interpreter_tariff) ?sink ?lines
     (checked : Mj.Typecheck.checked) =
-  let t = Machine.create ~tariff ?sink checked.symtab in
+  let t = Machine.create ~tariff ?sink ?lines checked.symtab in
   t.Machine.invoke_run <- (fun recv -> ignore (invoke_virtual t recv "run" []));
   (* Run static field initializers in declaration order. *)
   List.iter

@@ -8,10 +8,17 @@
 
 type t
 
-val create : ?tariff:Cost.tariff -> ?sink:Cost.sink -> Mj.Typecheck.checked -> t
+val create :
+  ?tariff:Cost.tariff ->
+  ?sink:Cost.sink ->
+  ?lines:Telemetry.Lines.t ->
+  Mj.Typecheck.checked ->
+  t
 (** Build a session: allocates static storage and runs static field
     initializers ("loading, linking and initialization"). [sink]
-    observes every cycle from creation on (see {!Cost.sink}). *)
+    observes every cycle from creation on (see {!Cost.sink}); [lines]
+    likewise receives an exact per-source-line attribution, driven by
+    the AST locations the evaluator walks. *)
 
 val machine : t -> Machine.t
 

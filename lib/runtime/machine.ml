@@ -23,11 +23,11 @@ and ports = {
 
 let fail fmt = Format.kasprintf (fun m -> raise (Heap.Runtime_error m)) fmt
 
-let create ?(tariff = Cost.interpreter_tariff) ?sink tab =
+let create ?(tariff = Cost.interpreter_tariff) ?sink ?lines tab =
   let root = { label = "<root>"; subs = [] } in
   let t =
     { tab; heap = Heap.create (); statics = Hashtbl.create 64;
-      cost = Cost.create ?sink tariff; console = Buffer.create 256;
+      cost = Cost.create ?sink ?lines tariff; console = Buffer.create 256;
       asr_ports = Hashtbl.create 8; instant_stack = [ root ]; root;
       invoke_run = (fun _ -> fail "no engine installed for Thread.start");
       call_depth = 0; max_call_depth = 4096 }
@@ -37,6 +37,7 @@ let create ?(tariff = Cost.interpreter_tariff) ?sink tab =
       Hashtbl.replace t.statics (cls, f.Mj.Ast.f_name) (Value.default f.Mj.Ast.f_ty))
     (Mj.Symtab.static_fields tab);
   Heap.set_gc_hook t.heap (fun ~live_words -> Cost.gc t.cost ~live_words);
+  Heap.set_trap_hook t.heap (fun () -> Cost.bounds_trap t.cost);
   t
 
 let enter_frame t =

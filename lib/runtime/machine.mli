@@ -32,7 +32,12 @@ and ports = {
   mutable outputs : Value.t option array;
 }
 
-val create : ?tariff:Cost.tariff -> ?sink:Cost.sink -> Mj.Symtab.t -> t
+val create :
+  ?tariff:Cost.tariff ->
+  ?sink:Cost.sink ->
+  ?lines:Telemetry.Lines.t ->
+  Mj.Symtab.t ->
+  t
 (** Fresh machine with static storage defaulted (initializers are the
     engine's job, since they require evaluation). *)
 

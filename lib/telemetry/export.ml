@@ -111,7 +111,8 @@ let json reg =
          (Registry.spans reg))
   in
   Json.Obj
-    [ ("counters", counters); ("histograms", histograms); ("spans", spans) ]
+    [ ("counters", counters); ("histograms", histograms); ("spans", spans);
+      ("dropped_spans", Json.Int (Registry.dropped_spans reg)) ]
 
 let chrome_trace reg =
   let events =
@@ -142,7 +143,10 @@ let chrome_trace reg =
     (Json.Obj
        [ ("traceEvents", Json.List events);
          ("displayTimeUnit", Json.Str "ms");
-         ("otherData", counters) ])
+         ("otherData", counters);
+         ("metadata",
+          Json.Obj
+            [ ("dropped_spans", Json.Int (Registry.dropped_spans reg)) ]) ])
 
 let pct total part =
   if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
@@ -177,6 +181,53 @@ let profile_table ?limit prof =
     (Printf.sprintf "%-*s %10s %12d %6.2f%%\n" label_w "total" "" grand_total
        100.0);
   Buffer.contents buf
+
+let lines_table ?limit lt =
+  let grand_total = Lines.total lt in
+  let rows = Lines.by_cycles lt in
+  let rows =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+    | None -> rows
+  in
+  let name r =
+    let open Lines in
+    if r.e_file = "" then "<unattributed>"
+    else Printf.sprintf "%s:%d" r.e_file r.e_line
+  in
+  let label_w = List.fold_left (fun acc r -> max acc (String.length (name r))) 4 rows in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %12s %7s %8s %10s %6s\n" label_w "line" "cycles"
+       "cyc%" "allocs" "words" "traps");
+  List.iter
+    (fun r ->
+      let open Lines in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %12d %6.2f%% %8d %10d %6d\n" label_w (name r)
+           r.e_cycles
+           (pct grand_total r.e_cycles)
+           r.e_allocs r.e_alloc_words r.e_traps))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %12d %6.2f%%\n" label_w "total" grand_total 100.0);
+  Buffer.contents buf
+
+let lines_json lt =
+  let rows =
+    List.map
+      (fun r ->
+        let open Lines in
+        Json.Obj
+          [ ("file", Json.Str r.e_file);
+            ("line", Json.Int r.e_line);
+            ("cycles", Json.Int r.e_cycles);
+            ("allocs", Json.Int r.e_allocs);
+            ("alloc_words", Json.Int r.e_alloc_words);
+            ("traps", Json.Int r.e_traps) ])
+      (Lines.by_cycles lt)
+  in
+  Json.Obj [ ("total", Json.Int (Lines.total lt)); ("lines", Json.List rows) ]
 
 let profile_json prof =
   let methods =

@@ -8,12 +8,15 @@ val table : Registry.t -> string
 
 val json : Registry.t -> Json.t
 (** Full structured dump: [{"counters": {...}, "histograms": [...],
-    "spans": [...]}]. *)
+    "spans": [...], "dropped_spans": n}] — [dropped_spans] is nonzero
+    when the retention cap truncated the span list, so a partial trace
+    is never silently read as complete. *)
 
 val chrome_trace : Registry.t -> string
 (** JSON Object Format per the Trace Event specification: closed spans
     become complete ([ph = "X"]) events with µs timestamps; counters
-    ride along under ["otherData"]. *)
+    ride along under ["otherData"], and ["metadata"] carries
+    [dropped_spans] (see {!json}). *)
 
 val profile_table : ?limit:int -> Profile.t -> string
 (** Flat profile sorted by self cycles (descending), gprof-style, with
@@ -22,3 +25,10 @@ val profile_table : ?limit:int -> Profile.t -> string
 
 val profile_json : Profile.t -> Json.t
 (** [{"total": n, "methods": [...]}] in self-descending order. *)
+
+val lines_table : ?limit:int -> Lines.t -> string
+(** Flat per-source-line profile sorted by cycles (descending), with
+    allocation and bounds-trap columns and a reconciling total row. *)
+
+val lines_json : Lines.t -> Json.t
+(** [{"total": n, "lines": [...]}] in cycles-descending order. *)

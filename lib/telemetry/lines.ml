@@ -1,0 +1,101 @@
+type entry = {
+  e_file : string;
+  e_line : int;
+  e_cycles : int;
+  e_allocs : int;
+  e_alloc_words : int;
+  e_traps : int;
+}
+
+type row = {
+  mutable l_cycles : int;
+  mutable l_allocs : int;
+  mutable l_alloc_words : int;
+  mutable l_traps : int;
+}
+
+type t = {
+  tbl : (string * int, row) Hashtbl.t;
+  mutable total : int;
+  (* Current position; [cur] is the row for [(cur_file, cur_line)],
+     cached so the per-instruction [set] pays a hashtable lookup only
+     when the position actually changes. *)
+  mutable cur_file : string;
+  mutable cur_line : int;
+  mutable cur : row;
+  (* Saved positions across method calls (see [enter]/[leave]). *)
+  mutable stack : (string * int * row) list;
+}
+
+let fresh_row () = { l_cycles = 0; l_allocs = 0; l_alloc_words = 0; l_traps = 0 }
+
+let create () =
+  let tbl = Hashtbl.create 64 in
+  let unattributed = fresh_row () in
+  Hashtbl.add tbl ("", 0) unattributed;
+  { tbl; total = 0; cur_file = ""; cur_line = 0; cur = unattributed; stack = [] }
+
+let lookup t file line =
+  let key = (file, line) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some r -> r
+  | None ->
+      let r = fresh_row () in
+      Hashtbl.add t.tbl key r;
+      r
+
+let set t ~file ~line =
+  if line <> t.cur_line || not (String.equal file t.cur_file) then begin
+    t.cur_file <- file;
+    t.cur_line <- line;
+    t.cur <- lookup t file line
+  end
+
+let charge t n =
+  t.total <- t.total + n;
+  t.cur.l_cycles <- t.cur.l_cycles + n
+
+let alloc t ~words =
+  t.cur.l_allocs <- t.cur.l_allocs + 1;
+  t.cur.l_alloc_words <- t.cur.l_alloc_words + words
+
+let trap t = t.cur.l_traps <- t.cur.l_traps + 1
+
+let enter t = t.stack <- (t.cur_file, t.cur_line, t.cur) :: t.stack
+
+let leave t =
+  match t.stack with
+  | [] -> ()
+  | (file, line, row) :: rest ->
+      t.stack <- rest;
+      t.cur_file <- file;
+      t.cur_line <- line;
+      t.cur <- row
+
+let total t = t.total
+
+let live ((file, line), r) =
+  if r.l_cycles = 0 && r.l_allocs = 0 && r.l_traps = 0 then None
+  else
+    Some
+      { e_file = file; e_line = line; e_cycles = r.l_cycles;
+        e_allocs = r.l_allocs; e_alloc_words = r.l_alloc_words;
+        e_traps = r.l_traps }
+
+let rows t =
+  Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.tbl []
+  |> List.filter_map live
+  |> List.sort (fun a b ->
+         match String.compare a.e_file b.e_file with
+         | 0 -> compare a.e_line b.e_line
+         | c -> c)
+
+let by_cycles t =
+  rows t
+  |> List.sort (fun a b ->
+         match compare b.e_cycles a.e_cycles with
+         | 0 -> (
+             match String.compare a.e_file b.e_file with
+             | 0 -> compare a.e_line b.e_line
+             | c -> c)
+         | c -> c)

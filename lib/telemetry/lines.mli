@@ -1,0 +1,53 @@
+(** Deterministic per-source-line cost attribution.
+
+    The runtime's [Cost] meter feeds this with a current-position
+    pointer ([set]) plus charge/alloc/trap events; because the cost
+    model is deterministic, the result is an exact flat profile by
+    [(file, line)] — every cycle the meter records lands on exactly one
+    row. Invariant: {!total} equals [Cost.cycles] when the table is
+    attached from machine creation.
+
+    Charges made before any [set], or at positions without source
+    information, accumulate on the unattributed row [("", 0)].
+
+    Method calls: the engines bracket bodies with {!enter}/{!leave} so
+    that cycles charged after a callee returns (but before the caller's
+    next position update) land back on the caller's line rather than
+    skidding onto the callee's last line. *)
+
+type entry = {
+  e_file : string;  (** [""] for the unattributed row *)
+  e_line : int;  (** 1-based; [0] for the unattributed row *)
+  e_cycles : int;
+  e_allocs : int;
+  e_alloc_words : int;
+  e_traps : int;  (** bounds-check violations raised at this line *)
+}
+
+type t
+
+val create : unit -> t
+
+val set : t -> file:string -> line:int -> unit
+(** Move the current-position pointer. Subsequent charges accrue to
+    this [(file, line)] row. Cheap when the position is unchanged. *)
+
+val charge : t -> int -> unit
+val alloc : t -> words:int -> unit
+val trap : t -> unit
+
+val enter : t -> unit
+(** Method entry: push the current position so {!leave} can restore it. *)
+
+val leave : t -> unit
+(** Method exit: restore the caller's position. Unbalanced calls are
+    ignored. *)
+
+val total : t -> int
+(** Total cycles charged; equals the sum of [e_cycles] over {!rows}. *)
+
+val rows : t -> entry list
+(** All rows with any activity, sorted by [(file, line)]. *)
+
+val by_cycles : t -> entry list
+(** Sorted by [e_cycles] descending (ties by file then line). *)

@@ -21,4 +21,5 @@ let () =
       ("random-graphs", Test_random_graphs.suite);
       ("schedule", Test_schedule.suite);
       ("uart", Test_uart.suite);
-      ("telemetry", Test_telemetry.suite) ]
+      ("telemetry", Test_telemetry.suite);
+      ("observability", Test_observability.suite) ]
