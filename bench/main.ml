@@ -1551,6 +1551,554 @@ module Lineprof_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection campaign: supervisor containment and degradation    *)
+(* ------------------------------------------------------------------ *)
+
+(* Three claims, checked bit-for-bit rather than statistically:
+
+   1. Containment: injecting faults into chosen blocks of an ASR graph
+      perturbs only the nets inside [Graph.affected_nets] of those
+      blocks — every net outside the blast radius takes exactly the
+      per-instant value of the fault-free run, under every containment
+      policy.
+   2. Determinism: a fixed injection seed reproduces the same traces
+      and the same fault log run after run, and a transient
+      first-application glitch absorbed by [Retry] leaves the whole
+      trace bit-identical to the fault-free one.
+   3. Zero-cost disablement: with no supervisor attached, the modeled
+      cycle counts of the MJ workloads are unchanged — against fresh
+      in-process controls (ample budget armed, ample heap limit armed)
+      and, when [--baseline BENCH_lineprof.json] points at the
+      committed pre-supervisor artifact, against that artifact exactly
+      (full-size runs only; --smoke uses scaled-down workloads). *)
+
+module Faults_bench = struct
+  module D = Asr.Domain
+  module G = Asr.Graph
+  module S = Asr.Supervisor
+  module I = Asr.Inject
+  module J = Telemetry.Json
+  module E = Javatime.Elaborate
+
+  (* ---- part 1/2: ASR graph campaign -------------------------------- *)
+
+  type asr_row = {
+    a_workload : string;
+    a_policy : string;
+    a_first_only : bool;
+    a_seed : int;
+    a_blocks : int;
+    a_nets : int;
+    a_instants : int;
+    a_specs : string list;
+    a_injected : int;  (* faults actually raised by the injector *)
+    a_contained : int;
+    a_recovered : int;
+    a_quarantined : int;
+    a_affected : int;  (* nets inside the blast radius *)
+    a_checked : int;  (* (instant, net) pairs compared outside it *)
+    a_contained_ok : bool;  (* outside nets identical to fault-free run *)
+    a_deterministic : bool;  (* same seed -> same nets + fault log *)
+    a_fully_identical : bool;  (* whole trace equals the fault-free one *)
+  }
+
+  let graphs ~smoke () =
+    let scale n small = if smoke then small else n in
+    [ ("fir", Sched_bench.fir_graph (scale 32 8), scale 60 12);
+      ("jpeg-pipeline", Sched_bench.pipeline_graph (scale 24 6), scale 60 12);
+      ("cyclic", Sched_bench.cyclic_graph (scale 8 3), scale 60 12);
+      ( "random",
+        Sched_bench.random_graph ~seed:7 ~inputs:3 ~layers:(scale 8 3)
+          ~per_layer:(scale 12 4) ~delays:3,
+        scale 60 12 ) ]
+
+  (* Drive one instant at a time, capturing each instant's whole fixed
+     point (not just the output ports) — the containment property
+     quantifies over nets. *)
+  let run_capture ?supervisor ?inject g stream =
+    let sim = Asr.Simulate.create ?supervisor g in
+    List.map
+      (fun inputs ->
+        ignore (Asr.Simulate.step sim inputs);
+        (match inject with Some inj -> I.tick inj | None -> ());
+        Asr.Simulate.net_values sim)
+      stream
+
+  let campaign_row (name, g, instants) ~policy ~first_only ~seed =
+    let compiled = G.compile g in
+    let n_blocks = Array.length compiled.G.c_blocks in
+    let stream = Sched_bench.stimulus g ~instants in
+    let clean = run_capture g stream in
+    let specs = I.plan ~seed ~n_blocks ~instants ~n_faults:2 ~first_only () in
+    let faulty_run () =
+      let inj = I.make specs in
+      let sup = S.create ~policy () in
+      let nets =
+        run_capture ~supervisor:sup ~inject:inj (I.instrument inj g) stream
+      in
+      (inj, sup, nets)
+    in
+    let inj, sup, faulty = faulty_run () in
+    let inj2, sup2, faulty2 = faulty_run () in
+    let affected = Array.make compiled.G.n_nets false in
+    List.iter
+      (fun s ->
+        Array.iteri
+          (fun i b -> if b then affected.(i) <- true)
+          (G.affected_nets compiled s.I.i_block))
+      specs;
+    let checked = ref 0 and contained_ok = ref true in
+    List.iter2
+      (fun clean_nets faulty_nets ->
+        Array.iteri
+          (fun n v ->
+            if not affected.(n) then begin
+              incr checked;
+              if v <> faulty_nets.(n) then contained_ok := false
+            end)
+          clean_nets)
+      clean faulty;
+    { a_workload = name;
+      a_policy = S.policy_name policy;
+      a_first_only = first_only;
+      a_seed = seed;
+      a_blocks = n_blocks;
+      a_nets = compiled.G.n_nets;
+      a_instants = instants;
+      a_specs = List.map I.spec_to_string specs;
+      a_injected = I.fired inj;
+      a_contained = S.fault_count sup;
+      a_recovered = S.recovered_count sup;
+      a_quarantined = List.length (S.quarantined_blocks sup);
+      a_affected =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 affected;
+      a_checked = !checked;
+      a_contained_ok = !contained_ok;
+      a_deterministic =
+        faulty = faulty2
+        && I.fired inj = I.fired inj2
+        && S.faults sup = S.faults sup2;
+      a_fully_identical = clean = faulty }
+
+  (* A supervisor with nothing to contain must be invisible. *)
+  let nofault_identical (name, g, instants) =
+    let stream = Sched_bench.stimulus g ~instants in
+    let clean = run_capture g stream in
+    let sup = S.create () in
+    let supervised = run_capture ~supervisor:sup g stream in
+    (name, clean = supervised && S.fault_count sup = 0)
+
+  (* The [Retry] rows inject first-application-only glitches, the shape
+     that policy exists to absorb; the others inject unconditionally. *)
+  let policies =
+    [ (S.Hold_last, false); (S.Absent, false); (S.Retry 2, true) ]
+
+  let asr_rows ~smoke () =
+    List.concat
+      (List.mapi
+         (fun wi w ->
+           List.mapi
+             (fun pi (policy, first_only) ->
+               campaign_row w ~policy ~first_only
+                 ~seed:(41 + (13 * wi) + (7 * pi)))
+             policies)
+         (graphs ~smoke ()))
+
+  (* ---- part 3: MJ engine traps under supervision ------------------- *)
+
+  type mj_row = {
+    m_engine : string;
+    m_trap : string;  (* "budget" | "heap" *)
+    m_instants : int;
+    m_contained : int;
+    m_class_ok : bool;  (* every contained fault has the right class *)
+    m_reconciles : bool;  (* line attribution = Cost.cycles after traps *)
+    m_next_ok : bool;  (* reaction resumes once the pressure is lifted *)
+  }
+
+  (* Blows any small cycle budget: 64 loop iterations per reaction. *)
+  let spin_src =
+    {|class Spin extends ASR {
+        Spin() { declarePorts(1, 1); }
+        public void run() {
+          int acc = 0;
+          int i = 0;
+          while (i < 64) { acc = acc + i; i = i + 1; }
+          writePort(0, acc + readPort(0));
+        }
+      }|}
+
+  (* Allocates 34 heap words per reaction; a limit of init+80 words
+     admits two reactions and traps from the third on. *)
+  let storm_src =
+    {|class Storm extends ASR {
+        Storm() { declarePorts(1, 1); }
+        public void run() {
+          int[] a = new int[32];
+          a[0] = readPort(0);
+          writePort(0, a[0] + 1);
+        }
+      }|}
+
+  let mj_trap_row ~engine ~label ~trap =
+    let src, cls, budget, heap_slack, instants =
+      match trap with
+      | `Budget -> (spin_src, "Spin", Some 40, None, 5)
+      | `Heap -> (storm_src, "Storm", None, Some 80, 6)
+    in
+    let checked = Mj.Typecheck.check_source ~file:(cls ^ ".mj") src in
+    let lines = Telemetry.Lines.create () in
+    let elab =
+      E.elaborate ~engine ~enforce_policy:false ~bounded_memory:false
+        ~cost_lines:lines checked ~cls
+    in
+    let heap = (E.machine elab).Mj_runtime.Machine.heap in
+    (match heap_slack with
+    | Some slack ->
+        let stats = Mj_runtime.Heap.stats heap in
+        Mj_runtime.Heap.set_limit_words heap
+          (Some (stats.Mj_runtime.Heap.init_words + slack))
+    | None -> ());
+    let n_in, n_out = E.ports elab in
+    let block =
+      Asr.Block.make ~name:("mj:" ^ cls) ~n_in ~n_out (fun inputs ->
+          if Array.for_all D.is_def inputs then
+            match budget with
+            | Some b -> E.react_bounded elab ~budget_cycles:b inputs
+            | None -> E.react elab inputs
+          else Array.make n_out D.Bottom)
+    in
+    let g = G.create ("mj-" ^ cls) in
+    let b = G.add_block g block in
+    let inp = G.add_input g "x" in
+    let out = G.add_output g "y" in
+    G.connect g ~src:(G.out_port inp 0) ~dst:(G.in_port b 0);
+    G.connect g ~src:(G.out_port b 0) ~dst:(G.in_port out 0);
+    let sup =
+      S.create ~policy:S.Hold_last ~classify:E.fault_classifier ()
+    in
+    let sim = Asr.Simulate.create ~supervisor:sup g in
+    ignore
+      (Asr.Simulate.run sim
+         (List.init instants (fun t -> [ ("x", D.int t) ])));
+    let expected_class =
+      match trap with
+      | `Budget -> S.Budget_exceeded
+      | `Heap -> S.Heap_exhausted
+    in
+    let class_ok =
+      S.fault_count sup > 0
+      && List.for_all
+           (fun f -> f.S.f_action = S.Escalated || f.S.f_class = expected_class)
+           (S.faults sup)
+    in
+    (* graceful degradation: lift the pressure, the reaction works again *)
+    Mj_runtime.Heap.set_limit_words heap None;
+    let next_ok =
+      match E.react elab [| D.int 1 |] with
+      | [| D.Def _ |] -> true
+      | _ -> false
+      | exception _ -> false
+    in
+    { m_engine = label;
+      m_trap = (match trap with `Budget -> "budget" | `Heap -> "heap");
+      m_instants = instants;
+      m_contained = S.fault_count sup;
+      m_class_ok = class_ok;
+      m_reconciles = Telemetry.Lines.total lines = E.total_cycles elab;
+      m_next_ok = next_ok }
+
+  let mj_rows () =
+    List.concat_map
+      (fun (label, engine) ->
+        [ mj_trap_row ~engine ~label ~trap:`Budget;
+          mj_trap_row ~engine ~label ~trap:`Heap ])
+      Telemetry_bench.engines
+
+  (* ---- part 4: supervisor-disabled path is cycle-identical --------- *)
+
+  type dis_row = {
+    d_workload : string;
+    d_engine : string;
+    d_cycles : int;
+    d_budget_identical : bool;  (* ample budget armed: same cycles *)
+    d_heap_identical : bool;  (* ample heap limit armed: same cycles *)
+    d_baseline : int option;  (* committed BENCH_lineprof.json cycles *)
+  }
+
+  let drive_mj ~engine ?budget ?heap_limit (w : Boundscheck.workload) =
+    let checked =
+      Mj.Typecheck.check_source ~file:(w.Boundscheck.b_name ^ ".mj")
+        w.Boundscheck.b_source
+    in
+    let elab =
+      E.elaborate ~engine ~enforce_policy:false ~bounded_memory:false
+        ?heap_limit_words:heap_limit checked ~cls:w.Boundscheck.b_cls
+    in
+    List.iter
+      (fun inputs ->
+        ignore
+          (match budget with
+          | Some b -> E.react_bounded elab ~budget_cycles:b inputs
+          | None -> E.react elab inputs))
+      w.Boundscheck.b_inputs;
+    E.total_cycles elab
+
+  let baseline_lookup path =
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let parsed =
+      match J.parse text with
+      | parsed -> parsed
+      | exception J.Parse_error msg ->
+          Printf.eprintf "cannot parse baseline %s: %s\n" path msg;
+          exit 1
+    in
+    fun ~workload ~engine ->
+      match J.member "rows" parsed with
+      | Some (J.List rows) ->
+          List.find_map
+            (fun r ->
+              match
+                (J.member "workload" r, J.member "engine" r, J.member "cycles" r)
+              with
+              | Some (J.Str w), Some (J.Str e), Some (J.Int c)
+                when w = workload && e = engine ->
+                  Some c
+              | _ -> None)
+            rows
+      | _ -> None
+
+  let disabled_rows ~smoke ~baseline () =
+    let lookup =
+      match baseline with
+      | Some path -> baseline_lookup path
+      | None -> fun ~workload:_ ~engine:_ -> None
+    in
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun (label, engine) ->
+            (* ample but not max_int: the budget trip point is computed
+               as meter + budget and must not overflow *)
+            let plain = drive_mj ~engine w in
+            let budgeted = drive_mj ~engine ~budget:(max_int / 2) w in
+            let limited = drive_mj ~engine ~heap_limit:(max_int / 2) w in
+            { d_workload = w.Boundscheck.b_name;
+              d_engine = label;
+              d_cycles = plain;
+              d_budget_identical = budgeted = plain;
+              d_heap_identical = limited = plain;
+              d_baseline =
+                lookup ~workload:w.Boundscheck.b_name ~engine:label })
+          Telemetry_bench.engines)
+      (Boundscheck.workloads ~smoke ())
+
+  (* ---- report ------------------------------------------------------ *)
+
+  type report = {
+    r_asr : asr_row list;
+    r_nofault : (string * bool) list;
+    r_mj : mj_row list;
+    r_disabled : dis_row list;
+  }
+
+  let reports ~smoke ~baseline () =
+    { r_asr = asr_rows ~smoke ();
+      r_nofault = List.map nofault_identical (graphs ~smoke ());
+      r_mj = mj_rows ();
+      r_disabled = disabled_rows ~smoke ~baseline () }
+
+  let print_text r =
+    print_endline
+      "Fault injection: containment outside the blast radius, bit-for-bit";
+    print_newline ();
+    List.iter
+      (fun a ->
+        Printf.printf
+          "  %-14s %-10s seed %3d  %2d faults  %3d contained %2d recovered \
+           %2d quarantined  %5d/%d nets clean  outside %s%s%s\n"
+          a.a_workload a.a_policy a.a_seed a.a_injected a.a_contained
+          a.a_recovered a.a_quarantined (a.a_nets - a.a_affected) a.a_nets
+          (if a.a_contained_ok then "identical" else "DIVERGED (BUG)")
+          (if a.a_deterministic then "" else "  NONDETERMINISTIC (BUG)")
+          (if a.a_fully_identical then "  (trace fully identical)" else ""))
+      r.r_asr;
+    print_newline ();
+    List.iter
+      (fun (w, ok) ->
+        Printf.printf "  %-14s supervised no-fault run: %s\n" w
+          (if ok then "identical to unsupervised" else "DIVERGED (BUG)"))
+      r.r_nofault;
+    print_newline ();
+    List.iter
+      (fun m ->
+        Printf.printf
+          "  mj %-7s %-6s trap  %d contained over %d instants  class %s  \
+           lines %s  resume %s\n"
+          m.m_engine m.m_trap m.m_contained m.m_instants
+          (if m.m_class_ok then "ok" else "WRONG (BUG)")
+          (if m.m_reconciles then "reconcile" else "DRIFT (BUG)")
+          (if m.m_next_ok then "ok" else "STUCK (BUG)"))
+      r.r_mj;
+    print_newline ();
+    List.iter
+      (fun d ->
+        Printf.printf
+          "  disabled %-16s %-7s %12d cycles  budget-armed %s  heap-armed %s%s\n"
+          d.d_workload d.d_engine d.d_cycles
+          (if d.d_budget_identical then "identical" else "CHANGED (BUG)")
+          (if d.d_heap_identical then "identical" else "CHANGED (BUG)")
+          (match d.d_baseline with
+          | None -> ""
+          | Some b when b = d.d_cycles -> "  baseline identical"
+          | Some b -> Printf.sprintf "  BASELINE DRIFT (%d)" b))
+      r.r_disabled
+
+  let print_json r =
+    let asr_json a =
+      J.Obj
+        [ ("workload", J.Str a.a_workload);
+          ("policy", J.Str a.a_policy);
+          ("first_application_only", J.Bool a.a_first_only);
+          ("seed", J.Int a.a_seed);
+          ("blocks", J.Int a.a_blocks);
+          ("nets", J.Int a.a_nets);
+          ("instants", J.Int a.a_instants);
+          ("specs", J.List (List.map (fun s -> J.Str s) a.a_specs));
+          ("injected", J.Int a.a_injected);
+          ("contained", J.Int a.a_contained);
+          ("recovered", J.Int a.a_recovered);
+          ("quarantined", J.Int a.a_quarantined);
+          ("affected_nets", J.Int a.a_affected);
+          ("checked_pairs", J.Int a.a_checked);
+          ("unaffected_identical", J.Bool a.a_contained_ok);
+          ("deterministic", J.Bool a.a_deterministic);
+          ("trace_fully_identical", J.Bool a.a_fully_identical) ]
+    in
+    let nofault_json (w, ok) =
+      J.Obj
+        [ ("workload", J.Str w); ("supervised_nofault_identical", J.Bool ok) ]
+    in
+    let mj_json m =
+      J.Obj
+        [ ("engine", J.Str m.m_engine);
+          ("trap", J.Str m.m_trap);
+          ("instants", J.Int m.m_instants);
+          ("contained", J.Int m.m_contained);
+          ("class_ok", J.Bool m.m_class_ok);
+          ("lines_reconcile", J.Bool m.m_reconciles);
+          ("resumes_after_pressure", J.Bool m.m_next_ok) ]
+    in
+    let dis_json d =
+      J.Obj
+        ([ ("workload", J.Str d.d_workload);
+           ("engine", J.Str d.d_engine);
+           ("cycles", J.Int d.d_cycles);
+           ("budget_armed_identical", J.Bool d.d_budget_identical);
+           ("heap_armed_identical", J.Bool d.d_heap_identical) ]
+        @
+        match d.d_baseline with
+        | None -> []
+        | Some b ->
+            [ ("baseline_cycles", J.Int b);
+              ("baseline_identical", J.Bool (b = d.d_cycles)) ])
+    in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [ ("bench", J.Str "faults");
+              ("campaign", J.List (List.map asr_json r.r_asr));
+              ("no_fault", J.List (List.map nofault_json r.r_nofault));
+              ("mj_traps", J.List (List.map mj_json r.r_mj));
+              ("disabled_path", J.List (List.map dis_json r.r_disabled)) ]))
+
+  (* Smoke contract (wired into `dune runtest` via the faults-smoke
+     alias): containment, determinism, retry absorption, trap classes,
+     line-table reconciliation across a contained trap, and the
+     cycle-identity of the supervisor-disabled path all hold. *)
+  let check r =
+    let failed = ref false in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "FAIL %s\n" s;
+          failed := true)
+        fmt
+    in
+    List.iter
+      (fun a ->
+        if a.a_injected = 0 then
+          fail "%s/%s: no fault was injected" a.a_workload a.a_policy;
+        if not a.a_contained_ok then
+          fail "%s/%s: a net outside the blast radius diverged" a.a_workload
+            a.a_policy;
+        if not a.a_deterministic then
+          fail "%s/%s: same seed produced a different trace or fault log"
+            a.a_workload a.a_policy;
+        if a.a_first_only then begin
+          if not a.a_fully_identical then
+            fail "%s/%s: retry did not absorb the transient glitch"
+              a.a_workload a.a_policy;
+          if a.a_recovered = 0 then
+            fail "%s/%s: no recovery recorded" a.a_workload a.a_policy
+        end
+        else if a.a_contained = 0 then
+          fail "%s/%s: nothing was contained" a.a_workload a.a_policy)
+      r.r_asr;
+    if List.fold_left (fun acc a -> acc + a.a_checked) 0 r.r_asr = 0 then
+      fail "containment property was vacuous: no net escaped every blast \
+            radius";
+    List.iter
+      (fun (w, ok) ->
+        if not ok then
+          fail "%s: supervised no-fault run diverged from the unsupervised one"
+            w)
+      r.r_nofault;
+    List.iter
+      (fun m ->
+        if m.m_contained = 0 then
+          fail "mj %s/%s: trap was not contained" m.m_engine m.m_trap;
+        if not m.m_class_ok then
+          fail "mj %s/%s: contained fault has the wrong class" m.m_engine
+            m.m_trap;
+        if not m.m_reconciles then
+          fail
+            "mj %s/%s: line attribution does not reconcile with Cost.cycles \
+             after a contained trap"
+            m.m_engine m.m_trap;
+        if not m.m_next_ok then
+          fail "mj %s/%s: reaction did not resume once the pressure was lifted"
+            m.m_engine m.m_trap)
+      r.r_mj;
+    List.iter
+      (fun d ->
+        if not d.d_budget_identical then
+          fail "%s/%s: arming an ample budget changed modeled cycles"
+            d.d_workload d.d_engine;
+        if not d.d_heap_identical then
+          fail "%s/%s: arming an ample heap limit changed modeled cycles"
+            d.d_workload d.d_engine;
+        match d.d_baseline with
+        | Some b when b <> d.d_cycles ->
+            fail "%s/%s: disabled path drifted from the committed baseline \
+                  (%d -> %d)"
+              d.d_workload d.d_engine b d.d_cycles
+        | Some _ | None -> ())
+      r.r_disabled;
+    if !failed then exit 1
+
+  let run ~json ~smoke ~baseline () =
+    let r = reports ~smoke ~baseline () in
+    if json then print_json r else print_text r;
+    check r
+end
+
+(* ------------------------------------------------------------------ *)
 (* Artifact comparison: diff two BENCH_*.json files metric by metric   *)
 (* and fail on cycle/eval regressions beyond the threshold.            *)
 (* ------------------------------------------------------------------ *)
@@ -1567,7 +2115,11 @@ module Compare = struct
   let rec flatten path acc = function
     | J.Int n -> (path, float_of_int n) :: acc
     | J.Float f -> (path, f) :: acc
-    | J.Bool _ | J.Str _ | J.Null -> acc
+    (* booleans are quality gates (containment held, traces identical,
+       attribution reconciles, ...); compare them as 0/1 so a gate that
+       flips false across artifacts is visible and guardable *)
+    | J.Bool b -> (path, if b then 1.0 else 0.0) :: acc
+    | J.Str _ | J.Null -> acc
     | J.Obj kvs ->
         List.fold_left
           (fun acc (k, v) -> flatten (path ^ "." ^ k) acc v)
@@ -1582,7 +2134,8 @@ module Compare = struct
                     match J.member field item with
                     | Some (J.Str s) -> Some s
                     | _ -> None)
-                  [ "workload"; "engine"; "name"; "method"; "file" ]
+                  [ "workload"; "engine"; "policy"; "trap"; "name"; "method";
+                    "file" ]
               in
               match parts with
               | [] -> string_of_int i
@@ -1615,6 +2168,16 @@ module Compare = struct
     let p = String.lowercase_ascii path in
     contains ~sub:"cycles" p || contains ~sub:"eval" p
 
+  (* Boolean quality gates where any decrease (true -> false) is a
+     regression regardless of magnitude: containment held, traces
+     identical, attribution reconciled, runs deterministic, ... *)
+  let guarded_quality path =
+    let p = String.lowercase_ascii path in
+    List.exists
+      (fun sub -> contains ~sub p)
+      [ "identical"; "contained"; "reconcil"; "deterministic"; "equal";
+        "_ok"; "valid"; "resumes" ]
+
   let run baseline_path current_path =
     let baseline = load baseline_path and current = load current_path in
     let current_tbl = Hashtbl.create 64 in
@@ -1635,7 +2198,8 @@ module Compare = struct
               else 100.0 *. (cur -. base) /. base
             in
             let regressed =
-              guarded path && delta_pct > regression_threshold_pct
+              (guarded path && delta_pct > regression_threshold_pct)
+              || (guarded_quality path && cur < base)
             in
             if regressed then incr regressions;
             if base <> cur || regressed then
@@ -1655,7 +2219,9 @@ module Compare = struct
       exit 1
     end
     else
-      Printf.printf "\nno cycle/eval metric regressed more than %.0f%%\n"
+      Printf.printf
+        "\nno cycle/eval metric regressed more than %.0f%% and no quality \
+         gate flipped\n"
         regression_threshold_pct
 end
 
@@ -1664,6 +2230,11 @@ end
 let json_flag = ref false
 
 let smoke_flag = ref false
+
+(* --baseline PATH: committed BENCH_lineprof.json the faults bench
+   checks the supervisor-disabled cycle counts against (full-size runs
+   only; meaningless under --smoke, which scales the workloads down). *)
+let baseline_flag = ref None
 
 let experiments =
   [ ("schedule",
@@ -1676,6 +2247,11 @@ let experiments =
      `Plain (fun () -> Telemetry_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("lineprof",
      `Plain (fun () -> Lineprof_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
+    ("faults",
+     `Plain
+       (fun () ->
+         Faults_bench.run ~json:!json_flag ~smoke:!smoke_flag
+           ~baseline:!baseline_flag ()));
     ("table1", `Sized table1);
     ("fig1", `Plain fig1);
     ("fig2", `Plain fig2);
@@ -1709,8 +2285,18 @@ let rec compare_files = function
   | _ :: rest -> compare_files rest
   | [] -> None
 
+let rec strip_baseline = function
+  | "--baseline" :: path :: rest ->
+      baseline_flag := Some path;
+      strip_baseline rest
+  | [ "--baseline" ] ->
+      Printf.eprintf "usage: --baseline BENCH_lineprof.json\n";
+      exit 1
+  | a :: rest -> a :: strip_baseline rest
+  | [] -> []
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let args = strip_baseline (List.tl (Array.to_list Sys.argv)) in
   (match compare_files args with
   | Some (baseline, current) ->
       Compare.run baseline current;

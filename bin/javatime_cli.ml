@@ -30,6 +30,17 @@ let trace_out_arg =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE.json"
          ~doc:"Write a Chrome trace_event file (chrome://tracing, Perfetto)")
 
+(* Structured error handling for every subcommand: each toolchain
+   exception maps to a one-line diagnostic and a documented exit code
+   (table in README.md) instead of an OCaml backtrace.
+
+     0  success
+     1  diagnostic: compile error, runtime error, bad usage, I/O
+     2  policy/bound verdict: blocking violations, unbounded reaction
+     3  telemetry reconciliation drift
+     4  runtime fault: blown cycle budget, fatal contained fault,
+        non-monotone block
+     5  internal error (a toolchain bug — please report)             *)
 let handle f =
   try f () with
   | Mj.Diag.Compile_error d ->
@@ -38,6 +49,32 @@ let handle f =
   | Mj_runtime.Heap.Runtime_error msg ->
       Format.eprintf "runtime error: %s@." msg;
       exit 1
+  | Mj_runtime.Cost.Budget_exceeded cycles ->
+      Format.eprintf
+        "runtime fault: cycle budget exceeded at meter reading %d@." cycles;
+      exit 4
+  | Asr.Supervisor.Fatal fault ->
+      Format.eprintf "runtime fault (fail-fast): %s@."
+        (Asr.Supervisor.fault_to_string fault);
+      exit 4
+  | Asr.Fixpoint.Nonmonotonic msg ->
+      Format.eprintf "runtime fault: non-monotone block: %s@." msg;
+      exit 4
+  | Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      exit 1
+  | Sys_error msg ->
+      Format.eprintf "i/o error: %s@." msg;
+      exit 1
+  | Telemetry.Json.Parse_error msg ->
+      Format.eprintf "malformed JSON: %s@." msg;
+      exit 1
+  | Out_of_memory | Stack_overflow ->
+      Format.eprintf "internal error: host resources exhausted@.";
+      exit 5
+  | e ->
+      Format.eprintf "internal error: %s@." (Printexc.to_string e);
+      exit 5
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mj")
@@ -318,7 +355,8 @@ let profile_cmd =
           $ lines_arg $ flame_arg $ trace_out_arg)
 
 let simulate_cmd =
-  let run file cls engine instants vcd_out trace_out =
+  let run file cls engine instants supervise on_fault fault_log budget
+      heap_limit escalate_after vcd_out trace_out =
     handle (fun () ->
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
         let engine =
@@ -330,11 +368,35 @@ let simulate_cmd =
               Format.eprintf "unknown engine '%s' (interp|vm|jit)@." other;
               exit 1
         in
+        let supervise = supervise || fault_log <> None in
+        let policy =
+          match Asr.Supervisor.policy_of_string on_fault with
+          | Some p -> p
+          | None ->
+              Format.eprintf
+                "unknown fault policy '%s' (fail|hold|absent|retry:N)@."
+                on_fault;
+              exit 1
+        in
         let elab =
           Javatime.Elaborate.elaborate ~engine ~enforce_policy:false
-            ~bounded_memory:false checked ~cls
+            ~bounded_memory:false ?heap_limit_words:heap_limit checked ~cls
         in
-        let n_in, _ = Javatime.Elaborate.ports elab in
+        let n_in, n_out = Javatime.Elaborate.ports elab in
+        (* Per-reaction cycle budget: explicit --budget wins; under
+           --supervise an 8x-slack budget is derived from the static
+           reaction bound when one exists (the static bound is exact for
+           the interpreter tariffs only, so the slack keeps the watchdog
+           a containment backstop rather than a false-positive source). *)
+        let budget =
+          match budget with
+          | Some n -> Some n
+          | None when supervise -> (
+              match Policy.Time_bound.reaction_bound checked ~cls with
+              | Policy.Time_bound.Cycles n -> Some (8 * n)
+              | Policy.Time_bound.Unbounded _ -> None)
+          | None -> None
+        in
         let reg =
           match trace_out with
           | Some _ -> Some (Telemetry.Registry.create ~clock:wall_us ())
@@ -342,38 +404,117 @@ let simulate_cmd =
         in
         (* Deterministic input ramp: port i at instant t carries
            (t + 1) * (i + 2) mod 17. *)
-        let trace =
-          List.init instants (fun t ->
-              let inputs =
-                Array.init n_in (fun i ->
-                    Asr.Domain.Def (Asr.Data.Int ((t + 1) * (i + 2) mod 17)))
-              in
-              (match reg with
-              | Some r -> Telemetry.Registry.enter r ~cat:"asr" "instant"
-              | None -> ());
-              let outputs = Javatime.Elaborate.react elab inputs in
-              (match reg with
-              | Some r ->
-                  Telemetry.Registry.exit r
-                    ~args:
-                      [ ("instant", Telemetry.Registry.Int t);
-                        ( "reaction_cycles",
-                          Telemetry.Registry.Int
-                            (Javatime.Elaborate.last_reaction_cycles elab) ) ]
-                    ()
-              | None -> ());
-              { Asr.Simulate.instant = t;
-                inputs =
-                  Array.to_list
-                    (Array.mapi (fun i v -> (string_of_int i, v)) inputs);
-                outputs =
-                  Array.to_list
-                    (Array.mapi (fun i v -> (string_of_int i, v)) outputs);
-                iterations = 1 })
+        let ramp t i = (t + 1) * (i + 2) mod 17 in
+        let trace, supervisor =
+          if supervise then begin
+            (* One-block ASR system around the elaborated reaction; the
+               supervisor guards each application, so a trap, blown
+               budget or heap exhaustion degrades the instant instead of
+               killing the run. Worklist evaluation applies the block
+               exactly once per instant, which keeps stateful reactions
+               sound. *)
+            let block =
+              Asr.Block.make ~name:("mj:" ^ cls) ~n_in ~n_out (fun inputs ->
+                  if Array.for_all Asr.Domain.is_def inputs then
+                    match budget with
+                    | Some budget_cycles ->
+                        Javatime.Elaborate.react_bounded elab ~budget_cycles
+                          inputs
+                    | None -> Javatime.Elaborate.react elab inputs
+                  else Array.make n_out Asr.Domain.Bottom)
+            in
+            let g = Asr.Graph.create ("simulate:" ^ cls) in
+            let b = Asr.Graph.add_block g block in
+            for i = 0 to n_in - 1 do
+              let inp = Asr.Graph.add_input g (string_of_int i) in
+              Asr.Graph.connect g
+                ~src:(Asr.Graph.out_port inp 0)
+                ~dst:(Asr.Graph.in_port b i)
+            done;
+            for j = 0 to n_out - 1 do
+              let out = Asr.Graph.add_output g (string_of_int j) in
+              Asr.Graph.connect g
+                ~src:(Asr.Graph.out_port b j)
+                ~dst:(Asr.Graph.in_port out 0)
+            done;
+            let sup =
+              Asr.Supervisor.create ~policy ~escalate_after
+                ~classify:Javatime.Elaborate.fault_classifier ?telemetry:reg
+                ()
+            in
+            let sim =
+              Asr.Simulate.create ~strategy:Asr.Fixpoint.Worklist
+                ?telemetry:reg ~supervisor:sup g
+            in
+            let stream =
+              List.init instants (fun t ->
+                  List.init n_in (fun i ->
+                      (string_of_int i, Asr.Domain.int (ramp t i))))
+            in
+            (Asr.Simulate.run sim stream, Some sup)
+          end
+          else
+            let trace =
+              List.init instants (fun t ->
+                  let inputs =
+                    Array.init n_in (fun i -> Asr.Domain.int (ramp t i))
+                  in
+                  (match reg with
+                  | Some r -> Telemetry.Registry.enter r ~cat:"asr" "instant"
+                  | None -> ());
+                  let outputs =
+                    match budget with
+                    | Some budget_cycles ->
+                        Javatime.Elaborate.react_bounded elab ~budget_cycles
+                          inputs
+                    | None -> Javatime.Elaborate.react elab inputs
+                  in
+                  (match reg with
+                  | Some r ->
+                      Telemetry.Registry.exit r
+                        ~args:
+                          [ ("instant", Telemetry.Registry.Int t);
+                            ( "reaction_cycles",
+                              Telemetry.Registry.Int
+                                (Javatime.Elaborate.last_reaction_cycles elab)
+                            ) ]
+                        ()
+                  | None -> ());
+                  { Asr.Simulate.instant = t;
+                    inputs =
+                      Array.to_list
+                        (Array.mapi (fun i v -> (string_of_int i, v)) inputs);
+                    outputs =
+                      Array.to_list
+                        (Array.mapi (fun i v -> (string_of_int i, v)) outputs);
+                    iterations = 1 })
+            in
+            (trace, None)
         in
         print_string (Asr.Waves.render trace);
         Printf.printf "%d instant(s), %d cycles total\n" instants
           (Javatime.Elaborate.total_cycles elab);
+        (match supervisor with
+        | Some sup ->
+            let faults = Asr.Supervisor.fault_count sup in
+            let quarantined = Asr.Supervisor.quarantined_blocks sup in
+            Printf.printf
+              "supervisor: policy %s, %d fault(s) contained, %d recovered, \
+               %d block(s) quarantined\n"
+              (Asr.Supervisor.policy_name policy)
+              faults
+              (Asr.Supervisor.recovered_count sup)
+              (List.length quarantined);
+            List.iter
+              (fun f ->
+                Printf.printf "  %s\n" (Asr.Supervisor.fault_to_string f))
+              (Asr.Supervisor.faults sup)
+        | None -> ());
+        (match (fault_log, supervisor) with
+        | Some path, Some sup ->
+            write_file path
+              (Telemetry.Json.to_string (Asr.Supervisor.faults_json sup))
+        | _ -> ());
         (match vcd_out with
         | Some path -> write_file path (Asr.Waves.to_vcd trace)
         | None -> ());
@@ -385,6 +526,39 @@ let simulate_cmd =
     Arg.(value & opt int 8 & info [ "n"; "instants" ] ~docv:"N"
            ~doc:"Number of instants to simulate")
   in
+  let supervise_flag =
+    Arg.(value & flag & info [ "supervise" ]
+           ~doc:"Run each reaction under the fault supervisor: traps, blown \
+                 budgets and heap exhaustion are contained per --on-fault \
+                 instead of aborting the simulation")
+  in
+  let on_fault_arg =
+    Arg.(value & opt string "hold" & info [ "on-fault" ] ~docv:"POLICY"
+           ~doc:"Containment policy: fail (abort, exit 4), hold (outputs \
+                 keep their previous value), absent (outputs go absent), \
+                 retry:N (re-run up to N times, then hold)")
+  in
+  let fault_log_arg =
+    Arg.(value & opt (some string) None & info [ "fault-log" ]
+           ~docv:"FILE.json"
+           ~doc:"Write the supervisor's fault log as JSON (implies \
+                 --supervise)")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"CYCLES"
+           ~doc:"Per-reaction cycle budget; default under --supervise is 8x \
+                 the static reaction bound when one exists")
+  in
+  let heap_limit_arg =
+    Arg.(value & opt (some int) None & info [ "heap-limit" ] ~docv:"WORDS"
+           ~doc:"Fixed heap capacity in words; exhausting it is a \
+                 containable fault")
+  in
+  let escalate_arg =
+    Arg.(value & opt int 3 & info [ "escalate-after" ] ~docv:"K"
+           ~doc:"Permanently quarantine a block after K consecutive faulty \
+                 instants")
+  in
   let vcd_arg =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE.vcd"
            ~doc:"Write the signal trace as a VCD waveform (GTKWave)")
@@ -393,7 +567,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Drive an ASR class with a deterministic input ramp")
     Term.(const run $ file_arg $ class_arg $ engine_arg $ instants_arg
-          $ vcd_arg $ trace_out_arg)
+          $ supervise_flag $ on_fault_arg $ fault_log_arg $ budget_arg
+          $ heap_limit_arg $ escalate_arg $ vcd_arg $ trace_out_arg)
 
 let size_cmd =
   let run file =

@@ -10,7 +10,7 @@ let component_to_domain = function
    a single block application. State is the tuple of delay values. The
    schedule is compiled once per abstraction, and one net buffer is
    reused across applications. *)
-let make_abstract_block ?instants ?(strategy = Fixpoint.Worklist) ~name compiled =
+let make_abstract_block ?instants ?(strategy = Fixpoint.Worklist) ?supervisor ~name compiled =
   let in_names = Array.map fst compiled.Graph.c_inputs in
   let out_names = Array.map fst compiled.Graph.c_outputs in
   let n_delays = Array.length compiled.Graph.c_delays in
@@ -39,7 +39,7 @@ let make_abstract_block ?instants ?(strategy = Fixpoint.Worklist) ~name compiled
     in
     let result =
       Fixpoint.eval compiled ~inputs:env_inputs ~delay_values ~strategy
-        ~schedule ~nets:nets_buffer ()
+        ~schedule ~nets:nets_buffer ?supervisor ()
     in
     (match instants with
     | Some parent ->
@@ -66,21 +66,23 @@ let make_abstract_block ?instants ?(strategy = Fixpoint.Worklist) ~name compiled
   in
   (Block.make ~name ~n_in ~n_out fn, in_names, out_names, has_state)
 
-let to_block ?instants ?strategy g =
+let to_block ?instants ?strategy ?supervisor g =
   if Graph.delay_count g > 0 then
     invalid_arg
       (Printf.sprintf "Compose.to_block: graph %s contains delay elements"
          (Graph.name g));
   let compiled = Graph.compile g in
   let block, _, _, _ =
-    make_abstract_block ?instants ?strategy ~name:(Graph.name g ^ "^") compiled
+    make_abstract_block ?instants ?strategy ?supervisor
+      ~name:(Graph.name g ^ "^") compiled
   in
   block
 
-let abstract ?instants ?strategy g =
+let abstract ?instants ?strategy ?supervisor g =
   let compiled = Graph.compile g in
   let block, in_names, out_names, has_state =
-    make_abstract_block ?instants ?strategy ~name:(Graph.name g ^ "^") compiled
+    make_abstract_block ?instants ?strategy ?supervisor
+      ~name:(Graph.name g ^ "^") compiled
   in
   let out_graph = Graph.create (Graph.name g ^ "_abstract") in
   let b = Graph.add_block out_graph block in

@@ -15,28 +15,50 @@ let strategy_name = function
 
 (* Apply block [bi] once, lub-merging its outputs into [nets]. Returns
    true when some output net changed. A lub conflict means the block
-   retracted or rewrote a defined value: not monotone. *)
-let apply_block (c : Graph.compiled) nets bi =
+   retracted or rewrote a defined value: not monotone. With a
+   supervisor the application is guarded (trap containment, budgets,
+   quarantine) and a retraction is contained by freezing the block at
+   the nets' current values instead of raising. *)
+let apply_block ?supervisor (c : Graph.compiled) nets bi =
   let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
-  let inputs = Array.map (fun net -> nets.(net)) in_nets in
-  let outputs = Block.apply block inputs in
+  let run () =
+    let inputs = Array.map (fun net -> nets.(net)) in_nets in
+    Block.apply block inputs
+  in
+  let outputs =
+    match supervisor with
+    | None -> run ()
+    | Some sup -> Supervisor.guard sup ~bi ~run
+  in
   let changed = ref false in
-  Array.iteri
-    (fun port v ->
-      let net = out_nets.(port) in
-      let merged =
-        try Domain.lub nets.(net) v
-        with Domain.Inconsistent msg ->
-          raise
-            (Nonmonotonic
-               (Printf.sprintf "block %s retracted output %d: %s"
-                  block.Block.name port msg))
-      in
-      if not (Domain.equal merged nets.(net)) then begin
-        nets.(net) <- merged;
-        changed := true
-      end)
-    outputs;
+  (try
+     Array.iteri
+       (fun port v ->
+         let net = out_nets.(port) in
+         let merged =
+           try Domain.lub nets.(net) v
+           with Domain.Inconsistent msg ->
+             let detail =
+               Printf.sprintf "block %s retracted output %d: %s"
+                 block.Block.name port msg
+             in
+             let contained =
+               match supervisor with
+               | Some sup ->
+                   Supervisor.retract sup ~bi
+                     ~current:(Array.map (fun n -> nets.(n)) out_nets)
+                     ~detail
+               | None -> false
+             in
+             if contained then raise_notrace Exit
+             else raise (Nonmonotonic detail)
+         in
+         if not (Domain.equal merged nets.(net)) then begin
+           nets.(net) <- merged;
+           changed := true
+         end)
+       outputs
+   with Exit -> () (* retraction contained: nets keep their values *));
   !changed
 
 (* ------------------------------------------------------------------ *)
@@ -49,7 +71,7 @@ let apply_block (c : Graph.compiled) nets bi =
 let bump counts bi =
   if Array.length counts > 0 then counts.(bi) <- counts.(bi) + 1
 
-let eval_chaotic c nets ~order ~counts =
+let eval_chaotic ?supervisor c nets ~order ~counts =
   let order =
     match order with
     | Some order -> order
@@ -70,7 +92,7 @@ let eval_chaotic c nets ~order ~counts =
       (fun bi ->
         incr evaluations;
         bump counts bi;
-        if apply_block c nets bi then changed := true)
+        if apply_block ?supervisor c nets bi then changed := true)
       order
   done;
   (!sweeps, !evaluations)
@@ -80,7 +102,7 @@ let eval_chaotic c nets ~order ~counts =
    SCCs iterate locally until stable (bounded by the SCC's net count).  *)
 (* ------------------------------------------------------------------ *)
 
-let eval_scheduled c nets ~schedule ~counts =
+let eval_scheduled ?supervisor c nets ~schedule ~counts =
   let evaluations = ref 0 in
   let max_rounds = ref 1 in
   List.iter
@@ -89,7 +111,7 @@ let eval_scheduled c nets ~schedule ~counts =
       | Schedule.Acyclic bi ->
           incr evaluations;
           bump counts bi;
-          ignore (apply_block c nets bi)
+          ignore (apply_block ?supervisor c nets bi)
       | Schedule.Cyclic members ->
           (* Local domain height = nets written inside the SCC; one
              extra round detects stability. *)
@@ -114,7 +136,7 @@ let eval_scheduled c nets ~schedule ~counts =
               (fun bi ->
                 incr evaluations;
                 bump counts bi;
-                if apply_block c nets bi then changed := true)
+                if apply_block ?supervisor c nets bi then changed := true)
               members
           done;
           if !rounds > !max_rounds then max_rounds := !rounds)
@@ -126,7 +148,7 @@ let eval_scheduled c nets ~schedule ~counts =
    the queue only when one of its input nets actually changed.          *)
 (* ------------------------------------------------------------------ *)
 
-let eval_worklist c nets ~seed ~counts =
+let eval_worklist ?supervisor c nets ~seed ~counts =
   let n_blocks = Array.length c.Graph.c_blocks in
   let queue = Queue.create () in
   let in_queue = Array.make n_blocks false in
@@ -150,7 +172,7 @@ let eval_worklist c nets ~seed ~counts =
       raise (Nonmonotonic "worklist exceeded the monotone evaluation bound");
     let _, _, out_nets = c.Graph.c_blocks.(bi) in
     let before = Array.map (fun net -> nets.(net)) out_nets in
-    if apply_block c nets bi then
+    if apply_block ?supervisor c nets bi then
       Array.iteri
         (fun port net ->
           if not (Domain.equal before.(port) nets.(net)) then
@@ -169,7 +191,7 @@ let eval_worklist c nets ~seed ~counts =
 (* ------------------------------------------------------------------ *)
 
 let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
-    ?schedule ?nets ?(eval_counts = [||]) () =
+    ?schedule ?nets ?(eval_counts = [||]) ?supervisor () =
   (match (order, strategy) with
   | Some _, (Scheduled | Worklist) ->
       invalid_arg
@@ -199,26 +221,42 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
     (fun i (_, out_net, _) -> nets.(out_net) <- delay_values.(i))
     c.Graph.c_delays;
   let counts = eval_counts in
+  (* Standalone use (no Simulate driving the lifecycle): bracket this
+     evaluation as one supervised instant. *)
+  let auto_instant =
+    match supervisor with
+    | Some sup ->
+        Supervisor.attach sup c;
+        if Supervisor.in_instant sup then false
+        else begin
+          Supervisor.begin_instant sup;
+          true
+        end
+    | None -> false
+  in
   if Array.length counts > 0 && Array.length counts <> Array.length c.Graph.c_blocks
   then invalid_arg "fixpoint: eval_counts length mismatch";
   let iterations, block_evaluations =
     match strategy with
-    | Chaotic -> eval_chaotic c nets ~order ~counts
+    | Chaotic -> eval_chaotic ?supervisor c nets ~order ~counts
     | Scheduled ->
         let schedule =
           match schedule with
           | Some s -> s
           | None -> Schedule.of_compiled c
         in
-        eval_scheduled c nets ~schedule ~counts
+        eval_scheduled ?supervisor c nets ~schedule ~counts
     | Worklist ->
         let seed =
           match schedule with
           | Some s -> Schedule.linear_order s
           | None -> Array.init (Array.length c.Graph.c_blocks) (fun i -> i)
         in
-        eval_worklist c nets ~seed ~counts
+        eval_worklist ?supervisor c nets ~seed ~counts
   in
+  (match supervisor with
+  | Some sup when auto_instant -> Supervisor.end_instant sup
+  | _ -> ());
   { nets; iterations; block_evaluations }
 
 let outputs (c : Graph.compiled) result =

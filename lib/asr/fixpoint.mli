@@ -54,6 +54,7 @@ val eval :
   ?schedule:Schedule.t ->
   ?nets:Domain.t array ->
   ?eval_counts:int array ->
+  ?supervisor:Supervisor.t ->
   unit ->
   result
 (** [delay_values.(i)] is the output of the i-th delay this instant.
@@ -73,7 +74,15 @@ val eval :
 
     [eval_counts], when non-empty, must have length [n_blocks]; entry
     [bi] is incremented on each application of block [bi] (telemetry).
-    The default empty array disables counting. *)
+    The default empty array disables counting.
+
+    [supervisor] guards every block application (trap containment,
+    budgets, quarantine — see {!Supervisor}) and additionally contains
+    retractions that would otherwise raise {!Nonmonotonic}, by freezing
+    the offending block at its nets' current values. When no instant is
+    already open (i.e. the caller is not {!Simulate}), this call is
+    bracketed as one supervised instant. Under the [Fail_fast] policy a
+    contained fault re-raises as [Supervisor.Fatal]. *)
 
 val outputs : Graph.compiled -> result -> (string * Domain.t) list
 

@@ -90,6 +90,31 @@ let connect g ~src:(src_id, src_port) ~dst:(dst_id, dst_port) =
          g.gname dst_port (node_label g dst_id));
   g.rev_channels <- ((src_id, src_port), (dst_id, dst_port)) :: g.rev_channels
 
+(* Rebuild the graph with every block passed through [f]. The callback
+   receives the block's index in declaration order — the same index the
+   block has in [compiled.c_blocks] — so fault injectors can target the
+   compiled block [bi] directly. Arity must be preserved: nets are
+   allocated per out-port, so a changed arity would re-wire the graph. *)
+let map_blocks g f =
+  let bi = ref 0 in
+  let nodes' =
+    List.map
+      (function
+        | Kblock b ->
+            let b' = f !bi b in
+            if b'.Block.n_in <> b.Block.n_in || b'.Block.n_out <> b.Block.n_out
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "graph %s: map_blocks changed the arity of block %d (%s)"
+                   g.gname !bi b.Block.name);
+            incr bi;
+            Kblock b'
+        | other -> other)
+      (List.rev g.rev_nodes)
+  in
+  { g with rev_nodes = List.rev nodes' }
+
 let block_count g =
   List.length
     (List.filter (function Kblock _ -> true | _ -> false) (List.rev g.rev_nodes))
@@ -174,6 +199,36 @@ let compile g =
     c_outputs = Array.of_list (List.rev !outputs);
     c_input_index;
     c_consumers = Array.map (fun l -> Array.of_list (List.rev l)) rev_consumers }
+
+(* Nets transitively influenced by block [bi]'s outputs: closure over
+   the consumer index (a block reading a marked net marks all its output
+   nets) and over delay elements (a marked delay input marks the delay's
+   output, i.e. influence carries into later instants). The complement
+   is the set of nets a fault in [bi] provably cannot touch — the
+   containment invariant the supervisor tests check. *)
+let affected_nets c bi =
+  if bi < 0 || bi >= Array.length c.c_blocks then
+    invalid_arg (Printf.sprintf "Graph.affected_nets: no block %d" bi);
+  let marked = Array.make c.n_nets false in
+  let queue = Queue.create () in
+  let mark net =
+    if not marked.(net) then begin
+      marked.(net) <- true;
+      Queue.add net queue
+    end
+  in
+  let _, _, outs = c.c_blocks.(bi) in
+  Array.iter mark outs;
+  while not (Queue.is_empty queue) do
+    let net = Queue.pop queue in
+    Array.iter
+      (fun ci ->
+        let _, _, outs = c.c_blocks.(ci) in
+        Array.iter mark outs)
+      c.c_consumers.(net);
+    Array.iter (fun (din, dout, _) -> if din = net then mark dout) c.c_delays
+  done;
+  marked
 
 (* Detect a channel cycle through blocks only: DFS on the block-to-block
    reachability induced by channels, cutting edges at delays. *)

@@ -57,6 +57,14 @@ val node_label : t -> node_id -> string
 
 val node_index : node_id -> int
 
+val map_blocks : t -> (int -> Block.t -> Block.t) -> t
+(** Rebuild the graph with every block transformed. The callback's
+    first argument is the block's index in declaration order — the same
+    index the block has in {!compiled.c_blocks} — so wrappers (e.g.
+    {!Inject}) can target compiled block indices. The replacement must
+    keep the block's arity; [Invalid_argument] otherwise. The input
+    graph is not modified. *)
+
 (** {1 Compiled form} *)
 
 type compiled = {
@@ -81,6 +89,14 @@ val input_net : compiled -> string -> int option
 val compile : t -> compiled
 (** Validates that every in-port is driven. Raises [Invalid_argument]
     listing the first unconnected port otherwise. *)
+
+val affected_nets : compiled -> int -> bool array
+(** [affected_nets c bi] marks every net transitively influenced by
+    block [bi]'s outputs — through consuming blocks within an instant
+    and through delay elements into later instants. Nets left unmarked
+    provably cannot change when block [bi] misbehaves; the supervisor's
+    containment property quantifies over exactly those nets. Raises
+    [Invalid_argument] on a bad block index. *)
 
 val has_causality_cycle : t -> bool
 (** True when some cycle of channels passes through blocks only (no

@@ -1,0 +1,118 @@
+type kind = Trap | Cycle_spike | Alloc_storm
+
+type persistence = Transient | Persistent
+
+type spec = {
+  i_block : int;
+  i_kind : kind;
+  i_instant : int;
+  i_persistence : persistence;
+  i_first_only : bool;
+}
+
+exception Injected of kind * string
+
+type t = {
+  specs : spec array;
+  mutable instant : int;
+  apps : (int, int) Hashtbl.t; (* block index -> applications this instant *)
+  mutable fired : int;
+}
+
+let kind_name = function
+  | Trap -> "trap"
+  | Cycle_spike -> "cycle-spike"
+  | Alloc_storm -> "alloc-storm"
+
+let persistence_name = function
+  | Transient -> "transient"
+  | Persistent -> "persistent"
+
+let spec_to_string s =
+  Printf.sprintf "%s %s on block %d %s instant %d%s"
+    (persistence_name s.i_persistence)
+    (kind_name s.i_kind) s.i_block
+    (match s.i_persistence with Transient -> "at" | Persistent -> "from")
+    s.i_instant
+    (if s.i_first_only then " (first application only)" else "")
+
+let make specs =
+  List.iter
+    (fun s ->
+      if s.i_block < 0 then invalid_arg "Inject.make: negative block index";
+      if s.i_instant < 0 then invalid_arg "Inject.make: negative instant")
+    specs;
+  { specs = Array.of_list specs;
+    instant = 0;
+    apps = Hashtbl.create 8;
+    fired = 0 }
+
+let specs t = Array.to_list t.specs
+
+let tick t =
+  t.instant <- t.instant + 1;
+  Hashtbl.reset t.apps
+
+let instant t = t.instant
+
+let fired t = t.fired
+
+let reset t =
+  t.instant <- 0;
+  Hashtbl.reset t.apps;
+  t.fired <- 0
+
+(* The injected message mimics the wording of the real fault the kind
+   models, so log readers (and the default classifier's fallbacks) see
+   plausible diagnostics. *)
+let message = function
+  | Trap -> "injected trap"
+  | Cycle_spike -> "injected cycle spike: reaction budget exceeded"
+  | Alloc_storm -> "injected alloc storm: heap exhausted"
+
+let active t s app =
+  (match s.i_persistence with
+  | Transient -> t.instant = s.i_instant
+  | Persistent -> t.instant >= s.i_instant)
+  && ((not s.i_first_only) || app = 0)
+
+let wrap t ~index (b : Block.t) =
+  let mine =
+    List.filter (fun s -> s.i_block = index) (Array.to_list t.specs)
+  in
+  if mine = [] then b
+  else
+    (* Same name and arity as the wrapped block: injected and clean
+       graphs stay structurally identical, which the differential
+       containment tests rely on. *)
+    Block.make ~name:b.Block.name ~n_in:b.Block.n_in ~n_out:b.Block.n_out
+      (fun inputs ->
+        let app =
+          match Hashtbl.find_opt t.apps index with Some n -> n | None -> 0
+        in
+        Hashtbl.replace t.apps index (app + 1);
+        match List.find_opt (fun s -> active t s app) mine with
+        | Some s ->
+            t.fired <- t.fired + 1;
+            raise (Injected (s.i_kind, message s.i_kind))
+        | None -> b.Block.fn inputs)
+
+let instrument t g = Graph.map_blocks g (fun index b -> wrap t ~index b)
+
+let plan ~seed ~n_blocks ~instants ?(n_faults = 1) ?(first_only = false) () =
+  if n_blocks < 1 then invalid_arg "Inject.plan: need at least one block";
+  if instants < 1 then invalid_arg "Inject.plan: need at least one instant";
+  (* A private Random.State keyed on the seed: identical plans for
+     identical seeds, no interference with the global generator. *)
+  let st = Random.State.make [| seed; 0x6a77; n_blocks; instants |] in
+  List.init (max 0 n_faults) (fun _ ->
+      { i_block = Random.State.int st n_blocks;
+        i_kind =
+          (match Random.State.int st 3 with
+          | 0 -> Trap
+          | 1 -> Cycle_spike
+          | _ -> Alloc_storm);
+        i_instant = Random.State.int st instants;
+        i_persistence =
+          (if Random.State.bool st then Transient else Persistent);
+        i_first_only = first_only })

@@ -1,0 +1,89 @@
+(** Deterministic, seeded fault injection for ASR blocks.
+
+    The injector wraps selected blocks of a graph so that they raise a
+    recognizable exception at chosen instants — the raw material for
+    exercising the {!Supervisor}'s containment machinery. Faults are
+    specified per block and per instant, are replayed identically for a
+    fixed plan (there is no hidden randomness at injection time; only
+    {!plan} draws random specs, from its own seeded generator), and the
+    injector never perturbs a block it was not aimed at.
+
+    The three fault kinds model the runtime misbehaviors the paper's
+    refinement rules are meant to rule out: a [Trap] models a bounds
+    violation or division by zero, a [Cycle_spike] models a reaction
+    blowing its WCET budget, an [Alloc_storm] models heap exhaustion.
+    At the ASR level all three surface as the {!Injected} exception
+    (carrying the kind); the supervisor's default classifier maps them
+    to the corresponding {!Supervisor.fault_class}, so the containment
+    path taken is exactly the one a real trap of that class takes. *)
+
+type kind = Trap | Cycle_spike | Alloc_storm
+
+type persistence =
+  | Transient  (** faults only at instant [i_instant] *)
+  | Persistent  (** faults at every instant from [i_instant] on *)
+
+type spec = {
+  i_block : int;  (** target block, by index in [compiled.c_blocks] *)
+  i_kind : kind;
+  i_instant : int;  (** first faulty instant (0-based) *)
+  i_persistence : persistence;
+  i_first_only : bool;
+      (** fault only the first application within a faulty instant —
+          later applications (retries, fixpoint re-evaluations) succeed.
+          Models an intermittent glitch a [Retry] policy can absorb. *)
+}
+
+exception Injected of kind * string
+(** Raised by a wrapped block in place of running its function. *)
+
+type t
+
+val make : spec list -> t
+(** Validates specs (non-negative block/instant). The injector starts
+    at instant 0; drive it with {!tick} after each simulated instant. *)
+
+val specs : t -> spec list
+
+val wrap : t -> index:int -> Block.t -> Block.t
+(** Wrap one block. If no spec targets [index] the block is returned
+    unchanged; otherwise the wrapper raises {!Injected} whenever some
+    spec is active for the injector's current instant and application
+    count, and defers to the original block function otherwise. The
+    wrapper keeps the block's name and arity. *)
+
+val instrument : t -> Graph.t -> Graph.t
+(** [wrap] every block of the graph, by declaration-order index (the
+    same index the block has after {!Graph.compile}). Returns a new
+    graph; the original is untouched. *)
+
+val tick : t -> unit
+(** Advance to the next instant and reset per-instant application
+    counters. Call once after each {!Simulate.step}/[react]. *)
+
+val instant : t -> int
+
+val fired : t -> int
+(** Total number of injected faults raised so far. *)
+
+val reset : t -> unit
+(** Back to instant 0 with zeroed counters (for re-running a trace). *)
+
+val kind_name : kind -> string
+
+val persistence_name : persistence -> string
+
+val spec_to_string : spec -> string
+
+val plan :
+  seed:int ->
+  n_blocks:int ->
+  instants:int ->
+  ?n_faults:int ->
+  ?first_only:bool ->
+  unit ->
+  spec list
+(** Draw [n_faults] (default 1) specs from a generator seeded with
+    [seed] — identical seeds yield identical plans, independent of the
+    global [Random] state. Blocks are drawn from [0..n_blocks-1] and
+    first faulty instants from [0..instants-1]. *)

@@ -15,6 +15,7 @@ type t = {
   mutable instant : int;
   mutable evaluations : int;
   telemetry : Telemetry.Registry.t option;
+  supervisor : Supervisor.t option;
   eval_counts : int array;  (* per-block tally buffer, [||] w/o telemetry *)
   prev_nets : Domain.t array;  (* last instant's fixed point, for churn *)
   block_counters : Telemetry.Registry.counter array;
@@ -23,8 +24,11 @@ type t = {
 let initial_delays compiled =
   Array.map (fun (_, _, init) -> init) compiled.Graph.c_delays
 
-let create ?order ?strategy ?telemetry graph =
+let create ?order ?strategy ?telemetry ?supervisor graph =
   let compiled = Graph.compile graph in
+  (match supervisor with
+  | Some sup -> Supervisor.attach sup compiled
+  | None -> ());
   let schedule = Schedule.of_compiled compiled in
   let strategy =
     match (strategy, order) with
@@ -48,6 +52,7 @@ let create ?order ?strategy ?telemetry graph =
     instant = 0;
     evaluations = 0;
     telemetry;
+    supervisor;
     eval_counts =
       (match telemetry with
       | Some _ -> Array.make n_blocks 0
@@ -79,12 +84,18 @@ let react t inputs =
       Telemetry.Registry.enter reg ~cat:"asr" "instant";
       Array.fill t.eval_counts 0 (Array.length t.eval_counts) 0
   | None -> ());
+  (match t.supervisor with
+  | Some sup -> Supervisor.begin_instant sup
+  | None -> ());
   let result =
     Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ?order:t.order
       ~strategy:t.strategy ~schedule:t.schedule ~nets:t.nets_buffer
       ~eval_counts:(match tele with Some _ -> t.eval_counts | None -> [||])
-      ()
+      ?supervisor:t.supervisor ()
   in
+  (match t.supervisor with
+  | Some sup -> Supervisor.end_instant sup
+  | None -> ());
   t.delays <- Fixpoint.delay_next t.compiled result;
   t.instant <- t.instant + 1;
   t.evaluations <- t.evaluations + result.Fixpoint.block_evaluations;
@@ -106,13 +117,21 @@ let react t inputs =
         result.Fixpoint.block_evaluations;
       Telemetry.Registry.observe_value reg "asr.fixpoint_iterations"
         result.Fixpoint.iterations;
+      let fault_args =
+        match t.supervisor with
+        | Some sup ->
+            [ ( "faults",
+                Telemetry.Registry.Int (Supervisor.instant_fault_count sup) ) ]
+        | None -> []
+      in
       Telemetry.Registry.exit reg
         ~args:
-          [ ("instant", Telemetry.Registry.Int (t.instant - 1));
-            ("iterations", Telemetry.Registry.Int result.Fixpoint.iterations);
-            ( "block_evaluations",
-              Telemetry.Registry.Int result.Fixpoint.block_evaluations );
-            ("net_churn", Telemetry.Registry.Int !churn) ]
+          ([ ("instant", Telemetry.Registry.Int (t.instant - 1));
+             ("iterations", Telemetry.Registry.Int result.Fixpoint.iterations);
+             ( "block_evaluations",
+               Telemetry.Registry.Int result.Fixpoint.block_evaluations );
+             ("net_churn", Telemetry.Registry.Int !churn) ]
+          @ fault_args)
         ()
   | None -> ());
   (Fixpoint.outputs t.compiled result, result.Fixpoint.iterations)
@@ -129,6 +148,10 @@ let run t stream =
 
 let strategy t = t.strategy
 
+let supervisor t = t.supervisor
+
+let net_values t = Array.copy t.nets_buffer
+
 let schedule t = t.schedule
 
 let instant_count t = t.instant
@@ -140,4 +163,8 @@ let delay_state t = Array.copy t.delays
 let reset t =
   t.delays <- initial_delays t.compiled;
   t.instant <- 0;
-  t.evaluations <- 0
+  t.evaluations <- 0;
+  Array.fill t.nets_buffer 0 (Array.length t.nets_buffer) Domain.Bottom;
+  (match t.supervisor with
+  | Some sup -> Supervisor.reset sup
+  | None -> ())

@@ -19,6 +19,7 @@ val create :
   ?order:int array ->
   ?strategy:Fixpoint.strategy ->
   ?telemetry:Telemetry.Registry.t ->
+  ?supervisor:Supervisor.t ->
   Graph.t ->
   t
 (** Compiles the graph and its schedule. [strategy] defaults to
@@ -34,7 +35,14 @@ val create :
     maintains ["asr.instants"] / ["asr.block_evaluations"] and one
     ["asr.block.<name>.evals"] counter per block, and feeds the
     ["asr.fixpoint_iterations"] histogram. Disabled registries cost one
-    check per reaction. *)
+    check per reaction.
+
+    [supervisor]: every block application of every instant runs under
+    {!Supervisor.guard} (trap containment, budgets, quarantine); the
+    simulator drives the supervisor's instant lifecycle and, with
+    telemetry on, adds a ["faults"] arg to each instant span. Without a
+    supervisor the execution path is exactly the pre-supervisor one —
+    no per-application overhead. *)
 
 val step : t -> (string * Domain.t) list -> (string * Domain.t) list
 (** React to one instant's inputs; returns the outputs and advances the
@@ -56,5 +64,13 @@ val block_evaluations : t -> int
 
 val delay_state : t -> Domain.t array
 
+val supervisor : t -> Supervisor.t option
+
+val net_values : t -> Domain.t array
+(** Copy of the most recent instant's fixed point, indexed by net (all
+    ⊥ before the first reaction) — the per-instant observation the
+    containment property quantifies over. *)
+
 val reset : t -> unit
-(** Back to initial delay values, instant 0, evaluation count 0. *)
+(** Back to initial delay values, instant 0, evaluation count 0; also
+    resets the attached supervisor, if any. *)

@@ -1,0 +1,392 @@
+type policy = Fail_fast | Hold_last | Absent | Retry of int
+
+type fault_class = Trap | Budget_exceeded | Heap_exhausted | Step_limit | Retraction
+
+type action =
+  | Held
+  | Went_absent
+  | Recovered of int
+  | Escalated
+  | Aborted
+
+type fault = {
+  f_instant : int;
+  f_block : int;
+  f_block_name : string;
+  f_class : fault_class;
+  f_detail : string;
+  f_action : action;
+}
+
+exception Fatal of fault
+
+type t = {
+  policy : policy;
+  escalate_after : int;
+  max_log : int;
+  classify : exn -> (fault_class * string) option;
+  step_budget : int option;
+  telemetry : Telemetry.Registry.t option;
+  (* Per-block state, sized lazily at first {!attach}. *)
+  mutable n_blocks : int; (* -1 until attached *)
+  mutable names : string array;
+  mutable out_arity : int array;
+  mutable committed : Domain.t array array; (* last good outputs, prev instants *)
+  mutable staged : Domain.t array array; (* last good outputs, this instant *)
+  mutable staged_valid : bool array;
+  mutable apps : int array; (* applications this instant *)
+  mutable latched : bool array; (* contained this instant: substitute, don't run *)
+  mutable faulty_instant : bool array; (* unrecovered fault this instant *)
+  mutable consec : int array; (* consecutive faulty instants *)
+  mutable quarantined : bool array;
+  mutable instant : int;
+  mutable in_instant : bool;
+  mutable rev_log : fault list;
+  mutable log_len : int;
+  mutable dropped_log : int;
+  mutable total_faults : int;
+  mutable total_recovered : int;
+  mutable instant_faults : int;
+}
+
+let policy_name = function
+  | Fail_fast -> "fail-fast"
+  | Hold_last -> "hold-last"
+  | Absent -> "absent"
+  | Retry n -> Printf.sprintf "retry:%d" n
+
+let policy_of_string s =
+  match s with
+  | "fail" | "fail-fast" -> Some Fail_fast
+  | "hold" | "hold-last" -> Some Hold_last
+  | "absent" -> Some Absent
+  | _ ->
+      let prefix = "retry:" in
+      let lp = String.length prefix in
+      if String.length s > lp && String.sub s 0 lp = prefix then
+        match int_of_string_opt (String.sub s lp (String.length s - lp)) with
+        | Some n when n >= 0 -> Some (Retry n)
+        | _ -> None
+      else None
+
+let class_name = function
+  | Trap -> "trap"
+  | Budget_exceeded -> "budget-exceeded"
+  | Heap_exhausted -> "heap-exhausted"
+  | Step_limit -> "step-limit"
+  | Retraction -> "retraction"
+
+let action_name = function
+  | Held -> "held"
+  | Went_absent -> "absent"
+  | Recovered n -> Printf.sprintf "recovered after %d failed attempt%s" n
+                     (if n = 1 then "" else "s")
+  | Escalated -> "escalated to permanent quarantine"
+  | Aborted -> "aborted (fail-fast)"
+
+let fault_to_string f =
+  Printf.sprintf "instant %d: block %d (%s) %s: %s -> %s" f.f_instant f.f_block
+    f.f_block_name (class_name f.f_class) f.f_detail (action_name f.f_action)
+
+(* The default classifier recognizes injected faults plus the standard
+   exceptions a misbehaving block function can raise. Unknown
+   exceptions return [None] and propagate: the supervisor contains
+   faults, it does not swallow bugs in the harness itself. *)
+let default_classify = function
+  | Inject.Injected (k, msg) ->
+      let cls =
+        match k with
+        | Inject.Trap -> Trap
+        | Inject.Cycle_spike -> Budget_exceeded
+        | Inject.Alloc_storm -> Heap_exhausted
+      in
+      Some (cls, msg)
+  | Division_by_zero -> Some (Trap, "division by zero")
+  | Invalid_argument m -> Some (Trap, "invalid argument: " ^ m)
+  | Failure m -> Some (Trap, m)
+  | Stack_overflow -> Some (Trap, "stack overflow")
+  | Out_of_memory -> Some (Heap_exhausted, "out of memory")
+  | _ -> None
+
+let create ?(policy = Hold_last) ?(escalate_after = 3) ?(max_log = 1000)
+    ?step_budget ?classify ?telemetry () =
+  if escalate_after < 1 then
+    invalid_arg "Supervisor.create: escalate_after must be >= 1";
+  (match step_budget with
+  | Some k when k < 1 ->
+      invalid_arg "Supervisor.create: step_budget must be >= 1"
+  | _ -> ());
+  let classify =
+    match classify with
+    | None -> default_classify
+    | Some f -> (
+        fun e -> match f e with Some _ as r -> r | None -> default_classify e)
+  in
+  { policy;
+    escalate_after;
+    max_log;
+    classify;
+    step_budget;
+    telemetry;
+    n_blocks = -1;
+    names = [||];
+    out_arity = [||];
+    committed = [||];
+    staged = [||];
+    staged_valid = [||];
+    apps = [||];
+    latched = [||];
+    faulty_instant = [||];
+    consec = [||];
+    quarantined = [||];
+    instant = 0;
+    in_instant = false;
+    rev_log = [];
+    log_len = 0;
+    dropped_log = 0;
+    total_faults = 0;
+    total_recovered = 0;
+    instant_faults = 0 }
+
+let attach t (c : Graph.compiled) =
+  let n = Array.length c.Graph.c_blocks in
+  if t.n_blocks = -1 then begin
+    t.n_blocks <- n;
+    t.names <- Array.map (fun (b, _, _) -> b.Block.name) c.Graph.c_blocks;
+    t.out_arity <- Array.map (fun (b, _, _) -> b.Block.n_out) c.Graph.c_blocks;
+    t.committed <-
+      Array.init n (fun bi -> Array.make t.out_arity.(bi) Domain.Bottom);
+    t.staged <-
+      Array.init n (fun bi -> Array.make t.out_arity.(bi) Domain.Bottom);
+    t.staged_valid <- Array.make n false;
+    t.apps <- Array.make n 0;
+    t.latched <- Array.make n false;
+    t.faulty_instant <- Array.make n false;
+    t.consec <- Array.make n 0;
+    t.quarantined <- Array.make n false
+  end
+  else if t.n_blocks <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Supervisor: already attached to a graph with %d blocks, got %d"
+         t.n_blocks n)
+
+let in_instant t = t.in_instant
+
+let begin_instant t =
+  if t.in_instant then invalid_arg "Supervisor.begin_instant: instant open";
+  t.in_instant <- true;
+  t.instant_faults <- 0;
+  if t.n_blocks > 0 then begin
+    Array.fill t.staged_valid 0 t.n_blocks false;
+    Array.fill t.apps 0 t.n_blocks 0;
+    Array.fill t.latched 0 t.n_blocks false;
+    Array.fill t.faulty_instant 0 t.n_blocks false
+  end
+
+let count_telemetry t name n =
+  match t.telemetry with
+  | Some reg -> Telemetry.Registry.count reg name n
+  | None -> ()
+
+let log_fault t f =
+  if t.log_len < t.max_log then begin
+    t.rev_log <- f :: t.rev_log;
+    t.log_len <- t.log_len + 1
+  end
+  else t.dropped_log <- t.dropped_log + 1
+
+let end_instant t =
+  if not t.in_instant then invalid_arg "Supervisor.end_instant: no instant open";
+  t.in_instant <- false;
+  for bi = 0 to t.n_blocks - 1 do
+    if t.staged_valid.(bi) then
+      Array.blit t.staged.(bi) 0 t.committed.(bi) 0
+        (Array.length t.staged.(bi));
+    if t.faulty_instant.(bi) then begin
+      t.consec.(bi) <- t.consec.(bi) + 1;
+      if t.consec.(bi) >= t.escalate_after && not t.quarantined.(bi) then begin
+        t.quarantined.(bi) <- true;
+        log_fault t
+          { f_instant = t.instant;
+            f_block = bi;
+            f_block_name = t.names.(bi);
+            f_class = Trap;
+            f_detail =
+              Printf.sprintf "%d consecutive faulty instants" t.consec.(bi);
+            f_action = Escalated };
+        count_telemetry t "asr.supervisor.quarantined" 1
+      end
+    end
+    else if not t.quarantined.(bi) then t.consec.(bi) <- 0
+  done;
+  t.instant <- t.instant + 1
+
+(* The substitution for a contained block must be consistent (under lub)
+   with whatever the block already wrote to its nets this instant, or
+   containment itself would trigger a retraction. If the block staged
+   outputs earlier in the instant, those values are already in the nets
+   and are the only safe choice. Otherwise the nets hold ⊥ for this
+   block, and anything is consistent: [Hold_last]/[Retry] substitute the
+   last committed outputs, [Absent] substitutes ⊥. *)
+let substitution t bi =
+  if t.staged_valid.(bi) then Array.copy t.staged.(bi)
+  else
+    match t.policy with
+    | Absent -> Array.make t.out_arity.(bi) Domain.Bottom
+    | Fail_fast | Hold_last | Retry _ -> Array.copy t.committed.(bi)
+
+let fault_action t bi =
+  if t.staged_valid.(bi) then Held
+  else match t.policy with Absent -> Went_absent | _ -> Held
+
+let contain t ~bi ~cls ~detail =
+  t.latched.(bi) <- true;
+  t.faulty_instant.(bi) <- true;
+  t.total_faults <- t.total_faults + 1;
+  t.instant_faults <- t.instant_faults + 1;
+  let action = if t.policy = Fail_fast then Aborted else fault_action t bi in
+  let f =
+    { f_instant = t.instant;
+      f_block = bi;
+      f_block_name = t.names.(bi);
+      f_class = cls;
+      f_detail = detail;
+      f_action = action }
+  in
+  log_fault t f;
+  count_telemetry t "asr.supervisor.faults" 1;
+  count_telemetry t ("asr.supervisor.fault." ^ class_name cls) 1;
+  if t.policy = Fail_fast then raise (Fatal f);
+  substitution t bi
+
+let guard t ~bi ~run =
+  if t.n_blocks = -1 then invalid_arg "Supervisor.guard: not attached";
+  if bi < 0 || bi >= t.n_blocks then
+    invalid_arg (Printf.sprintf "Supervisor.guard: no block %d" bi);
+  if t.quarantined.(bi) || t.latched.(bi) then substitution t bi
+  else begin
+    t.apps.(bi) <- t.apps.(bi) + 1;
+    match t.step_budget with
+    | Some k when t.apps.(bi) > k ->
+        contain t ~bi ~cls:Step_limit
+          ~detail:
+            (Printf.sprintf "more than %d applications in one instant" k)
+    | _ ->
+        let retries = match t.policy with Retry n -> max 0 n | _ -> 0 in
+        let rec attempt failed =
+          match run () with
+          | outs ->
+              if failed > 0 then begin
+                t.total_recovered <- t.total_recovered + 1;
+                log_fault t
+                  { f_instant = t.instant;
+                    f_block = bi;
+                    f_block_name = t.names.(bi);
+                    f_class = Trap;
+                    f_detail = "transient fault absorbed by retry";
+                    f_action = Recovered failed };
+                count_telemetry t "asr.supervisor.recovered" 1
+              end;
+              Array.blit outs 0 t.staged.(bi) 0 (Array.length outs);
+              t.staged_valid.(bi) <- true;
+              outs
+          | exception e -> (
+              match t.classify e with
+              | None -> raise e
+              | Some (cls, detail) ->
+                  if failed < retries then attempt (failed + 1)
+                  else
+                    let detail =
+                      if retries > 0 then
+                        Printf.sprintf "%s (after %d retries)" detail retries
+                      else detail
+                    in
+                    contain t ~bi ~cls ~detail)
+        in
+        attempt 0
+  end
+
+(* Called by the fixpoint when lub-merging a block's outputs hit
+   [Domain.Inconsistent]: the block retracted a defined value. The only
+   substitution consistent with the nets is their current contents, so
+   containment here means "freeze the block at what it already wrote".
+   Returns [true] when contained; [false] when the block was already
+   contained this instant and still produced a retraction — that is a
+   supervisor-level invariant violation and the caller should raise
+   [Fixpoint.Nonmonotonic] as it would unsupervised. *)
+let retract t ~bi ~current ~detail =
+  if t.n_blocks = -1 || bi < 0 || bi >= t.n_blocks then false
+  else if t.latched.(bi) then false
+  else begin
+    Array.blit current 0 t.staged.(bi) 0 (Array.length current);
+    t.staged_valid.(bi) <- true;
+    ignore (contain t ~bi ~cls:Retraction ~detail);
+    true
+  end
+
+(* -------------------------- inspection --------------------------- *)
+
+let policy t = t.policy
+
+let faults t = List.rev t.rev_log
+
+let fault_count t = t.total_faults
+
+let recovered_count t = t.total_recovered
+
+let dropped_faults t = t.dropped_log
+
+let instant_fault_count t = t.instant_faults
+
+let is_quarantined t bi = t.n_blocks > 0 && bi >= 0 && bi < t.n_blocks && t.quarantined.(bi)
+
+let quarantined_blocks t =
+  if t.n_blocks <= 0 then []
+  else
+    List.filter
+      (fun bi -> t.quarantined.(bi))
+      (List.init t.n_blocks (fun i -> i))
+
+let fault_to_json f =
+  Telemetry.Json.Obj
+    [ ("instant", Telemetry.Json.Int f.f_instant);
+      ("block", Telemetry.Json.Int f.f_block);
+      ("block_name", Telemetry.Json.Str f.f_block_name);
+      ("class", Telemetry.Json.Str (class_name f.f_class));
+      ("detail", Telemetry.Json.Str f.f_detail);
+      ("action", Telemetry.Json.Str (action_name f.f_action)) ]
+
+let faults_json t =
+  Telemetry.Json.Obj
+    [ ("policy", Telemetry.Json.Str (policy_name t.policy));
+      ("escalate_after", Telemetry.Json.Int t.escalate_after);
+      ("total_faults", Telemetry.Json.Int t.total_faults);
+      ("recovered", Telemetry.Json.Int t.total_recovered);
+      ("dropped", Telemetry.Json.Int t.dropped_log);
+      ( "quarantined",
+        Telemetry.Json.List
+          (List.map (fun bi -> Telemetry.Json.Int bi) (quarantined_blocks t)) );
+      ("faults", Telemetry.Json.List (List.map fault_to_json (faults t))) ]
+
+let reset t =
+  t.instant <- 0;
+  t.in_instant <- false;
+  t.rev_log <- [];
+  t.log_len <- 0;
+  t.dropped_log <- 0;
+  t.total_faults <- 0;
+  t.total_recovered <- 0;
+  t.instant_faults <- 0;
+  if t.n_blocks > 0 then begin
+    for bi = 0 to t.n_blocks - 1 do
+      Array.fill t.committed.(bi) 0 (Array.length t.committed.(bi)) Domain.Bottom;
+      Array.fill t.staged.(bi) 0 (Array.length t.staged.(bi)) Domain.Bottom
+    done;
+    Array.fill t.staged_valid 0 t.n_blocks false;
+    Array.fill t.apps 0 t.n_blocks 0;
+    Array.fill t.latched 0 t.n_blocks false;
+    Array.fill t.faulty_instant 0 t.n_blocks false;
+    Array.fill t.consec 0 t.n_blocks 0;
+    Array.fill t.quarantined 0 t.n_blocks false
+  end

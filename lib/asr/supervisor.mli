@@ -1,0 +1,166 @@
+(** Reaction supervisor: runtime fault containment for ASR simulation.
+
+    The refinement rules guarantee bounded reactions *statically*; the
+    supervisor enforces graceful behavior when a block misbehaves
+    anyway — an unrefined program, a modeling error, or an injected
+    fault ({!Inject}). It wraps every block application of a fixpoint
+    so that a raising block is *contained* instead of tearing down the
+    whole reactive system: the block's output nets hold their previous
+    value or go absent (per {!policy}) while the fixpoint continues for
+    every other block, and a watchdog escalates a block to permanent
+    quarantine after [escalate_after] consecutive faulty instants.
+
+    {b Containment invariant.} A contained block's substitution is
+    always lub-consistent with what the block already wrote this
+    instant (staged outputs if any, otherwise the previous instant's
+    committed outputs, otherwise ⊥), and is constant for the rest of
+    the instant — so the supervised fixpoint still iterates a monotone
+    function and converges. Consequently every net outside
+    {!Graph.affected_nets} of the faulted block takes exactly the same
+    per-instant value as in the fault-free run; the test suite and the
+    [faults] bench check this bit-for-bit.
+
+    {b Determinism.} The supervisor adds no randomness: given the same
+    graph, inputs, policy and (injected) faults, the fault log and all
+    net traces are identical run to run.
+
+    Lifecycle: {!attach} once per compiled graph (done implicitly by
+    {!Fixpoint.eval}), {!begin_instant} / {!end_instant} around each
+    instant (done by {!Simulate.react}; [Fixpoint.eval] brackets itself
+    when used standalone). *)
+
+type policy =
+  | Fail_fast  (** re-raise as {!Fatal}: stop the simulation *)
+  | Hold_last  (** output nets hold the previous instant's values *)
+  | Absent  (** output nets go ⊥ for the instant *)
+  | Retry of int
+      (** re-run the block up to [n] more times within the instant;
+          contain like [Hold_last] if every attempt faults *)
+
+type fault_class =
+  | Trap  (** bounds violation, division by zero, … *)
+  | Budget_exceeded  (** reaction cycle budget blown *)
+  | Heap_exhausted  (** allocation failure / bounded-memory violation *)
+  | Step_limit  (** more applications in one instant than [step_budget] *)
+  | Retraction  (** non-monotone: the block changed a defined output *)
+
+type action =
+  | Held
+  | Went_absent
+  | Recovered of int  (** a [Retry] succeeded after [n] failed attempts *)
+  | Escalated
+  | Aborted
+
+type fault = {
+  f_instant : int;
+  f_block : int;  (** index in [compiled.c_blocks] *)
+  f_block_name : string;
+  f_class : fault_class;
+  f_detail : string;  (** human-readable provenance (exception message) *)
+  f_action : action;
+}
+
+exception Fatal of fault
+(** Raised under [Fail_fast] (after logging the fault). *)
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?escalate_after:int ->
+  ?max_log:int ->
+  ?step_budget:int ->
+  ?classify:(exn -> (fault_class * string) option) ->
+  ?telemetry:Telemetry.Registry.t ->
+  unit ->
+  t
+(** Defaults: [policy = Hold_last], [escalate_after = 3] consecutive
+    faulty instants before quarantine, [max_log = 1000] retained fault
+    records (later ones are counted in {!dropped_faults}), no
+    [step_budget] (no per-instant application limit).
+
+    [classify] maps an exception raised by a block to a fault class and
+    detail; it is consulted before the built-in classifier (which
+    recognizes {!Inject.Injected}, [Division_by_zero],
+    [Invalid_argument], [Failure], [Stack_overflow], [Out_of_memory]).
+    An exception neither classifier recognizes propagates unchanged —
+    the supervisor contains faults, it does not swallow harness bugs.
+    Engine-level classification (cycle budgets, heap limits) is
+    provided by [Elaborate.fault_classifier].
+
+    [telemetry] feeds counters ["asr.supervisor.faults"],
+    ["asr.supervisor.fault.<class>"], ["asr.supervisor.recovered"] and
+    ["asr.supervisor.quarantined"]. *)
+
+val attach : t -> Graph.compiled -> unit
+(** Size the per-block state for this graph. Idempotent for graphs with
+    the same block count; [Invalid_argument] if the supervisor is
+    already attached to a graph with a different one. *)
+
+val begin_instant : t -> unit
+
+val end_instant : t -> unit
+(** Commit staged outputs, advance the watchdog (consecutive-fault
+    counters, quarantine escalation), move to the next instant. *)
+
+val in_instant : t -> bool
+
+val guard : t -> bi:int -> run:(unit -> Domain.t array) -> Domain.t array
+(** One supervised block application: runs [run ()] unless the block is
+    quarantined or already contained this instant (in which case the
+    substitution is returned directly), classifies and contains any
+    recognized fault per the policy. Called by [Fixpoint.apply_block]. *)
+
+val retract : t -> bi:int -> current:Domain.t array -> detail:string -> bool
+(** Containment for a lub conflict detected *outside* the block
+    function (the block returned, but its outputs contradict the nets).
+    [current] must be the block's output nets' current values; the
+    block is frozen at those values for the rest of the instant. [false]
+    when the block was already contained this instant — the caller
+    should then fall back to [Fixpoint.Nonmonotonic]. *)
+
+(** {2 Inspection} *)
+
+val policy : t -> policy
+
+val faults : t -> fault list
+(** Chronological fault log (capped at [max_log]). *)
+
+val fault_count : t -> int
+(** Contained (non-recovered) faults, including those beyond the cap. *)
+
+val recovered_count : t -> int
+
+val dropped_faults : t -> int
+
+val instant_fault_count : t -> int
+(** Faults contained in the current (or just-ended) instant. *)
+
+val is_quarantined : t -> int -> bool
+
+val quarantined_blocks : t -> int list
+
+val fault_to_json : fault -> Telemetry.Json.t
+
+val faults_json : t -> Telemetry.Json.t
+(** The full fault log plus summary counters, for [--fault-log]. *)
+
+val reset : t -> unit
+(** Clear all per-block state, counters and the log (for re-running a
+    trace on the same graph; pairs with {!Simulate.reset}). *)
+
+(** {2 Names} *)
+
+val policy_name : policy -> string
+
+val policy_of_string : string -> policy option
+(** Accepts ["fail"]/["fail-fast"], ["hold"]/["hold-last"], ["absent"],
+    ["retry:<n>"]. *)
+
+val class_name : fault_class -> string
+
+val action_name : action -> string
+
+val fault_to_string : fault -> string
+
+val default_classify : exn -> (fault_class * string) option

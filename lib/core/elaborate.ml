@@ -89,7 +89,7 @@ let value_to_data m = function
   | Value.Null -> invalid_arg "elaborate: null on an output port"
 
 let elaborate ?(engine = Engine_vm) ?(enforce_policy = true)
-    ?(bounded_memory = true) ?gc_threshold ?(ctor_args = [])
+    ?(bounded_memory = true) ?gc_threshold ?heap_limit_words ?(ctor_args = [])
     ?(elide_bounds_checks = false) ?cost_sink ?cost_lines checked ~cls =
   if enforce_policy && not (Policy.Asr_policy.compliant checked) then
     invalid_arg
@@ -105,6 +105,7 @@ let elaborate ?(engine = Engine_vm) ?(enforce_policy = true)
   in
   let m = ops.o_machine in
   Heap.set_phase m.Machine.heap Heap.Init;
+  Heap.set_limit_words m.Machine.heap heap_limit_words;
   let instance = ops.o_new cls ctor_args in
   let n_in, n_out = Machine.ports_of m instance in
   let init_cycles = Mj_runtime.Cost.cycles m.Machine.cost in
@@ -168,14 +169,43 @@ let react_bounded t ~budget_cycles inputs =
     ~finally:(fun () -> t.reaction_budget <- None)
     (fun () -> react t inputs)
 
-let to_block t =
+let to_block ?budget_cycles t =
   if not t.stateless then
     invalid_arg
       (Printf.sprintf
          "to_block: %s.run writes fields; drive it with react instead" t.cls);
+  let react t inputs =
+    match budget_cycles with
+    | Some budget_cycles -> react_bounded t ~budget_cycles inputs
+    | None -> react t inputs
+  in
   (* Strict: the fixed point may apply the block with partial inputs;
      only a fully-defined input vector triggers the reaction. *)
   Asr.Block.make ~name:("mj:" ^ t.cls) ~n_in:t.n_in ~n_out:t.n_out
     (fun inputs ->
       if Array.for_all Asr.Domain.is_def inputs then react t inputs
       else Array.make t.n_out Asr.Domain.Bottom)
+
+(* Map the engine-level traps onto supervisor fault classes. The heap
+   message prefixes are the ones [Heap] actually raises: a blown heap
+   limit starts with "heap exhausted", the bounded-memory policy trap
+   mentions the reactive phase; everything else a reaction can raise
+   ([Runtime_error]: bounds, null, division by zero, …) is an ordinary
+   trap. *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let fault_classifier = function
+  | Mj_runtime.Cost.Budget_exceeded cycles ->
+      Some
+        ( Asr.Supervisor.Budget_exceeded,
+          Printf.sprintf "reaction blew its cycle budget at meter reading %d"
+            cycles )
+  | Heap.Runtime_error msg when starts_with ~prefix:"heap exhausted" msg ->
+      Some (Asr.Supervisor.Heap_exhausted, msg)
+  | Heap.Runtime_error msg
+    when starts_with ~prefix:"allocation during the reactive phase" msg ->
+      Some (Asr.Supervisor.Heap_exhausted, msg)
+  | Heap.Runtime_error msg -> Some (Asr.Supervisor.Trap, msg)
+  | _ -> None

@@ -17,6 +17,7 @@ val elaborate :
   ?enforce_policy:bool ->
   ?bounded_memory:bool ->
   ?gc_threshold:int ->
+  ?heap_limit_words:int ->
   ?ctor_args:Mj_runtime.Value.t list ->
   ?elide_bounds_checks:bool ->
   ?cost_sink:Mj_runtime.Cost.sink ->
@@ -30,7 +31,10 @@ val elaborate :
     arguments, bounds checks kept. [gc_threshold] (in heap words) arms
     the JDK-style collector: reactive allocation beyond the threshold
     charges a pause proportional to the approximate live size.
-    [elide_bounds_checks] runs the interval analysis and compiles
+    [heap_limit_words] arms a fixed heap capacity on the machine
+    ({!Mj_runtime.Heap.set_limit_words}); allocation past it raises
+    [Runtime_error "heap exhausted: ..."], which {!fault_classifier}
+    maps to {!Asr.Supervisor.Heap_exhausted}. [elide_bounds_checks] runs the interval analysis and compiles
     statically safe array accesses to unchecked instructions (bytecode
     engines only; the interpreter ignores it). [cost_sink] is installed
     on the engine's cost meter at creation, so a profile fed by it
@@ -65,13 +69,27 @@ val machine : t -> Mj_runtime.Machine.t
 
 val console : t -> string
 
-val to_block : t -> Asr.Block.t
+val to_block : ?budget_cycles:int -> t -> Asr.Block.t
 (** The design as an ASR functional block, for composition into graphs.
     Requires the [run] method (and everything it calls) to be free of
     field and static writes — the fixed-point iteration may apply a
     block several times per instant, which is only sound for stateless
     reactions. Raises [Invalid_argument] for stateful designs; those are
-    driven with {!react} (the Fig. 7 protocol) instead. *)
+    driven with {!react} (the Fig. 7 protocol) instead.
+
+    [budget_cycles] meters every application with {!react_bounded}: the
+    block raises [Cost.Budget_exceeded] instead of overrunning — under a
+    {!Asr.Supervisor} created with {!fault_classifier} that trap is
+    contained as a [Budget_exceeded] fault. Derive the budget from
+    {!Policy.Time_bound.reaction_bound} when the design is refined. *)
+
+val fault_classifier : exn -> (Asr.Supervisor.fault_class * string) option
+(** Engine-aware fault classification for {!Asr.Supervisor.create}:
+    [Cost.Budget_exceeded] is a budget fault, heap-capacity exhaustion
+    and bounded-memory violations are heap faults, any other
+    [Heap.Runtime_error] (bounds trap, null dereference, division by
+    zero, bad cast) is an ordinary trap. Returns [None] for everything
+    else, falling through to the supervisor's default classifier. *)
 
 val writes_state : Mj.Typecheck.checked -> cls:string -> bool
 (** The static purity check used by {!to_block}. *)

@@ -23,6 +23,7 @@ type t = {
   mutable reactive_allocations : int;
   mutable init_words : int;
   mutable reactive_words : int;
+  mutable limit_words : int option;
   mutable gc_threshold : int option;
   mutable words_since_gc : int;
   mutable gc_count : int;
@@ -33,7 +34,7 @@ type t = {
 let create () =
   { cells = Array.make 1024 None; next = 0; phase = Init;
     forbid_reactive = false; init_allocations = 0; reactive_allocations = 0;
-    init_words = 0; reactive_words = 0; gc_threshold = None;
+    init_words = 0; reactive_words = 0; limit_words = None; gc_threshold = None;
     words_since_gc = 0; gc_count = 0; on_gc = (fun ~live_words:_ -> ());
     on_trap = (fun () -> ()) }
 
@@ -63,7 +64,34 @@ let words_of_object n_fields = 2 + n_fields
 
 let words_of_array n = 2 + n
 
+let set_limit_words t limit =
+  (match limit with
+  | Some n when n < 0 -> invalid_arg "Heap.set_limit_words: negative limit"
+  | _ -> ());
+  t.limit_words <- limit
+
+let limit_words t = t.limit_words
+
+(* The exhaustion check models a fixed-size heap: total words ever
+   allocated (the model has no reclamation of individual objects)
+   against the configured capacity. It runs in both phases — an
+   oversized initialization is as fatal on the target as a reactive
+   alloc storm — and never touches [Cost], so arming a limit cannot
+   perturb modeled cycle counts. *)
+let check_limit t words =
+  match t.limit_words with
+  | Some limit when t.init_words + t.reactive_words + words > limit ->
+      raise
+        (Runtime_error
+           (Printf.sprintf
+              "heap exhausted: %d words requested, %d of %d in use"
+              words
+              (t.init_words + t.reactive_words)
+              limit))
+  | _ -> ()
+
 let record_alloc t words =
+  check_limit t words;
   match t.phase with
   | Init ->
       t.init_allocations <- t.init_allocations + 1;

@@ -38,6 +38,16 @@ val forbid_reactive_alloc : t -> bool -> unit
 
 val stats : t -> stats
 
+val set_limit_words : t -> int option -> unit
+(** Arm (or clear) a fixed heap capacity in words. An allocation that
+    would push the total allocated words (both phases; the model never
+    reclaims) past the limit raises {!Runtime_error} with a message
+    starting ["heap exhausted"] — the token [Elaborate.fault_classifier]
+    keys on. Checked in both phases; independent of the GC model and of
+    [Cost] (arming a limit never changes modeled cycles). *)
+
+val limit_words : t -> int option
+
 val alloc_object : t -> cls:string -> fields:(string * Value.t) list -> Value.t
 
 val alloc_array : t -> elem:Mj.Ast.ty -> int -> Value.t

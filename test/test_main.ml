@@ -22,4 +22,5 @@ let () =
       ("schedule", Test_schedule.suite);
       ("uart", Test_uart.suite);
       ("telemetry", Test_telemetry.suite);
-      ("observability", Test_observability.suite) ]
+      ("observability", Test_observability.suite);
+      ("supervisor", Test_supervisor.suite) ]

@@ -45,8 +45,34 @@ let expect_runtime_error ?(substring = "") f =
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* Every qcheck property runs from a pinned seed so a CI failure
+   reproduces locally bit-for-bit; QCHECK_SEED overrides it to explore
+   other parts of the space. The seed in effect is printed when a
+   property fails. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> 0x5eed)
+  | None -> 0x5eed
+
 let qcase ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+  let rand = Random.State.make [| qcheck_seed |] in
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand (QCheck.Test.make ~count ~name gen prop)
+  in
+  let run args =
+    try run args
+    with e ->
+      Printf.eprintf
+        "qcheck failure in %S under deterministic seed %d; rerun with \
+         QCHECK_SEED=%d (or another seed) to reproduce or explore\n\
+         %!"
+        name qcheck_seed qcheck_seed;
+      raise e
+  in
+  (name, speed, run)
 
 (* A tiny ASR harness: one int input port, one int output port. *)
 let react_int elab x =
