@@ -797,6 +797,379 @@ module Sched_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+
+(* Reaction fusion: the ahead-of-time compiled strategy (Fuse plans
+   executed by Fixpoint.Fused) against the interpreted static schedule —
+   wall clock on the deep feed-forward workloads, a generated-net
+   scaling curve up to 1e5 blocks, and fault containment on the fused
+   path. The fir/jpeg-pipeline rows reuse the schedule bench's graphs,
+   sizes and stimulus, so their "scheduled" rows key-match the committed
+   BENCH_asr_schedule.json under `--compare` (eval regressions in the
+   shared strategy fail the gate). *)
+
+module Fusion_bench = struct
+  module G = Asr.Graph
+  module S = Asr.Supervisor
+  module I = Asr.Inject
+
+  type srun = { f_label : string; f_evals : int; f_wall : float }
+
+  (* Evaluations and outputs from one untimed pass (deterministic,
+     comparable across artifacts); wall from [passes] repeated timed
+     passes of the bare reaction loop, amortizing noise. The simulator —
+     and with it the schedule and the fuse plan — is created once:
+     plan compilation is setup, not reaction cost. *)
+  let measure g stream ~label ~strategy ~passes =
+    let sim = Asr.Simulate.create ~strategy g in
+    let outputs = List.map (fun inputs -> Asr.Simulate.step sim inputs) stream in
+    let evals = Asr.Simulate.block_evaluations sim in
+    Asr.Simulate.reset sim;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to passes do
+      List.iter (fun inputs -> ignore (Asr.Simulate.step sim inputs)) stream;
+      Asr.Simulate.reset sim
+    done;
+    let wall = (Unix.gettimeofday () -. t0) /. float_of_int passes in
+    (outputs, { f_label = label; f_evals = evals; f_wall = wall })
+
+  type report = {
+    w_name : string;
+    w_blocks : int;
+    w_nets : int;
+    w_cyclic : int;
+    w_instants : int;
+    w_kernel_steps : int;
+    w_folded : int;
+    w_equal : bool;  (* fused = scheduled = chaotic outputs, instant by instant *)
+    w_speedup_wall : float;
+    w_speedup_evals : float;
+    w_runs : srun list;
+    w_gate_wall : bool;  (* row participates in the >=10x wall gate *)
+  }
+
+  let bench_graph ?(gate_wall = false) ?(oracle = true) name g ~instants
+      ~passes =
+    let compiled = G.compile g in
+    let schedule = Asr.Schedule.of_compiled compiled in
+    let plan = Asr.Fuse.compile ~schedule compiled in
+    let stream = Sched_bench.stimulus g ~instants in
+    let scheduled_out, scheduled =
+      measure g stream ~label:"scheduled" ~strategy:Asr.Fixpoint.Scheduled
+        ~passes
+    in
+    let fused_out, fused =
+      measure g stream ~label:"fused" ~strategy:Asr.Fixpoint.Fused ~passes
+    in
+    (* The chaotic oracle pins both to the reference least fixed point;
+       skipped on nets where its O(blocks x nets) sweeps are prohibitive
+       (those sizes are covered by the qcheck differentials). *)
+    let equal =
+      fused_out = scheduled_out
+      &&
+      if not oracle then true
+      else
+        let chaotic_out, _ =
+          measure g stream ~label:"chaotic" ~strategy:Asr.Fixpoint.Chaotic
+            ~passes:1
+        in
+        fused_out = chaotic_out
+    in
+    { w_name = name;
+      w_blocks = Array.length compiled.G.c_blocks;
+      w_nets = compiled.G.n_nets;
+      w_cyclic = Asr.Schedule.cyclic_block_count schedule;
+      w_instants = instants;
+      w_kernel_steps = plan.Asr.Fuse.f_n_fused;
+      w_folded = plan.Asr.Fuse.f_n_folded;
+      w_equal = equal;
+      w_speedup_wall = scheduled.f_wall /. fused.f_wall;
+      w_speedup_evals =
+        float_of_int scheduled.f_evals /. float_of_int (max 1 fused.f_evals);
+      w_runs = [ scheduled; fused ];
+      w_gate_wall = gate_wall }
+
+  let reports ~smoke () =
+    let scale n small = if smoke then small else n in
+    [ (* identical graphs/sizes/stimulus to the schedule bench: the
+         shared "scheduled" rows are the --compare anchor *)
+      bench_graph "fir"
+        (Sched_bench.fir_graph (scale 64 12))
+        ~instants:(scale 200 20) ~passes:(scale 50 3);
+      bench_graph "jpeg-pipeline"
+        (Sched_bench.pipeline_graph (scale 40 10))
+        ~instants:(scale 200 20) ~passes:(scale 50 3);
+      (* the wall-gate rows: same topologies scaled up so per-instant
+         bookkeeping amortizes and the per-application gap dominates *)
+      bench_graph "fir-xl" ~gate_wall:true ~oracle:smoke
+        (Sched_bench.fir_graph (scale 512 16))
+        ~instants:(scale 200 20) ~passes:(scale 20 3);
+      bench_graph "jpeg-pipeline-xl" ~gate_wall:true ~oracle:smoke
+        (Sched_bench.pipeline_graph (scale 320 12))
+        ~instants:(scale 200 20) ~passes:(scale 20 3) ]
+
+  (* ---- generated-net scaling curve --------------------------------- *)
+
+  type scale_row = {
+    s_blocks : int;
+    s_nets : int;
+    s_folded : int;
+    s_cyclic : int;
+    s_fuse_compile : float;
+    s_evals_scheduled : int;
+    s_evals_fused : int;
+    s_wall_scheduled : float;
+    s_wall_fused : float;
+    s_equal : bool;
+  }
+
+  let scaling_row size ~instants =
+    let width = min size 25 in
+    let depth = max 1 (size / width) in
+    let g =
+      Workloads.Netgen.generate ~inputs:4 ~delays:4 ~cyclic_ratio:0.04
+        ~seed:(271 + size) ~depth ~width ()
+    in
+    let compiled = G.compile g in
+    let schedule = Asr.Schedule.of_compiled compiled in
+    let t0 = Unix.gettimeofday () in
+    let plan = Asr.Fuse.compile ~schedule compiled in
+    let fuse_compile = Unix.gettimeofday () -. t0 in
+    let stream = Workloads.Netgen.stimulus g ~instants in
+    let scheduled_out, scheduled =
+      measure g stream ~label:"scheduled" ~strategy:Asr.Fixpoint.Scheduled
+        ~passes:1
+    in
+    let fused_out, fused =
+      measure g stream ~label:"fused" ~strategy:Asr.Fixpoint.Fused ~passes:1
+    in
+    { s_blocks = Array.length compiled.G.c_blocks;
+      s_nets = compiled.G.n_nets;
+      s_folded = plan.Asr.Fuse.f_n_folded;
+      s_cyclic = plan.Asr.Fuse.f_n_cyclic;
+      s_fuse_compile = fuse_compile;
+      s_evals_scheduled = scheduled.f_evals;
+      s_evals_fused = fused.f_evals;
+      s_wall_scheduled = scheduled.f_wall;
+      s_wall_fused = fused.f_wall;
+      s_equal = fused_out = scheduled_out }
+
+  let scaling ~smoke () =
+    let sizes =
+      if smoke then [ 50; 200 ] else [ 100; 1_000; 10_000; 100_000 ]
+    in
+    List.map
+      (fun size -> scaling_row size ~instants:(if smoke then 5 else 20))
+      sizes
+
+  (* ---- containment on the fused path ------------------------------- *)
+
+  type containment = {
+    c_workload : string;
+    c_policy : string;
+    c_injected : int;
+    c_contained : int;
+    c_affected : int;
+    c_checked : int;
+    c_contained_ok : bool;
+  }
+
+  let run_capture_fused ?supervisor ?inject g stream =
+    let sim = Asr.Simulate.create ~strategy:Asr.Fixpoint.Fused ?supervisor g in
+    List.map
+      (fun inputs ->
+        ignore (Asr.Simulate.step sim inputs);
+        (match inject with Some inj -> I.tick inj | None -> ());
+        Asr.Simulate.net_values sim)
+      stream
+
+  (* Same blast-radius property the faults bench checks for the worklist
+     evaluator, on the fused plan: injected traps contained by the
+     supervisor must leave every net outside the faulted blocks'
+     influence cone bit-identical to the fault-free fused run. *)
+  let containment ~smoke () =
+    let scale n small = if smoke then small else n in
+    let name = "fir" in
+    let g = Sched_bench.fir_graph (scale 32 8) in
+    let instants = scale 60 12 in
+    let compiled = G.compile g in
+    let n_blocks = Array.length compiled.G.c_blocks in
+    let stream = Sched_bench.stimulus g ~instants in
+    (* The clean run is supervised too (its supervisor never fires):
+       both runs then take the block-at-a-time fused path, which
+       materializes every net — the fast lane leaves collapsed interior
+       nets at ⊥, which is invisible at the ports but not to the
+       net-by-net comparison below. *)
+    let clean =
+      run_capture_fused ~supervisor:(S.create ~policy:S.Hold_last ()) g stream
+    in
+    let specs =
+      I.plan ~seed:45 ~n_blocks ~instants ~n_faults:2 ~first_only:false ()
+    in
+    let inj = I.make specs in
+    let sup = S.create ~policy:S.Hold_last () in
+    let faulty =
+      run_capture_fused ~supervisor:sup ~inject:inj (I.instrument inj g) stream
+    in
+    let affected = Array.make compiled.G.n_nets false in
+    List.iter
+      (fun s ->
+        Array.iteri
+          (fun i b -> if b then affected.(i) <- true)
+          (G.affected_nets compiled s.I.i_block))
+      specs;
+    let checked = ref 0 and contained_ok = ref true in
+    List.iter2
+      (fun clean_nets faulty_nets ->
+        Array.iteri
+          (fun n v ->
+            if not affected.(n) then begin
+              incr checked;
+              if v <> faulty_nets.(n) then contained_ok := false
+            end)
+          clean_nets)
+      clean faulty;
+    { c_workload = name;
+      c_policy = S.policy_name S.Hold_last;
+      c_injected = I.fired inj;
+      c_contained = S.fault_count sup;
+      c_affected =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 affected;
+      c_checked = !checked;
+      c_contained_ok = !contained_ok && I.fired inj > 0 }
+
+  (* ---- reporting and gates ----------------------------------------- *)
+
+  let print_text (reports, srows, cont) =
+    print_endline
+      "Reaction fusion: ahead-of-time compiled nets vs. the static schedule";
+    print_newline ();
+    List.iter
+      (fun w ->
+        Printf.printf
+          "%s: %d blocks (%d kernel steps, %d folded, %d cyclic), %d nets, \
+           %d instants\n"
+          w.w_name w.w_blocks w.w_kernel_steps w.w_folded w.w_cyclic w.w_nets
+          w.w_instants;
+        List.iter
+          (fun r ->
+            Printf.printf "  %-12s %10d evals   %10.6f s/pass\n" r.f_label
+              r.f_evals r.f_wall)
+          w.w_runs;
+        Printf.printf
+          "  fixpoints equal: %s   speedup wall %.1fx, evals %.2fx\n\n"
+          (if w.w_equal then "yes" else "NO (BUG)")
+          w.w_speedup_wall w.w_speedup_evals)
+      reports;
+    print_endline "scaling (generated nets, scheduled vs fused wall per pass):";
+    List.iter
+      (fun s ->
+        Printf.printf
+          "  %7d blocks  %7d nets  %6d folded  %5d cyclic  compile %8.4f s  \
+           scheduled %9d evals %8.4f s  fused %9d evals %8.4f s  %5.1fx  %s\n"
+          s.s_blocks s.s_nets s.s_folded s.s_cyclic s.s_fuse_compile
+          s.s_evals_scheduled s.s_wall_scheduled s.s_evals_fused s.s_wall_fused
+          (s.s_wall_scheduled /. s.s_wall_fused)
+          (if s.s_equal then "equal" else "DIVERGED"))
+      srows;
+    Printf.printf
+      "\ncontainment (fused + %s): %d injected, %d contained, %d nets in \
+       blast radius, %d (instant, net) pairs outside it %s\n"
+      cont.c_policy cont.c_injected cont.c_contained cont.c_affected
+      cont.c_checked
+      (if cont.c_contained_ok then "bit-identical" else "DIVERGED");
+    print_newline ()
+
+  let print_json (reports, srows, cont) =
+    let run_json r =
+      Printf.sprintf "{\"label\": %S, \"evaluations\": %d, \"wall_s\": %.6f}"
+        r.f_label r.f_evals r.f_wall
+    in
+    let report_json w =
+      Printf.sprintf
+        "    {\"name\": %S, \"blocks\": %d, \"nets\": %d, \"cyclic_blocks\": \
+         %d, \"instants\": %d,\n\
+        \     \"kernel_steps\": %d, \"folded_blocks\": %d, \
+         \"equal_fixpoints\": %b,\n\
+        \     \"speedup_wall_fused\": %.2f, \"speedup_evals_fused\": %.2f,\n\
+        \     \"strategies\": [%s]}"
+        w.w_name w.w_blocks w.w_nets w.w_cyclic w.w_instants w.w_kernel_steps
+        w.w_folded w.w_equal w.w_speedup_wall w.w_speedup_evals
+        (String.concat ", " (List.map run_json w.w_runs))
+    in
+    let scale_json s =
+      Printf.sprintf
+        "    {\"name\": \"netgen-%d\", \"blocks\": %d, \"nets\": %d, \
+         \"folded_blocks\": %d, \"cyclic_blocks\": %d, \"fuse_compile_s\": \
+         %.6f, \"evaluations_scheduled\": %d, \"evaluations_fused\": %d, \
+         \"wall_scheduled_s\": %.6f, \"wall_fused_s\": %.6f, \
+         \"speedup_wall\": %.2f, \"equal_outputs\": %b}"
+        s.s_blocks s.s_blocks s.s_nets s.s_folded s.s_cyclic s.s_fuse_compile
+        s.s_evals_scheduled s.s_evals_fused s.s_wall_scheduled s.s_wall_fused
+        (s.s_wall_scheduled /. s.s_wall_fused)
+        s.s_equal
+    in
+    Printf.printf
+      "{\n\
+      \  \"bench\": \"fusion\",\n\
+      \  \"workloads\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"scaling\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"containment\": {\"workload\": %S, \"policy\": %S, \"injected\": \
+       %d, \"contained\": %d, \"affected_nets\": %d, \"checked\": %d, \
+       \"contained_identical\": %b}\n\
+       }\n"
+      (String.concat ",\n" (List.map report_json reports))
+      (String.concat ",\n" (List.map scale_json srows))
+      cont.c_workload cont.c_policy cont.c_injected cont.c_contained
+      cont.c_affected cont.c_checked cont.c_contained_ok
+
+  (* Gates: identical fixed points everywhere (chaotic oracle on the
+     exact-match rows, scheduled differential at scale), containment
+     bit-identical outside the blast radius, fused never evaluates more
+     than scheduled, and — full size only, wall clocks of smoke-scaled
+     graphs are all bookkeeping — >= 10x wall on the xl feed-forward
+     rows. *)
+  let check ~smoke (reports, srows, cont) =
+    let failed = ref false in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "FAIL %s\n" s;
+          failed := true)
+        fmt
+    in
+    List.iter
+      (fun w ->
+        if not w.w_equal then
+          fail "%s: fused fixpoint differs from scheduled/chaotic" w.w_name;
+        if w.w_speedup_evals < 1.0 then
+          fail "%s: fused evaluated more blocks than scheduled (%.2fx)"
+            w.w_name w.w_speedup_evals;
+        if (not smoke) && w.w_gate_wall && w.w_speedup_wall < 10.0 then
+          fail "%s: fused wall speedup %.1fx < 10x" w.w_name w.w_speedup_wall)
+      reports;
+    List.iter
+      (fun s ->
+        if not s.s_equal then
+          fail "netgen-%d: fused outputs diverge from scheduled" s.s_blocks)
+      srows;
+    if not cont.c_contained_ok then
+      fail "%s: containment violated on the fused path (%d injected)"
+        cont.c_workload cont.c_injected;
+    if !failed then exit 1
+
+  let run ~json ~smoke () =
+    let results =
+      (reports ~smoke (), scaling ~smoke (), containment ~smoke ())
+    in
+    if json then print_json results else print_text results;
+    check ~smoke results
+end
+
+(* ------------------------------------------------------------------ *)
 (* Bounds-check elision                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -2135,7 +2508,7 @@ module Compare = struct
                     | Some (J.Str s) -> Some s
                     | _ -> None)
                   [ "workload"; "engine"; "policy"; "trap"; "name"; "method";
-                    "file" ]
+                    "file"; "label"; "strategy" ]
               in
               match parts with
               | [] -> string_of_int i
@@ -2239,6 +2612,8 @@ let baseline_flag = ref None
 let experiments =
   [ ("schedule",
      `Plain (fun () -> Sched_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
+    ("fusion",
+     `Plain (fun () -> Fusion_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("boundscheck",
      `Plain (fun () -> Boundscheck.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("analysis",

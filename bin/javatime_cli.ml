@@ -355,8 +355,8 @@ let profile_cmd =
           $ lines_arg $ flame_arg $ trace_out_arg)
 
 let simulate_cmd =
-  let run file cls engine instants supervise on_fault fault_log budget
-      heap_limit escalate_after vcd_out trace_out =
+  let run file cls engine instants strategy supervise on_fault fault_log
+      budget heap_limit escalate_after vcd_out trace_out =
     handle (fun () ->
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
         let engine =
@@ -367,6 +367,18 @@ let simulate_cmd =
           | other ->
               Format.eprintf "unknown engine '%s' (interp|vm|jit)@." other;
               exit 1
+        in
+        let strategy =
+          match strategy with
+          | None -> None
+          | Some s -> (
+              match Asr.Fixpoint.strategy_of_string s with
+              | Some st -> Some st
+              | None ->
+                  Format.eprintf
+                    "unknown strategy '%s' (chaotic|scheduled|worklist|fused)@."
+                    s;
+                  exit 1)
         in
         let supervise = supervise || fault_log <> None in
         let policy =
@@ -406,13 +418,13 @@ let simulate_cmd =
            (t + 1) * (i + 2) mod 17. *)
         let ramp t i = (t + 1) * (i + 2) mod 17 in
         let trace, supervisor =
-          if supervise then begin
+          if supervise || strategy <> None then begin
             (* One-block ASR system around the elaborated reaction; the
-               supervisor guards each application, so a trap, blown
-               budget or heap exhaustion degrades the instant instead of
-               killing the run. Worklist evaluation applies the block
-               exactly once per instant, which keeps stateful reactions
-               sound. *)
+               supervisor (if any) guards each application, so a trap,
+               blown budget or heap exhaustion degrades the instant
+               instead of killing the run. Worklist, scheduled and fused
+               evaluation apply the block exactly once per instant,
+               which keeps stateful reactions sound. *)
             let block =
               Asr.Block.make ~name:("mj:" ^ cls) ~n_in ~n_out (fun inputs ->
                   if Array.for_all Asr.Domain.is_def inputs then
@@ -438,20 +450,25 @@ let simulate_cmd =
                 ~dst:(Asr.Graph.in_port out 0)
             done;
             let sup =
-              Asr.Supervisor.create ~policy ~escalate_after
-                ~classify:Javatime.Elaborate.fault_classifier ?telemetry:reg
-                ()
+              if supervise then
+                Some
+                  (Asr.Supervisor.create ~policy ~escalate_after
+                     ~classify:Javatime.Elaborate.fault_classifier
+                     ?telemetry:reg ())
+              else None
             in
             let sim =
-              Asr.Simulate.create ~strategy:Asr.Fixpoint.Worklist
-                ?telemetry:reg ~supervisor:sup g
+              Asr.Simulate.create
+                ~strategy:
+                  (Option.value strategy ~default:Asr.Fixpoint.Worklist)
+                ?telemetry:reg ?supervisor:sup g
             in
             let stream =
               List.init instants (fun t ->
                   List.init n_in (fun i ->
                       (string_of_int i, Asr.Domain.int (ramp t i))))
             in
-            (Asr.Simulate.run sim stream, Some sup)
+            (Asr.Simulate.run sim stream, sup)
           end
           else
             let trace =
@@ -526,6 +543,13 @@ let simulate_cmd =
     Arg.(value & opt int 8 & info [ "n"; "instants" ] ~docv:"N"
            ~doc:"Number of instants to simulate")
   in
+  let strategy_arg =
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Fixed-point strategy for the reaction (chaotic|scheduled|\
+                 worklist|fused); fused compiles the net ahead of time into \
+                 fused slot operations. Implies driving the class through \
+                 the ASR simulator even without --supervise")
+  in
   let supervise_flag =
     Arg.(value & flag & info [ "supervise" ]
            ~doc:"Run each reaction under the fault supervisor: traps, blown \
@@ -567,8 +591,9 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Drive an ASR class with a deterministic input ramp")
     Term.(const run $ file_arg $ class_arg $ engine_arg $ instants_arg
-          $ supervise_flag $ on_fault_arg $ fault_log_arg $ budget_arg
-          $ heap_limit_arg $ escalate_arg $ vcd_arg $ trace_out_arg)
+          $ strategy_arg $ supervise_flag $ on_fault_arg $ fault_log_arg
+          $ budget_arg $ heap_limit_arg $ escalate_arg $ vcd_arg
+          $ trace_out_arg)
 
 let size_cmd =
   let run file =

@@ -1,11 +1,23 @@
+type kernel =
+  | Opaque
+  | Const of Domain.t array
+  | Map1 of (Data.t -> Data.t)
+  | Map2 of (Data.t -> Data.t -> Data.t)
+  | IMap1 of (int -> int) * (Data.t -> Data.t)
+  | IMap2 of (int -> int -> int) * (Data.t -> Data.t -> Data.t)
+  | Mux
+  | Fork
+  | Identity
+
 type t = {
   name : string;
   n_in : int;
   n_out : int;
   fn : Domain.t array -> Domain.t array;
+  kernel : kernel;
 }
 
-let make ~name ~n_in ~n_out fn =
+let make ?(kernel = Opaque) ~name ~n_in ~n_out fn =
   let checked inputs =
     if Array.length inputs <> n_in then
       invalid_arg
@@ -18,9 +30,9 @@ let make ~name ~n_in ~n_out fn =
            (Array.length outputs) n_out);
     outputs
   in
-  { name; n_in; n_out; fn = checked }
+  { name; n_in; n_out; fn = checked; kernel }
 
-let strict ~name ~n_in ~n_out f =
+let strict ?kernel ~name ~n_in ~n_out f =
   let fn inputs =
     let all_defined = Array.for_all Domain.is_def inputs in
     if not all_defined then Array.make n_out Domain.Bottom
@@ -32,7 +44,7 @@ let strict ~name ~n_in ~n_out f =
       in
       Array.map Domain.def (f values)
   in
-  make ~name ~n_in ~n_out fn
+  make ?kernel ~name ~n_in ~n_out fn
 
 let apply b inputs = b.fn inputs
 
@@ -42,11 +54,27 @@ let monotone_on b lo hi =
   in
   (not (pointwise_leq lo hi)) || pointwise_leq (apply b lo) (apply b hi)
 
-let const ~name v = make ~name ~n_in:0 ~n_out:1 (fun _ -> [| Domain.def v |])
+let const ~name v =
+  make ~kernel:(Const [| Domain.def v |]) ~name ~n_in:0 ~n_out:1 (fun _ ->
+      [| Domain.def v |])
 
-let map1 ~name f = strict ~name ~n_in:1 ~n_out:1 (fun vs -> [| f vs.(0) |])
+let map1 ~name f =
+  strict ~kernel:(Map1 f) ~name ~n_in:1 ~n_out:1 (fun vs -> [| f vs.(0) |])
 
-let map2 ~name f = strict ~name ~n_in:2 ~n_out:1 (fun vs -> [| f vs.(0) vs.(1) |])
+let map2 ~name f =
+  strict ~kernel:(Map2 f) ~name ~n_in:2 ~n_out:1 (fun vs ->
+      [| f vs.(0) vs.(1) |])
+
+(* Int-specialized maps: [fi] must coincide with [f] on Int operands —
+   Fuse's chain compiler runs [fi] over raw ints (no boxing at all) and
+   falls back to [f] the moment a non-Int value flows through. *)
+let imap1 ~name fi f =
+  strict ~kernel:(IMap1 (fi, f)) ~name ~n_in:1 ~n_out:1 (fun vs ->
+      [| f vs.(0) |])
+
+let imap2 ~name fi f =
+  strict ~kernel:(IMap2 (fi, f)) ~name ~n_in:2 ~n_out:1 (fun vs ->
+      [| f vs.(0) vs.(1) |])
 
 let arith name int_op real_op =
   let g a b =
@@ -57,7 +85,7 @@ let arith name int_op real_op =
     | Data.Real x, Data.Int y -> Data.Real (real_op x (float_of_int y))
     | _ -> invalid_arg (Printf.sprintf "block %s: non-numeric operands" name)
   in
-  map2 ~name g
+  imap2 ~name int_op g
 
 let add = arith "add" ( + ) ( +. )
 
@@ -66,16 +94,23 @@ let sub = arith "sub" ( - ) ( -. )
 let mul = arith "mul" ( * ) ( *. )
 
 let gain k =
-  map1 ~name:(Printf.sprintf "gain%d" k) (function
-    | Data.Int n -> Data.Int (k * n)
-    | Data.Real f -> Data.Real (float_of_int k *. f)
-    | v -> invalid_arg (Printf.sprintf "gain: non-numeric %s" (Data.to_string v)))
+  imap1
+    ~name:(Printf.sprintf "gain%d" k)
+    (fun n -> k * n)
+    (function
+      | Data.Int n -> Data.Int (k * n)
+      | Data.Real f -> Data.Real (float_of_int k *. f)
+      | v ->
+          invalid_arg (Printf.sprintf "gain: non-numeric %s" (Data.to_string v)))
 
 let neg =
-  map1 ~name:"neg" (function
-    | Data.Int n -> Data.Int (-n)
-    | Data.Real f -> Data.Real (-.f)
-    | v -> invalid_arg (Printf.sprintf "neg: non-numeric %s" (Data.to_string v)))
+  imap1 ~name:"neg"
+    (fun n -> -n)
+    (function
+      | Data.Int n -> Data.Int (-n)
+      | Data.Real f -> Data.Real (-.f)
+      | v ->
+          invalid_arg (Printf.sprintf "neg: non-numeric %s" (Data.to_string v)))
 
 let logical name f =
   map2 ~name (fun a b ->
@@ -96,7 +131,7 @@ let logical_not =
    be defined. This is what lets delay-free feedback through the
    unselected branch still converge. *)
 let mux =
-  make ~name:"mux" ~n_in:3 ~n_out:1 (fun inputs ->
+  make ~kernel:Mux ~name:"mux" ~n_in:3 ~n_out:1 (fun inputs ->
       match inputs.(0) with
       | Domain.Bottom -> [| Domain.Bottom |]
       | Domain.Def (Data.Bool true) -> [| inputs.(1) |]
@@ -106,7 +141,9 @@ let mux =
             (Printf.sprintf "mux: non-boolean select %s" (Data.to_string v)))
 
 let fork n =
-  make ~name:(Printf.sprintf "fork%d" n) ~n_in:1 ~n_out:n (fun inputs ->
-      Array.make n inputs.(0))
+  make ~kernel:Fork ~name:(Printf.sprintf "fork%d" n) ~n_in:1 ~n_out:n
+    (fun inputs -> Array.make n inputs.(0))
 
-let identity = make ~name:"id" ~n_in:1 ~n_out:1 (fun inputs -> [| inputs.(0) |])
+let identity =
+  make ~kernel:Identity ~name:"id" ~n_in:1 ~n_out:1 (fun inputs ->
+      [| inputs.(0) |])

@@ -18,6 +18,12 @@ let make_abstract_block ?instants ?(strategy = Fixpoint.Worklist) ?supervisor ~n
   let n_in = Array.length in_names + if has_state then 1 else 0 in
   let n_out = Array.length out_names + if has_state then 1 else 0 in
   let schedule = Schedule.of_compiled compiled in
+  let fuse =
+    match strategy with
+    | Fixpoint.Fused -> Some (Fuse.compile ~schedule compiled)
+    | _ -> None
+  in
+  let buffers = Fixpoint.make_buffers compiled in
   let nets_buffer = Array.make compiled.Graph.n_nets Domain.Bottom in
   let applications = ref 0 in
   let fn inputs =
@@ -39,7 +45,7 @@ let make_abstract_block ?instants ?(strategy = Fixpoint.Worklist) ?supervisor ~n
     in
     let result =
       Fixpoint.eval compiled ~inputs:env_inputs ~delay_values ~strategy
-        ~schedule ~nets:nets_buffer ?supervisor ()
+        ~schedule ?fuse ~buffers ~nets:nets_buffer ?supervisor ()
     in
     (match instants with
     | Some parent ->

@@ -4,7 +4,7 @@ type result = {
   block_evaluations : int;
 }
 
-type strategy = Chaotic | Scheduled | Worklist
+type strategy = Chaotic | Scheduled | Worklist | Fused
 
 exception Nonmonotonic of string
 
@@ -12,6 +12,34 @@ let strategy_name = function
   | Chaotic -> "chaotic"
   | Scheduled -> "scheduled"
   | Worklist -> "worklist"
+  | Fused -> "fused"
+
+let strategy_of_string = function
+  | "chaotic" -> Some Chaotic
+  | "scheduled" -> Some Scheduled
+  | "worklist" -> Some Worklist
+  | "fused" -> Some Fused
+  | _ -> None
+
+(* Preallocated per-block scratch: input vectors filled in place before
+   each application and (worklist only) previous-output snapshots. One
+   allocation per graph instead of one per application — the PR-1-era
+   hot-path cost. Block functions must not retain their input array;
+   every cell and wrapper in this codebase copies what it keeps. *)
+type buffers = {
+  b_in : Domain.t array array;
+  b_out : Domain.t array array;
+}
+
+let make_buffers (c : Graph.compiled) =
+  { b_in =
+      Array.map
+        (fun (_, ins, _) -> Array.make (Array.length ins) Domain.Bottom)
+        c.Graph.c_blocks;
+    b_out =
+      Array.map
+        (fun (_, _, outs) -> Array.make (Array.length outs) Domain.Bottom)
+        c.Graph.c_blocks }
 
 (* Apply block [bi] once, lub-merging its outputs into [nets]. Returns
    true when some output net changed. A lub conflict means the block
@@ -19,11 +47,14 @@ let strategy_name = function
    supervisor the application is guarded (trap containment, budgets,
    quarantine) and a retraction is contained by freezing the block at
    the nets' current values instead of raising. *)
-let apply_block ?supervisor (c : Graph.compiled) nets bi =
+let apply_block ?supervisor (c : Graph.compiled) ~bufs nets bi =
   let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
+  let buf = bufs.b_in.(bi) in
   let run () =
-    let inputs = Array.map (fun net -> nets.(net)) in_nets in
-    Block.apply block inputs
+    for p = 0 to Array.length in_nets - 1 do
+      buf.(p) <- nets.(in_nets.(p))
+    done;
+    Block.apply block buf
   in
   let outputs =
     match supervisor with
@@ -71,7 +102,7 @@ let apply_block ?supervisor (c : Graph.compiled) nets bi =
 let bump counts bi =
   if Array.length counts > 0 then counts.(bi) <- counts.(bi) + 1
 
-let eval_chaotic ?supervisor c nets ~order ~counts =
+let eval_chaotic ?supervisor c nets ~bufs ~order ~counts =
   let order =
     match order with
     | Some order -> order
@@ -92,7 +123,7 @@ let eval_chaotic ?supervisor c nets ~order ~counts =
       (fun bi ->
         incr evaluations;
         bump counts bi;
-        if apply_block ?supervisor c nets bi then changed := true)
+        if apply_block ?supervisor c ~bufs nets bi then changed := true)
       order
   done;
   (!sweeps, !evaluations)
@@ -102,7 +133,26 @@ let eval_chaotic ?supervisor c nets ~order ~counts =
    SCCs iterate locally until stable (bounded by the SCC's net count).  *)
 (* ------------------------------------------------------------------ *)
 
-let eval_scheduled ?supervisor c nets ~schedule ~counts =
+(* Shared by Scheduled and the fused plan's SCC fallback. *)
+let iterate_scc ?supervisor c nets ~bufs ~members ~bound ~counts ~evaluations =
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    if !rounds > bound then
+      raise
+        (Nonmonotonic "cyclic component exceeded the monotone iteration bound");
+    changed := false;
+    incr rounds;
+    Array.iter
+      (fun bi ->
+        incr evaluations;
+        bump counts bi;
+        if apply_block ?supervisor c ~bufs nets bi then changed := true)
+      members
+  done;
+  !rounds
+
+let eval_scheduled ?supervisor c nets ~bufs ~schedule ~counts =
   let evaluations = ref 0 in
   let max_rounds = ref 1 in
   List.iter
@@ -111,7 +161,7 @@ let eval_scheduled ?supervisor c nets ~schedule ~counts =
       | Schedule.Acyclic bi ->
           incr evaluations;
           bump counts bi;
-          ignore (apply_block ?supervisor c nets bi)
+          ignore (apply_block ?supervisor c ~bufs nets bi)
       | Schedule.Cyclic members ->
           (* Local domain height = nets written inside the SCC; one
              extra round detects stability. *)
@@ -122,24 +172,11 @@ let eval_scheduled ?supervisor c nets ~schedule ~counts =
                 acc + Array.length outs)
               0 members
           in
-          let bound = scc_nets + 2 in
-          let rounds = ref 0 in
-          let changed = ref true in
-          while !changed do
-            if !rounds > bound then
-              raise
-                (Nonmonotonic
-                   "cyclic component exceeded the monotone iteration bound");
-            changed := false;
-            incr rounds;
-            Array.iter
-              (fun bi ->
-                incr evaluations;
-                bump counts bi;
-                if apply_block ?supervisor c nets bi then changed := true)
-              members
-          done;
-          if !rounds > !max_rounds then max_rounds := !rounds)
+          let rounds =
+            iterate_scc ?supervisor c nets ~bufs ~members ~bound:(scc_nets + 2)
+              ~counts ~evaluations
+          in
+          if rounds > !max_rounds then max_rounds := rounds)
     (Schedule.groups schedule);
   (!max_rounds, !evaluations)
 
@@ -148,7 +185,7 @@ let eval_scheduled ?supervisor c nets ~schedule ~counts =
    the queue only when one of its input nets actually changed.          *)
 (* ------------------------------------------------------------------ *)
 
-let eval_worklist ?supervisor c nets ~seed ~counts =
+let eval_worklist ?supervisor c nets ~bufs ~seed ~counts =
   let n_blocks = Array.length c.Graph.c_blocks in
   let queue = Queue.create () in
   let in_queue = Array.make n_blocks false in
@@ -171,8 +208,11 @@ let eval_worklist ?supervisor c nets ~seed ~counts =
     if !evaluations > max_evaluations then
       raise (Nonmonotonic "worklist exceeded the monotone evaluation bound");
     let _, _, out_nets = c.Graph.c_blocks.(bi) in
-    let before = Array.map (fun net -> nets.(net)) out_nets in
-    if apply_block ?supervisor c nets bi then
+    let before = bufs.b_out.(bi) in
+    for port = 0 to Array.length out_nets - 1 do
+      before.(port) <- nets.(out_nets.(port))
+    done;
+    if apply_block ?supervisor c ~bufs nets bi then
       Array.iteri
         (fun port net ->
           if not (Domain.equal before.(port) nets.(net)) then
@@ -189,26 +229,146 @@ let eval_worklist ?supervisor c nets ~seed ~counts =
   (deepest, !evaluations)
 
 (* ------------------------------------------------------------------ *)
+(* Fused: execute a precompiled Fuse plan. Acyclic blocks store their
+   outputs directly into net slots (single producer + topological order
+   make the direct store exact); cyclic SCCs fall back to the bounded
+   lub iteration above. With a supervisor, every remaining application
+   runs under Supervisor.guard — same containment, same substitution.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Direct-store application of an acyclic opaque block: inputs from a
+   reused buffer, outputs straight into the slots. *)
+let apply_direct ?supervisor (c : Graph.compiled) ~bufs nets bi =
+  let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
+  let buf = bufs.b_in.(bi) in
+  let run () =
+    for p = 0 to Array.length in_nets - 1 do
+      buf.(p) <- nets.(in_nets.(p))
+    done;
+    Block.apply block buf
+  in
+  let outputs =
+    match supervisor with
+    | None -> run ()
+    | Some sup -> Supervisor.guard sup ~bi ~run
+  in
+  for port = 0 to Array.length out_nets - 1 do
+    nets.(out_nets.(port)) <- outputs.(port)
+  done
+
+let eval_fused ?supervisor c nets ~bufs ~plan ~counts =
+  let evaluations = ref 0 in
+  let max_rounds = ref 1 in
+  let ops = plan.Fuse.f_ops in
+  let n = Array.length ops in
+  (match supervisor with
+  | None ->
+      if Array.length counts = 0 then begin
+        (* Hot path: the fast lane. Chains are already collapsed into
+           closures, so the pass is a bare sweep over them; the block
+           applications it stands for are accounted in one add. *)
+        evaluations := plan.Fuse.f_fast_evals;
+        let fast = plan.Fuse.f_fast in
+        for k = 0 to Array.length fast - 1 do
+          match fast.(k) with
+          | Fuse.Frun run -> run nets
+          | Fuse.Fiter (members, bound) ->
+              let rounds =
+                iterate_scc c nets ~bufs ~members ~bound ~counts ~evaluations
+              in
+              if rounds > !max_rounds then max_rounds := rounds
+        done;
+        (* serve environment-read fork/identity ports from their alias *)
+        let dst = plan.Fuse.f_copy_dst and src = plan.Fuse.f_copy_src in
+        for k = 0 to Array.length dst - 1 do
+          nets.(dst.(k)) <- nets.(src.(k))
+        done
+      end
+      else
+        for k = 0 to n - 1 do
+          match ops.(k) with
+          | Fuse.Step (bi, step) ->
+              incr evaluations;
+              bump counts bi;
+              step nets
+          | Fuse.Generic bi ->
+              incr evaluations;
+              bump counts bi;
+              apply_direct c ~bufs nets bi
+          | Fuse.Iterate (members, bound) ->
+              let rounds =
+                iterate_scc c nets ~bufs ~members ~bound ~counts ~evaluations
+              in
+              if rounds > !max_rounds then max_rounds := rounds
+        done
+  | Some sup ->
+      (* Supervised: kernel specialization would bypass guard, so every
+         acyclic block takes the guarded direct-store path. Folded
+         blocks stay folded — they are constant and cannot fault. *)
+      for k = 0 to n - 1 do
+        match ops.(k) with
+        | Fuse.Step (bi, _) | Fuse.Generic bi ->
+            incr evaluations;
+            bump counts bi;
+            apply_direct ~supervisor:sup c ~bufs nets bi
+        | Fuse.Iterate (members, bound) ->
+            let rounds =
+              iterate_scc ~supervisor:sup c nets ~bufs ~members ~bound ~counts
+                ~evaluations
+            in
+            if rounds > !max_rounds then max_rounds := rounds
+      done);
+  (!max_rounds, !evaluations)
+
+(* ------------------------------------------------------------------ *)
 
 let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
-    ?schedule ?nets ?(eval_counts = [||]) ?supervisor () =
+    ?schedule ?fuse ?buffers ?nets ?(eval_counts = [||]) ?supervisor () =
   (match (order, strategy) with
-  | Some _, (Scheduled | Worklist) ->
+  | Some _, (Scheduled | Worklist | Fused) ->
       invalid_arg
         (Printf.sprintf
            "fixpoint: explicit evaluation order requires the chaotic \
             strategy, not %s"
            (strategy_name strategy))
   | _ -> ());
+  let plan =
+    match strategy with
+    | Fused -> (
+        match fuse with
+        | Some p ->
+            if
+              p.Fuse.f_n_nets <> c.Graph.n_nets
+              || p.Fuse.f_n_blocks <> Array.length c.Graph.c_blocks
+            then invalid_arg "fixpoint: fused plan does not match the graph";
+            Some p
+        | None -> Some (Fuse.compile ?schedule c))
+    | Chaotic | Scheduled | Worklist -> None
+  in
   let nets =
     match nets with
     | None -> Array.make c.Graph.n_nets Domain.Bottom
     | Some buf ->
         if Array.length buf <> c.Graph.n_nets then
           invalid_arg "fixpoint: net buffer length mismatch";
-        Array.fill buf 0 (Array.length buf) Domain.Bottom;
         buf
   in
+  (* The fused template preloads folded constant nets; other strategies
+     start from all-⊥. The fast lane (no supervisor, no counting)
+     restores only the slots a pass can leave stale — everything else
+     is rewritten unconditionally or aliased away. The counting and
+     supervised paths run conditional per-block steps over every net,
+     so they need the full blit. *)
+  (match plan with
+  | Some p
+    when Option.is_none supervisor && Array.length eval_counts = 0 ->
+      let template = p.Fuse.f_template and rlist = p.Fuse.f_reset in
+      for k = 0 to Array.length rlist - 1 do
+        let s = rlist.(k) in
+        nets.(s) <- template.(s)
+      done
+  | Some p -> Array.blit p.Fuse.f_template 0 nets 0 (Array.length nets)
+  | None -> Array.fill nets 0 (Array.length nets) Domain.Bottom);
   List.iter
     (fun (label, v) ->
       match Graph.input_net c label with
@@ -221,6 +381,7 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
     (fun i (_, out_net, _) -> nets.(out_net) <- delay_values.(i))
     c.Graph.c_delays;
   let counts = eval_counts in
+  let bufs = match buffers with Some b -> b | None -> make_buffers c in
   (* Standalone use (no Simulate driving the lifecycle): bracket this
      evaluation as one supervised instant. *)
   let auto_instant =
@@ -238,21 +399,23 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
   then invalid_arg "fixpoint: eval_counts length mismatch";
   let iterations, block_evaluations =
     match strategy with
-    | Chaotic -> eval_chaotic ?supervisor c nets ~order ~counts
+    | Chaotic -> eval_chaotic ?supervisor c nets ~bufs ~order ~counts
     | Scheduled ->
         let schedule =
           match schedule with
           | Some s -> s
           | None -> Schedule.of_compiled c
         in
-        eval_scheduled ?supervisor c nets ~schedule ~counts
+        eval_scheduled ?supervisor c nets ~bufs ~schedule ~counts
     | Worklist ->
         let seed =
           match schedule with
           | Some s -> Schedule.linear_order s
           | None -> Array.init (Array.length c.Graph.c_blocks) (fun i -> i)
         in
-        eval_worklist ?supervisor c nets ~seed ~counts
+        eval_worklist ?supervisor c nets ~bufs ~seed ~counts
+    | Fused ->
+        eval_fused ?supervisor c nets ~bufs ~plan:(Option.get plan) ~counts
   in
   (match supervisor with
   | Some sup when auto_instant -> Supervisor.end_instant sup
@@ -265,3 +428,12 @@ let outputs (c : Graph.compiled) result =
 
 let delay_next (c : Graph.compiled) result =
   Array.map (fun (in_net, _, _) -> result.nets.(in_net)) c.Graph.c_delays
+
+let delay_next_into (c : Graph.compiled) result dst =
+  let delays = c.Graph.c_delays in
+  if Array.length dst <> Array.length delays then
+    invalid_arg "fixpoint: delay vector length mismatch";
+  for i = 0 to Array.length delays - 1 do
+    let in_net, _, _ = delays.(i) in
+    dst.(i) <- result.nets.(in_net)
+  done

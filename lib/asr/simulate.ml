@@ -9,6 +9,8 @@ type t = {
   compiled : Graph.compiled;
   schedule : Schedule.t;
   strategy : Fixpoint.strategy;
+  fuse : Fuse.t option;  (* precompiled plan, Some iff strategy = Fused *)
+  buffers : Fixpoint.buffers;
   order : int array option;
   nets_buffer : Domain.t array;
   mutable delays : Domain.t array;
@@ -37,7 +39,7 @@ let create ?order ?strategy ?telemetry ?supervisor graph =
     | None, None -> Fixpoint.Worklist
   in
   (match (order, strategy) with
-  | Some _, (Fixpoint.Scheduled | Fixpoint.Worklist) ->
+  | Some _, (Fixpoint.Scheduled | Fixpoint.Worklist | Fixpoint.Fused) ->
       invalid_arg
         "Simulate.create: explicit evaluation order requires the chaotic \
          strategy"
@@ -46,6 +48,11 @@ let create ?order ?strategy ?telemetry ?supervisor graph =
   { compiled;
     schedule;
     strategy;
+    fuse =
+      (match strategy with
+      | Fixpoint.Fused -> Some (Fuse.compile ~schedule compiled)
+      | _ -> None);
+    buffers = Fixpoint.make_buffers compiled;
     order;
     nets_buffer = Array.make compiled.Graph.n_nets Domain.Bottom;
     delays = initial_delays compiled;
@@ -89,14 +96,17 @@ let react t inputs =
   | None -> ());
   let result =
     Fixpoint.eval t.compiled ~inputs ~delay_values:t.delays ?order:t.order
-      ~strategy:t.strategy ~schedule:t.schedule ~nets:t.nets_buffer
+      ~strategy:t.strategy ~schedule:t.schedule ?fuse:t.fuse
+      ~buffers:t.buffers ~nets:t.nets_buffer
       ~eval_counts:(match tele with Some _ -> t.eval_counts | None -> [||])
       ?supervisor:t.supervisor ()
   in
   (match t.supervisor with
   | Some sup -> Supervisor.end_instant sup
   | None -> ());
-  t.delays <- Fixpoint.delay_next t.compiled result;
+  (* in place: the bound values were copied into the net slots already,
+     and [delay_state] hands out copies *)
+  Fixpoint.delay_next_into t.compiled result t.delays;
   t.instant <- t.instant + 1;
   t.evaluations <- t.evaluations + result.Fixpoint.block_evaluations;
   (match tele with
@@ -147,6 +157,8 @@ let run t stream =
     stream
 
 let strategy t = t.strategy
+
+let fuse_plan t = t.fuse
 
 let supervisor t = t.supervisor
 

@@ -22,12 +22,13 @@ val create :
   ?supervisor:Supervisor.t ->
   Graph.t ->
   t
-(** Compiles the graph and its schedule. [strategy] defaults to
-    {!Fixpoint.Worklist} — near-linear per instant on feed-forward
-    systems — unless [order] is given, which selects chaotic iteration
-    under that fixed block order (determinism tests shuffle it).
-    Passing [order] together with a non-chaotic [strategy] raises
-    [Invalid_argument].
+(** Compiles the graph and its schedule — and, under
+    {!Fixpoint.Fused}, the {!Fuse} plan — once at creation. [strategy]
+    defaults to {!Fixpoint.Worklist} — near-linear per instant on
+    feed-forward systems — unless [order] is given, which selects
+    chaotic iteration under that fixed block order (determinism tests
+    shuffle it). Passing [order] together with a non-chaotic [strategy]
+    raises [Invalid_argument].
 
     [telemetry]: each reaction emits one ["instant"] span (args:
     instant index, fixpoint iterations, block evaluations, net churn —
@@ -52,6 +53,10 @@ val run : t -> (string * Domain.t) list list -> trace_entry list
 (** Feed a stream of instants. *)
 
 val strategy : t -> Fixpoint.strategy
+
+val fuse_plan : t -> Fuse.t option
+(** The {!Fuse} plan precompiled at creation — [Some] exactly when the
+    strategy is {!Fixpoint.Fused}. *)
 
 val schedule : t -> Schedule.t
 (** The schedule precompiled at creation. *)

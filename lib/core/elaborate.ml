@@ -22,11 +22,25 @@ type t = {
   stateless : bool;
 }
 
-let ops_of_engine ~elide ?sink ?lines engine checked =
+let ops_of_engine ~elide ?port_ranges ?sink ?lines engine checked =
   (* The elision plan only affects the bytecode engines; the interpreter
      walks the AST and always performs the modelled bounds check. *)
+  let hints =
+    (* Environment knowledge crossing the block boundary: when the
+       harness bounds the stimulus (or fusion folded the feeding net to
+       a constant), readPort's result range is known and sites indexed
+       by port data become elidable. *)
+    match port_ranges with
+    | None -> None
+    | Some (lo, hi) ->
+        Some
+          (fun mname _args ->
+            if String.equal mname "readPort" then
+              Some { Analysis.Interval.lo; hi }
+            else None)
+  in
   let plan () =
-    if elide then Some (Analysis.Elide.plan checked) else None
+    if elide then Some (Analysis.Elide.plan ?hints checked) else None
   in
   match engine with
   | Engine_interp ->
@@ -90,7 +104,8 @@ let value_to_data m = function
 
 let elaborate ?(engine = Engine_vm) ?(enforce_policy = true)
     ?(bounded_memory = true) ?gc_threshold ?heap_limit_words ?(ctor_args = [])
-    ?(elide_bounds_checks = false) ?cost_sink ?cost_lines checked ~cls =
+    ?(elide_bounds_checks = false) ?port_ranges ?cost_sink ?cost_lines checked
+    ~cls =
   if enforce_policy && not (Policy.Asr_policy.compliant checked) then
     invalid_arg
       (Printf.sprintf
@@ -100,7 +115,7 @@ let elaborate ?(engine = Engine_vm) ?(enforce_policy = true)
   if not (List.mem cls (Policy.Phases.asr_classes checked)) then
     invalid_arg (Printf.sprintf "elaborate: class %s does not extend ASR" cls);
   let ops =
-    ops_of_engine ~elide:elide_bounds_checks ?sink:cost_sink
+    ops_of_engine ~elide:elide_bounds_checks ?port_ranges ?sink:cost_sink
       ?lines:cost_lines engine checked
   in
   let m = ops.o_machine in

@@ -20,6 +20,7 @@ val elaborate :
   ?heap_limit_words:int ->
   ?ctor_args:Mj_runtime.Value.t list ->
   ?elide_bounds_checks:bool ->
+  ?port_ranges:int * int ->
   ?cost_sink:Mj_runtime.Cost.sink ->
   ?cost_lines:Telemetry.Lines.t ->
   Mj.Typecheck.checked ->
@@ -36,7 +37,13 @@ val elaborate :
     [Runtime_error "heap exhausted: ..."], which {!fault_classifier}
     maps to {!Asr.Supervisor.Heap_exhausted}. [elide_bounds_checks] runs the interval analysis and compiles
     statically safe array accesses to unchecked instructions (bytecode
-    engines only; the interpreter ignores it). [cost_sink] is installed
+    engines only; the interpreter ignores it). [port_ranges] feeds the
+    analysis an inter-block fact: every [readPort] result lies in the
+    given inclusive range (a stimulus bound, or a constant net folded by
+    {!Asr.Fuse}), which unlocks elision at sites indexed by port data.
+    The claim is the caller's to keep — a value outside the range can
+    turn an elided site into an unchecked out-of-bounds access.
+    [cost_sink] is installed
     on the engine's cost meter at creation, so a profile fed by it
     reconciles exactly with {!total_cycles} — initialization included.
     [cost_lines] is a per-source-line attribution table with the same

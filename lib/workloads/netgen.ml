@@ -1,0 +1,147 @@
+open Asr
+
+(* Deterministic layered net generator. Block slots are laid out layer by
+   layer; every block input is drawn from a pool of previously produced
+   int-typed endpoints, so the graph is well-connected by construction
+   and the pool lookup is O(1) — generation of a 100k-block net is
+   linear in blocks + channels. *)
+
+type pool = {
+  mutable eps : Graph.endpoint array;
+  mutable n : int;
+}
+
+let pool_create () = { eps = [||]; n = 0 }
+
+let pool_push p ep =
+  if p.n = Array.length p.eps then begin
+    let grown = Array.make (max 64 (2 * p.n)) ep in
+    Array.blit p.eps 0 grown 0 p.n;
+    p.eps <- grown
+  end;
+  p.eps.(p.n) <- ep;
+  p.n <- p.n + 1
+
+let pool_pick rng p = p.eps.(Random.State.int rng p.n)
+
+let wrap_block =
+  Block.imap1 ~name:"wrap"
+    (fun v -> ((v mod 9973) + 9973) mod 9973)
+    (function
+      | Data.Int v -> Data.Int (((v mod 9973) + 9973) mod 9973)
+      | v -> v)
+
+let parity_block =
+  Block.map1 ~name:"parity" (function
+    | Data.Int v -> Data.Bool (v mod 2 = 0)
+    | _ -> Data.Bool false)
+
+let generate ?(inputs = 3) ?(delays = 0) ?(cyclic_ratio = 0.0) ?(const_ratio = 0.1)
+    ~seed ~depth ~width () =
+  if inputs < 1 then invalid_arg "Netgen.generate: inputs must be >= 1";
+  if depth < 1 || width < 1 then
+    invalid_arg "Netgen.generate: depth and width must be >= 1";
+  if cyclic_ratio < 0.0 || cyclic_ratio > 1.0 then
+    invalid_arg "Netgen.generate: cyclic_ratio must be in [0, 1]";
+  if const_ratio < 0.0 || const_ratio > 1.0 then
+    invalid_arg "Netgen.generate: const_ratio must be in [0, 1]";
+  if delays < 0 then invalid_arg "Netgen.generate: delays must be >= 0";
+  let rng = Random.State.make [| 0x6e65747n |> Nativeint.to_int; seed; depth; width |] in
+  let g = Graph.create (Printf.sprintf "netgen-s%d-d%d-w%d" seed depth width) in
+  let ints = pool_create () in
+  for i = 0 to inputs - 1 do
+    let id = Graph.add_input g (Printf.sprintf "in%d" i) in
+    pool_push ints (Graph.out_port id 0)
+  done;
+  let delay_ids = Array.init delays (fun _ -> Graph.add_delay g ~init:(Domain.def (Data.Int 0))) in
+  Array.iter (fun id -> pool_push ints (Graph.out_port id 0)) delay_ids;
+  let last_layer = ref [] in
+  for _layer = 0 to depth - 1 do
+    let produced = ref [] in
+    for _slot = 0 to width - 1 do
+      let roll = Random.State.float rng 1.0 in
+      let out =
+        if roll < cyclic_ratio then begin
+          (* Delay-free cycle resolved through a mux: when the parity
+             select is true the mux short-circuits to an acyclic source
+             and the loop settles on a defined value; when false the
+             component's least fixed point is ⊥. Either way the SCC
+             {mux, add} exercises the iterative fallback. *)
+          let sel_src = pool_pick rng ints in
+          let then_src = pool_pick rng ints in
+          let add_src = pool_pick rng ints in
+          let parity = Graph.add_block g parity_block in
+          let m = Graph.add_block g Block.mux in
+          let a = Graph.add_block g Block.add in
+          Graph.connect g ~src:sel_src ~dst:(Graph.in_port parity 0);
+          Graph.connect g ~src:(Graph.out_port parity 0) ~dst:(Graph.in_port m 0);
+          Graph.connect g ~src:then_src ~dst:(Graph.in_port m 1);
+          Graph.connect g ~src:(Graph.out_port a 0) ~dst:(Graph.in_port m 2);
+          Graph.connect g ~src:add_src ~dst:(Graph.in_port a 0);
+          Graph.connect g ~src:(Graph.out_port m 0) ~dst:(Graph.in_port a 1);
+          Graph.out_port m 0
+        end
+        else if roll < cyclic_ratio +. const_ratio then begin
+          let k = Random.State.int rng 256 in
+          let c = Graph.add_block g (Block.const ~name:(Printf.sprintf "k%d" k) (Data.Int k)) in
+          Graph.out_port c 0
+        end
+        else begin
+          match Random.State.int rng 5 with
+          | 0 ->
+              let b = Graph.add_block g Block.neg in
+              Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port b 0);
+              Graph.out_port b 0
+          | 1 ->
+              let b = Graph.add_block g (Block.gain (1 + Random.State.int rng 7)) in
+              Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port b 0);
+              Graph.out_port b 0
+          | 2 ->
+              let b = Graph.add_block g wrap_block in
+              Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port b 0);
+              Graph.out_port b 0
+          | 3 ->
+              let b = Graph.add_block g Block.add in
+              Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port b 0);
+              Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port b 1);
+              Graph.out_port b 0
+          | _ ->
+              let b = Graph.add_block g Block.sub in
+              Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port b 0);
+              Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port b 1);
+              Graph.out_port b 0
+        end
+      in
+      pool_push ints out;
+      produced := out :: !produced
+    done;
+    last_layer := !produced
+  done;
+  (* Close the inter-instant feedback: each delay samples a random
+     endpoint (within-instant causality is unaffected — delays cut the
+     cycle check). *)
+  Array.iter
+    (fun id -> Graph.connect g ~src:(pool_pick rng ints) ~dst:(Graph.in_port id 0))
+    delay_ids;
+  (* Observe (up to) eight endpoints of the final layer. *)
+  List.iteri
+    (fun j src ->
+      if j < 8 then begin
+        let o = Graph.add_output g (Printf.sprintf "out%d" j) in
+        Graph.connect g ~src ~dst:(Graph.in_port o 0)
+      end)
+    !last_layer;
+  g
+
+let input_labels g =
+  List.filter_map
+    (fun (_, kind) ->
+      match kind with Graph.Kinput label -> Some label | _ -> None)
+    (Graph.nodes g)
+
+let stimulus g ~instants =
+  let labels = input_labels g in
+  List.init instants (fun t ->
+      List.mapi
+        (fun i label -> (label, Domain.def (Data.Int ((7 * t + (13 * i)) mod 97))))
+        labels)

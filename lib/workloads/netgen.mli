@@ -1,0 +1,38 @@
+(** Parameterized random ASR net generator for scaling and differential
+    testing (promoted from the schedule bench's ad-hoc generator).
+
+    Nets are layered DAGs of standard cells — add/sub/gain/neg, a
+    modular wrap keeping values bounded, constants — whose inputs are
+    drawn from earlier layers, plus optional delay feedback between
+    instants and optional delay-free cycles resolved through a mux
+    (exercising the cyclic-SCC fallback of every scheduled strategy).
+    Generation is deterministic per [seed] and linear in the block
+    count, so 10²–10⁵-block nets are all practical. *)
+
+val generate :
+  ?inputs:int ->
+  ?delays:int ->
+  ?cyclic_ratio:float ->
+  ?const_ratio:float ->
+  seed:int ->
+  depth:int ->
+  width:int ->
+  unit ->
+  Asr.Graph.t
+(** [generate ~seed ~depth ~width ()] builds a net with [depth] layers
+    of [width] block slots. [inputs] (default 3) environment inputs
+    feed layer 0 onward; [delays] (default 0) delay elements feed
+    values back across instants. Each slot becomes, with probability
+    [cyclic_ratio] (default 0), a three-block delay-free cycle gadget
+    (parity select, mux, adder); with probability [const_ratio]
+    (default 0.1) a constant cell (fodder for fusion-time constant
+    folding); otherwise a unary or binary arithmetic cell over random
+    earlier endpoints. Up to eight final-layer endpoints are exposed as
+    outputs [out0..]. *)
+
+val input_labels : Asr.Graph.t -> string list
+(** The environment input labels of a graph, in declaration order. *)
+
+val stimulus : Asr.Graph.t -> instants:int -> (string * Asr.Domain.t) list list
+(** Deterministic input stream: instant [t] drives input [i] with
+    [(7 t + 13 i) mod 97]. *)

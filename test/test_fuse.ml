@@ -1,0 +1,371 @@
+open Util
+module D = Asr.Domain
+module Dt = Asr.Data
+module G = Asr.Graph
+module B = Asr.Block
+module S = Asr.Supervisor
+module I = Asr.Inject
+module F = Asr.Fuse
+module Fx = Asr.Fixpoint
+module R = Test_random_graphs
+
+(* ---- reference graphs -------------------------------------------- *)
+
+(* Small FIR: a fork/delay tap line with gain weights and an adder
+   chain. Exercises the fused fast lane end to end: fork ports alias
+   their source (the delay feed is served by a post-pass copyback),
+   gains and adds collapse into chains. *)
+let fir_graph taps =
+  let g = G.create "fir-test" in
+  let x = G.add_input g "x" in
+  let src = ref (G.out_port x 0) in
+  let taps_out = ref [] in
+  for k = 0 to taps - 1 do
+    let f = G.add_block g (B.fork 2) in
+    G.connect g ~src:!src ~dst:(G.in_port f 0);
+    let gn = G.add_block g (B.gain (k + 1)) in
+    G.connect g ~src:(G.out_port f 0) ~dst:(G.in_port gn 0);
+    taps_out := G.out_port gn 0 :: !taps_out;
+    let d = G.add_delay g ~init:(D.int 0) in
+    G.connect g ~src:(G.out_port f 1) ~dst:(G.in_port d 0);
+    src := G.out_port d 0
+  done;
+  let gn = G.add_block g (B.gain 7) in
+  G.connect g ~src:!src ~dst:(G.in_port gn 0);
+  taps_out := G.out_port gn 0 :: !taps_out;
+  let acc =
+    List.fold_left
+      (fun acc src ->
+        match acc with
+        | None -> Some src
+        | Some a ->
+            let add = G.add_block g B.add in
+            G.connect g ~src:a ~dst:(G.in_port add 0);
+            G.connect g ~src ~dst:(G.in_port add 1);
+            Some (G.out_port add 0))
+      None !taps_out
+  in
+  let y = G.add_output g "y" in
+  G.connect g ~src:(Option.get acc) ~dst:(G.in_port y 0);
+  g
+
+(* A fork whose ports feed a mux: the mux reads slots directly, so
+   those ports need residual stores at the fork's schedule position
+   while the parity port resolves through the alias. *)
+let mux_fork_graph () =
+  let g = G.create "mux-fork" in
+  let x = G.add_input g "x" in
+  let f = G.add_block g (B.fork 3) in
+  G.connect g ~src:(G.out_port x 0) ~dst:(G.in_port f 0);
+  let parity =
+    G.add_block g
+      (B.map1 ~name:"parity" (function
+        | Dt.Int v -> Dt.Bool (v mod 2 = 0)
+        | _ -> Dt.Bool false))
+  in
+  G.connect g ~src:(G.out_port f 0) ~dst:(G.in_port parity 0);
+  let neg = G.add_block g B.neg in
+  G.connect g ~src:(G.out_port f 1) ~dst:(G.in_port neg 0);
+  let m = G.add_block g B.mux in
+  G.connect g ~src:(G.out_port parity 0) ~dst:(G.in_port m 0);
+  G.connect g ~src:(G.out_port neg 0) ~dst:(G.in_port m 1);
+  G.connect g ~src:(G.out_port f 2) ~dst:(G.in_port m 2);
+  let y = G.add_output g "y" in
+  G.connect g ~src:(G.out_port m 0) ~dst:(G.in_port y 0);
+  g
+
+(* Delay-free feedback resolved through a mux (Netgen's pattern): the
+   SCC {mux, add} takes the bounded-iteration fallback inside the
+   fused reaction. *)
+let cyclic_graph () =
+  let g = G.create "cyc-test" in
+  let x = G.add_input g "x" in
+  let parity =
+    G.add_block g
+      (B.map1 ~name:"parity" (function
+        | Dt.Int v -> Dt.Bool (v mod 2 = 0)
+        | _ -> Dt.Bool false))
+  in
+  G.connect g ~src:(G.out_port x 0) ~dst:(G.in_port parity 0);
+  let m = G.add_block g B.mux in
+  let a = G.add_block g B.add in
+  G.connect g ~src:(G.out_port parity 0) ~dst:(G.in_port m 0);
+  G.connect g ~src:(G.out_port x 0) ~dst:(G.in_port m 1);
+  G.connect g ~src:(G.out_port a 0) ~dst:(G.in_port m 2);
+  G.connect g ~src:(G.out_port x 0) ~dst:(G.in_port a 0);
+  G.connect g ~src:(G.out_port m 0) ~dst:(G.in_port a 1);
+  let y = G.add_output g "y" in
+  G.connect g ~src:(G.out_port m 0) ~dst:(G.in_port y 0);
+  g
+
+let int_stream n = List.init n (fun t -> [ ("x", D.int (3 * t - 7)) ])
+
+let run_strategy ?strategy g stream =
+  let sim = Asr.Simulate.create ?strategy g in
+  List.map (Asr.Simulate.step sim) stream
+
+let check_differential name g stream =
+  let chaotic = run_strategy ~strategy:Fx.Chaotic g stream in
+  let fused = run_strategy ~strategy:Fx.Fused g stream in
+  Alcotest.(check bool) name true (chaotic = fused)
+
+(* ---- supervised runners ------------------------------------------ *)
+
+type 'a outcome = Finished of 'a * int | Fatal_at of int * int
+
+let run_injected ~strategy ~policy specs g stream =
+  let inj = I.make specs in
+  let gi = I.instrument inj g in
+  let sup = S.create ~policy () in
+  let sim = Asr.Simulate.create ~strategy ~supervisor:sup gi in
+  match
+    List.map
+      (fun inputs ->
+        let out = Asr.Simulate.step sim inputs in
+        I.tick inj;
+        out)
+      stream
+  with
+  | trace -> Finished (trace, List.length (S.faults sup))
+  | exception S.Fatal f -> Fatal_at (f.S.f_instant, f.S.f_block)
+
+(* ---- suite ------------------------------------------------------- *)
+
+let suite =
+  [ case "fused = chaotic on the FIR tap line (alias + copyback)" (fun () ->
+        check_differential "fir" (fir_graph 6) (int_stream 12));
+    case "fused = chaotic when a mux reads fork ports (residual stores)"
+      (fun () -> check_differential "mux-fork" (mux_fork_graph ()) (int_stream 10));
+    case "fused = chaotic through the cyclic SCC fallback" (fun () ->
+        check_differential "cyclic" (cyclic_graph ()) (int_stream 10);
+        let plan = F.compile (G.compile (cyclic_graph ())) in
+        Alcotest.(check int) "SCC blocks" 2 plan.F.f_n_cyclic);
+    case "fused = chaotic on non-int data (int-lane fallback)" (fun () ->
+        let g = G.create "real-chain" in
+        let x = G.add_input g "x" in
+        let gn = G.add_block g (B.gain 2) in
+        let ng = G.add_block g B.neg in
+        let a = G.add_block g B.add in
+        G.connect g ~src:(G.out_port x 0) ~dst:(G.in_port gn 0);
+        G.connect g ~src:(G.out_port gn 0) ~dst:(G.in_port ng 0);
+        G.connect g ~src:(G.out_port ng 0) ~dst:(G.in_port a 0);
+        G.connect g ~src:(G.out_port x 0) ~dst:(G.in_port a 1);
+        let y = G.add_output g "y" in
+        G.connect g ~src:(G.out_port a 0) ~dst:(G.in_port y 0);
+        let stream =
+          List.init 8 (fun t ->
+              [ ( "x",
+                  if t mod 2 = 0 then D.int t
+                  else D.def (Dt.Real (0.5 +. float_of_int t)) ) ])
+        in
+        check_differential "real" g stream);
+    case "constant folding: template, stats and constant_nets" (fun () ->
+        let g = G.create "fold" in
+        let c = G.add_block g (B.const ~name:"k5" (Dt.Int 5)) in
+        let gn = G.add_block g (B.gain 3) in
+        G.connect g ~src:(G.out_port c 0) ~dst:(G.in_port gn 0);
+        let x = G.add_input g "x" in
+        let a = G.add_block g B.add in
+        G.connect g ~src:(G.out_port x 0) ~dst:(G.in_port a 0);
+        G.connect g ~src:(G.out_port gn 0) ~dst:(G.in_port a 1);
+        let y = G.add_output g "y" in
+        G.connect g ~src:(G.out_port a 0) ~dst:(G.in_port y 0);
+        let plan = F.compile (G.compile g) in
+        Alcotest.(check int) "folded" 2 plan.F.f_n_folded;
+        Alcotest.(check bool) "constant 15 visible" true
+          (List.exists (fun (_, v) -> v = D.int 15) (F.constant_nets plan));
+        Alcotest.(check bool) "describe mentions folding" true
+          (contains ~substring:"2 folded" (F.describe plan));
+        let outs = run_strategy ~strategy:Fx.Fused g (int_stream 5) in
+        Alcotest.(check bool) "y = x + 15" true
+          (List.for_all2
+             (fun t out -> out = [ ("y", D.int ((3 * t - 7) + 15)) ])
+             (List.init 5 Fun.id) outs));
+    case "a fold that would trap is declined, then contained at run time"
+      (fun () ->
+        let g = G.create "declined" in
+        let c = G.add_block g (B.const ~name:"kt" (Dt.Bool true)) in
+        let gn = G.add_block g (B.gain 2) in
+        G.connect g ~src:(G.out_port c 0) ~dst:(G.in_port gn 0);
+        let y = G.add_output g "y" in
+        G.connect g ~src:(G.out_port gn 0) ~dst:(G.in_port y 0);
+        let plan = F.compile (G.compile g) in
+        Alcotest.(check int) "only the const folds" 1 plan.F.f_n_folded;
+        let sup = S.create ~policy:S.Absent () in
+        let sim = Asr.Simulate.create ~strategy:Fx.Fused ~supervisor:sup g in
+        let out = Asr.Simulate.step sim [] in
+        Alcotest.(check bool) "absent output" true (out = [ ("y", D.Bottom) ]);
+        Alcotest.(check bool) "fault contained" true (S.faults sup <> []));
+    case "eval counters agree between fused and scheduled" (fun () ->
+        let c = G.compile (fir_graph 5) in
+        let delays = Array.map (fun (_, _, init) -> init) c.G.c_delays in
+        let inputs = [ ("x", D.int 9) ] in
+        let count strategy =
+          let counts = Array.make (Array.length c.G.c_blocks) 0 in
+          let r =
+            Fx.eval c ~inputs ~delay_values:delays ~strategy
+              ~eval_counts:counts ()
+          in
+          (counts, r.Fx.block_evaluations)
+        in
+        let fused, fused_total = count Fx.Fused in
+        let sched, _ = count Fx.Scheduled in
+        Alcotest.(check bool) "per-block counts equal" true (fused = sched);
+        let fast = Fx.eval c ~inputs ~delay_values:delays ~strategy:Fx.Fused () in
+        Alcotest.(check int) "fast lane accounts the same evaluations"
+          fused_total fast.Fx.block_evaluations);
+    case "plan/graph mismatch is rejected" (fun () ->
+        let plan = F.compile (G.compile (mux_fork_graph ())) in
+        let c = G.compile (fir_graph 3) in
+        let delays = Array.map (fun (_, _, init) -> init) c.G.c_delays in
+        match
+          Fx.eval c ~inputs:[ ("x", D.int 1) ] ~delay_values:delays
+            ~strategy:Fx.Fused ~fuse:plan ()
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    case "Simulate exposes the plan only under the fused strategy" (fun () ->
+        let fused = Asr.Simulate.create ~strategy:Fx.Fused (fir_graph 3) in
+        let sched = Asr.Simulate.create ~strategy:Fx.Scheduled (fir_graph 3) in
+        Alcotest.(check bool) "some plan" true
+          (Asr.Simulate.fuse_plan fused <> None);
+        Alcotest.(check bool) "no plan" true
+          (Asr.Simulate.fuse_plan sched = None));
+    case "strategy name round-trips through of_string" (fun () ->
+        Alcotest.(check bool) "fused" true
+          (Fx.strategy_of_string (Fx.strategy_name Fx.Fused) = Some Fx.Fused));
+    case "netgen workloads: fused = chaotic, evals no worse than scheduled"
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let g =
+              Workloads.Netgen.generate ~inputs:2 ~delays:3 ~cyclic_ratio:0.1
+                ~seed ~depth:6 ~width:8 ()
+            in
+            let stream = Workloads.Netgen.stimulus g ~instants:10 in
+            let run strategy =
+              let sim = Asr.Simulate.create ~strategy g in
+              let trace = List.map (Asr.Simulate.step sim) stream in
+              (trace, Asr.Simulate.block_evaluations sim)
+            in
+            let chaotic, _ = run Fx.Chaotic in
+            let fused, fused_evals = run Fx.Fused in
+            let _, sched_evals = run Fx.Scheduled in
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d equal" seed)
+              true (chaotic = fused);
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d evals" seed)
+              true
+              (fused_evals <= sched_evals))
+          [ 1; 7; 42 ]);
+    case "interval hints unlock elision at call-indexed sites" (fun () ->
+        let checked =
+          check_src
+            {|class P {
+  int src(int t) { return t; }
+  void f(int p) {
+    int[] a = new int[8];
+    a[src(p)] = 1;
+  }
+}|}
+        in
+        let bare = Analysis.Elide.plan checked in
+        let hinted =
+          Analysis.Elide.plan
+            ~hints:(fun name _ ->
+              if name = "src" then
+                Some { Analysis.Interval.lo = 0; hi = 7 }
+              else None)
+            checked
+        in
+        Alcotest.(check int) "no elision without the hint" 0
+          (Hashtbl.length bare);
+        Alcotest.(check int) "hinted site elides" 1 (Hashtbl.length hinted));
+    case "imap kernels agree with their data functions on ints" (fun () ->
+        List.iter
+          (fun b ->
+            match b.B.kernel with
+            | B.IMap2 (fi, f) ->
+                List.iter
+                  (fun (x, y) ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s %d %d" b.B.name x y)
+                      true
+                      (f (Dt.Int x) (Dt.Int y) = Dt.Int (fi x y)))
+                  [ (0, 0); (3, -4); (-17, 5); (1000, 999) ]
+            | B.IMap1 (fi, f) ->
+                List.iter
+                  (fun x ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s %d" b.B.name x)
+                      true
+                      (f (Dt.Int x) = Dt.Int (fi x)))
+                  [ 0; 3; -17; 1000 ]
+            | _ -> Alcotest.failf "%s lost its int specialization" b.B.name)
+          [ B.add; B.sub; B.mul; B.gain 5; B.neg ]);
+    qcase ~count:150 "random systems: fused = chaotic" R.arbitrary_spec
+      (fun spec ->
+        let stream = R.stimuli spec in
+        let chaotic = R.run_graph (R.build spec) stream in
+        let sim = Asr.Simulate.create ~strategy:Fx.Fused (R.build spec) in
+        let fused = List.map (Asr.Simulate.step sim) stream in
+        chaotic = fused);
+    qcase ~count:50
+      "random systems: supervised fused = supervised chaotic under faults"
+      R.arbitrary_spec
+      (fun spec ->
+        let g () = R.build spec in
+        let stream = R.stimuli spec in
+        let specs =
+          I.plan ~seed:spec.R.sp_seed ~n_blocks:(G.block_count (g ()))
+            ~instants:(max 1 (List.length stream))
+            ~n_faults:2 ()
+        in
+        let contained =
+          List.for_all
+            (fun policy ->
+              run_injected ~strategy:Fx.Chaotic ~policy specs (g ()) stream
+              = run_injected ~strategy:Fx.Fused ~policy specs (g ()) stream)
+            [ S.Hold_last; S.Absent; S.Retry 1 ]
+        in
+        (* Fail_fast aborts on the first faulty application, and with two
+           faulty blocks in one instant "first" depends on evaluation
+           order: the fatal instant is strategy-independent, the block
+           identity is only pinned by a fixed order (the schedule, which
+           the fused plan follows). *)
+        let fatal =
+          match
+            ( run_injected ~strategy:Fx.Chaotic ~policy:S.Fail_fast specs
+                (g ()) stream,
+              run_injected ~strategy:Fx.Scheduled ~policy:S.Fail_fast specs
+                (g ()) stream,
+              run_injected ~strategy:Fx.Fused ~policy:S.Fail_fast specs (g ())
+                stream )
+          with
+          | Fatal_at (ic, _), (Fatal_at (is, _) as s), (Fatal_at (i, _) as f)
+            ->
+              ic = i && s = f && is = i
+          | (Finished _ as c), s, f -> c = s && s = f
+          | _ -> false
+        in
+        contained && fatal);
+    qcase ~count:50
+      "random systems: first-application glitches, fused = scheduled"
+      R.arbitrary_spec
+      (fun spec ->
+        (* first_only faults are sensitive to the number of applications
+           per instant, so the oracle is the static schedule (also one
+           application per acyclic block) rather than chaotic *)
+        let g () = R.build spec in
+        let stream = R.stimuli spec in
+        let specs =
+          I.plan ~seed:(spec.R.sp_seed + 1) ~n_blocks:(G.block_count (g ()))
+            ~instants:(max 1 (List.length stream))
+            ~n_faults:2 ~first_only:true ()
+        in
+        List.for_all
+          (fun policy ->
+            run_injected ~strategy:Fx.Scheduled ~policy specs (g ()) stream
+            = run_injected ~strategy:Fx.Fused ~policy specs (g ()) stream)
+          [ S.Hold_last; S.Retry 2 ]) ]

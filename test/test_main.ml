@@ -20,6 +20,7 @@ let () =
       ("misc", Test_misc.suite);
       ("random-graphs", Test_random_graphs.suite);
       ("schedule", Test_schedule.suite);
+      ("fuse", Test_fuse.suite);
       ("uart", Test_uart.suite);
       ("telemetry", Test_telemetry.suite);
       ("observability", Test_observability.suite);
