@@ -1983,6 +1983,12 @@ module Faults_bench = struct
       ( "random",
         Sched_bench.random_graph ~seed:7 ~inputs:3 ~layers:(scale 8 3)
           ~per_layer:(scale 12 4) ~delays:3,
+        scale 60 12 );
+      (* Structured random nets (delays + a few cycles) widen the
+         campaign beyond the hand-built topologies. *)
+      ( "netgen",
+        Workloads.Netgen.generate ~inputs:3 ~delays:2 ~cyclic_ratio:0.1
+          ~seed:23 ~depth:(scale 7 3) ~width:(scale 10 4) (),
         scale 60 12 ) ]
 
   (* Drive one instant at a time, capturing each instant's whole fixed
@@ -2472,6 +2478,200 @@ module Faults_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Refinement-checking coverage: VC discharge over the FIR and JPEG    *)
+(* refinement chains, trace correspondence under seeded schedules,     *)
+(* and the mutation gate (a deliberately broken transform must be      *)
+(* rejected by its verification conditions).                           *)
+(* ------------------------------------------------------------------ *)
+
+module Refinement_bench = struct
+  module J = Telemetry.Json
+  module V = Javatime.Verify
+
+  type row = {
+    f_workload : string;
+    f_cls : string;
+    f_steps : int;
+    f_transforms : string list;
+    f_discharged : int;
+    f_failed : int;
+    f_schedules : int;
+    f_instants : int;
+    f_strategies : string list;
+    f_checked : int;
+    f_corr_failures : string list;
+  }
+
+  type report = { rows : row list; mutation_vcs_failed : int }
+
+  let workloads ~smoke () =
+    let scale n small = if smoke then small else n in
+    [ ( "fir", Workloads.Fir_mj.unrestricted_source, "FirFilter",
+        scale 120 6, scale 8 2 );
+      ( "jpeg",
+        Workloads.Jpeg_mj.unrestricted_source ~width:16 ~height:8 (),
+        "JpegCodec", scale 120 6, scale 4 2 ) ]
+
+  let row (name, source, cls, schedules, instants) =
+    let program = Mj.Parser.parse_program ~file:(name ^ ".mj") source in
+    let report, _ = V.check_program program in
+    let corr = V.trace_correspondence ~schedules ~instants program ~cls in
+    { f_workload = name;
+      f_cls = cls;
+      f_steps = List.length report.V.v_steps;
+      f_transforms = List.map (fun s -> s.V.s_transform) report.V.v_steps;
+      f_discharged = report.V.v_discharged;
+      f_failed = report.V.v_failed;
+      f_schedules = corr.V.c_schedules;
+      f_instants = corr.V.c_instants;
+      f_strategies = corr.V.c_strategies;
+      f_checked = corr.V.c_checked;
+      f_corr_failures = corr.V.c_failures }
+
+  (* Mutation gate: a while->for that leaves the update statement in
+     the body while also installing it as the for-update (so it runs
+     twice per iteration) must fail its verification conditions. *)
+  let mk d = { Mj.Ast.stmt = d; sloc = Mj.Loc.dummy }
+
+  let broken_while_to_for =
+    { Javatime.Transforms.id = "while-to-for";
+      description = "broken while->for (update applied twice)";
+      apply =
+        (fun checked ->
+          let count = ref 0 in
+          let rewrite s =
+            match s.Mj.Ast.stmt with
+            | Mj.Ast.While (cond, body) -> (
+                let stmts =
+                  match body.Mj.Ast.stmt with
+                  | Mj.Ast.Block l -> l
+                  | _ -> [ body ]
+                in
+                match List.rev stmts with
+                | { Mj.Ast.stmt = Mj.Ast.Expr u; _ } :: _ ->
+                    incr count;
+                    mk
+                      (Mj.Ast.For
+                         (None, Some cond, Some u, mk (Mj.Ast.Block stmts)))
+                | _ -> s)
+            | _ -> s
+          in
+          let program =
+            Javatime.Rewrite.map_program_bodies
+              (fun ~cls:_ stmts -> List.map rewrite stmts)
+              checked.Mj.Typecheck.program
+          in
+          (program, !count)) }
+
+  let mutation_vcs_failed () =
+    let program =
+      Mj.Parser.parse_program ~file:"fir.mj" Workloads.Fir_mj.unrestricted_source
+    in
+    let catalogue =
+      List.map
+        (fun t ->
+          if String.equal t.Javatime.Transforms.id "while-to-for" then
+            broken_while_to_for
+          else t)
+        Javatime.Transforms.catalogue
+    in
+    let report, _ = V.check_program ~catalogue program in
+    let violations = V.violations_of_report report in
+    if List.for_all Policy.Rule.is_blocking violations then
+      List.length violations
+    else 0
+
+  let reports ~smoke () =
+    { rows = List.map row (workloads ~smoke ());
+      mutation_vcs_failed = mutation_vcs_failed () }
+
+  let print_text r =
+    List.iter
+      (fun w ->
+        Printf.printf
+          "  %-6s %s: %d step(s) [%s], %d VC(s) discharged, %d failed\n"
+          w.f_workload w.f_cls w.f_steps
+          (String.concat " " w.f_transforms)
+          w.f_discharged w.f_failed;
+        Printf.printf
+          "         %d schedule(s) x %d instant(s), strategies [%s]: %d \
+           checked, %d correspondence failure(s)\n"
+          w.f_schedules w.f_instants
+          (String.concat " " w.f_strategies)
+          w.f_checked
+          (List.length w.f_corr_failures);
+        List.iter
+          (fun f -> Printf.printf "         FAIL %s\n" f)
+          w.f_corr_failures)
+      r.rows;
+    Printf.printf
+      "  mutation gate: broken while->for rejected with %d blocking VC \
+       violation(s)\n"
+      r.mutation_vcs_failed
+
+  let print_json r =
+    let row_json w =
+      J.Obj
+        [ ("workload", J.Str w.f_workload);
+          ("class", J.Str w.f_cls);
+          ("transform_steps", J.Int w.f_steps);
+          ("transforms", J.List (List.map (fun t -> J.Str t) w.f_transforms));
+          ("vcs_discharged", J.Int w.f_discharged);
+          ("vcs_failed", J.Int w.f_failed);
+          ("vc_ok", J.Bool (w.f_failed = 0));
+          ("schedules_explored", J.Int w.f_schedules);
+          ("instants", J.Int w.f_instants);
+          ("strategies", J.List (List.map (fun s -> J.Str s) w.f_strategies));
+          ("correspondences_checked", J.Int w.f_checked);
+          ("correspondence_ok", J.Bool (w.f_corr_failures = [])) ]
+    in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [ ("bench", J.Str "refinement");
+              ("workloads", J.List (List.map row_json r.rows));
+              ("mutation_vcs_failed", J.Int r.mutation_vcs_failed);
+              ("mutation_rejected_ok", J.Bool (r.mutation_vcs_failed > 0)) ]))
+
+  (* Smoke contract (refinement-smoke alias in `dune runtest`): every
+     transform the engine applied discharges its VCs, every explored
+     schedule's abstracted trace refines the deterministic stream, and
+     the broken transform is rejected. *)
+  let check ~smoke r =
+    let failed = ref false in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "FAIL %s\n" s;
+          failed := true)
+        fmt
+    in
+    List.iter
+      (fun w ->
+        if w.f_steps = 0 then
+          fail "%s: the engine applied no transform" w.f_workload;
+        if w.f_discharged = 0 then
+          fail "%s: no verification condition was discharged" w.f_workload;
+        if w.f_failed > 0 then
+          fail "%s: %d verification condition(s) failed" w.f_workload w.f_failed;
+        if w.f_corr_failures <> [] then
+          fail "%s: %d correspondence failure(s)" w.f_workload
+            (List.length w.f_corr_failures);
+        if (not smoke) && w.f_schedules < 100 then
+          fail "%s: only %d schedules explored (>= 100 required)" w.f_workload
+            w.f_schedules)
+      r.rows;
+    if r.mutation_vcs_failed = 0 then
+      fail "mutation gate: the broken transform was not rejected";
+    if !failed then exit 1
+
+  let run ~json ~smoke () =
+    let r = reports ~smoke () in
+    if json then print_json r else print_text r;
+    check ~smoke r
+end
+
+(* ------------------------------------------------------------------ *)
 (* Artifact comparison: diff two BENCH_*.json files metric by metric   *)
 (* and fail on cycle/eval regressions beyond the threshold.            *)
 (* ------------------------------------------------------------------ *)
@@ -2551,6 +2751,15 @@ module Compare = struct
       [ "identical"; "contained"; "reconcil"; "deterministic"; "equal";
         "_ok"; "valid"; "resumes" ]
 
+  (* Coverage counters where any decrease is a regression: schedules
+     explored, correspondences checked, VCs discharged. Shrinking the
+     verified surface must be a deliberate, visible act. *)
+  let guarded_coverage path =
+    let p = String.lowercase_ascii path in
+    List.exists
+      (fun sub -> contains ~sub p)
+      [ "explored"; "checked"; "discharged" ]
+
   let run baseline_path current_path =
     let baseline = load baseline_path and current = load current_path in
     let current_tbl = Hashtbl.create 64 in
@@ -2573,6 +2782,7 @@ module Compare = struct
             let regressed =
               (guarded path && delta_pct > regression_threshold_pct)
               || (guarded_quality path && cur < base)
+              || (guarded_coverage path && cur < base)
             in
             if regressed then incr regressions;
             if base <> cur || regressed then
@@ -2627,6 +2837,9 @@ let experiments =
        (fun () ->
          Faults_bench.run ~json:!json_flag ~smoke:!smoke_flag
            ~baseline:!baseline_flag ()));
+    ("refinement",
+     `Plain
+       (fun () -> Refinement_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("table1", `Sized table1);
     ("fig1", `Plain fig1);
     ("fig2", `Plain fig2);

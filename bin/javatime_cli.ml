@@ -88,7 +88,13 @@ let check_cmd =
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
         let violations =
           match policy with
-          | "asr" -> Policy.Asr_policy.check checked
+          | "asr" ->
+              (* The policy report plus the refinement checker's
+                 verification conditions (blocking when a recorded
+                 transform cannot be justified). *)
+              Policy.Rule.order_violations
+                (Policy.Asr_policy.check checked
+                @ Javatime.Verify.refinement_rule.Policy.Rule.check checked)
           | "sdf" -> Policy.Sdf_policy.check checked
           | other ->
               Format.eprintf "unknown policy '%s' (asr|sdf)@." other;
@@ -686,6 +692,111 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Dump compiled bytecode")
     Term.(const run $ file_arg $ optimize_arg)
 
+let verify_refinement_cmd =
+  let run file cls schedules instants array_size json =
+    handle (fun () ->
+        let program = Mj.Parser.parse_program ~file (read_file file) in
+        let report, outcome = Javatime.Verify.check_program program in
+        let corr =
+          Javatime.Verify.trace_correspondence ~schedules ~instants ?array_size
+            program ~cls
+        in
+        let vcs = Javatime.Verify.all_vcs report in
+        let n_corr_failures = List.length corr.Javatime.Verify.c_failures in
+        let ok = report.Javatime.Verify.v_failed = 0 && n_corr_failures = 0 in
+        if json then begin
+          let vc_json (v : Analysis.Refinement.vc) =
+            Telemetry.Json.Obj
+              [ ("transform", Telemetry.Json.Str v.Analysis.Refinement.vc_transform);
+                ("class", Telemetry.Json.Str v.Analysis.Refinement.vc_class);
+                ("site", Telemetry.Json.Str v.Analysis.Refinement.vc_site);
+                ("ok", Telemetry.Json.Bool v.Analysis.Refinement.vc_ok);
+                ("detail", Telemetry.Json.Str v.Analysis.Refinement.vc_detail) ]
+          in
+          print_endline
+            (Telemetry.Json.to_string
+               (Telemetry.Json.Obj
+                  [ ("refined", Telemetry.Json.Bool outcome.Javatime.Engine.compliant);
+                    ("transform_steps",
+                     Telemetry.Json.Int (List.length report.Javatime.Verify.v_steps));
+                    ("vcs_discharged",
+                     Telemetry.Json.Int report.Javatime.Verify.v_discharged);
+                    ("vcs_failed", Telemetry.Json.Int report.Javatime.Verify.v_failed);
+                    ("vcs", Telemetry.Json.List (List.map vc_json vcs));
+                    ("strategies",
+                     Telemetry.Json.List
+                       (List.map
+                          (fun s -> Telemetry.Json.Str s)
+                          corr.Javatime.Verify.c_strategies));
+                    ("schedules_explored",
+                     Telemetry.Json.Int corr.Javatime.Verify.c_schedules);
+                    ("instants", Telemetry.Json.Int corr.Javatime.Verify.c_instants);
+                    ("correspondences_checked",
+                     Telemetry.Json.Int corr.Javatime.Verify.c_checked);
+                    ("correspondence_failures",
+                     Telemetry.Json.List
+                       (List.map
+                          (fun s -> Telemetry.Json.Str s)
+                          corr.Javatime.Verify.c_failures)) ]))
+        end
+        else begin
+          List.iter
+            (fun (s : Javatime.Verify.vc_step) ->
+              Printf.printf "iteration %d: %s\n" s.Javatime.Verify.s_iteration
+                s.Javatime.Verify.s_transform;
+              List.iter
+                (fun (v : Analysis.Refinement.vc) ->
+                  Printf.printf "  [%s] %s: %s — %s\n"
+                    (if v.Analysis.Refinement.vc_ok then "ok" else "FAIL")
+                    v.Analysis.Refinement.vc_class
+                    v.Analysis.Refinement.vc_site
+                    v.Analysis.Refinement.vc_detail)
+                s.Javatime.Verify.s_vcs)
+            report.Javatime.Verify.v_steps;
+          let races = report.Javatime.Verify.v_races in
+          Printf.printf "thread elimination: [%s] %s\n"
+            (if races.Analysis.Refinement.vc_ok then "ok" else "FAIL")
+            races.Analysis.Refinement.vc_detail;
+          Printf.printf
+            "verification conditions: %d discharged, %d failed\n"
+            report.Javatime.Verify.v_discharged report.Javatime.Verify.v_failed;
+          Printf.printf
+            "trace correspondence: %d schedule(s) x %d instant(s), \
+             strategies [%s]: %d checked, %d failure(s)\n"
+            corr.Javatime.Verify.c_schedules corr.Javatime.Verify.c_instants
+            (String.concat " " corr.Javatime.Verify.c_strategies)
+            corr.Javatime.Verify.c_checked n_corr_failures;
+          List.iter
+            (fun f -> Printf.printf "  FAIL %s\n" f)
+            corr.Javatime.Verify.c_failures
+        end;
+        if not ok then exit 2)
+  in
+  let schedules_arg =
+    Arg.(value & opt int 100 & info [ "schedules" ] ~docv:"N"
+           ~doc:"Seeded thread schedules to explore per program")
+  in
+  let instants_arg =
+    Arg.(value & opt int 8 & info [ "instants" ] ~docv:"N"
+           ~doc:"Reaction instants per schedule")
+  in
+  let array_size_arg =
+    Arg.(value & opt (some int) None & info [ "array-size" ] ~docv:"N"
+           ~doc:"Element count for array-carrying input ports (default: \
+                 probed)")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON")
+  in
+  Cmd.v
+    (Cmd.info "verify-refinement"
+       ~doc:
+         "Check that the refinement of a design is meaning-preserving: \
+          discharge per-transform verification conditions and check trace \
+          correspondence under seeded thread schedules")
+    Term.(const run $ file_arg $ class_arg $ schedules_arg $ instants_arg
+          $ array_size_arg $ json_flag)
+
 let bundled_designs =
   [ ("fir", lazy Workloads.Fir_mj.unrestricted_source);
     ("traffic", lazy Workloads.Traffic_mj.source);
@@ -723,4 +834,5 @@ let () =
        (Cmd.group
           (Cmd.info "javatime" ~version:"1.0.0" ~doc)
           [ check_cmd; refine_cmd; run_cmd; profile_cmd; simulate_cmd; size_cmd;
-            bound_cmd; metrics_cmd; disasm_cmd; demo_cmd ]))
+            bound_cmd; metrics_cmd; disasm_cmd; verify_refinement_cmd;
+            demo_cmd ]))

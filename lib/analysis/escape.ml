@@ -1,0 +1,46 @@
+open Mj.Ast
+
+let local_escapes name stmts =
+  let escapes = ref false in
+  (* A cast does not launder the reference: [(int[]) x] still escapes
+     wherever [x] would. *)
+  let rec is_x e =
+    match e.expr with
+    | Local n | Name n -> String.equal n name
+    | Cast (_, inner) -> is_x inner
+    | _ -> false
+  in
+  Mj.Visit.iter_stmts stmts
+    ~stmt:(fun s ->
+      match s.stmt with
+      | Return (Some e) when is_x e -> escapes := true
+      | Var_decl (_, _, Some e) when is_x e -> escapes := true
+      | _ -> ())
+    ~expr:(fun e ->
+      match e.expr with
+      | Call { args; _ } -> if List.exists is_x args then escapes := true
+      | New_object (_, args) -> if List.exists is_x args then escapes := true
+      | Assign (lv, rhs) | Op_assign (_, lv, rhs) ->
+          if is_x rhs then (
+            match lv with
+            | Lname n | Llocal n when String.equal n name -> ()
+            | Lname _ | Llocal _ | Lfield _ | Lstatic_field _ | Lindex _ ->
+                escapes := true)
+      | Cond (_, a, b) -> if is_x a || is_x b then escapes := true
+      | _ -> ());
+  !escapes
+
+let hoistable_zero = function
+  | TInt -> Some (Int_lit 0)
+  | TDouble -> Some (Double_lit 0.0)
+  | TBool -> Some (Bool_lit false)
+  | TString | TVoid | TNull | TArray _ | TClass _ -> None
+
+let hoistable_decl checked ~method_body s =
+  match s.stmt with
+  | Var_decl (TArray elem, x, Some { expr = New_array (elem2, [ dim ]); _ }) ->
+      equal_ty elem elem2
+      && Const_eval.const_int checked dim <> None
+      && hoistable_zero elem <> None
+      && not (local_escapes x method_body)
+  | _ -> false

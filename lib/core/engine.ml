@@ -30,7 +30,8 @@ let dedup ids =
     ids
 
 let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
-    ?telemetry ?(provenance = false) program =
+    ?(catalogue = Transforms.catalogue) ?telemetry ?(provenance = false)
+    program =
   let module Reg = Telemetry.Registry in
   let tele =
     match telemetry with
@@ -64,7 +65,7 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
     in
     (* Catalogue order keeps the engine deterministic. *)
     let transforms =
-      List.filter (fun t -> List.mem t.Transforms.id wanted) Transforms.catalogue
+      List.filter (fun t -> List.mem t.Transforms.id wanted) catalogue
     in
     let blocking = List.filter Policy.Rule.is_blocking violations in
     let close_iteration ~outcome ~applied =
@@ -89,7 +90,7 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
           let last =
             { Provenance.it_index = iteration; it_violations = violations;
               it_transform = None; it_description = ""; it_sites = 0;
-              it_changes = [] }
+              it_changes = []; it_before = None; it_after = None }
           in
           Some
             { Provenance.p_iterations = List.rev (last :: prov);
@@ -144,7 +145,11 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
                      against the transform's output, so snippets match
                      what the next iteration parses *)
                   Provenance.diff_program
-                    ~before:checked.Mj.Typecheck.program ~after:rewritten }
+                    ~before:checked.Mj.Typecheck.program ~after:rewritten;
+                (* full before/after ASTs, so the refinement checker can
+                   discharge this iteration's verification conditions *)
+                it_before = Some checked.Mj.Typecheck.program;
+                it_after = Some rewritten }
               :: prov
           in
           loop (iteration + 1) rewritten (step :: steps) prov
@@ -152,9 +157,9 @@ let refine ?(max_iterations = 20) ?(policy = Policy.Asr_policy.rules)
   in
   loop 1 program [] []
 
-let refine_source ?(file = "<source>") ?max_iterations ?policy ?telemetry
-    ?provenance src =
-  refine ?max_iterations ?policy ?telemetry ?provenance
+let refine_source ?(file = "<source>") ?max_iterations ?policy ?catalogue
+    ?telemetry ?provenance src =
+  refine ?max_iterations ?policy ?catalogue ?telemetry ?provenance
     (Mj.Parser.parse_program ~file src)
 
 let pp_trace ppf outcome =

@@ -32,6 +32,7 @@ val dedup : string list -> string list
 val refine :
   ?max_iterations:int ->
   ?policy:Policy.Rule.t list ->
+  ?catalogue:Transforms.t list ->
   ?telemetry:Telemetry.Registry.t ->
   ?provenance:bool ->
   Mj.Ast.program ->
@@ -42,6 +43,12 @@ val refine :
     Pass {!Policy.Sdf_policy.rules} to refine toward the dataflow model
     instead — the paper's "variety of target models, each with its own
     policy of use".
+
+    [catalogue] (default {!Transforms.catalogue}) substitutes the
+    transform catalogue the wanted automatic fixes are drawn from. The
+    refinement checker's mutation tests use this to inject a
+    deliberately broken transform and assert its verification
+    conditions fail; it is not a user-facing extension point.
 
     [telemetry]: each iteration emits an ["iteration"] span containing
     one ["check.<rule>"] span per policy rule (args: violation count —
@@ -58,6 +65,7 @@ val refine_source :
   ?file:string ->
   ?max_iterations:int ->
   ?policy:Policy.Rule.t list ->
+  ?catalogue:Transforms.t list ->
   ?telemetry:Telemetry.Registry.t ->
   ?provenance:bool ->
   string ->

@@ -490,7 +490,8 @@ let rules =
 
 let rule_ids = List.map (fun r -> r.Rule.id) rules
 
-let check checked = List.concat_map (fun r -> r.Rule.check checked) rules
+let check checked =
+  Rule.order_violations (List.concat_map (fun r -> r.Rule.check checked) rules)
 
 let compliant checked = not (List.exists Rule.is_blocking (check checked))
 

@@ -27,6 +27,35 @@ let make_violation ~rule ?(severity = Forbidden) ~loc ~subject ?(fixes = [])
 
 let is_blocking v = v.severity = Forbidden
 
+(* Canonical report order: grouped by rule (first-report order — rule
+   ids are not sorted lexically, so R10 stays after R9), violations
+   within a group sorted by source location. Checkers emit per-rule
+   groups already; what they do NOT guarantee is location order inside
+   a group (e.g. the shared-field rule reports at the field head with
+   write/read sites discovered in traversal order). *)
+let order_violations violations =
+  let rank = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem rank v.rule_id) then
+        Hashtbl.add rank v.rule_id (Hashtbl.length rank))
+    violations;
+  let compare_loc a b =
+    let c = compare a.Mj.Loc.file b.Mj.Loc.file in
+    if c <> 0 then c
+    else
+      let pa = a.Mj.Loc.start_pos and pb = b.Mj.Loc.start_pos in
+      let c = compare pa.Mj.Loc.line pb.Mj.Loc.line in
+      if c <> 0 then c else compare pa.Mj.Loc.col pb.Mj.Loc.col
+  in
+  List.stable_sort
+    (fun a b ->
+      let c =
+        compare (Hashtbl.find rank a.rule_id) (Hashtbl.find rank b.rule_id)
+      in
+      if c <> 0 then c else compare_loc a.loc b.loc)
+    violations
+
 let automatic_fixes v =
   List.filter_map
     (function Automatic id -> Some id | Manual _ -> None)
@@ -91,6 +120,7 @@ let violation_to_json v =
     (String.concat "," (List.map related_to_json v.related))
 
 let report_to_json violations =
+  let violations = order_violations violations in
   Printf.sprintf
     {|{"compliant":%b,"violations":[%s]}|}
     (not (List.exists is_blocking violations))

@@ -45,6 +45,12 @@ val make_violation :
 val is_blocking : violation -> bool
 (** Forbidden violations block compliance; cautions do not. *)
 
+val order_violations : violation list -> violation list
+(** Canonical report order: violations grouped by rule (in the order
+    rules first reported) and sorted by location — (file, line, col) —
+    within each group. {!report_to_json} applies this, honouring the
+    "ordered by rule then location" contract of the policy checkers. *)
+
 val automatic_fixes : violation -> string list
 
 val pp_violation : Format.formatter -> violation -> unit

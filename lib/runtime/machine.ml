@@ -83,6 +83,34 @@ let ports_state t recv =
       Hashtbl.replace t.asr_ports r p;
       p
 
+(* Schedule-seeded trace capture: port accesses performed while the
+   thread scheduler is tracing are recorded as events, in schedule
+   order. The refinement checker's abstraction function rebuilds an
+   instant's outputs from these events (last write per port), so array
+   contents are snapshotted at access time — a later in-place update of
+   the array must not retroactively change the recorded event. *)
+let render_port_value t v =
+  match v with
+  | Value.Ref _ -> (
+      try
+        let r = Heap.deref t.heap v in
+        let n = Heap.array_length t.heap r in
+        let b = Buffer.create ((n * 4) + 2) in
+        Buffer.add_char b '[';
+        for i = 0 to n - 1 do
+          if i > 0 then Buffer.add_char b ';';
+          Buffer.add_string b (Value.to_display (Heap.array_get t.heap r i))
+        done;
+        Buffer.add_char b ']';
+        Buffer.contents b
+      with Heap.Runtime_error _ -> Value.to_display v)
+  | v -> Value.to_display v
+
+let note_port t fmt_name port v =
+  if Threads.tracing () then
+    Threads.note
+      (Printf.sprintf "%s(%d, %s)" fmt_name port (render_port_value t v))
+
 let native_call t ~defining ~mname recv args =
   Cost.enter_method_in t.cost defining mname;
   Fun.protect ~finally:(fun () -> Cost.leave_method t.cost) @@ fun () ->
@@ -140,17 +168,25 @@ let native_call t ~defining ~mname recv args =
       let i = as_int port in
       if i < 0 || i >= Array.length p.inputs then fail "no input port %d" i;
       match p.inputs.(i) with
-      | Some (Value.Int n) -> Value.Int n
+      | Some (Value.Int n) ->
+          note_port t "readPort" i (Value.Int n);
+          Value.Int n
       | Some v -> fail "input port %d holds %s, not an int" i (Value.to_display v)
-      | None -> Value.Int 0)
+      | None ->
+          note_port t "readPort" i (Value.Int 0);
+          Value.Int 0)
   | "ASR", "readPortArray", [ port ] -> (
       let p = ports_state t recv in
       let i = as_int port in
       if i < 0 || i >= Array.length p.inputs then fail "no input port %d" i;
       match p.inputs.(i) with
-      | Some (Value.Ref _ as v) -> v
+      | Some (Value.Ref _ as v) ->
+          note_port t "readPortArray" i v;
+          v
       | Some v -> fail "input port %d holds %s, not an array" i (Value.to_display v)
-      | None -> Value.Null)
+      | None ->
+          note_port t "readPortArray" i Value.Null;
+          Value.Null)
   | "ASR", "portPresent", [ port ] ->
       let p = ports_state t recv in
       let i = as_int port in
@@ -160,12 +196,14 @@ let native_call t ~defining ~mname recv args =
       let i = as_int port in
       if i < 0 || i >= Array.length p.outputs then fail "no output port %d" i;
       p.outputs.(i) <- Some v;
+      note_port t "writePort" i v;
       Value.Null
   | "ASR", "writePortArray", [ port; v ] ->
       let p = ports_state t recv in
       let i = as_int port in
       if i < 0 || i >= Array.length p.outputs then fail "no output port %d" i;
       p.outputs.(i) <- Some v;
+      note_port t "writePortArray" i v;
       Value.Null
   | "JTime", "enterInstant", [ label ] -> (
       let node = { label = Value.to_display label; subs = [] } in

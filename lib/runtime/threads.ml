@@ -26,6 +26,8 @@ let active () = Option.is_some !state
 
 let current () = match !state with Some s -> s.current | None -> -1
 
+let tracing () = match !state with Some s -> s.tracing | None -> false
+
 let note description =
   match !state with
   | Some s when s.tracing ->

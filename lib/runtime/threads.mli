@@ -31,6 +31,11 @@ val active : unit -> bool
 val current : unit -> int
 (** Id of the currently running thread; [-1] outside {!run}. *)
 
+val tracing : unit -> bool
+(** True while {!run} is executing with tracing on. Callers building
+    expensive event descriptions should guard on this so the disabled
+    path stays free. *)
+
 val note : string -> unit
 (** Append a trace event for the current thread (no-op when inactive or
     tracing is off). *)

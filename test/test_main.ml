@@ -24,4 +24,5 @@ let () =
       ("uart", Test_uart.suite);
       ("telemetry", Test_telemetry.suite);
       ("observability", Test_observability.suite);
-      ("supervisor", Test_supervisor.suite) ]
+      ("supervisor", Test_supervisor.suite);
+      ("refinement", Test_refinement.suite) ]

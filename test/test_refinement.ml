@@ -1,0 +1,355 @@
+(* The refinement checker (Verify): per-transform verification
+   conditions over the provenance chain, trace correspondence between
+   seeded low-level schedules and the refined instant stream, the
+   canonical violation ordering of policy reports, and the fused-path
+   provenance differential. *)
+
+open Util
+module V = Javatime.Verify
+module R = Analysis.Refinement
+module Rule = Policy.Rule
+
+let fir_program () =
+  Mj.Parser.parse_program ~file:"fir.mj" Workloads.Fir_mj.unrestricted_source
+
+let jpeg_program () =
+  Mj.Parser.parse_program ~file:"jpeg.mj"
+    (Workloads.Jpeg_mj.unrestricted_source ~width:16 ~height:8 ())
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: verification conditions                                    *)
+(* ------------------------------------------------------------------ *)
+
+let applied_transforms outcome =
+  List.concat_map
+    (fun s ->
+      List.map (fun a -> a.Javatime.Engine.a_transform) s.Javatime.Engine.applied)
+    outcome.Javatime.Engine.steps
+
+let vc_tests =
+  [ case "fir: every applied transform discharges its VCs" (fun () ->
+        let report, outcome = V.check_program (fir_program ()) in
+        Alcotest.(check bool) "compliant" true outcome.Javatime.Engine.compliant;
+        Alcotest.(check int) "no failed VC" 0 report.V.v_failed;
+        Alcotest.(check bool) "some VCs discharged" true
+          (report.V.v_discharged > 0);
+        Alcotest.(check (list string))
+          "one VC step per applied transform"
+          (applied_transforms outcome)
+          (List.map (fun s -> s.V.s_transform) report.V.v_steps);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool)
+              (s.V.s_transform ^ " has at least one VC")
+              true (s.V.s_vcs <> []);
+            List.iter
+              (fun vc ->
+                if not vc.R.vc_ok then
+                  Alcotest.failf "VC failed: %s %s: %s" vc.R.vc_transform
+                    vc.R.vc_site vc.R.vc_detail)
+              s.V.s_vcs)
+          report.V.v_steps;
+        Alcotest.(check bool) "thread elimination justified" true
+          report.V.v_races.R.vc_ok);
+    case "jpeg: the codec chain's VCs all discharge" (fun () ->
+        let report, _ = V.check_program (jpeg_program ()) in
+        Alcotest.(check int) "no failed VC" 0 report.V.v_failed;
+        Alcotest.(check bool) "some VCs discharged" true
+          (report.V.v_discharged > 0);
+        Alcotest.(check bool) "chain is non-trivial" true
+          (List.length report.V.v_steps > 1));
+    case "a broken transform is rejected with a blocking violation"
+      (fun () ->
+        (* A while->for that installs the loop's update expression as
+           the for-update while also leaving it in the body, so it runs
+           twice per iteration. *)
+        let mk d = { Mj.Ast.stmt = d; sloc = Mj.Loc.dummy } in
+        let broken =
+          { Javatime.Transforms.id = "while-to-for";
+            description = "broken while->for (update applied twice)";
+            apply =
+              (fun checked ->
+                let count = ref 0 in
+                let rewrite s =
+                  match s.Mj.Ast.stmt with
+                  | Mj.Ast.While (cond, body) -> (
+                      let stmts =
+                        match body.Mj.Ast.stmt with
+                        | Mj.Ast.Block l -> l
+                        | _ -> [ body ]
+                      in
+                      match List.rev stmts with
+                      | { Mj.Ast.stmt = Mj.Ast.Expr u; _ } :: _ ->
+                          incr count;
+                          mk
+                            (Mj.Ast.For
+                               (None, Some cond, Some u,
+                                mk (Mj.Ast.Block stmts)))
+                      | _ -> s)
+                  | _ -> s
+                in
+                let program =
+                  Javatime.Rewrite.map_program_bodies
+                    (fun ~cls:_ stmts -> List.map rewrite stmts)
+                    checked.Mj.Typecheck.program
+                in
+                (program, !count)) }
+        in
+        let catalogue =
+          List.map
+            (fun t ->
+              if String.equal t.Javatime.Transforms.id "while-to-for" then
+                broken
+              else t)
+            Javatime.Transforms.catalogue
+        in
+        let report, _ = V.check_program ~catalogue (fir_program ()) in
+        Alcotest.(check bool) "some VC failed" true (report.V.v_failed > 0);
+        match V.violations_of_report report with
+        | [] -> Alcotest.fail "expected blocking violations"
+        | violations ->
+            List.iter
+              (fun v ->
+                Alcotest.(check bool) "blocking" true (Rule.is_blocking v);
+                Alcotest.(check string) "rule id" "R11-verified-refinement"
+                  v.Rule.rule_id;
+                Alcotest.(check bool) "carries the before span" true
+                  (List.mem_assoc "before" v.Rule.related))
+              violations);
+    case "thread elimination on a racy program fails its VC" (fun () ->
+        let program =
+          Mj.Parser.parse_program ~file:"fig8.mj"
+            Workloads.Fig8_mj.threaded_source
+        in
+        let report, _ = V.check_program program in
+        Alcotest.(check bool) "races VC fails" false report.V.v_races.R.vc_ok;
+        Alcotest.(check bool) "detail names the race" true
+          (contains ~substring:"race" report.V.v_races.R.vc_detail);
+        let violations = V.violations_of_report report in
+        Alcotest.(check bool) "reported as a blocking violation" true
+          (List.exists Rule.is_blocking violations)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: trace correspondence                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A design whose reaction spawns a worker thread and joins it before
+   reading the result: genuinely interleaved under the seeded
+   scheduler, yet race-free, so every schedule must abstract to the
+   refined stream. *)
+let pipe_source =
+  {|class Worker extends Thread {
+  public int acc;
+  Worker() {}
+  public void run() {
+    int i = 0;
+    while (i < 8) {
+      acc = acc + i;
+      Thread.yield();
+      i = i + 1;
+    }
+  }
+}
+
+class Pipe extends ASR {
+  Pipe() {
+    declarePorts(1, 1);
+  }
+  public void run() {
+    int x = readPort(0);
+    Worker w = new Worker();
+    w.start();
+    w.join();
+    writePort(0, x + w.acc);
+  }
+}
+|}
+
+let correspondence_tests =
+  [ case "fir: every seeded schedule refines the instant stream" (fun () ->
+        let corr =
+          V.trace_correspondence ~schedules:10 ~instants:4 (fir_program ())
+            ~cls:"FirFilter"
+        in
+        Alcotest.(check (list string)) "no failures" [] corr.V.c_failures;
+        Alcotest.(check int) "schedules" 10 corr.V.c_schedules;
+        (* two strategy agreements (worklist, fused vs scheduled) plus
+           one correspondence per seed *)
+        Alcotest.(check int) "checked" 12 corr.V.c_checked;
+        Alcotest.(check (list string))
+          "single-application strategies only"
+          [ "scheduled"; "worklist"; "fused" ]
+          corr.V.c_strategies);
+    case "jpeg: array ports are calibrated and correspond" (fun () ->
+        let corr =
+          V.trace_correspondence ~schedules:3 ~instants:2 (jpeg_program ())
+            ~cls:"JpegCodec"
+        in
+        Alcotest.(check (list string)) "no failures" [] corr.V.c_failures;
+        Alcotest.(check bool) "checked" true (corr.V.c_checked >= 5));
+    case "threaded worker: genuine interleavings abstract to the stream"
+      (fun () ->
+        let program = Mj.Parser.parse_program ~file:"pipe.mj" pipe_source in
+        let corr =
+          V.trace_correspondence ~schedules:25 ~instants:6 program ~cls:"Pipe"
+        in
+        Alcotest.(check (list string)) "no failures" [] corr.V.c_failures;
+        Alcotest.(check int) "schedules" 25 corr.V.c_schedules);
+    case "the abstraction function takes the last write per port"
+      (fun () ->
+        let events =
+          [ { Mj_runtime.Threads.thread = -1;
+              description = "writePort(0, 1)" };
+            { thread = -1; description = "readPort(0, 7)" };
+            { thread = -1; description = "writePort(0, 5)" };
+            { thread = 2; description = "writePort(2, [3;4])" } ]
+        in
+        let outs = V.abstract_outputs ~n_out:3 events in
+        Alcotest.(check bool) "port 0 holds the last write" true
+          (Asr.Domain.equal outs.(0) (Asr.Domain.int 5));
+        Alcotest.(check bool) "unwritten port is bottom" true
+          (Asr.Domain.equal outs.(1) Asr.Domain.Bottom);
+        Alcotest.(check bool) "array write snapshots the payload" true
+          (Asr.Domain.equal outs.(2) (Asr.Domain.int_array [| 3; 4 |])));
+    (let spec = lazy (
+       let outcome = Javatime.Engine.refine (fir_program ()) in
+       V.spec_stream ~strategy:Asr.Fixpoint.Scheduled ~instants:4
+         outcome.Javatime.Engine.checked ~cls:"FirFilter")
+     in
+     qcase ~count:40 "random seeds: low-level fir traces match the spec"
+       QCheck.(int_range 1 100_000)
+       (fun seed ->
+         let checked =
+           Mj.Typecheck.check_source ~file:"fir.mj"
+             Workloads.Fir_mj.unrestricted_source
+         in
+         let low =
+           V.low_stream ~seed ~instants:4 checked ~cls:"FirFilter"
+         in
+         let spec = Lazy.force spec in
+         List.for_all2
+           (fun s l -> Array.for_all2 Asr.Domain.equal s l)
+           spec low)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: canonical violation ordering of policy reports           *)
+(* ------------------------------------------------------------------ *)
+
+let ordering_tests =
+  let pos line col = { Mj.Loc.line; col; offset = 0 } in
+  let loc ?(file = "a.mj") line col =
+    Mj.Loc.make ~file ~start_pos:(pos line col) ~end_pos:(pos line (col + 1))
+  in
+  let rule id =
+    { Rule.id; title = id; paper_ref = "test"; check = (fun _ -> []) }
+  in
+  let v rule_id l =
+    Rule.make_violation ~rule:(rule rule_id) ~loc:l ~subject:"S" "m"
+  in
+  [ case "order_violations groups by first-seen rule, then location"
+      (fun () ->
+        (* R9 first reported, then R10: the grouped order must keep R9
+           before R10 even though "R10" < "R9" lexicographically. *)
+        let input =
+          [ v "R9" (loc 5 1); v "R10" (loc 1 1); v "R9" (loc 2 3);
+            v "R10" (loc 9 1); v "R9" (loc 2 1) ]
+        in
+        let got =
+          List.map
+            (fun x ->
+              (x.Rule.rule_id, x.Rule.loc.Mj.Loc.start_pos.Mj.Loc.line,
+               x.Rule.loc.Mj.Loc.start_pos.Mj.Loc.col))
+            (Rule.order_violations input)
+        in
+        Alcotest.(check (list (triple string int int)))
+          "rule then (file, line, col)"
+          [ ("R9", 2, 1); ("R9", 2, 3); ("R9", 5, 1);
+            ("R10", 1, 1); ("R10", 9, 1) ]
+          got);
+    case "order_violations sorts by file before line" (fun () ->
+        let input = [ v "R1" (loc ~file:"b.mj" 1 1); v "R1" (loc ~file:"a.mj" 9 9) ] in
+        match Rule.order_violations input with
+        | [ first; second ] ->
+            Alcotest.(check string) "a.mj first" "a.mj"
+              first.Rule.loc.Mj.Loc.file;
+            Alcotest.(check string) "b.mj second" "b.mj"
+              second.Rule.loc.Mj.Loc.file
+        | _ -> Alcotest.fail "expected both violations back");
+    case "report_to_json emits rule-then-location order" (fun () ->
+        let input =
+          [ v "R7" (loc 8 1); v "R3" (loc 2 2); v "R7" (loc 1 1) ]
+        in
+        let json = Rule.report_to_json input in
+        let idx s =
+          let n = String.length s and m = String.length json in
+          let rec go i =
+            if i + n > m then Alcotest.failf "%s not in report" s
+            else if String.sub json i n = s then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        (* R7's two sites (line 1 before line 8) precede R3's. *)
+        let r7a = idx "\"line\":1," and r7b = idx "\"line\":8," in
+        let r3 = idx "\"line\":2," in
+        Alcotest.(check bool) "R7 line 1 first" true (r7a < r7b);
+        Alcotest.(check bool) "R7 precedes R3" true (r7b < r3));
+    case "asr policy report on the threaded program is canonically ordered"
+      (fun () ->
+        let checked =
+          Mj.Typecheck.check_source ~file:"fig8.mj"
+            Workloads.Fig8_mj.threaded_source
+        in
+        let report = Policy.Asr_policy.check checked in
+        Alcotest.(check bool) "has violations" true (report <> []);
+        (* Idempotence: the checker already returns canonical order. *)
+        let key x =
+          (x.Rule.rule_id, x.Rule.loc.Mj.Loc.file,
+           x.Rule.loc.Mj.Loc.start_pos.Mj.Loc.line,
+           x.Rule.loc.Mj.Loc.start_pos.Mj.Loc.col)
+        in
+        Alcotest.(check (list (pair string (triple string int int))))
+          "already canonical"
+          (List.map
+             (fun x ->
+               let a, b, c, d = key x in
+               (a, (b, c, d)))
+             (Rule.order_violations report))
+          (List.map
+             (fun x ->
+               let a, b, c, d = key x in
+               (a, (b, c, d)))
+             report)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: provenance audit under the fused strategy                *)
+(* ------------------------------------------------------------------ *)
+
+let fused_audit_tests =
+  [ case "refine --audit then fused simulation matches scheduled" (fun () ->
+        let audit () =
+          let outcome =
+            Javatime.Engine.refine ~provenance:true (fir_program ())
+          in
+          match outcome.Javatime.Engine.provenance with
+          | None -> Alcotest.fail "provenance missing"
+          | Some p -> (outcome, p)
+        in
+        let outcome_s, prov_s = audit () in
+        let outcome_f, prov_f = audit () in
+        Alcotest.(check string)
+          "p_final identical across runs" prov_s.Javatime.Provenance.p_final
+          prov_f.Javatime.Provenance.p_final;
+        let stream strategy outcome =
+          V.spec_stream ~strategy ~instants:6 outcome.Javatime.Engine.checked
+            ~cls:"FirFilter"
+        in
+        let scheduled = stream Asr.Fixpoint.Scheduled outcome_s in
+        let fused = stream Asr.Fixpoint.Fused outcome_f in
+        List.iter2
+          (fun s f ->
+            Alcotest.(check bool) "fixpoints identical" true
+              (Array.for_all2 Asr.Domain.equal s f))
+          scheduled fused) ]
+
+let suite = vc_tests @ correspondence_tests @ ordering_tests @ fused_audit_tests
