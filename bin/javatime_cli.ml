@@ -362,7 +362,8 @@ let profile_cmd =
 
 let simulate_cmd =
   let run file cls engine instants strategy supervise on_fault fault_log
-      budget heap_limit escalate_after vcd_out trace_out =
+      budget heap_limit escalate_after monitor snapshot_every snapshot_out
+      flight_out vcd_out trace_out =
     handle (fun () ->
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
         let engine =
@@ -387,6 +388,11 @@ let simulate_cmd =
                   exit 1)
         in
         let supervise = supervise || fault_log <> None in
+        let snapshot_every = max 0 snapshot_every in
+        let monitor =
+          monitor || snapshot_every > 0 || snapshot_out <> None
+          || flight_out <> None
+        in
         let policy =
           match Asr.Supervisor.policy_of_string on_fault with
           | Some p -> p
@@ -423,8 +429,9 @@ let simulate_cmd =
         (* Deterministic input ramp: port i at instant t carries
            (t + 1) * (i + 2) mod 17. *)
         let ramp t i = (t + 1) * (i + 2) mod 17 in
-        let trace, supervisor =
-          if supervise || strategy <> None then begin
+        let snapshot_buf = Buffer.create 256 in
+        let trace, supervisor, mon =
+          if supervise || strategy <> None || monitor then begin
             (* One-block ASR system around the elaborated reaction; the
                supervisor (if any) guards each application, so a trap,
                blown budget or heap exhaustion degrades the instant
@@ -463,18 +470,31 @@ let simulate_cmd =
                      ?telemetry:reg ())
               else None
             in
+            let mon =
+              if monitor then
+                Some
+                  (Telemetry.Monitor.create ~snapshot_every
+                     ~snapshot_sink:(fun line ->
+                       Buffer.add_string snapshot_buf line;
+                       Buffer.add_char snapshot_buf '\n')
+                     ~clock:wall_us
+                     ~cycles_source:(fun () ->
+                       Javatime.Elaborate.last_reaction_cycles elab)
+                     ())
+              else None
+            in
             let sim =
               Asr.Simulate.create
                 ~strategy:
                   (Option.value strategy ~default:Asr.Fixpoint.Worklist)
-                ?telemetry:reg ?supervisor:sup g
+                ?telemetry:reg ?supervisor:sup ?monitor:mon g
             in
             let stream =
               List.init instants (fun t ->
                   List.init n_in (fun i ->
                       (string_of_int i, Asr.Domain.int (ramp t i))))
             in
-            (Asr.Simulate.run sim stream, sup)
+            (Asr.Simulate.run sim stream, sup, mon)
           end
           else
             let trace =
@@ -512,7 +532,7 @@ let simulate_cmd =
                         (Array.mapi (fun i v -> (string_of_int i, v)) outputs);
                     iterations = 1 })
             in
-            (trace, None)
+            (trace, None, None)
         in
         print_string (Asr.Waves.render trace);
         Printf.printf "%d instant(s), %d cycles total\n" instants
@@ -538,6 +558,33 @@ let simulate_cmd =
             write_file path
               (Telemetry.Json.to_string (Asr.Supervisor.faults_json sup))
         | _ -> ());
+        (match mon with
+        | Some m ->
+            let p q sk = Telemetry.Sketch.quantile sk q in
+            Printf.printf
+              "monitor: %d instant(s), latency p50/p95/p99 %.0f/%.0f/%.0f us, \
+               %d spike(s), %d snapshot(s)\n"
+              (Telemetry.Monitor.instants m)
+              (p 0.5 (Telemetry.Monitor.latency m))
+              (p 0.95 (Telemetry.Monitor.latency m))
+              (p 0.99 (Telemetry.Monitor.latency m))
+              (Telemetry.Monitor.spike_count m)
+              (Telemetry.Monitor.snapshots_emitted m);
+            (match snapshot_out with
+            | Some path -> write_file path (Buffer.contents snapshot_buf)
+            | None ->
+                if snapshot_every > 0 then
+                  print_string (Buffer.contents snapshot_buf));
+            (match flight_out with
+            | Some path ->
+                let d =
+                  match Telemetry.Monitor.last_dump m with
+                  | Some d -> d
+                  | None -> Telemetry.Monitor.dump ~reason:"end-of-run" m
+                in
+                write_file path (Telemetry.Json.to_string d)
+            | None -> ())
+        | None -> ());
         (match vcd_out with
         | Some path -> write_file path (Asr.Waves.to_vcd trace)
         | None -> ());
@@ -589,6 +636,33 @@ let simulate_cmd =
            ~doc:"Permanently quarantine a block after K consecutive faulty \
                  instants")
   in
+  let monitor_flag =
+    Arg.(value & flag & info [ "monitor" ]
+           ~doc:"Attach the always-on streaming monitor: a per-instant \
+                 flight recorder, bounded-memory latency/eval quantile \
+                 sketches, sliding-window rates and per-block health \
+                 (implied by the other --snapshot-*/--flight-out flags; \
+                 drives the class through the ASR simulator even without \
+                 --supervise)")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt int 0 & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Emit one NDJSON monitor snapshot every N instants, to \
+                 stdout or --snapshot-out (implies --monitor)")
+  in
+  let snapshot_out_arg =
+    Arg.(value & opt (some string) None & info [ "snapshot-out" ]
+           ~docv:"FILE.ndjson"
+           ~doc:"Write the NDJSON snapshot stream to FILE instead of stdout \
+                 (implies --monitor)")
+  in
+  let flight_out_arg =
+    Arg.(value & opt (some string) None & info [ "flight-out" ]
+           ~docv:"FILE.json"
+           ~doc:"Write the flight-recorder dump as JSON: the quarantine \
+                 dump if a block escalated, else an end-of-run dump \
+                 (implies --monitor)")
+  in
   let vcd_arg =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE.vcd"
            ~doc:"Write the signal trace as a VCD waveform (GTKWave)")
@@ -598,7 +672,8 @@ let simulate_cmd =
        ~doc:"Drive an ASR class with a deterministic input ramp")
     Term.(const run $ file_arg $ class_arg $ engine_arg $ instants_arg
           $ strategy_arg $ supervise_flag $ on_fault_arg $ fault_log_arg
-          $ budget_arg $ heap_limit_arg $ escalate_arg $ vcd_arg
+          $ budget_arg $ heap_limit_arg $ escalate_arg $ monitor_flag
+          $ snapshot_every_arg $ snapshot_out_arg $ flight_out_arg $ vcd_arg
           $ trace_out_arg)
 
 let size_cmd =

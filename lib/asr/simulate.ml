@@ -18,19 +18,35 @@ type t = {
   mutable evaluations : int;
   telemetry : Telemetry.Registry.t option;
   supervisor : Supervisor.t option;
+  monitor : Telemetry.Monitor.t option;
+  mon_churn_k : int;  (* Monitor.churn_every, hoisted; 0 w/o monitor *)
   eval_counts : int array;  (* per-block tally buffer, [||] w/o telemetry *)
-  prev_nets : Domain.t array;  (* last instant's fixed point, for churn *)
+  prev_nets : Domain.t array;  (* last fixed point, for churn; [||] w/o sinks *)
   block_counters : Telemetry.Registry.counter array;
 }
 
 let initial_delays compiled =
   Array.map (fun (_, _, init) -> init) compiled.Graph.c_delays
 
-let create ?order ?strategy ?telemetry ?supervisor graph =
+let create ?order ?strategy ?telemetry ?supervisor ?monitor graph =
   let compiled = Graph.compile graph in
   (match supervisor with
   | Some sup -> Supervisor.attach sup compiled
   | None -> ());
+  (* supervisor fault events feed the monitor's per-block health; the
+     glue lives here because telemetry cannot depend on asr types *)
+  (match (monitor, supervisor) with
+  | Some mon, Some sup ->
+      Supervisor.set_observer sup (fun ev ->
+          match ev with
+          | Supervisor.Ev_fault f ->
+              Telemetry.Monitor.block_fault mon ~block:f.Supervisor.f_block_name
+          | Supervisor.Ev_recovered f ->
+              Telemetry.Monitor.block_recovered mon
+                ~block:f.Supervisor.f_block_name
+          | Supervisor.Ev_quarantined f ->
+              Telemetry.Monitor.quarantine mon ~block:f.Supervisor.f_block_name)
+  | _ -> ());
   let schedule = Schedule.of_compiled compiled in
   let strategy =
     match (strategy, order) with
@@ -60,14 +76,19 @@ let create ?order ?strategy ?telemetry ?supervisor graph =
     evaluations = 0;
     telemetry;
     supervisor;
+    monitor;
+    mon_churn_k =
+      (match monitor with
+      | Some mon -> Telemetry.Monitor.churn_every mon
+      | None -> 0);
     eval_counts =
       (match telemetry with
       | Some _ -> Array.make n_blocks 0
       | None -> [||]);
     prev_nets =
-      (match telemetry with
-      | Some _ -> Array.make compiled.Graph.n_nets Domain.Bottom
-      | None -> [||]);
+      (match (telemetry, monitor) with
+      | Some _, _ | _, Some _ -> Array.make compiled.Graph.n_nets Domain.Bottom
+      | None, None -> [||]);
     block_counters =
       (match telemetry with
       | Some reg ->
@@ -91,6 +112,9 @@ let react t inputs =
       Telemetry.Registry.enter reg ~cat:"asr" "instant";
       Array.fill t.eval_counts 0 (Array.length t.eval_counts) 0
   | None -> ());
+  (match t.monitor with
+  | Some mon -> Telemetry.Monitor.instant_begin mon
+  | None -> ());
   (match t.supervisor with
   | Some sup -> Supervisor.begin_instant sup
   | None -> ());
@@ -101,6 +125,44 @@ let react t inputs =
       ~eval_counts:(match tele with Some _ -> t.eval_counts | None -> [||])
       ?supervisor:t.supervisor ()
   in
+  (* churn — nets whose fixed point differs from the previous instant's —
+     is shared by the telemetry span and the monitor record; the scan is
+     O(nets), so with only a monitor attached it runs every
+     [Monitor.churn_every] instants (the record then means "nets changed
+     since the previous sample") to stay inside the always-on budget *)
+  (* the sample closes a uniform k-instant window — instants k-1,
+     2k-1, ... — rather than opening one at instant 0, so short runs
+     (fewer than k instants) never pay the scan at all *)
+  let want_churn =
+    tele <> None
+    || (t.mon_churn_k > 0 && (t.instant + 1) mod t.mon_churn_k = 0)
+  in
+  let churn =
+    if not want_churn then 0
+    else begin
+      let c = ref 0 in
+      Array.iteri
+        (fun i v ->
+          if not (Domain.equal v t.prev_nets.(i)) then begin
+            incr c;
+            t.prev_nets.(i) <- v
+          end)
+        result.Fixpoint.nets;
+      !c
+    end
+  in
+  (* the monitor records this instant *before* [Supervisor.end_instant],
+     so a quarantine escalation's flight dump covers the instant that
+     triggered it *)
+  (match t.monitor with
+  | Some mon ->
+      Telemetry.Monitor.instant_end mon ~iterations:result.Fixpoint.iterations
+        ~block_evals:result.Fixpoint.block_evaluations ~net_churn:churn
+        ~faults:
+          (match t.supervisor with
+          | Some sup -> Supervisor.instant_fault_count sup
+          | None -> 0)
+  | None -> ());
   (match t.supervisor with
   | Some sup -> Supervisor.end_instant sup
   | None -> ());
@@ -111,14 +173,6 @@ let react t inputs =
   t.evaluations <- t.evaluations + result.Fixpoint.block_evaluations;
   (match tele with
   | Some reg ->
-      let churn = ref 0 in
-      Array.iteri
-        (fun i v ->
-          if not (Domain.equal v t.prev_nets.(i)) then begin
-            incr churn;
-            t.prev_nets.(i) <- v
-          end)
-        result.Fixpoint.nets;
       Array.iteri
         (fun bi n -> if n > 0 then Telemetry.Registry.add t.block_counters.(bi) n)
         t.eval_counts;
@@ -140,7 +194,7 @@ let react t inputs =
              ("iterations", Telemetry.Registry.Int result.Fixpoint.iterations);
              ( "block_evaluations",
                Telemetry.Registry.Int result.Fixpoint.block_evaluations );
-             ("net_churn", Telemetry.Registry.Int !churn) ]
+             ("net_churn", Telemetry.Registry.Int churn) ]
           @ fault_args)
         ()
   | None -> ());
@@ -162,6 +216,8 @@ let fuse_plan t = t.fuse
 
 let supervisor t = t.supervisor
 
+let monitor t = t.monitor
+
 let net_values t = Array.copy t.nets_buffer
 
 let schedule t = t.schedule
@@ -177,6 +233,7 @@ let reset t =
   t.instant <- 0;
   t.evaluations <- 0;
   Array.fill t.nets_buffer 0 (Array.length t.nets_buffer) Domain.Bottom;
+  Array.fill t.prev_nets 0 (Array.length t.prev_nets) Domain.Bottom;
   (match t.supervisor with
   | Some sup -> Supervisor.reset sup
   | None -> ())

@@ -20,6 +20,7 @@ val create :
   ?strategy:Fixpoint.strategy ->
   ?telemetry:Telemetry.Registry.t ->
   ?supervisor:Supervisor.t ->
+  ?monitor:Telemetry.Monitor.t ->
   Graph.t ->
   t
 (** Compiles the graph and its schedule — and, under
@@ -43,7 +44,27 @@ val create :
     simulator drives the supervisor's instant lifecycle and, with
     telemetry on, adds a ["faults"] arg to each instant span. Without a
     supervisor the execution path is exactly the pre-supervisor one —
-    no per-application overhead. *)
+    no per-application overhead.
+
+    [monitor]: each reaction is bracketed by
+    {!Telemetry.Monitor.instant_begin} / [instant_end], recording one
+    flight-recorder entry per instant (iterations, block evaluations,
+    net churn, faults) and feeding the streaming sketches and windows.
+    With only a monitor attached, the O(nets) churn scan runs every
+    [Telemetry.Monitor.churn_every] instants rather than every instant
+    (records between samples carry churn 0, the sampled record carries
+    "nets changed since the previous sample") — always-on monitoring
+    must not scale per-instant cost with net count; with [telemetry]
+    also enabled churn is exact every instant.
+    The record is pushed {e before} [Supervisor.end_instant], so a
+    quarantine escalation's flight dump covers the instant that
+    triggered it. With both [monitor] and [supervisor], the simulator
+    installs a {!Supervisor.set_observer} hook translating fault /
+    recovery / quarantine events into monitor block health. The monitor
+    is independent of [telemetry]; with both, their cumulative
+    ["asr.instants"] / ["asr.block_evaluations"] /
+    ["asr.supervisor.faults"] views reconcile exactly because they are
+    fed from the same per-instant values. *)
 
 val step : t -> (string * Domain.t) list -> (string * Domain.t) list
 (** React to one instant's inputs; returns the outputs and advances the
@@ -70,6 +91,8 @@ val block_evaluations : t -> int
 val delay_state : t -> Domain.t array
 
 val supervisor : t -> Supervisor.t option
+
+val monitor : t -> Telemetry.Monitor.t option
 
 val net_values : t -> Domain.t array
 (** Copy of the most recent instant's fixed point, indexed by net (all

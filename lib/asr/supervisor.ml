@@ -20,6 +20,11 @@ type fault = {
 
 exception Fatal of fault
 
+type event =
+  | Ev_fault of fault
+  | Ev_recovered of fault
+  | Ev_quarantined of fault
+
 type t = {
   policy : policy;
   escalate_after : int;
@@ -47,6 +52,7 @@ type t = {
   mutable total_faults : int;
   mutable total_recovered : int;
   mutable instant_faults : int;
+  mutable observer : (event -> unit) option;
 }
 
 let policy_name = function
@@ -146,7 +152,12 @@ let create ?(policy = Hold_last) ?(escalate_after = 3) ?(max_log = 1000)
     dropped_log = 0;
     total_faults = 0;
     total_recovered = 0;
-    instant_faults = 0 }
+    instant_faults = 0;
+    observer = None }
+
+let set_observer t f = t.observer <- Some f
+
+let notify t ev = match t.observer with Some f -> f ev | None -> ()
 
 let attach t (c : Graph.compiled) =
   let n = Array.length c.Graph.c_blocks in
@@ -207,15 +218,18 @@ let end_instant t =
       t.consec.(bi) <- t.consec.(bi) + 1;
       if t.consec.(bi) >= t.escalate_after && not t.quarantined.(bi) then begin
         t.quarantined.(bi) <- true;
-        log_fault t
+        let f =
           { f_instant = t.instant;
             f_block = bi;
             f_block_name = t.names.(bi);
             f_class = Trap;
             f_detail =
               Printf.sprintf "%d consecutive faulty instants" t.consec.(bi);
-            f_action = Escalated };
-        count_telemetry t "asr.supervisor.quarantined" 1
+            f_action = Escalated }
+        in
+        log_fault t f;
+        count_telemetry t "asr.supervisor.quarantined" 1;
+        notify t (Ev_quarantined f)
       end
     end
     else if not t.quarantined.(bi) then t.consec.(bi) <- 0
@@ -257,6 +271,7 @@ let contain t ~bi ~cls ~detail =
   log_fault t f;
   count_telemetry t "asr.supervisor.faults" 1;
   count_telemetry t ("asr.supervisor.fault." ^ class_name cls) 1;
+  notify t (Ev_fault f);
   if t.policy = Fail_fast then raise (Fatal f);
   substitution t bi
 
@@ -279,14 +294,17 @@ let guard t ~bi ~run =
           | outs ->
               if failed > 0 then begin
                 t.total_recovered <- t.total_recovered + 1;
-                log_fault t
+                let f =
                   { f_instant = t.instant;
                     f_block = bi;
                     f_block_name = t.names.(bi);
                     f_class = Trap;
                     f_detail = "transient fault absorbed by retry";
-                    f_action = Recovered failed };
-                count_telemetry t "asr.supervisor.recovered" 1
+                    f_action = Recovered failed }
+                in
+                log_fault t f;
+                count_telemetry t "asr.supervisor.recovered" 1;
+                notify t (Ev_recovered f)
               end;
               Array.blit outs 0 t.staged.(bi) 0 (Array.length outs);
               t.staged_valid.(bi) <- true;

@@ -63,6 +63,12 @@ type fault = {
 exception Fatal of fault
 (** Raised under [Fail_fast] (after logging the fault). *)
 
+type event =
+  | Ev_fault of fault  (** a fault was contained (any action) *)
+  | Ev_recovered of fault  (** a [Retry] absorbed a transient fault *)
+  | Ev_quarantined of fault
+      (** the watchdog escalated the block to permanent quarantine *)
+
 type t
 
 val create :
@@ -91,6 +97,15 @@ val create :
     [telemetry] feeds counters ["asr.supervisor.faults"],
     ["asr.supervisor.fault.<class>"], ["asr.supervisor.recovered"] and
     ["asr.supervisor.quarantined"]. *)
+
+val set_observer : t -> (event -> unit) -> unit
+(** Install a synchronous event observer, replacing any previous one.
+    Fired at every containment ([Ev_fault], including the ones beyond
+    the [max_log] retention cap), retry recovery ([Ev_recovered]) and
+    watchdog escalation ([Ev_quarantined], from {!end_instant}). Under
+    [Fail_fast] the observer sees the fault before {!Fatal} is raised.
+    {!Simulate} uses this to feed {!Telemetry.Monitor} block health;
+    {!reset} leaves the observer installed. *)
 
 val attach : t -> Graph.compiled -> unit
 (** Size the per-block state for this graph. Idempotent for graphs with

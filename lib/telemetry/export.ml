@@ -70,6 +70,10 @@ let table reg =
   end;
   if Registry.dropped_spans reg > 0 then
     line "(%d spans dropped past retention cap)" (Registry.dropped_spans reg);
+  List.iter
+    (fun name ->
+      line "(counter %s saturated at max_int; later increments were lost)" name)
+    (Registry.saturated_counters reg);
   Buffer.contents buf
 
 let json reg =
@@ -112,7 +116,15 @@ let json reg =
   in
   Json.Obj
     [ ("counters", counters); ("histograms", histograms); ("spans", spans);
-      ("dropped_spans", Json.Int (Registry.dropped_spans reg)) ]
+      ("dropped_spans", Json.Int (Registry.dropped_spans reg));
+      ( "data_loss",
+        Json.Obj
+          [ ("dropped_spans", Json.Int (Registry.dropped_spans reg));
+            ( "saturated_counters",
+              Json.List
+                (List.map
+                   (fun n -> Json.Str n)
+                   (Registry.saturated_counters reg)) ) ] ) ]
 
 let chrome_trace reg =
   let events =
@@ -146,7 +158,12 @@ let chrome_trace reg =
          ("otherData", counters);
          ("metadata",
           Json.Obj
-            [ ("dropped_spans", Json.Int (Registry.dropped_spans reg)) ]) ])
+            [ ("dropped_spans", Json.Int (Registry.dropped_spans reg));
+              ( "saturated_counters",
+                Json.List
+                  (List.map
+                     (fun n -> Json.Str n)
+                     (Registry.saturated_counters reg)) ) ]) ])
 
 let pct total part =
   if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total

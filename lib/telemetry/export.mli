@@ -4,19 +4,22 @@
 
 val table : Registry.t -> string
 (** Pretty text: counters, histograms, then the span tree (indented by
-    nesting depth, with durations and args). *)
+    nesting depth, with durations and args), then one line per
+    data-loss condition (dropped spans, saturated counters). *)
 
 val json : Registry.t -> Json.t
 (** Full structured dump: [{"counters": {...}, "histograms": [...],
-    "spans": [...], "dropped_spans": n}] — [dropped_spans] is nonzero
-    when the retention cap truncated the span list, so a partial trace
-    is never silently read as complete. *)
+    "spans": [...], "dropped_spans": n, "data_loss": {...}}] —
+    [data_loss] carries [dropped_spans] (nonzero when the retention
+    cap truncated the span list) and [saturated_counters] (counters
+    that hit [max_int]), so a partial view is never silently read as
+    complete. *)
 
 val chrome_trace : Registry.t -> string
 (** JSON Object Format per the Trace Event specification: closed spans
     become complete ([ph = "X"]) events with µs timestamps; counters
     ride along under ["otherData"], and ["metadata"] carries
-    [dropped_spans] (see {!json}). *)
+    [dropped_spans] and [saturated_counters] (see {!json}). *)
 
 val profile_table : ?limit:int -> Profile.t -> string
 (** Flat profile sorted by self cycles (descending), gprof-style, with

@@ -161,6 +161,13 @@ let histograms t = List.rev t.histograms_rev
 let spans t = List.rev t.spans_rev
 let dropped_spans t = t.dropped
 
+let saturated c = c.c_value = max_int
+
+let saturated_counters t =
+  List.filter_map
+    (fun c -> if saturated c then Some c.c_name else None)
+    (List.rev t.counters_rev)
+
 let reset t =
   Hashtbl.reset t.counters_tbl;
   t.counters_rev <- [];

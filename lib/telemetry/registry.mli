@@ -97,4 +97,12 @@ val spans : t -> span list
 (** In start order, including any still-open spans ([sp_closed = false]). *)
 
 val dropped_spans : t -> int
+
+val saturated : counter -> bool
+(** The counter hit [max_int]: later increments were lost. *)
+
+val saturated_counters : t -> string list
+(** Names of saturated counters, in creation order — a data-loss flag
+    every exporter surfaces (see {!Export}). *)
+
 val reset : t -> unit

@@ -24,5 +24,6 @@ let () =
       ("uart", Test_uart.suite);
       ("telemetry", Test_telemetry.suite);
       ("observability", Test_observability.suite);
+      ("monitor", Test_monitor.suite);
       ("supervisor", Test_supervisor.suite);
       ("refinement", Test_refinement.suite) ]

@@ -595,6 +595,37 @@ let json_edge_tests =
               "member takes first" true
               (J.member "a" parsed = Some (J.Int 1))
         | _ -> Alcotest.fail "expected object");
+    case "float edge cases serialize valid JSON deterministically"
+      (fun () ->
+        (* nan and infinities have no JSON spelling: documented "0" *)
+        List.iter
+          (fun f ->
+            Alcotest.(check string)
+              "non-finite flattens" "0"
+              (J.to_string (J.Float f)))
+          [ nan; infinity; neg_infinity ];
+        (* negative zero keeps its sign through a round trip *)
+        (match J.parse (J.to_string (J.Float (-0.0))) with
+        | J.Float z ->
+            Alcotest.(check bool)
+              "sign preserved" true
+              (1.0 /. z = neg_infinity)
+        | _ -> Alcotest.fail "expected a float");
+        (* extreme magnitudes round-trip exactly *)
+        List.iter
+          (fun f ->
+            match J.parse (J.to_string (J.Float f)) with
+            | J.Float g ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%h round-trips" f)
+                  true (f = g)
+            | J.Int n ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%h as int" f)
+                  true
+                  (float_of_int n = f)
+            | _ -> Alcotest.failf "%h parsed to a non-number" f)
+          [ 1e300; 5e-324; 0.1; 1e15; 1e15 -. 1.0 ]);
     case "reject paths report an offset" (fun () ->
         let expect_error text =
           match J.parse text with
@@ -660,7 +691,49 @@ let dropped_tests =
           (not (contains ~sub:"dropped" (Telemetry.Export.table reg)));
         match J.member "dropped_spans" (Telemetry.Export.json reg) with
         | Some (J.Int 0) -> ()
-        | _ -> Alcotest.fail "json dump should carry 0") ]
+        | _ -> Alcotest.fail "json dump should carry 0");
+    case "a saturated counter is flagged by every exporter" (fun () ->
+        let reg = R.create () in
+        R.count reg "hot" 1;
+        R.count reg "cold" 1;
+        (* drive the counter to the clamp the way a long campaign would,
+           without iterating max_int times *)
+        (match List.find_opt (fun c -> c.R.c_name = "hot") (R.counters reg) with
+        | Some c -> c.R.c_value <- max_int - 2
+        | None -> Alcotest.fail "counter missing");
+        R.count reg "hot" 5;
+        Alcotest.(check bool)
+          "clamped, not wrapped" true
+          ((List.find (fun c -> c.R.c_name = "hot") (R.counters reg)).R.c_value
+          = max_int);
+        Alcotest.(check (list string))
+          "flag names the counter" [ "hot" ]
+          (R.saturated_counters reg);
+        Alcotest.(check bool)
+          "table names it" true
+          (contains ~sub:"counter hot saturated" (Telemetry.Export.table reg));
+        (match J.member "data_loss" (Telemetry.Export.json reg) with
+        | Some dl -> (
+            match J.member "saturated_counters" dl with
+            | Some (J.List [ J.Str "hot" ]) -> ()
+            | _ -> Alcotest.fail "json data_loss missing the counter")
+        | None -> Alcotest.fail "json dump missing data_loss");
+        match J.parse (Telemetry.Export.chrome_trace reg) with
+        | exception J.Parse_error msg -> Alcotest.fail msg
+        | parsed -> (
+            match J.member "metadata" parsed with
+            | Some meta -> (
+                match J.member "saturated_counters" meta with
+                | Some (J.List [ J.Str "hot" ]) -> ()
+                | _ -> Alcotest.fail "chrome metadata missing the counter")
+            | None -> Alcotest.fail "chrome trace missing metadata"));
+    case "no saturation reports an empty flag set" (fun () ->
+        let reg = R.create () in
+        R.count reg "n" 3;
+        Alcotest.(check (list string)) "none" [] (R.saturated_counters reg);
+        Alcotest.(check bool)
+          "no table line" true
+          (not (contains ~sub:"saturated" (Telemetry.Export.table reg)))) ]
 
 let suite =
   lines_tests @ linetable_tests @ reconcile_tests @ flame_tests
