@@ -722,6 +722,20 @@ module Sched_bench = struct
       bench_graph "random"
         (random_graph ~seed:11 ~inputs:3 ~layers:(scale 12 4)
            ~per_layer:(scale 25 6) ~delays:4)
+        ~instants:(scale 200 20);
+      (* generated nets from the shared Netgen family (the same generator
+         the fusion, monitor and causal benches scale over). Layers are
+         declared input-to-output, so chaotic declaration order is
+         near-topological here — an honest best case next to the
+         output-first fir/jpeg rows, which is why these rows sit outside
+         the >= 5x feed-forward gate. *)
+      bench_graph "netgen-1e2"
+        (Workloads.Netgen.generate ~inputs:3 ~delays:4 ~cyclic_ratio:0.05
+           ~seed:211 ~depth:(scale 5 3) ~width:(scale 20 5) ())
+        ~instants:(scale 200 20);
+      bench_graph "netgen-1e3"
+        (Workloads.Netgen.generate ~inputs:3 ~delays:4 ~cyclic_ratio:0.05
+           ~seed:212 ~depth:(scale 25 4) ~width:(scale 40 6) ())
         ~instants:(scale 200 20) ]
 
   let print_text reports =
@@ -3409,6 +3423,552 @@ module Refinement_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Causal tracing: recording overhead on the fused xl rows (the        *)
+(* disabled path must stay cycle-identical to the committed fusion     *)
+(* baseline; the traced path is measured and reported honestly),       *)
+(* why-provenance slice sizes on generated nets up to 1e4 blocks       *)
+(* under the bounded ring, first-divergence localization of seeded     *)
+(* block mutations, and bit-identical record/replay across every       *)
+(* strategy and containment policy, injected campaigns included.       *)
+(* ------------------------------------------------------------------ *)
+
+module Causal_bench = struct
+  module J = Telemetry.Json
+  module C = Telemetry.Causal
+  module G = Asr.Graph
+  module B = Asr.Block
+  module D = Asr.Domain
+  module T = Asr.Trace
+  module F = Asr.Fixpoint
+  module S = Asr.Supervisor
+  module I = Asr.Inject
+
+  (* ---- overhead: causal-off vs causal-on on the fusion xl rows ----- *)
+
+  type ov_row = {
+    v_name : string;
+    v_blocks : int;
+    v_nets : int;
+    v_instants : int;
+    v_evals_off : int;
+    v_evals_on : int;
+    v_wall_off : float;
+    v_wall_on : float;
+    v_outputs_equal : bool;
+    v_events_pushed : int;  (* causal events pushed over one stream *)
+    v_overwrites : int;  (* ring evictions over one stream *)
+    v_baseline_evals : int option;  (* fused evals from BENCH_fusion.json *)
+  }
+
+  (* Same interleaved best-of-[passes] protocol as
+     [Monitor_bench.measure_pair]; the on arm records every evaluation
+     into a default-capacity causal ring. Unlike the monitor's counter
+     increments, full event capture (reads resolution + write arrays per
+     evaluation) is NOT expected to fit a 5% envelope on these
+     tiny-kernel nets — the traced wall is reported, not gated. The
+     hard gates are on the off arm: evaluations and outputs identical
+     to the traced arm, and cycle-identical to the committed fusion
+     baseline (tracing disabled costs one [None] match per instant). *)
+  let measure_pair g stream ~passes ~reps =
+    let compiled = G.compile g in
+    let sim_off = Asr.Simulate.create ~strategy:Asr.Fixpoint.Fused g in
+    let cz = C.create ~n_nets:compiled.G.n_nets () in
+    let sim_on =
+      Asr.Simulate.create ~strategy:Asr.Fixpoint.Fused ~causal:cz g
+    in
+    let arm sim =
+      let outputs =
+        List.map (fun inputs -> Asr.Simulate.step sim inputs) stream
+      in
+      let evals = Asr.Simulate.block_evaluations sim in
+      Asr.Simulate.reset sim;
+      (outputs, evals)
+    in
+    let off_out, off_evals = arm sim_off in
+    let on_out, on_evals = arm sim_on in
+    let pushed = C.pushed cz and overwrites = C.overwrites cz in
+    let timed sim =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        List.iter (fun inputs -> ignore (Asr.Simulate.step sim inputs)) stream;
+        Asr.Simulate.reset sim
+      done;
+      let w = Unix.gettimeofday () -. t0 in
+      w /. float_of_int reps
+    in
+    Gc.full_major ();
+    let best_off = ref infinity and best_on = ref infinity in
+    for p = 1 to passes do
+      let w_off, w_on =
+        if p land 1 = 0 then begin
+          let w_off = timed sim_off in
+          let w_on = timed sim_on in
+          (w_off, w_on)
+        end
+        else begin
+          let w_on = timed sim_on in
+          let w_off = timed sim_off in
+          (w_off, w_on)
+        end
+      in
+      if w_off < !best_off then best_off := w_off;
+      if w_on < !best_on then best_on := w_on
+    done;
+    ((off_out, off_evals, !best_off), (on_out, on_evals, !best_on),
+     (pushed, overwrites))
+
+  let overhead_row ?baseline name g ~instants ~passes ~reps =
+    let compiled = G.compile g in
+    let stream = Sched_bench.stimulus g ~instants in
+    let (off_out, off_evals, off_wall), (on_out, on_evals, on_wall),
+        (pushed, overwrites) =
+      measure_pair g stream ~passes ~reps
+    in
+    { v_name = name;
+      v_blocks = Array.length compiled.G.c_blocks;
+      v_nets = compiled.G.n_nets;
+      v_instants = instants;
+      v_evals_off = off_evals;
+      v_evals_on = on_evals;
+      v_wall_off = off_wall;
+      v_wall_on = on_wall;
+      v_outputs_equal = off_out = on_out;
+      v_events_pushed = pushed;
+      v_overwrites = overwrites;
+      v_baseline_evals =
+        (match baseline with None -> None | Some lookup -> lookup ~name) }
+
+  let overhead ~smoke ~baseline () =
+    let scale n small = if smoke then small else n in
+    let lookup = Option.map Monitor_bench.fusion_baseline baseline in
+    (* the fusion xl topologies, sizes and stimulus, so the committed
+       fused evaluation counts line up exactly *)
+    [ overhead_row ?baseline:lookup "fir-xl"
+        (Sched_bench.fir_graph (scale 512 16))
+        ~instants:(scale 200 20) ~passes:(scale 20 3) ~reps:(scale 5 1);
+      overhead_row ?baseline:lookup "jpeg-pipeline-xl"
+        (Sched_bench.pipeline_graph (scale 320 12))
+        ~instants:(scale 200 20) ~passes:(scale 20 3) ~reps:(scale 10 1) ]
+
+  let overhead_traced_pct v =
+    if v.v_wall_off <= 0.0 then 0.0
+    else 100.0 *. (v.v_wall_on -. v.v_wall_off) /. v.v_wall_off
+
+  (* ---- why-provenance slice sizes under the bounded ring ----------- *)
+
+  type sl_row = {
+    s_name : string;
+    s_blocks : int;
+    s_nets : int;
+    s_instants : int;
+    s_pushed : int;
+    s_overwrites : int;
+    s_checked : int;  (* slices computed *)
+    s_mean : float;  (* mean events per slice *)
+    s_max : int;
+    s_truncated : int;  (* slices that crossed the retention horizon *)
+    s_roots_ok : bool;
+        (* every slice agrees with the recorded fixed point: a Def net
+           resolves its establishing event (or reports truncation), a ⊥
+           net reports no establishing value *)
+  }
+
+  let slice_row ~size ~instants =
+    let width = min size 25 in
+    let depth = max 1 (size / width) in
+    let g =
+      Workloads.Netgen.generate ~inputs:4 ~delays:4 ~cyclic_ratio:0.04
+        ~seed:(1311 + size) ~depth ~width ()
+    in
+    let compiled = G.compile g in
+    let t =
+      T.record ~strategy:F.Fused g (Workloads.Netgen.stimulus g ~instants)
+    in
+    let out_nets =
+      match T.outputs t with
+      | [] -> []
+      | first :: _ -> List.filter_map (fun (n, _) -> T.output_net t n) first
+    in
+    let last = T.instants t - 1 in
+    let probes =
+      List.concat_map
+        (fun di ->
+          if last - di < 0 then []
+          else List.map (fun net -> (net, last - di)) out_nets)
+        [ 0; 1; 2 ]
+    in
+    let slices =
+      List.map
+        (fun (net, instant) ->
+          let recorded =
+            match T.nets_at t instant with
+            | Some nets -> nets.(net)
+            | None -> D.Bottom
+          in
+          (T.why t ~net ~instant, recorded))
+        probes
+    in
+    let sizes =
+      List.map (fun (sl, _) -> List.length sl.C.sl_events) slices
+    in
+    let checked = List.length slices in
+    let overwrites, _ = T.data_loss t in
+    { s_name = Printf.sprintf "netgen-%d" (Array.length compiled.G.c_blocks);
+      s_blocks = Array.length compiled.G.c_blocks;
+      s_nets = compiled.G.n_nets;
+      s_instants = T.instants t;
+      s_pushed = overwrites + List.length (T.events t);
+      s_overwrites = overwrites;
+      s_checked = checked;
+      s_mean =
+        (if checked = 0 then 0.0
+         else
+           float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int checked);
+      s_max = List.fold_left max 0 sizes;
+      s_truncated =
+        List.length (List.filter (fun (sl, _) -> sl.C.sl_truncated) slices);
+      s_roots_ok =
+        checked > 0
+        && List.for_all
+             (fun (sl, recorded) ->
+               match recorded with
+               | D.Bottom -> sl.C.sl_value = None
+               | D.Def _ -> sl.C.sl_root >= 0 || sl.C.sl_truncated)
+             slices }
+
+  let slice_rows ~smoke () =
+    let sizes = if smoke then [ 50 ] else [ 100; 1_000; 10_000 ] in
+    let instants = if smoke then 8 else 20 in
+    List.map (fun size -> slice_row ~size ~instants) sizes
+
+  (* ---- first-divergence localization of seeded mutations ----------- *)
+
+  type loc_row = {
+    l_name : string;
+    l_blocks : int;
+    l_mutated : int;  (* corrupted compiled block index *)
+    l_instant : int;  (* localized divergence instant *)
+    l_net : int;
+    l_localized : bool;  (* localizer blamed exactly the mutated block *)
+  }
+
+  (* Off-by-one every Int output of one block — the canonical silent
+     data corruption a bit flip or a wrong-constant patch produces. *)
+  let corrupt g ~target =
+    G.map_blocks g (fun bi b ->
+        if bi <> target then b
+        else
+          { b with
+            B.fn =
+              (fun ins ->
+                Array.map
+                  (function
+                    | D.Def (Asr.Data.Int v) -> D.Def (Asr.Data.Int (v + 1))
+                    | x -> x)
+                  (b.B.fn ins)) })
+
+  let localize_row ~seed ~instants =
+    let g =
+      Workloads.Netgen.generate ~inputs:3 ~delays:2 ~cyclic_ratio:0.1 ~seed
+        ~depth:6 ~width:8 ()
+    in
+    let compiled = G.compile g in
+    let n_blocks = Array.length compiled.G.c_blocks in
+    let stream = Workloads.Netgen.stimulus g ~instants in
+    let reference = T.record ~strategy:F.Fused g stream in
+    (* walk candidate targets from a seeded start until one whose
+       corruption actually perturbs the run (Bool-valued cells shrug
+       off an Int offset), then demand the localizer blame exactly it *)
+    let start = seed mod n_blocks in
+    let rec hunt k =
+      if k >= n_blocks then
+        { l_name = Printf.sprintf "netgen-seed%d" seed;
+          l_blocks = n_blocks;
+          l_mutated = -1;
+          l_instant = -1;
+          l_net = -1;
+          l_localized = false }
+      else
+        let target = (start + k) mod n_blocks in
+        let mutated = T.record ~strategy:F.Fused (corrupt g ~target) stream in
+        match T.first_divergence reference mutated with
+        | None -> hunt (k + 1)
+        | Some d ->
+            { l_name = Printf.sprintf "netgen-seed%d" seed;
+              l_blocks = n_blocks;
+              l_mutated = target;
+              l_instant = d.T.d_instant;
+              l_net = d.T.d_net;
+              l_localized =
+                d.T.d_block = target
+                && d.T.d_slice_a <> None
+                && d.T.d_slice_b <> None }
+    in
+    hunt 0
+
+  let localize_rows ~smoke () =
+    let seeds = if smoke then [ 31 ] else [ 31; 32; 33 ] in
+    let instants = if smoke then 6 else 8 in
+    List.map (fun seed -> localize_row ~seed ~instants) seeds
+
+  (* ---- bit-identical record/replay across strategies and policies -- *)
+
+  type rp_row = {
+    p_strategy : string;
+    p_policy : string;  (* "none" or the containment policy *)
+    p_injected : int;  (* faults drawn into the campaign plan *)
+    p_instants : int;  (* instants the recorded run completed *)
+    p_aborted : bool;  (* Fail_fast cut the run short *)
+    p_replay_identical : bool;
+    p_serialization_identical : bool;
+  }
+
+  let replay_row g stream ~strategy ?policy ?inject () =
+    let t = T.record ~strategy ?policy ?inject ~seed:17 g stream in
+    { p_strategy = F.strategy_name strategy;
+      p_policy =
+        (match policy with None -> "none" | Some p -> S.policy_name p);
+      p_injected = (match inject with None -> 0 | Some l -> List.length l);
+      p_instants = T.instants t;
+      p_aborted = T.fatal t <> None;
+      p_replay_identical = T.equal t (T.replay t g);
+      p_serialization_identical = T.equal t (T.of_json (T.to_json t)) }
+
+  let replay_rows ~smoke () =
+    let instants = if smoke then 6 else 12 in
+    let g =
+      Workloads.Netgen.generate ~inputs:3 ~delays:2 ~cyclic_ratio:0.1 ~seed:41
+        ~depth:5 ~width:8 ()
+    in
+    let compiled = G.compile g in
+    let n_blocks = Array.length compiled.G.c_blocks in
+    let stream = Workloads.Netgen.stimulus g ~instants in
+    let campaign seed =
+      I.plan ~seed ~n_blocks ~instants ~n_faults:3 ~first_only:false ()
+    in
+    [ replay_row g stream ~strategy:F.Chaotic ();
+      replay_row g stream ~strategy:F.Scheduled ~policy:S.Hold_last
+        ~inject:(campaign 7) ();
+      replay_row g stream ~strategy:F.Worklist ~policy:(S.Retry 2)
+        ~inject:(campaign 8) ();
+      replay_row g stream ~strategy:F.Fused ~policy:S.Absent
+        ~inject:(campaign 9) ();
+      (* a persistent trap under Fail_fast: the recorded run aborts
+         mid-stream and the replay must abort at the same instant with
+         the same partial trace *)
+      replay_row g stream ~strategy:F.Fused ~policy:S.Fail_fast
+        ~inject:
+          [ { I.i_block = 1;
+              i_kind = I.Trap;
+              i_instant = instants / 2;
+              i_persistence = I.Persistent;
+              i_first_only = false } ]
+        () ]
+
+  (* ---- report ------------------------------------------------------ *)
+
+  type report = {
+    r_overhead : ov_row list;
+    r_slices : sl_row list;
+    r_localize : loc_row list;
+    r_replay : rp_row list;
+  }
+
+  let reports ~smoke ~baseline () =
+    { r_overhead = overhead ~smoke ~baseline ();
+      r_slices = slice_rows ~smoke ();
+      r_localize = localize_rows ~smoke ();
+      r_replay = replay_rows ~smoke () }
+
+  let print_text r =
+    print_endline
+      "Causal tracing: provenance, replay and divergence localization";
+    print_newline ();
+    List.iter
+      (fun v ->
+        Printf.printf
+          "  %-18s %5d blocks %5d nets %4d instants  off %.6fs traced %.6fs \
+           (%+.1f%%)  outputs %s  evals %s%s  %d events (%d evicted)\n"
+          v.v_name v.v_blocks v.v_nets v.v_instants v.v_wall_off v.v_wall_on
+          (overhead_traced_pct v)
+          (if v.v_outputs_equal then "identical" else "DIVERGED (BUG)")
+          (if v.v_evals_off = v.v_evals_on then "identical" else "CHANGED (BUG)")
+          (match v.v_baseline_evals with
+          | None -> ""
+          | Some b when b = v.v_evals_off -> ", cycle-identical to baseline"
+          | Some b -> Printf.sprintf ", BASELINE DRIFT (%d)" b)
+          v.v_events_pushed v.v_overwrites)
+      r.r_overhead;
+    print_newline ();
+    List.iter
+      (fun s ->
+        Printf.printf
+          "  %-14s %5d blocks %5d nets: %d slices, %.1f events mean, %d max, \
+           %d truncated (%d ring evictions)  %s\n"
+          s.s_name s.s_blocks s.s_nets s.s_checked s.s_mean s.s_max
+          s.s_truncated s.s_overwrites
+          (if s.s_roots_ok then "roots resolved" else "UNRESOLVED (BUG)"))
+      r.r_slices;
+    print_newline ();
+    List.iter
+      (fun l ->
+        Printf.printf
+          "  %-16s %3d blocks: mutated block %d -> %s (instant %d, net %d)\n"
+          l.l_name l.l_blocks l.l_mutated
+          (if l.l_localized then "localized" else "NOT LOCALIZED (BUG)")
+          l.l_instant l.l_net)
+      r.r_localize;
+    print_newline ();
+    List.iter
+      (fun p ->
+        Printf.printf
+          "  replay %-9s policy %-9s %d injected, %d instants%s: %s, \
+           serialization %s\n"
+          p.p_strategy p.p_policy p.p_injected p.p_instants
+          (if p.p_aborted then " (aborted)" else "")
+          (if p.p_replay_identical then "bit-identical"
+           else "DIVERGED (BUG)")
+          (if p.p_serialization_identical then "bit-identical"
+           else "DIVERGED (BUG)"))
+      r.r_replay
+
+  let print_json r =
+    let ov_json v =
+      J.Obj
+        ([ ("workload", J.Str v.v_name);
+           ("blocks", J.Int v.v_blocks);
+           ("nets", J.Int v.v_nets);
+           ("instants", J.Int v.v_instants);
+           ("evaluations_off", J.Int v.v_evals_off);
+           ("evaluations_traced", J.Int v.v_evals_on);
+           ("wall_off_s", J.Float v.v_wall_off);
+           ("wall_traced_s", J.Float v.v_wall_on);
+           ("overhead_traced_pct", J.Float (overhead_traced_pct v));
+           ("events_pushed", J.Int v.v_events_pushed);
+           ("ring_overwrites", J.Int v.v_overwrites);
+           ("outputs_equal", J.Bool v.v_outputs_equal);
+           ("evals_identical", J.Bool (v.v_evals_off = v.v_evals_on)) ]
+        @
+        match v.v_baseline_evals with
+        | None -> []
+        | Some b ->
+            [ ("baseline_evaluations", J.Int b);
+              ("off_cycle_identical", J.Bool (b = v.v_evals_off)) ])
+    in
+    let sl_json s =
+      J.Obj
+        [ ("workload", J.Str s.s_name);
+          ("blocks", J.Int s.s_blocks);
+          ("nets", J.Int s.s_nets);
+          ("instants", J.Int s.s_instants);
+          ("events_pushed", J.Int s.s_pushed);
+          ("ring_overwrites", J.Int s.s_overwrites);
+          ("slices_checked", J.Int s.s_checked);
+          ("slice_events_mean", J.Float s.s_mean);
+          ("slice_events_max", J.Int s.s_max);
+          ("slices_truncated", J.Int s.s_truncated);
+          ("roots_resolved_ok", J.Bool s.s_roots_ok) ]
+    in
+    let loc_json l =
+      J.Obj
+        [ ("workload", J.Str l.l_name);
+          ("blocks", J.Int l.l_blocks);
+          ("mutated_block", J.Int l.l_mutated);
+          ("divergence_instant", J.Int l.l_instant);
+          ("divergence_net", J.Int l.l_net);
+          ("localized", J.Bool l.l_localized) ]
+    in
+    let rp_json p =
+      J.Obj
+        [ ("strategy", J.Str p.p_strategy);
+          ("policy", J.Str p.p_policy);
+          ("injected_faults", J.Int p.p_injected);
+          ("instants", J.Int p.p_instants);
+          ("aborted", J.Bool p.p_aborted);
+          ("replay_identical", J.Bool p.p_replay_identical);
+          ("serialization_identical", J.Bool p.p_serialization_identical) ]
+    in
+    let coverage =
+      J.Obj
+        [ ( "slices_checked",
+            J.Int (List.fold_left (fun a s -> a + s.s_checked) 0 r.r_slices) );
+          ("localizations_checked", J.Int (List.length r.r_localize));
+          ( "replayed_instants_checked",
+            J.Int (List.fold_left (fun a p -> a + p.p_instants) 0 r.r_replay) )
+        ]
+    in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [ ("bench", J.Str "causal");
+              ("overhead", J.List (List.map ov_json r.r_overhead));
+              ("slices", J.List (List.map sl_json r.r_slices));
+              ("localization", J.List (List.map loc_json r.r_localize));
+              ("replay", J.List (List.map rp_json r.r_replay));
+              ("coverage", coverage) ]))
+
+  (* Smoke contract (causal-smoke alias in `dune runtest`): tracing
+     never changes outputs or evaluation counts, the disabled path is
+     cycle-identical to the committed fusion baseline when one is
+     given, every slice resolves its root or reports truncation, every
+     seeded mutation is localized to exactly the mutated block, and
+     every recorded run — injected campaigns and Fail_fast aborts
+     included — replays and re-serializes bit-identically. *)
+  let check r =
+    let failed = ref false in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "FAIL %s\n" s;
+          failed := true)
+        fmt
+    in
+    List.iter
+      (fun v ->
+        if not v.v_outputs_equal then
+          fail "%s: causal tracing changed the simulation outputs" v.v_name;
+        if v.v_evals_off <> v.v_evals_on then
+          fail "%s: causal tracing changed block evaluations (%d -> %d)"
+            v.v_name v.v_evals_off v.v_evals_on;
+        match v.v_baseline_evals with
+        | Some b when b <> v.v_evals_off ->
+            fail
+              "%s: causal-off path drifted from the committed fusion \
+               baseline (%d -> %d)"
+              v.v_name b v.v_evals_off
+        | Some _ | None -> ())
+      r.r_overhead;
+    List.iter
+      (fun s ->
+        if s.s_checked = 0 then fail "%s: no slices computed" s.s_name;
+        if not s.s_roots_ok then
+          fail "%s: a slice neither resolved its root nor reported truncation"
+            s.s_name)
+      r.r_slices;
+    List.iter
+      (fun l ->
+        if not l.l_localized then
+          fail "%s: first_divergence did not blame the mutated block %d"
+            l.l_name l.l_mutated)
+      r.r_localize;
+    List.iter
+      (fun p ->
+        if not p.p_replay_identical then
+          fail "replay %s/%s: replayed trace differs from the recording"
+            p.p_strategy p.p_policy;
+        if not p.p_serialization_identical then
+          fail "replay %s/%s: serialization round-trip is not bit-identical"
+            p.p_strategy p.p_policy)
+      r.r_replay;
+    if !failed then exit 1
+
+  let run ~json ~smoke ~baseline () =
+    let r = reports ~smoke ~baseline () in
+    if json then print_json r else print_text r;
+    check r
+end
+
+(* ------------------------------------------------------------------ *)
 (* Artifact comparison: diff two BENCH_*.json files metric by metric   *)
 (* and fail on cycle/eval regressions beyond the threshold.            *)
 (* ------------------------------------------------------------------ *)
@@ -3495,7 +4055,7 @@ module Compare = struct
     let p = String.lowercase_ascii path in
     List.exists
       (fun sub -> contains ~sub p)
-      [ "explored"; "checked"; "discharged" ]
+      [ "explored"; "checked"; "discharged"; "localized"; "replayed" ]
 
   let run baseline_path current_path =
     let baseline = load baseline_path and current = load current_path in
@@ -3585,6 +4145,11 @@ let experiments =
     ("refinement",
      `Plain
        (fun () -> Refinement_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
+    ("causal",
+     `Plain
+       (fun () ->
+         Causal_bench.run ~json:!json_flag ~smoke:!smoke_flag
+           ~baseline:!baseline_flag ()));
     ("table1", `Sized table1);
     ("fig1", `Plain fig1);
     ("fig2", `Plain fig2);

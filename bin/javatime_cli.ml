@@ -7,7 +7,9 @@
    javatime simulate <file.mj> <cls> — drive an ASR class instant by instant
    javatime size <file.mj>      — per-class and total bytecode size
    javatime bound <file.mj> <cls> — worst-case reaction bound of an ASR class
-   javatime disasm <file.mj>    — dump compiled bytecode *)
+   javatime disasm <file.mj>    — dump compiled bytecode
+   javatime why <file.mj> <cls> — causal slice behind one net at one instant
+   javatime trace-diff A B      — first divergence between two trace files *)
 
 open Cmdliner
 
@@ -78,6 +80,38 @@ let handle f =
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mj")
+
+(* Deterministic input ramp shared by simulate/why: port i at instant t
+   carries (t + 1) * (i + 2) mod 17. *)
+let ramp t i = (t + 1) * (i + 2) mod 17
+
+(* One-block ASR system around an elaborated reaction (simulate, why):
+   environment ports named "0".."n-1" on both sides. The supervisor
+   (if any) guards each application, so a trap, blown budget or heap
+   exhaustion degrades the instant instead of killing the run.
+   Worklist, scheduled and fused evaluation apply the block exactly
+   once per instant, which keeps stateful reactions sound. *)
+let asr_wrap ~cls ~n_in ~n_out react =
+  let block =
+    Asr.Block.make ~name:("mj:" ^ cls) ~n_in ~n_out (fun inputs ->
+        if Array.for_all Asr.Domain.is_def inputs then react inputs
+        else Array.make n_out Asr.Domain.Bottom)
+  in
+  let g = Asr.Graph.create ("simulate:" ^ cls) in
+  let b = Asr.Graph.add_block g block in
+  for i = 0 to n_in - 1 do
+    let inp = Asr.Graph.add_input g (string_of_int i) in
+    Asr.Graph.connect g
+      ~src:(Asr.Graph.out_port inp 0)
+      ~dst:(Asr.Graph.in_port b i)
+  done;
+  for j = 0 to n_out - 1 do
+    let out = Asr.Graph.add_output g (string_of_int j) in
+    Asr.Graph.connect g
+      ~src:(Asr.Graph.out_port b j)
+      ~dst:(Asr.Graph.in_port out 0)
+  done;
+  g
 
 let class_arg =
   Arg.(required & pos 1 (some string) None & info [] ~docv:"CLASS")
@@ -363,7 +397,7 @@ let profile_cmd =
 let simulate_cmd =
   let run file cls engine instants strategy supervise on_fault fault_log
       budget heap_limit escalate_after monitor snapshot_every snapshot_out
-      flight_out vcd_out trace_out =
+      flight_out causal_trace causal_capacity vcd_out trace_out =
     handle (fun () ->
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
         let engine =
@@ -426,42 +460,18 @@ let simulate_cmd =
           | Some _ -> Some (Telemetry.Registry.create ~clock:wall_us ())
           | None -> None
         in
-        (* Deterministic input ramp: port i at instant t carries
-           (t + 1) * (i + 2) mod 17. *)
-        let ramp t i = (t + 1) * (i + 2) mod 17 in
         let snapshot_buf = Buffer.create 256 in
         let trace, supervisor, mon =
-          if supervise || strategy <> None || monitor then begin
-            (* One-block ASR system around the elaborated reaction; the
-               supervisor (if any) guards each application, so a trap,
-               blown budget or heap exhaustion degrades the instant
-               instead of killing the run. Worklist, scheduled and fused
-               evaluation apply the block exactly once per instant,
-               which keeps stateful reactions sound. *)
-            let block =
-              Asr.Block.make ~name:("mj:" ^ cls) ~n_in ~n_out (fun inputs ->
-                  if Array.for_all Asr.Domain.is_def inputs then
-                    match budget with
-                    | Some budget_cycles ->
-                        Javatime.Elaborate.react_bounded elab ~budget_cycles
-                          inputs
-                    | None -> Javatime.Elaborate.react elab inputs
-                  else Array.make n_out Asr.Domain.Bottom)
+          if supervise || strategy <> None || monitor || causal_trace <> None
+          then begin
+            let g =
+              asr_wrap ~cls ~n_in ~n_out (fun inputs ->
+                  match budget with
+                  | Some budget_cycles ->
+                      Javatime.Elaborate.react_bounded elab ~budget_cycles
+                        inputs
+                  | None -> Javatime.Elaborate.react elab inputs)
             in
-            let g = Asr.Graph.create ("simulate:" ^ cls) in
-            let b = Asr.Graph.add_block g block in
-            for i = 0 to n_in - 1 do
-              let inp = Asr.Graph.add_input g (string_of_int i) in
-              Asr.Graph.connect g
-                ~src:(Asr.Graph.out_port inp 0)
-                ~dst:(Asr.Graph.in_port b i)
-            done;
-            for j = 0 to n_out - 1 do
-              let out = Asr.Graph.add_output g (string_of_int j) in
-              Asr.Graph.connect g
-                ~src:(Asr.Graph.out_port b j)
-                ~dst:(Asr.Graph.in_port out 0)
-            done;
             let sup =
               if supervise then
                 Some
@@ -483,18 +493,75 @@ let simulate_cmd =
                      ())
               else None
             in
+            let strategy =
+              Option.value strategy ~default:Asr.Fixpoint.Worklist
+            in
+            let causal =
+              match causal_trace with
+              | None -> None
+              | Some _ ->
+                  Some
+                    (Telemetry.Causal.create ~capacity:causal_capacity
+                       ~n_nets:(Asr.Graph.compile g).Asr.Graph.n_nets ())
+            in
             let sim =
-              Asr.Simulate.create
-                ~strategy:
-                  (Option.value strategy ~default:Asr.Fixpoint.Worklist)
-                ?telemetry:reg ?supervisor:sup ?monitor:mon g
+              Asr.Simulate.create ~strategy ?telemetry:reg ?supervisor:sup
+                ?monitor:mon ?causal g
             in
             let stream =
               List.init instants (fun t ->
                   List.init n_in (fun i ->
                       (string_of_int i, Asr.Domain.int (ramp t i))))
             in
-            (Asr.Simulate.run sim stream, sup, mon)
+            match (causal_trace, causal) with
+            | Some path, Some cz ->
+                (* Step-wise drive so every instant's net fixed point is
+                   captured for the replayable trace artifact; a
+                   fail-fast abort still writes the trace (with the
+                   instants completed) before the exit-4 diagnostic. *)
+                let entries = ref [] and nets = ref [] and fatal = ref None in
+                (try
+                   List.iter
+                     (fun inputs ->
+                       match Asr.Simulate.run sim [ inputs ] with
+                       | [ e ] ->
+                           entries := e :: !entries;
+                           nets := Asr.Simulate.net_values sim :: !nets
+                       | _ -> assert false)
+                     stream
+                 with Asr.Supervisor.Fatal f ->
+                   fatal := Some (Asr.Supervisor.fault_to_string f));
+                let entries = List.rev !entries in
+                let t =
+                  Asr.Trace.assemble ~system:(Asr.Graph.name g) ~strategy
+                    ?policy:(if supervise then Some policy else None)
+                    ~escalate_after ~graph:(Asr.Graph.compile g) ~causal:cz
+                    ~stream
+                    ~nets:(Array.of_list (List.rev !nets))
+                    ~outputs:
+                      (List.map (fun e -> e.Asr.Simulate.outputs) entries)
+                    ~iterations:
+                      (Array.of_list
+                         (List.map
+                            (fun e -> e.Asr.Simulate.iterations)
+                            entries))
+                    ~faults:
+                      (match sup with
+                      | None -> []
+                      | Some s ->
+                          List.map Asr.Supervisor.fault_to_json
+                            (Asr.Supervisor.faults s))
+                    ?fatal:!fatal ()
+                in
+                Asr.Trace.save t path;
+                (match !fatal with
+                | Some msg ->
+                    Format.eprintf "runtime fault (fail-fast): %s@." msg;
+                    Format.eprintf "causal trace written to %s@." path;
+                    exit 4
+                | None -> ());
+                (entries, sup, mon)
+            | _ -> (Asr.Simulate.run sim stream, sup, mon)
           end
           else
             let trace =
@@ -663,6 +730,21 @@ let simulate_cmd =
                  dump if a block escalated, else an end-of-run dump \
                  (implies --monitor)")
   in
+  let causal_trace_arg =
+    Arg.(value & opt (some string) None & info [ "causal-trace" ]
+           ~docv:"FILE.json"
+           ~doc:"Record the run into a replayable causal trace: the input \
+                 stream, every instant's net fixed point, the fault log and \
+                 the bounded causal event ring, as one JSON artifact for \
+                 'javatime why' and 'javatime trace-diff' (implies driving \
+                 the class through the ASR simulator)")
+  in
+  let causal_capacity_arg =
+    Arg.(value & opt int 65536 & info [ "causal-capacity" ] ~docv:"N"
+           ~doc:"Causal event ring capacity; older events are overwritten \
+                 and the loss is reported in the trace and in monitor \
+                 data_loss objects")
+  in
   let vcd_arg =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE.vcd"
            ~doc:"Write the signal trace as a VCD waveform (GTKWave)")
@@ -673,8 +755,137 @@ let simulate_cmd =
     Term.(const run $ file_arg $ class_arg $ engine_arg $ instants_arg
           $ strategy_arg $ supervise_flag $ on_fault_arg $ fault_log_arg
           $ budget_arg $ heap_limit_arg $ escalate_arg $ monitor_flag
-          $ snapshot_every_arg $ snapshot_out_arg $ flight_out_arg $ vcd_arg
+          $ snapshot_every_arg $ snapshot_out_arg $ flight_out_arg
+          $ causal_trace_arg $ causal_capacity_arg $ vcd_arg
           $ trace_out_arg)
+
+let why_cmd =
+  let run file cls net instant instants strategy json =
+    handle (fun () ->
+        let checked = Mj.Typecheck.check_source ~file (read_file file) in
+        let strategy =
+          match strategy with
+          | None -> Asr.Fixpoint.Worklist
+          | Some s -> (
+              match Asr.Fixpoint.strategy_of_string s with
+              | Some st -> st
+              | None ->
+                  Format.eprintf
+                    "unknown strategy '%s' (chaotic|scheduled|worklist|fused)@."
+                    s;
+                  exit 1)
+        in
+        let elab =
+          Javatime.Elaborate.elaborate ~engine:Javatime.Elaborate.Engine_vm
+            ~enforce_policy:false ~bounded_memory:false checked ~cls
+        in
+        let n_in, n_out = Javatime.Elaborate.ports elab in
+        let g =
+          asr_wrap ~cls ~n_in ~n_out (Javatime.Elaborate.react elab)
+        in
+        let stream =
+          List.init instants (fun t ->
+              List.init n_in (fun i ->
+                  (string_of_int i, Asr.Domain.int (ramp t i))))
+        in
+        let t = Asr.Trace.record ~strategy g stream in
+        if net < 0 || net >= Asr.Trace.n_nets t then begin
+          Format.eprintf "net %d out of range (system has %d nets)@." net
+            (Asr.Trace.n_nets t);
+          exit 1
+        end;
+        if instant < 0 || instant >= Asr.Trace.instants t then begin
+          Format.eprintf "instant %d out of range (run has %d instants)@."
+            instant (Asr.Trace.instants t);
+          exit 1
+        end;
+        let sl = Asr.Trace.why t ~net ~instant in
+        if json then
+          print_endline (Telemetry.Json.to_string (Asr.Trace.slice_json t sl))
+        else print_string (Asr.Trace.slice_to_string t sl))
+  in
+  let net_arg =
+    Arg.(required & opt (some int) None & info [ "net" ] ~docv:"N"
+           ~doc:"Net to explain, by compiled net index")
+  in
+  let instant_arg =
+    Arg.(required & opt (some int) None & info [ "instant" ] ~docv:"T"
+           ~doc:"Instant to explain (0-based)")
+  in
+  let instants_arg =
+    Arg.(value & opt int 8 & info [ "n"; "instants" ] ~docv:"N"
+           ~doc:"Number of instants to simulate before querying")
+  in
+  let strategy_arg =
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Fixed-point strategy (chaotic|scheduled|worklist|fused)")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the slice as JSON")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:"Why-provenance: trace a class under the deterministic ramp and \
+             print the minimal causal slice behind one net's value at one \
+             instant")
+    Term.(const run $ file_arg $ class_arg $ net_arg $ instant_arg
+          $ instants_arg $ strategy_arg $ json_flag)
+
+let trace_diff_cmd =
+  let run a b json =
+    handle (fun () ->
+        let ta = Asr.Trace.load a and tb = Asr.Trace.load b in
+        match Asr.Trace.first_divergence ta tb with
+        | exception Asr.Trace.Incomparable msg ->
+            Format.eprintf "traces are not comparable: %s@." msg;
+            exit 1
+        | None ->
+            if json then
+              print_endline
+                (Telemetry.Json.to_string
+                   (Telemetry.Json.Obj
+                      [ ("identical", Telemetry.Json.Bool true);
+                        ("instants", Telemetry.Json.Int (Asr.Trace.instants ta));
+                        ("nets", Telemetry.Json.Int (Asr.Trace.n_nets ta)) ]))
+            else
+              Printf.printf "traces agree: %d instant(s), %d net(s)\n"
+                (Asr.Trace.instants ta) (Asr.Trace.n_nets ta)
+        | Some d ->
+            if json then
+              print_endline
+                (Telemetry.Json.to_string
+                   (Telemetry.Json.Obj
+                      [ ("identical", Telemetry.Json.Bool false);
+                        ("divergence", Asr.Trace.divergence_json d) ]))
+            else begin
+              print_endline (Asr.Trace.divergence_to_string d);
+              (match d.Asr.Trace.d_slice_a with
+              | Some sl ->
+                  print_string ("--- A ---\n" ^ Asr.Trace.slice_to_string ta sl)
+              | None -> ());
+              (match d.Asr.Trace.d_slice_b with
+              | Some sl ->
+                  print_string ("--- B ---\n" ^ Asr.Trace.slice_to_string tb sl)
+              | None -> ())
+            end;
+            exit 2)
+  in
+  let a_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.json")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.json")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON")
+  in
+  Cmd.v
+    (Cmd.info "trace-diff"
+       ~doc:"Localize the first divergence between two recorded causal \
+             traces: the earliest (instant, block, net) where the runs \
+             disagree, with both causal slices (exit 0 identical, 2 \
+             diverged, 1 incomparable)")
+    Term.(const run $ a_arg $ b_arg $ json_flag)
 
 let size_cmd =
   let run file =
@@ -910,4 +1121,4 @@ let () =
           (Cmd.info "javatime" ~version:"1.0.0" ~doc)
           [ check_cmd; refine_cmd; run_cmd; profile_cmd; simulate_cmd; size_cmd;
             bound_cmd; metrics_cmd; disasm_cmd; verify_refinement_cmd;
-            demo_cmd ]))
+            why_cmd; trace_diff_cmd; demo_cmd ]))

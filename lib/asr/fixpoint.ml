@@ -47,9 +47,12 @@ let make_buffers (c : Graph.compiled) =
    supervisor the application is guarded (trap containment, budgets,
    quarantine) and a retraction is contained by freezing the block at
    the nets' current values instead of raising. *)
-let apply_block ?supervisor (c : Graph.compiled) ~bufs nets bi =
+let apply_block ?supervisor ?causal (c : Graph.compiled) ~bufs nets bi =
   let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
   let buf = bufs.b_in.(bi) in
+  (match causal with
+  | None -> ()
+  | Some cz -> Telemetry.Causal.eval_begin cz ~block:bi ~reads:in_nets);
   let run () =
     for p = 0 to Array.length in_nets - 1 do
       buf.(p) <- nets.(in_nets.(p))
@@ -61,6 +64,12 @@ let apply_block ?supervisor (c : Graph.compiled) ~bufs nets bi =
     | None -> run ()
     | Some sup -> Supervisor.guard sup ~bi ~run
   in
+  (match (causal, supervisor) with
+  | Some cz, Some sup -> (
+      match Supervisor.containment sup bi with
+      | Some tag -> Telemetry.Causal.set_tag cz tag
+      | None -> ())
+  | _ -> ());
   let changed = ref false in
   (try
      Array.iteri
@@ -86,10 +95,30 @@ let apply_block ?supervisor (c : Graph.compiled) ~bufs nets bi =
          in
          if not (Domain.equal merged nets.(net)) then begin
            nets.(net) <- merged;
+           (match causal with
+           | None -> ()
+           | Some cz -> Telemetry.Causal.eval_write cz ~net merged);
            changed := true
          end)
        outputs
-   with Exit -> () (* retraction contained: nets keep their values *));
+   with Exit ->
+     (* retraction contained: nets keep their values *)
+     (match causal with
+     | None -> ()
+     | Some cz -> Telemetry.Causal.set_tag cz "contained:retraction"));
+  (match causal with
+  | None -> ()
+  | Some cz ->
+      (* a substitution that established nothing still links the
+         block's nets to the tagged event, so ⊥/held values resolve *)
+      if
+        Telemetry.Causal.pending_tag cz <> ""
+        && Telemetry.Causal.pending_writes cz = 0
+      then
+        Array.iter
+          (fun net -> Telemetry.Causal.eval_write cz ~net nets.(net))
+          out_nets;
+      Telemetry.Causal.eval_commit cz);
   !changed
 
 (* ------------------------------------------------------------------ *)
@@ -102,7 +131,7 @@ let apply_block ?supervisor (c : Graph.compiled) ~bufs nets bi =
 let bump counts bi =
   if Array.length counts > 0 then counts.(bi) <- counts.(bi) + 1
 
-let eval_chaotic ?supervisor c nets ~bufs ~order ~counts =
+let eval_chaotic ?supervisor ?causal c nets ~bufs ~order ~counts =
   let order =
     match order with
     | Some order -> order
@@ -123,7 +152,7 @@ let eval_chaotic ?supervisor c nets ~bufs ~order ~counts =
       (fun bi ->
         incr evaluations;
         bump counts bi;
-        if apply_block ?supervisor c ~bufs nets bi then changed := true)
+        if apply_block ?supervisor ?causal c ~bufs nets bi then changed := true)
       order
   done;
   (!sweeps, !evaluations)
@@ -134,7 +163,8 @@ let eval_chaotic ?supervisor c nets ~bufs ~order ~counts =
 (* ------------------------------------------------------------------ *)
 
 (* Shared by Scheduled and the fused plan's SCC fallback. *)
-let iterate_scc ?supervisor c nets ~bufs ~members ~bound ~counts ~evaluations =
+let iterate_scc ?supervisor ?causal c nets ~bufs ~members ~bound ~counts
+    ~evaluations =
   let rounds = ref 0 in
   let changed = ref true in
   while !changed do
@@ -147,12 +177,12 @@ let iterate_scc ?supervisor c nets ~bufs ~members ~bound ~counts ~evaluations =
       (fun bi ->
         incr evaluations;
         bump counts bi;
-        if apply_block ?supervisor c ~bufs nets bi then changed := true)
+        if apply_block ?supervisor ?causal c ~bufs nets bi then changed := true)
       members
   done;
   !rounds
 
-let eval_scheduled ?supervisor c nets ~bufs ~schedule ~counts =
+let eval_scheduled ?supervisor ?causal c nets ~bufs ~schedule ~counts =
   let evaluations = ref 0 in
   let max_rounds = ref 1 in
   List.iter
@@ -161,7 +191,7 @@ let eval_scheduled ?supervisor c nets ~bufs ~schedule ~counts =
       | Schedule.Acyclic bi ->
           incr evaluations;
           bump counts bi;
-          ignore (apply_block ?supervisor c ~bufs nets bi)
+          ignore (apply_block ?supervisor ?causal c ~bufs nets bi)
       | Schedule.Cyclic members ->
           (* Local domain height = nets written inside the SCC; one
              extra round detects stability. *)
@@ -173,8 +203,8 @@ let eval_scheduled ?supervisor c nets ~bufs ~schedule ~counts =
               0 members
           in
           let rounds =
-            iterate_scc ?supervisor c nets ~bufs ~members ~bound:(scc_nets + 2)
-              ~counts ~evaluations
+            iterate_scc ?supervisor ?causal c nets ~bufs ~members
+              ~bound:(scc_nets + 2) ~counts ~evaluations
           in
           if rounds > !max_rounds then max_rounds := rounds)
     (Schedule.groups schedule);
@@ -185,7 +215,7 @@ let eval_scheduled ?supervisor c nets ~bufs ~schedule ~counts =
    the queue only when one of its input nets actually changed.          *)
 (* ------------------------------------------------------------------ *)
 
-let eval_worklist ?supervisor c nets ~bufs ~seed ~counts =
+let eval_worklist ?supervisor ?causal c nets ~bufs ~seed ~counts =
   let n_blocks = Array.length c.Graph.c_blocks in
   let queue = Queue.create () in
   let in_queue = Array.make n_blocks false in
@@ -212,7 +242,7 @@ let eval_worklist ?supervisor c nets ~bufs ~seed ~counts =
     for port = 0 to Array.length out_nets - 1 do
       before.(port) <- nets.(out_nets.(port))
     done;
-    if apply_block ?supervisor c ~bufs nets bi then
+    if apply_block ?supervisor ?causal c ~bufs nets bi then
       Array.iteri
         (fun port net ->
           if not (Domain.equal before.(port) nets.(net)) then
@@ -238,9 +268,12 @@ let eval_worklist ?supervisor c nets ~bufs ~seed ~counts =
 
 (* Direct-store application of an acyclic opaque block: inputs from a
    reused buffer, outputs straight into the slots. *)
-let apply_direct ?supervisor (c : Graph.compiled) ~bufs nets bi =
+let apply_direct ?supervisor ?causal (c : Graph.compiled) ~bufs nets bi =
   let block, in_nets, out_nets = c.Graph.c_blocks.(bi) in
   let buf = bufs.b_in.(bi) in
+  (match causal with
+  | None -> ()
+  | Some cz -> Telemetry.Causal.eval_begin cz ~block:bi ~reads:in_nets);
   let run () =
     for p = 0 to Array.length in_nets - 1 do
       buf.(p) <- nets.(in_nets.(p))
@@ -254,67 +287,86 @@ let apply_direct ?supervisor (c : Graph.compiled) ~bufs nets bi =
   in
   for port = 0 to Array.length out_nets - 1 do
     nets.(out_nets.(port)) <- outputs.(port)
-  done
+  done;
+  match causal with
+  | None -> ()
+  | Some cz ->
+      (match supervisor with
+      | Some sup -> (
+          match Supervisor.containment sup bi with
+          | Some tag -> Telemetry.Causal.set_tag cz tag
+          | None -> ())
+      | None -> ());
+      (* single producer + topological order make the direct store the
+         establishing write; a tagged substitution records its ⊥ ports
+         too, so absent values keep their provenance *)
+      let tagged = Telemetry.Causal.pending_tag cz <> "" in
+      for port = 0 to Array.length out_nets - 1 do
+        let v = outputs.(port) in
+        if tagged || Domain.is_def v then
+          Telemetry.Causal.eval_write cz ~net:out_nets.(port) v
+      done;
+      Telemetry.Causal.eval_commit cz
 
-let eval_fused ?supervisor c nets ~bufs ~plan ~counts =
+let eval_fused ?supervisor ?causal c nets ~bufs ~plan ~counts =
   let evaluations = ref 0 in
   let max_rounds = ref 1 in
   let ops = plan.Fuse.f_ops in
   let n = Array.length ops in
-  (match supervisor with
-  | None ->
-      if Array.length counts = 0 then begin
-        (* Hot path: the fast lane. Chains are already collapsed into
-           closures, so the pass is a bare sweep over them; the block
-           applications it stands for are accounted in one add. *)
-        evaluations := plan.Fuse.f_fast_evals;
-        let fast = plan.Fuse.f_fast in
-        for k = 0 to Array.length fast - 1 do
-          match fast.(k) with
-          | Fuse.Frun run -> run nets
-          | Fuse.Fiter (members, bound) ->
-              let rounds =
-                iterate_scc c nets ~bufs ~members ~bound ~counts ~evaluations
-              in
-              if rounds > !max_rounds then max_rounds := rounds
-        done;
-        (* serve environment-read fork/identity ports from their alias *)
-        let dst = plan.Fuse.f_copy_dst and src = plan.Fuse.f_copy_src in
-        for k = 0 to Array.length dst - 1 do
-          nets.(dst.(k)) <- nets.(src.(k))
-        done
-      end
-      else
-        for k = 0 to n - 1 do
-          match ops.(k) with
-          | Fuse.Step (bi, step) ->
-              incr evaluations;
-              bump counts bi;
-              step nets
-          | Fuse.Generic bi ->
-              incr evaluations;
-              bump counts bi;
-              apply_direct c ~bufs nets bi
-          | Fuse.Iterate (members, bound) ->
-              let rounds =
-                iterate_scc c nets ~bufs ~members ~bound ~counts ~evaluations
-              in
-              if rounds > !max_rounds then max_rounds := rounds
-        done
-  | Some sup ->
-      (* Supervised: kernel specialization would bypass guard, so every
-         acyclic block takes the guarded direct-store path. Folded
-         blocks stay folded — they are constant and cannot fault. *)
+  (match (supervisor, causal) with
+  | None, None when Array.length counts = 0 ->
+      (* Hot path: the fast lane. Chains are already collapsed into
+         closures, so the pass is a bare sweep over them; the block
+         applications it stands for are accounted in one add. *)
+      evaluations := plan.Fuse.f_fast_evals;
+      let fast = plan.Fuse.f_fast in
+      for k = 0 to Array.length fast - 1 do
+        match fast.(k) with
+        | Fuse.Frun run -> run nets
+        | Fuse.Fiter (members, bound) ->
+            let rounds =
+              iterate_scc c nets ~bufs ~members ~bound ~counts ~evaluations
+            in
+            if rounds > !max_rounds then max_rounds := rounds
+      done;
+      (* serve environment-read fork/identity ports from their alias *)
+      let dst = plan.Fuse.f_copy_dst and src = plan.Fuse.f_copy_src in
+      for k = 0 to Array.length dst - 1 do
+        nets.(dst.(k)) <- nets.(src.(k))
+      done
+  | None, None ->
+      for k = 0 to n - 1 do
+        match ops.(k) with
+        | Fuse.Step (bi, step) ->
+            incr evaluations;
+            bump counts bi;
+            step nets
+        | Fuse.Generic bi ->
+            incr evaluations;
+            bump counts bi;
+            apply_direct c ~bufs nets bi
+        | Fuse.Iterate (members, bound) ->
+            let rounds =
+              iterate_scc c nets ~bufs ~members ~bound ~counts ~evaluations
+            in
+            if rounds > !max_rounds then max_rounds := rounds
+      done
+  | _ ->
+      (* Supervised and/or traced: kernel specialization would bypass
+         the guard and hide writes from the causal sink, so every
+         acyclic block takes the (guarded, recorded) direct-store path.
+         Folded blocks stay folded — they are constant, cannot fault,
+         and are recorded as template bindings by the caller. *)
       for k = 0 to n - 1 do
         match ops.(k) with
         | Fuse.Step (bi, _) | Fuse.Generic bi ->
             incr evaluations;
             bump counts bi;
-            apply_direct ~supervisor:sup c ~bufs nets bi
+            apply_direct ?supervisor ?causal c ~bufs nets bi
         | Fuse.Iterate (members, bound) ->
             let rounds =
-              iterate_scc ~supervisor:sup c nets ~bufs ~members ~bound ~counts
-                ~evaluations
+              iterate_scc ?supervisor ?causal c nets ~bufs ~members ~bound
+                ~counts ~evaluations
             in
             if rounds > !max_rounds then max_rounds := rounds
       done);
@@ -323,7 +375,8 @@ let eval_fused ?supervisor c nets ~bufs ~plan ~counts =
 (* ------------------------------------------------------------------ *)
 
 let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
-    ?schedule ?fuse ?buffers ?nets ?(eval_counts = [||]) ?supervisor () =
+    ?schedule ?fuse ?buffers ?nets ?(eval_counts = [||]) ?supervisor ?causal ()
+    =
   (match (order, strategy) with
   | Some _, (Scheduled | Worklist | Fused) ->
       invalid_arg
@@ -361,7 +414,8 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
      so they need the full blit. *)
   (match plan with
   | Some p
-    when Option.is_none supervisor && Array.length eval_counts = 0 ->
+    when Option.is_none supervisor && Option.is_none causal
+         && Array.length eval_counts = 0 ->
       let template = p.Fuse.f_template and rlist = p.Fuse.f_reset in
       for k = 0 to Array.length rlist - 1 do
         let s = rlist.(k) in
@@ -380,6 +434,44 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
   Array.iteri
     (fun i (_, out_net, _) -> nets.(out_net) <- delay_values.(i))
     c.Graph.c_delays;
+  (* Bracket this evaluation as one traced instant and record the
+     instant-start bindings: folded constants (fused template), driven
+     environment inputs, then delay crossings (whose reads resolve
+     against the previous instant's writers). *)
+  let causal_instant =
+    match causal with
+    | None -> false
+    | Some cz ->
+        let opened =
+          if Telemetry.Causal.in_instant cz then false
+          else begin
+            Telemetry.Causal.begin_instant cz;
+            true
+          end
+        in
+        (match plan with
+        | Some p ->
+            List.iter
+              (fun (net, v) ->
+                Telemetry.Causal.record_binding cz ~kind:Telemetry.Causal.Folded
+                  ~net v)
+              (Fuse.constant_nets p)
+        | None -> ());
+        List.iter
+          (fun (label, v) ->
+            match Graph.input_net c label with
+            | Some net ->
+                Telemetry.Causal.record_binding cz ~kind:Telemetry.Causal.Input
+                  ~net v
+            | None -> ())
+          inputs;
+        Array.iteri
+          (fun i (in_net, out_net, _) ->
+            Telemetry.Causal.record_binding cz ~kind:Telemetry.Causal.Delay
+              ~net:out_net ~src:in_net delay_values.(i))
+          c.Graph.c_delays;
+        opened
+  in
   let counts = eval_counts in
   let bufs = match buffers with Some b -> b | None -> make_buffers c in
   (* Standalone use (no Simulate driving the lifecycle): bracket this
@@ -399,26 +491,30 @@ let eval (c : Graph.compiled) ~inputs ~delay_values ?order ?(strategy = Chaotic)
   then invalid_arg "fixpoint: eval_counts length mismatch";
   let iterations, block_evaluations =
     match strategy with
-    | Chaotic -> eval_chaotic ?supervisor c nets ~bufs ~order ~counts
+    | Chaotic -> eval_chaotic ?supervisor ?causal c nets ~bufs ~order ~counts
     | Scheduled ->
         let schedule =
           match schedule with
           | Some s -> s
           | None -> Schedule.of_compiled c
         in
-        eval_scheduled ?supervisor c nets ~bufs ~schedule ~counts
+        eval_scheduled ?supervisor ?causal c nets ~bufs ~schedule ~counts
     | Worklist ->
         let seed =
           match schedule with
           | Some s -> Schedule.linear_order s
           | None -> Array.init (Array.length c.Graph.c_blocks) (fun i -> i)
         in
-        eval_worklist ?supervisor c nets ~bufs ~seed ~counts
+        eval_worklist ?supervisor ?causal c nets ~bufs ~seed ~counts
     | Fused ->
-        eval_fused ?supervisor c nets ~bufs ~plan:(Option.get plan) ~counts
+        eval_fused ?supervisor ?causal c nets ~bufs ~plan:(Option.get plan)
+          ~counts
   in
   (match supervisor with
   | Some sup when auto_instant -> Supervisor.end_instant sup
+  | _ -> ());
+  (match causal with
+  | Some cz when causal_instant -> Telemetry.Causal.end_instant cz
   | _ -> ());
   { nets; iterations; block_evaluations }
 

@@ -79,6 +79,7 @@ val eval :
   ?nets:Domain.t array ->
   ?eval_counts:int array ->
   ?supervisor:Supervisor.t ->
+  ?causal:Domain.t Telemetry.Causal.t ->
   unit ->
   result
 (** [delay_values.(i)] is the output of the i-th delay this instant.
@@ -119,7 +120,19 @@ val eval :
     and stay folded). When no instant is already open (i.e. the caller
     is not {!Simulate}), this call is bracketed as one supervised
     instant. Under the [Fail_fast] policy a contained fault re-raises as
-    [Supervisor.Fatal]. *)
+    [Supervisor.Fatal].
+
+    [causal], when supplied, records this evaluation into a bounded
+    causal event log (see {!Telemetry.Causal}): instant-start bindings
+    (inputs, delay crossings, fused folded constants), then one event
+    per block evaluation that established a net value, with the reads
+    resolved to their producers' uids. If no instant is already open on
+    the sink, the call is bracketed as one traced instant. Under
+    [Fused] the fast lane is bypassed — chains collapse nets the log
+    must see — so tracing runs the block-at-a-time op list, exactly
+    like [eval_counts] and [supervisor] do; evaluation counts are
+    unchanged. With a supervisor, substituted outputs are tagged with
+    their containment provenance ({!Supervisor.containment}). *)
 
 val outputs : Graph.compiled -> result -> (string * Domain.t) list
 

@@ -19,6 +19,7 @@ type t = {
   telemetry : Telemetry.Registry.t option;
   supervisor : Supervisor.t option;
   monitor : Telemetry.Monitor.t option;
+  causal : Domain.t Telemetry.Causal.t option;
   mon_churn_k : int;  (* Monitor.churn_every, hoisted; 0 w/o monitor *)
   eval_counts : int array;  (* per-block tally buffer, [||] w/o telemetry *)
   prev_nets : Domain.t array;  (* last fixed point, for churn; [||] w/o sinks *)
@@ -28,8 +29,18 @@ type t = {
 let initial_delays compiled =
   Array.map (fun (_, _, init) -> init) compiled.Graph.c_delays
 
-let create ?order ?strategy ?telemetry ?supervisor ?monitor graph =
+let create ?order ?strategy ?telemetry ?supervisor ?monitor ?causal graph =
   let compiled = Graph.compile graph in
+  (match causal with
+  | Some cz when Telemetry.Causal.n_nets cz <> compiled.Graph.n_nets ->
+      invalid_arg "Simulate.create: causal sink net count mismatch"
+  | _ -> ());
+  (* causal-ring loss rides along in the monitor's data_loss object *)
+  (match (monitor, causal) with
+  | Some mon, Some cz ->
+      Telemetry.Monitor.set_causal_source mon (fun () ->
+          Telemetry.Causal.data_loss cz)
+  | _ -> ());
   (match supervisor with
   | Some sup -> Supervisor.attach sup compiled
   | None -> ());
@@ -77,6 +88,7 @@ let create ?order ?strategy ?telemetry ?supervisor ?monitor graph =
     telemetry;
     supervisor;
     monitor;
+    causal;
     mon_churn_k =
       (match monitor with
       | Some mon -> Telemetry.Monitor.churn_every mon
@@ -123,7 +135,7 @@ let react t inputs =
       ~strategy:t.strategy ~schedule:t.schedule ?fuse:t.fuse
       ~buffers:t.buffers ~nets:t.nets_buffer
       ~eval_counts:(match tele with Some _ -> t.eval_counts | None -> [||])
-      ?supervisor:t.supervisor ()
+      ?supervisor:t.supervisor ?causal:t.causal ()
   in
   (* churn — nets whose fixed point differs from the previous instant's —
      is shared by the telemetry span and the monitor record; the scan is
@@ -217,6 +229,8 @@ let fuse_plan t = t.fuse
 let supervisor t = t.supervisor
 
 let monitor t = t.monitor
+
+let causal t = t.causal
 
 let net_values t = Array.copy t.nets_buffer
 

@@ -21,6 +21,7 @@ val create :
   ?telemetry:Telemetry.Registry.t ->
   ?supervisor:Supervisor.t ->
   ?monitor:Telemetry.Monitor.t ->
+  ?causal:Domain.t Telemetry.Causal.t ->
   Graph.t ->
   t
 (** Compiles the graph and its schedule — and, under
@@ -64,7 +65,15 @@ val create :
     is independent of [telemetry]; with both, their cumulative
     ["asr.instants"] / ["asr.block_evaluations"] /
     ["asr.supervisor.faults"] views reconcile exactly because they are
-    fed from the same per-instant values. *)
+    fed from the same per-instant values.
+
+    [causal]: every reaction is recorded into the bounded causal event
+    log as one traced instant (see {!Fixpoint.eval} and
+    {!Telemetry.Causal}); the sink's net count must match the compiled
+    graph. With both [monitor] and [causal], the monitor's [data_loss]
+    object additionally reports the causal ring's overwrite and
+    truncated-slice counters. Without a sink the execution path is
+    unchanged. *)
 
 val step : t -> (string * Domain.t) list -> (string * Domain.t) list
 (** React to one instant's inputs; returns the outputs and advances the
@@ -93,6 +102,8 @@ val delay_state : t -> Domain.t array
 val supervisor : t -> Supervisor.t option
 
 val monitor : t -> Telemetry.Monitor.t option
+
+val causal : t -> Domain.t Telemetry.Causal.t option
 
 val net_values : t -> Domain.t array
 (** Copy of the most recent instant's fixed point, indexed by net (all

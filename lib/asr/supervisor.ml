@@ -359,6 +359,23 @@ let instant_fault_count t = t.instant_faults
 
 let is_quarantined t bi = t.n_blocks > 0 && bi >= 0 && bi < t.n_blocks && t.quarantined.(bi)
 
+(* Provenance tag for a causal trace: when block [bi]'s outputs this
+   instant are a containment substitution, name the mechanism and the
+   value source so held/absent values carry their policy in the trace. *)
+let containment t bi =
+  if t.n_blocks <= 0 || bi < 0 || bi >= t.n_blocks then None
+  else
+    let source () =
+      if t.staged_valid.(bi) then "held"
+      else
+        match t.policy with
+        | Absent -> "absent"
+        | Fail_fast | Hold_last | Retry _ -> "hold-last"
+    in
+    if t.quarantined.(bi) then Some ("quarantined:" ^ source ())
+    else if t.latched.(bi) then Some ("contained:" ^ source ())
+    else None
+
 let quarantined_blocks t =
   if t.n_blocks <= 0 then []
   else

@@ -153,6 +153,15 @@ val instant_fault_count : t -> int
 
 val is_quarantined : t -> int -> bool
 
+val containment : t -> int -> string option
+(** When block [bi]'s outputs this instant come from a containment
+    substitution rather than the block's own function, the provenance
+    tag: ["contained:"] or ["quarantined:"] followed by the value
+    source — ["held"] (outputs staged earlier this instant),
+    ["hold-last"] (last committed outputs) or ["absent"] (⊥). [None]
+    when the block is running normally. Feeds the causal trace so
+    held/absent values carry their policy provenance. *)
+
 val quarantined_blocks : t -> int list
 
 val fault_to_json : fault -> Telemetry.Json.t

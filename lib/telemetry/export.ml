@@ -12,7 +12,7 @@ let arg_text : Registry.arg -> string = function
   | Registry.Str s -> s
   | Registry.Bool b -> string_of_bool b
 
-let table reg =
+let table ?(causal_loss = (0, 0)) reg =
   let buf = Buffer.create 1024 in
   let line fmt =
     Printf.ksprintf
@@ -74,9 +74,14 @@ let table reg =
     (fun name ->
       line "(counter %s saturated at max_int; later increments were lost)" name)
     (Registry.saturated_counters reg);
+  (let ow, trunc = causal_loss in
+   if ow > 0 then
+     line "(%d causal events overwritten past the ring capacity)" ow;
+   if trunc > 0 then
+     line "(%d causal slices truncated at the retention horizon)" trunc);
   Buffer.contents buf
 
-let json reg =
+let json ?(causal_loss = (0, 0)) reg =
   let counters =
     Json.Obj
       (List.map
@@ -124,9 +129,11 @@ let json reg =
               Json.List
                 (List.map
                    (fun n -> Json.Str n)
-                   (Registry.saturated_counters reg)) ) ] ) ]
+                   (Registry.saturated_counters reg)) );
+            ("causal_overwrites", Json.Int (fst causal_loss));
+            ("causal_truncated", Json.Int (snd causal_loss)) ] ) ]
 
-let chrome_trace reg =
+let chrome_trace ?(causal_loss = (0, 0)) reg =
   let events =
     List.filter_map
       (fun sp ->
@@ -163,7 +170,9 @@ let chrome_trace reg =
                 Json.List
                   (List.map
                      (fun n -> Json.Str n)
-                     (Registry.saturated_counters reg)) ) ]) ])
+                     (Registry.saturated_counters reg)) );
+              ("causal_overwrites", Json.Int (fst causal_loss));
+              ("causal_truncated", Json.Int (snd causal_loss)) ]) ])
 
 let pct total part =
   if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total

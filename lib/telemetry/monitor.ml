@@ -70,6 +70,9 @@ type t = {
   m_churn_win : Window.t;
   mutable m_spikes : int;
   mutable m_last_dump : Json.t option;
+  (* (overwrites, truncated_slices) of an attached causal event ring;
+     installed by the simulator so ring loss rides along in data_loss *)
+  mutable m_causal_source : (unit -> int * int) option;
 }
 
 let batch = 32
@@ -113,7 +116,10 @@ let create ?(alpha = 0.01) ?(recorder_capacity = 256) ?(window = 64)
     m_evals_win = Window.create ~ewma_alpha ~capacity:window ();
     m_churn_win = Window.create ~ewma_alpha ~capacity:window ();
     m_spikes = 0;
-    m_last_dump = None }
+    m_last_dump = None;
+    m_causal_source = None }
+
+let set_causal_source t f = t.m_causal_source <- Some f
 
 let block_state t name =
   match Hashtbl.find_opt t.m_blocks name with
@@ -182,9 +188,14 @@ let data_loss_json t =
     Sketch.out_of_range t.m_latency + Sketch.out_of_range t.m_cycles
     + Sketch.out_of_range t.m_evals
   in
+  let causal_ow, causal_trunc =
+    match t.m_causal_source with Some f -> f () | None -> (0, 0)
+  in
   Json.Obj
     [ ("recorder_overwrites", Json.Int (Recorder.overwrites t.m_recorder));
-      ("sketch_out_of_range", Json.Int sketch_oor) ]
+      ("sketch_out_of_range", Json.Int sketch_oor);
+      ("causal_overwrites", Json.Int causal_ow);
+      ("causal_truncated", Json.Int causal_trunc) ]
 
 (* Commit the pending samples in instant order: the spike flag is
    evaluated against the EWMA as it stood *before* each sample (one

@@ -93,6 +93,14 @@ val quarantine : t -> block:string -> unit
     ([reason = "quarantine"]) to [dump_sink]; the dump is also retained
     as {!last_dump}. *)
 
+val set_causal_source : t -> (unit -> int * int) -> unit
+(** Install a thunk returning an attached {!Causal} ring's
+    [(overwrites, truncated_slices)] pair; once installed, every
+    snapshot's and dump's [data_loss] object reports the pair as
+    [causal_overwrites] / [causal_truncated] (both 0 when no source is
+    installed). The simulator wires this when a reaction loop carries
+    both a monitor and a causal sink. *)
+
 (** {2 Inspection} *)
 
 val instants : t -> int
@@ -124,7 +132,8 @@ val snapshot : t -> Json.t
 (** The current snapshot object — the same shape the periodic sink
     receives: cumulative counters, sketch quantiles, window aggregates,
     health, and a [data_loss] object (recorder overwrites, sketch
-    out-of-range counts). *)
+    out-of-range counts, causal-ring overwrites and truncated slices —
+    see {!set_causal_source}). *)
 
 val snapshots_emitted : t -> int
 

@@ -304,13 +304,58 @@ let suite =
                   [ 0; 3; -17; 1000 ]
             | _ -> Alcotest.failf "%s lost its int specialization" b.B.name)
           [ B.add; B.sub; B.mul; B.gain 5; B.neg ]);
+    case "first-divergence localizer pinpoints a broken fused plan" (fun () ->
+        (* Failing-first demo: corrupt one mid-net block by +1 on every
+           int output, then let the localizer find it. The divergence
+           must name exactly the corrupted block at the first instant it
+           reacts — not some downstream net that also changed. *)
+        let g =
+          Workloads.Netgen.generate ~inputs:3 ~delays:2 ~seed:77 ~depth:4
+            ~width:5 ()
+        in
+        let stream = Workloads.Netgen.stimulus g ~instants:6 in
+        let target = 5 in
+        let broken =
+          G.map_blocks g (fun i b ->
+              if i <> target then b
+              else
+                B.make ~name:b.B.name ~n_in:b.B.n_in ~n_out:b.B.n_out
+                  (fun ins ->
+                    Array.map
+                      (function
+                        | D.Def (Dt.Int v) -> D.int (v + 1)
+                        | v -> v)
+                      (b.B.fn ins)))
+        in
+        let a = Asr.Trace.record ~strategy:Fx.Fused g stream in
+        let b = Asr.Trace.record ~strategy:Fx.Fused broken stream in
+        match Asr.Trace.first_divergence a b with
+        | None -> Alcotest.fail "corrupted plan should diverge"
+        | Some d ->
+            Alcotest.(check int) "localized block" target d.Asr.Trace.d_block;
+            Alcotest.(check int) "first reacting instant" 0
+              d.Asr.Trace.d_instant;
+            Alcotest.(check bool) "slices attached" true
+              (d.Asr.Trace.d_slice_a <> None && d.Asr.Trace.d_slice_b <> None));
     qcase ~count:150 "random systems: fused = chaotic" R.arbitrary_spec
       (fun spec ->
         let stream = R.stimuli spec in
         let chaotic = R.run_graph (R.build spec) stream in
         let sim = Asr.Simulate.create ~strategy:Fx.Fused (R.build spec) in
         let fused = List.map (Asr.Simulate.step sim) stream in
-        chaotic = fused);
+        chaotic = fused
+        ||
+        (* localize the earliest divergent (instant, block, net) so the
+           counterexample names the culprit, not just the seed *)
+        let a = Asr.Trace.record ~strategy:Fx.Chaotic (R.build spec) stream in
+        let b = Asr.Trace.record ~strategy:Fx.Fused (R.build spec) stream in
+        match Asr.Trace.first_divergence a b with
+        | Some d ->
+            QCheck.Test.fail_reportf "chaotic vs fused: %s"
+              (Asr.Trace.divergence_to_string d)
+        | None ->
+            QCheck.Test.fail_reportf
+              "chaotic vs fused: runs differ but recorded fixed points agree");
     qcase ~count:50
       "random systems: supervised fused = supervised chaotic under faults"
       R.arbitrary_spec

@@ -26,4 +26,5 @@ let () =
       ("observability", Test_observability.suite);
       ("monitor", Test_monitor.suite);
       ("supervisor", Test_supervisor.suite);
-      ("refinement", Test_refinement.suite) ]
+      ("refinement", Test_refinement.suite);
+      ("causal", Test_causal.suite) ]

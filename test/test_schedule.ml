@@ -303,9 +303,31 @@ let suite =
             ~order:(shuffled_order ~seed:spec.Test_random_graphs.sp_seed n)
             ~strategy:F.Chaotic stream
         in
-        reference = run_fix compiled ~strategy:F.Scheduled stream
-        && reference = run_fix compiled ~strategy:F.Worklist stream
-        && reference = shuffled);
+        (* On mismatch, re-run through the causal tracer and report the
+           earliest divergent (instant, block, net) instead of a bare
+           false — the counterexample then names the culprit block. *)
+        let against strategy =
+          reference = run_fix compiled ~strategy stream
+          ||
+          let a =
+            Asr.Trace.record ~strategy:F.Chaotic
+              (Test_random_graphs.build spec)
+              stream
+          in
+          let b =
+            Asr.Trace.record ~strategy (Test_random_graphs.build spec) stream
+          in
+          match Asr.Trace.first_divergence a b with
+          | Some d ->
+              QCheck.Test.fail_reportf "chaotic vs %s: %s"
+                (F.strategy_name strategy)
+                (Asr.Trace.divergence_to_string d)
+          | None ->
+              QCheck.Test.fail_reportf
+                "chaotic vs %s: runs differ but recorded fixed points agree"
+                (F.strategy_name strategy)
+        in
+        against F.Scheduled && against F.Worklist && reference = shuffled);
     qcase ~count:100 "random systems: schedule agrees with cycle detection"
       Test_random_graphs.arbitrary_spec
       (fun spec ->
