@@ -3969,6 +3969,482 @@ module Causal_bench = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery: resume differentials and a SIGKILL harness.         *)
+(* ------------------------------------------------------------------ *)
+
+module Recovery_bench = struct
+  module J = Telemetry.Json
+  module C = Telemetry.Causal
+  module G = Asr.Graph
+  module D = Asr.Domain
+  module F = Asr.Fixpoint
+  module S = Asr.Supervisor
+  module I = Asr.Inject
+  module K = Asr.Checkpoint
+
+  let rec drop n = function
+    | _ :: tl when n > 0 -> drop (n - 1) tl
+    | l -> l
+
+  (* Bit-exact instant-stream equality: [Codec.value_eq] distinguishes
+     NaN payloads and -0.0 where structural (=) would lie. *)
+  let outputs_eq a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun xs ys ->
+           List.length xs = List.length ys
+           && List.for_all2
+                (fun (n1, v1) (n2, v2) ->
+                  String.equal n1 n2 && Asr.Codec.value_eq v1 v2)
+                xs ys)
+         a b
+
+  (* ---- resume differential: every k-th checkpoint, bit-identical --- *)
+
+  type rd_row = {
+    d_system : string;
+    d_strategy : string;
+    d_policy : string;  (* "none" or the containment policy *)
+    d_blocks : int;
+    d_instants : int;  (* instants the oracle run completed *)
+    d_injected : int;
+    d_aborted : bool;  (* Fail_fast cut the oracle short *)
+    d_checkpoints : int;  (* artifacts captured over the oracle run *)
+    d_resumes : int;  (* resumed runs driven to completion *)
+    d_roundtrip : bool;  (* of_json (to_json ck) bit-identical, all cks *)
+    d_identical : bool;  (* every resumed run converged bit-exactly *)
+  }
+
+  (* The same strategy/policy arms as [Causal_bench.replay_rows]: every
+     strategy, every containment policy, injected campaigns on all but
+     the chaotic control, and a persistent Fail_fast abort. *)
+  let arms ~n_blocks ~instants =
+    let campaign seed =
+      I.plan ~seed ~n_blocks ~instants ~n_faults:3 ~first_only:false ()
+    in
+    [ (F.Chaotic, None, []);
+      (F.Scheduled, Some S.Hold_last, campaign 7);
+      (F.Worklist, Some (S.Retry 2), campaign 8);
+      (F.Fused, Some S.Absent, campaign 9);
+      (F.Fused, Some S.Fail_fast,
+       [ { I.i_block = 1;
+           i_kind = I.Trap;
+           i_instant = instants / 2;
+           i_persistence = I.Persistent;
+           i_first_only = false } ]) ]
+
+  let attach g ~strategy ?policy ~inject ~with_causal () =
+    let injector = if inject = [] then None else Some (I.make inject) in
+    let g' =
+      match injector with None -> g | Some inj -> I.instrument inj g
+    in
+    let sup = Option.map (fun p -> S.create ~policy:p ()) policy in
+    let causal =
+      if with_causal then Some (C.create ~n_nets:(G.compile g).G.n_nets ())
+      else None
+    in
+    let sim =
+      Asr.Simulate.create ~strategy
+        ~telemetry:(Telemetry.Registry.create ())
+        ?supervisor:sup
+        ~monitor:(Telemetry.Monitor.create ())
+        ?causal g'
+    in
+    (sim, injector)
+
+  (* One oracle run captures a deep checkpoint at every [ck_every]-th
+     instant boundary while it keeps going — then each artifact is
+     round-tripped through JSON, resumed against the clean graph, and
+     driven over the remaining stimulus. Convergence is judged the
+     strongest way available: the resumed suffix outputs must be
+     bit-equal to the oracle's, and a final checkpoint of the resumed
+     run must serialize byte-identically to the oracle's final
+     checkpoint — covering delay registers, fixed points, counters,
+     fault log, quarantine set, monitor cumulatives and causal events
+     in one comparison. Fail_fast oracles abort instead; there the
+     resumed run must abort at the same instant with the same fault. *)
+  let differential_row ~name g stream ~strategy ?policy ~inject ~ck_every
+      ~with_causal () =
+    let compiled = G.compile g in
+    let arr = Array.of_list stream in
+    let n = Array.length arr in
+    let sim, injector = attach g ~strategy ?policy ~inject ~with_causal () in
+    let cks = ref [] and outs = ref [] and fatal = ref None in
+    (try
+       for i = 0 to n - 1 do
+         if i > 0 && i mod ck_every = 0 then
+           cks := K.capture ~system:name ~seed:17 ?injector sim :: !cks;
+         outs := Asr.Simulate.step sim arr.(i) :: !outs;
+         Option.iter I.tick injector
+       done
+     with S.Fatal f -> fatal := Some f);
+    let oracle_outs = List.rev !outs in
+    let oracle_abort =
+      Option.map
+        (fun f -> (List.length oracle_outs, S.fault_to_string f))
+        !fatal
+    in
+    let oracle_final =
+      match !fatal with
+      | Some _ -> None
+      | None -> Some (K.capture ~system:name ~seed:17 ?injector sim)
+    in
+    let roundtrip = ref true and identical = ref true in
+    let resumes = ref 0 in
+    List.iter
+      (fun ck ->
+        let ck' = K.of_json (K.to_json ck) in
+        if not (K.equal ck ck') then roundtrip := false;
+        incr resumes;
+        let r = K.resume ck' g in
+        let start = K.instant ck' in
+        let routs = ref [] and rfatal = ref None in
+        (try
+           for i = start to n - 1 do
+             routs := Asr.Simulate.step r.K.r_sim arr.(i) :: !routs;
+             Option.iter I.tick r.K.r_injector
+           done
+         with S.Fatal f -> rfatal := Some f);
+        let routs = List.rev !routs in
+        let suffix_ok = outputs_eq routs (drop start oracle_outs) in
+        let end_ok =
+          match (oracle_abort, !rfatal) with
+          | None, None -> (
+              match oracle_final with
+              | Some o ->
+                  K.equal o
+                    (K.capture ~system:name ~seed:17
+                       ?injector:r.K.r_injector r.K.r_sim)
+              | None -> false)
+          | Some (a, detail), Some f ->
+              start + List.length routs = a
+              && String.equal (S.fault_to_string f) detail
+          | _ -> false
+        in
+        if not (suffix_ok && end_ok) then identical := false)
+      (List.rev !cks);
+    { d_system = name;
+      d_strategy = F.strategy_name strategy;
+      d_policy =
+        (match policy with None -> "none" | Some p -> S.policy_name p);
+      d_blocks = Array.length compiled.G.c_blocks;
+      d_instants = List.length oracle_outs;
+      d_injected = List.length inject;
+      d_aborted = Option.is_some oracle_abort;
+      d_checkpoints = !resumes;
+      d_resumes = !resumes;
+      d_roundtrip = !roundtrip;
+      d_identical = !identical }
+
+  let netgen_graph size =
+    let width = min size 25 in
+    let depth = max 1 (size / width) in
+    Workloads.Netgen.generate ~inputs:4 ~delays:4 ~cyclic_ratio:0.04
+      ~seed:(2201 + size) ~depth ~width ()
+
+  (* FIR / JPEG plus 10^2..10^4-block generated nets. Causal sinks ride
+     on the smaller systems (event capture on a 10^4-net ring would
+     dominate the run without sharpening the gate); the chaotic arm is
+     dropped from the 10^4 net only, where O(depth) sweeps make it the
+     lone multi-second row. *)
+  let differential ~smoke () =
+    let instants = if smoke then 6 else 12 in
+    let ck_every = if smoke then 2 else 3 in
+    let systems =
+      if smoke then
+        [ ("fir", Sched_bench.fir_graph 12, `Sched, true, `All);
+          ("netgen-small", netgen_graph 50, `Netgen, true, `All) ]
+      else
+        [ ("fir", Sched_bench.fir_graph 64, `Sched, true, `All);
+          ("jpeg-pipeline", Sched_bench.pipeline_graph 48, `Sched, true,
+           `All);
+          ("netgen-100", netgen_graph 100, `Netgen, true, `All);
+          ("netgen-1000", netgen_graph 1000, `Netgen, false, `All);
+          ("netgen-10000", netgen_graph 10000, `Netgen, false, `Fast) ]
+    in
+    List.concat_map
+      (fun (name, g, stim, with_causal, which) ->
+        let compiled = G.compile g in
+        let n_blocks = Array.length compiled.G.c_blocks in
+        let stream =
+          match stim with
+          | `Sched -> Sched_bench.stimulus g ~instants
+          | `Netgen -> Workloads.Netgen.stimulus g ~instants
+        in
+        arms ~n_blocks ~instants
+        |> List.filter (fun (strategy, _, _) ->
+               which = `All || strategy <> F.Chaotic)
+        |> List.map (fun (strategy, policy, inject) ->
+               differential_row ~name g stream ~strategy ?policy ~inject
+                 ~ck_every ~with_causal ()))
+      systems
+
+  (* ---- SIGKILL harness: kill a child mid-run, resume from disk ----- *)
+
+  type kl_row = {
+    k_kill : int;  (* boundary the child froze at when killed *)
+    k_resumed_from : int;  (* instant of the artifact recovered, -1 none *)
+    k_sigkill : bool;  (* child died by SIGKILL while frozen *)
+    k_converged : bool;  (* resumed run's end state equals the oracle's *)
+  }
+
+  (* The killed child and the in-process oracle build the identical
+     system: a seeded generated net under Worklist / Retry 2 with an
+     injected three-fault campaign, full telemetry attached. *)
+  let harness_setup ~instants =
+    let g =
+      Workloads.Netgen.generate ~inputs:3 ~delays:2 ~cyclic_ratio:0.1
+        ~seed:41 ~depth:5 ~width:8 ()
+    in
+    let compiled = G.compile g in
+    let inject =
+      I.plan ~seed:11
+        ~n_blocks:(Array.length compiled.G.c_blocks)
+        ~instants ~n_faults:3 ~first_only:false ()
+    in
+    let injector = I.make inject in
+    let sim =
+      Asr.Simulate.create ~strategy:F.Worklist
+        ~telemetry:(Telemetry.Registry.create ())
+        ~supervisor:(S.create ~policy:(S.Retry 2) ())
+        ~monitor:(Telemetry.Monitor.create ())
+        ~causal:(C.create ~n_nets:compiled.G.n_nets ())
+        (I.instrument injector g)
+    in
+    (g, sim, injector,
+     Array.of_list (Workloads.Netgen.stimulus g ~instants))
+
+  (* Hidden [recovery-child DIR KILL CK_EVERY INSTANTS] mode, spawned
+     by [kill_row]: run the harness system saving a checkpoint at every
+     CK_EVERY-instant boundary; at the KILL boundary, touch DIR/ready
+     and freeze until the parent's SIGKILL lands. Dying frozen — after
+     fsync-visible artifacts, before the next instant — models the
+     power cut the recovery story is for. *)
+  let child = function
+    | [ dir; kill; ck_every; instants ] ->
+        let kill = int_of_string kill
+        and ck_every = int_of_string ck_every
+        and instants = int_of_string instants in
+        let _g, sim, injector, arr = harness_setup ~instants in
+        for i = 0 to Array.length arr - 1 do
+          if i > 0 && i mod ck_every = 0 then
+            K.save
+              (K.capture ~system:"recovery-harness" ~seed:41 ~injector sim)
+              (Filename.concat dir (Printf.sprintf "checkpoint-%d.json" i));
+          if i = kill then begin
+            close_out (open_out (Filename.concat dir "ready"));
+            while true do
+              Unix.sleepf 3600.0
+            done
+          end;
+          ignore (Asr.Simulate.step sim arr.(i));
+          I.tick injector
+        done
+    | _ ->
+        prerr_endline "usage: recovery-child DIR KILL CK_EVERY INSTANTS";
+        exit 1
+
+  let rec wait_for path tries =
+    Sys.file_exists path
+    || tries > 0
+       && begin
+            Unix.sleepf 0.05;
+            wait_for path (tries - 1)
+          end
+
+  let kill_row ~instants ~ck_every ~kill =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "asr-recovery-%d-%d" (Unix.getpid ()) kill)
+    in
+    (try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let exe = Sys.executable_name in
+    let pid =
+      Unix.create_process exe
+        [| exe; "recovery-child"; dir; string_of_int kill;
+           string_of_int ck_every; string_of_int instants |]
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    let ready = wait_for (Filename.concat dir "ready") 600 in
+    Unix.kill pid Sys.sigkill;
+    let _, status = Unix.waitpid [] pid in
+    let sigkill = ready && status = Unix.WSIGNALED Sys.sigkill in
+    let latest =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map (fun f ->
+             Scanf.sscanf_opt f "checkpoint-%d.json" (fun i -> i))
+      |> List.fold_left max (-1)
+    in
+    (* in-process oracle: the same run, uninterrupted *)
+    let g, sim, injector, arr = harness_setup ~instants in
+    let oracle_outs =
+      Array.to_list
+        (Array.map
+           (fun inputs ->
+             let o = Asr.Simulate.step sim inputs in
+             I.tick injector;
+             o)
+           arr)
+    in
+    let oracle_final =
+      K.capture ~system:"recovery-harness" ~seed:41 ~injector sim
+    in
+    let converged =
+      latest >= 0
+      &&
+      let ck =
+        K.load
+          (Filename.concat dir (Printf.sprintf "checkpoint-%d.json" latest))
+      in
+      let r = K.resume ck g in
+      let start = K.instant ck in
+      let routs = ref [] in
+      for i = start to Array.length arr - 1 do
+        routs := Asr.Simulate.step r.K.r_sim arr.(i) :: !routs;
+        Option.iter I.tick r.K.r_injector
+      done;
+      outputs_eq (List.rev !routs) (drop start oracle_outs)
+      && K.equal oracle_final
+           (K.capture ~system:"recovery-harness" ~seed:41
+              ?injector:r.K.r_injector r.K.r_sim)
+    in
+    Array.iter
+      (fun f ->
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    { k_kill = kill;
+      k_resumed_from = latest;
+      k_sigkill = sigkill;
+      k_converged = converged }
+
+  let kill_rows ~smoke () =
+    let instants = if smoke then 8 else 12 in
+    let ck_every = if smoke then 2 else 3 in
+    let n_kills = if smoke then 1 else 3 in
+    List.init n_kills (fun j ->
+        let k = 41 * (j + 1) mod instants in
+        kill_row ~instants ~ck_every ~kill:(max ck_every k))
+
+  (* ---- report ------------------------------------------------------ *)
+
+  type report = { r_diff : rd_row list; r_kills : kl_row list }
+
+  let reports ~smoke () =
+    { r_diff = differential ~smoke (); r_kills = kill_rows ~smoke () }
+
+  let print_text r =
+    print_endline "Crash recovery: checkpoint differentials, SIGKILL resume";
+    print_newline ();
+    List.iter
+      (fun d ->
+        Printf.printf
+          "  %-14s %-9s policy %-9s %5d blocks %2d instants %d injected%s: \
+           %d checkpoints, %d resumes %s, serialization %s\n"
+          d.d_system d.d_strategy d.d_policy d.d_blocks d.d_instants
+          d.d_injected
+          (if d.d_aborted then " (aborted)" else "")
+          d.d_checkpoints d.d_resumes
+          (if d.d_identical then "bit-identical" else "DIVERGED (BUG)")
+          (if d.d_roundtrip then "bit-identical" else "DIVERGED (BUG)"))
+      r.r_diff;
+    print_newline ();
+    List.iter
+      (fun k ->
+        Printf.printf
+          "  SIGKILL at instant %2d: resumed from checkpoint %d, child %s, \
+           %s\n"
+          k.k_kill k.k_resumed_from
+          (if k.k_sigkill then "killed frozen" else "NOT KILLED (BUG)")
+          (if k.k_converged then "converged to oracle"
+           else "DID NOT CONVERGE (BUG)"))
+      r.r_kills
+
+  let print_json r =
+    let rd_json d =
+      J.Obj
+        [ ("workload", J.Str d.d_system);
+          ("strategy", J.Str d.d_strategy);
+          ("policy", J.Str d.d_policy);
+          ("blocks", J.Int d.d_blocks);
+          ("instants", J.Int d.d_instants);
+          ("injected_faults", J.Int d.d_injected);
+          ("aborted", J.Bool d.d_aborted);
+          ("checkpoints_checked", J.Int d.d_checkpoints);
+          ("resumes_checked", J.Int d.d_resumes);
+          ("artifact_roundtrip_identical", J.Bool d.d_roundtrip);
+          ("resume_identical", J.Bool d.d_identical) ]
+    in
+    let kl_json k =
+      J.Obj
+        [ ("kill_instant", J.Int k.k_kill);
+          ("recovered_from_instant", J.Int k.k_resumed_from);
+          ("sigkill_delivered_ok", J.Bool k.k_sigkill);
+          ("recovery_converged_ok", J.Bool k.k_converged) ]
+    in
+    let coverage =
+      J.Obj
+        [ ( "checkpoints_checked",
+            J.Int
+              (List.fold_left (fun a d -> a + d.d_checkpoints) 0 r.r_diff) );
+          ( "resumes_checked",
+            J.Int (List.fold_left (fun a d -> a + d.d_resumes) 0 r.r_diff) );
+          ("kills_checked", J.Int (List.length r.r_kills)) ]
+    in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [ ("bench", J.Str "recovery");
+              ("differential", J.List (List.map rd_json r.r_diff));
+              ("sigkill", J.List (List.map kl_json r.r_kills));
+              ("coverage", coverage) ]))
+
+  (* Smoke contract (recovery-smoke alias in `dune runtest`): every
+     checkpoint artifact survives a JSON round-trip bit-identically,
+     every resumed run converges bit-exactly to the uninterrupted
+     oracle — outputs, final fixed point, fault log, monitor
+     cumulatives and causal events, Fail_fast aborts re-aborting at
+     the same instant with the same fault — and a SIGKILLed child's
+     on-disk artifacts recover the run. *)
+  let check r =
+    let failed = ref false in
+    let fail fmt =
+      Printf.ksprintf
+        (fun s ->
+          Printf.eprintf "FAIL %s\n" s;
+          failed := true)
+        fmt
+    in
+    List.iter
+      (fun d ->
+        if d.d_checkpoints = 0 then
+          fail "%s %s/%s: no checkpoints captured" d.d_system d.d_strategy
+            d.d_policy;
+        if not d.d_roundtrip then
+          fail "%s %s/%s: artifact JSON round-trip is not bit-identical"
+            d.d_system d.d_strategy d.d_policy;
+        if not d.d_identical then
+          fail "%s %s/%s: a resumed run diverged from the oracle" d.d_system
+            d.d_strategy d.d_policy)
+      r.r_diff;
+    List.iter
+      (fun k ->
+        if not k.k_sigkill then
+          fail "kill@%d: child was not SIGKILLed while frozen" k.k_kill;
+        if not k.k_converged then
+          fail "kill@%d: resumed run did not converge to the oracle" k.k_kill)
+      r.r_kills;
+    if !failed then exit 1
+
+  let run ~json ~smoke () =
+    let r = reports ~smoke () in
+    if json then print_json r else print_text r;
+    check r
+end
+
+(* ------------------------------------------------------------------ *)
 (* Artifact comparison: diff two BENCH_*.json files metric by metric   *)
 (* and fail on cycle/eval regressions beyond the threshold.            *)
 (* ------------------------------------------------------------------ *)
@@ -4150,6 +4626,9 @@ let experiments =
        (fun () ->
          Causal_bench.run ~json:!json_flag ~smoke:!smoke_flag
            ~baseline:!baseline_flag ()));
+    ("recovery",
+     `Plain
+       (fun () -> Recovery_bench.run ~json:!json_flag ~smoke:!smoke_flag ()));
     ("table1", `Sized table1);
     ("fig1", `Plain fig1);
     ("fig2", `Plain fig2);
@@ -4194,6 +4673,12 @@ let rec strip_baseline = function
   | [] -> []
 
 let () =
+  (* hidden subprocess mode for the SIGKILL recovery harness *)
+  (match List.tl (Array.to_list Sys.argv) with
+  | "recovery-child" :: rest ->
+      Recovery_bench.child rest;
+      exit 0
+  | _ -> ());
   let args = strip_baseline (List.tl (Array.to_list Sys.argv)) in
   (match compare_files args with
   | Some (baseline, current) ->

@@ -397,7 +397,8 @@ let profile_cmd =
 let simulate_cmd =
   let run file cls engine instants strategy supervise on_fault fault_log
       budget heap_limit escalate_after monitor snapshot_every snapshot_out
-      flight_out causal_trace causal_capacity vcd_out trace_out =
+      flight_out causal_trace causal_capacity checkpoint_every checkpoint_out
+      resume vcd_out trace_out =
     handle (fun () ->
         let checked = Mj.Typecheck.check_source ~file (read_file file) in
         let engine =
@@ -461,8 +462,41 @@ let simulate_cmd =
           | None -> None
         in
         let snapshot_buf = Buffer.create 256 in
+        let checkpoint_every = max 0 checkpoint_every in
+        (* Resume first: the artifact decides which attachments the run
+           had, so the flags below inherit from it. *)
+        let resumed_ck = Option.map Asr.Checkpoint.load resume in
+        let supervise =
+          supervise
+          || (match resumed_ck with
+             | Some ck -> Asr.Checkpoint.has_supervisor ck
+             | None -> false)
+        in
+        let monitor =
+          monitor
+          || (match resumed_ck with
+             | Some ck -> Asr.Checkpoint.has_monitor ck
+             | None -> false)
+        in
+        let policy =
+          match resumed_ck with
+          | Some ck -> Option.value (Asr.Checkpoint.policy ck) ~default:policy
+          | None -> policy
+        in
+        let escalate_after =
+          match resumed_ck with
+          | Some ck when Asr.Checkpoint.has_supervisor ck ->
+              Asr.Checkpoint.escalation_threshold ck
+          | _ -> escalate_after
+        in
+        let ckpt_dir =
+          match checkpoint_out with
+          | Some dir -> Some dir
+          | None -> if checkpoint_every > 0 then Some "." else None
+        in
         let trace, supervisor, mon =
           if supervise || strategy <> None || monitor || causal_trace <> None
+             || ckpt_dir <> None || resumed_ck <> None
           then begin
             let g =
               asr_wrap ~cls ~n_in ~n_out (fun inputs ->
@@ -497,43 +531,105 @@ let simulate_cmd =
               Option.value strategy ~default:Asr.Fixpoint.Worklist
             in
             let causal =
-              match causal_trace with
-              | None -> None
-              | Some _ ->
+              match (causal_trace, resumed_ck) with
+              | Some _, None ->
                   Some
                     (Telemetry.Causal.create ~capacity:causal_capacity
                        ~n_nets:(Asr.Graph.compile g).Asr.Graph.n_nets ())
+              | _ ->
+                  (* on resume the artifact's causal state (if any)
+                     continues the original ring *)
+                  None
             in
             let sim =
-              Asr.Simulate.create ~strategy ?telemetry:reg ?supervisor:sup
-                ?monitor:mon ?causal g
+              match resumed_ck with
+              | Some ck ->
+                  let r =
+                    Asr.Checkpoint.resume ?telemetry:reg ?monitor:mon
+                      ?supervisor:sup ck g
+                  in
+                  (match Asr.Checkpoint.machine ck with
+                  | Some mj -> Javatime.Elaborate.restore_machine_json elab mj
+                  | None -> ());
+                  r.Asr.Checkpoint.r_sim
+              | None ->
+                  Asr.Simulate.create ~strategy ?telemetry:reg ?supervisor:sup
+                    ?monitor:mon ?causal g
             in
+            let start = Asr.Simulate.instant_count sim in
             let stream =
-              List.init instants (fun t ->
+              List.init
+                (max 0 (instants - start))
+                (fun k ->
+                  let t = start + k in
                   List.init n_in (fun i ->
                       (string_of_int i, Asr.Domain.int (ramp t i))))
             in
-            match (causal_trace, causal) with
+            let write_ck ?ck ~tag dir =
+              if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+              let ck =
+                match ck with
+                | Some ck -> ck
+                | None ->
+                    Asr.Checkpoint.capture ~system:(Asr.Graph.name g)
+                      ~machine:(Javatime.Elaborate.machine_state_json elab)
+                      sim
+              in
+              let path =
+                Filename.concat dir (Printf.sprintf "checkpoint-%s.json" tag)
+              in
+              Asr.Checkpoint.save ?monitor:mon ck path;
+              path
+            in
+            (* Step-wise drive: every instant's net fixed point is
+               captured for the replayable trace artifact, periodic
+               checkpoints land on instant boundaries, and a fail-fast
+               abort still writes both artifacts — the causal trace and
+               a resumable checkpoint of the last completed instant —
+               before the exit-4 diagnostic. *)
+            let entries = ref [] and nets = ref [] and fatal = ref None in
+            (* pre-instant capture: the abort checkpoint must describe
+               the boundary before the killing instant, and the
+               supervisor is unreadable mid-instant *)
+            let last_boundary = ref None in
+            (try
+               List.iter
+                 (fun inputs ->
+                   if ckpt_dir <> None then
+                     last_boundary :=
+                       Some
+                         (Asr.Checkpoint.capture ~system:(Asr.Graph.name g)
+                            ~machine:
+                              (Javatime.Elaborate.machine_state_json elab)
+                            sim);
+                   match Asr.Simulate.run sim [ inputs ] with
+                   | [ e ] ->
+                       entries := e :: !entries;
+                       if causal_trace <> None then
+                         nets := Asr.Simulate.net_values sim :: !nets;
+                       (match ckpt_dir with
+                       | Some dir
+                         when checkpoint_every > 0
+                              && Asr.Simulate.instant_count sim
+                                 mod checkpoint_every
+                                 = 0 ->
+                           ignore
+                             (write_ck
+                                ~tag:
+                                  (string_of_int
+                                     (Asr.Simulate.instant_count sim))
+                                dir)
+                       | _ -> ())
+                   | _ -> assert false)
+                 stream
+             with Asr.Supervisor.Fatal f ->
+               fatal := Some (Asr.Supervisor.fault_to_string f));
+            let entries = List.rev !entries in
+            (match (causal_trace, Asr.Simulate.causal sim) with
             | Some path, Some cz ->
-                (* Step-wise drive so every instant's net fixed point is
-                   captured for the replayable trace artifact; a
-                   fail-fast abort still writes the trace (with the
-                   instants completed) before the exit-4 diagnostic. *)
-                let entries = ref [] and nets = ref [] and fatal = ref None in
-                (try
-                   List.iter
-                     (fun inputs ->
-                       match Asr.Simulate.run sim [ inputs ] with
-                       | [ e ] ->
-                           entries := e :: !entries;
-                           nets := Asr.Simulate.net_values sim :: !nets
-                       | _ -> assert false)
-                     stream
-                 with Asr.Supervisor.Fatal f ->
-                   fatal := Some (Asr.Supervisor.fault_to_string f));
-                let entries = List.rev !entries in
                 let t =
-                  Asr.Trace.assemble ~system:(Asr.Graph.name g) ~strategy
+                  Asr.Trace.assemble ~system:(Asr.Graph.name g)
+                    ~strategy:(Asr.Simulate.strategy sim)
                     ?policy:(if supervise then Some policy else None)
                     ~escalate_after ~graph:(Asr.Graph.compile g) ~causal:cz
                     ~stream
@@ -554,14 +650,27 @@ let simulate_cmd =
                     ?fatal:!fatal ()
                 in
                 Asr.Trace.save t path;
-                (match !fatal with
-                | Some msg ->
-                    Format.eprintf "runtime fault (fail-fast): %s@." msg;
-                    Format.eprintf "causal trace written to %s@." path;
-                    exit 4
-                | None -> ());
-                (entries, sup, mon)
-            | _ -> (Asr.Simulate.run sim stream, sup, mon)
+                if !fatal <> None then
+                  Format.eprintf "causal trace written to %s@." path
+            | Some _, None ->
+                Format.eprintf
+                  "warning: --causal-trace ignored (the resumed checkpoint \
+                   carries no causal state)@."
+            | None, _ -> ());
+            (match !fatal with
+            | Some msg ->
+                (match (ckpt_dir, !last_boundary) with
+                | Some dir, Some ck ->
+                    let path = write_ck ~ck ~tag:"abort" dir in
+                    Format.eprintf "abort checkpoint written to %s@." path
+                | _ -> ());
+                Format.eprintf "runtime fault (fail-fast): %s@." msg;
+                exit 4
+            | None -> ());
+            (match ckpt_dir with
+            | Some dir -> ignore (write_ck ~tag:"final" dir)
+            | None -> ());
+            (entries, sup, mon)
           end
           else
             let trace =
@@ -745,6 +854,33 @@ let simulate_cmd =
                  and the loss is reported in the trace and in monitor \
                  data_loss objects")
   in
+  let checkpoint_every_arg =
+    Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Write a durable checkpoint (simulator registers, \
+                 supervisor and injector state, monitor cumulatives, \
+                 causal ring, telemetry counters, elaborated machine \
+                 state) every N instants, as \
+                 checkpoint-<instant>.json under --checkpoint-out \
+                 (default .). A resumed run is bit-identical to the \
+                 uninterrupted one")
+  in
+  let checkpoint_out_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint-out" ]
+           ~docv:"DIR"
+           ~doc:"Directory for checkpoint artifacts; also arms \
+                 end-of-run (checkpoint-final.json) and fail-fast abort \
+                 (checkpoint-abort.json) checkpoints, so an exit-4 run \
+                 is resumable post-mortem")
+  in
+  let resume_arg =
+    Arg.(value & opt (some string) None & info [ "resume" ]
+           ~docv:"FILE.json"
+           ~doc:"Resume from a checkpoint artifact: restore the \
+                 simulator, supervisor, monitor, causal ring and \
+                 machine state, then run the remaining instants (up to \
+                 --instants total). Supervision, policy and monitoring \
+                 are inherited from the artifact")
+  in
   let vcd_arg =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE.vcd"
            ~doc:"Write the signal trace as a VCD waveform (GTKWave)")
@@ -756,7 +892,8 @@ let simulate_cmd =
           $ strategy_arg $ supervise_flag $ on_fault_arg $ fault_log_arg
           $ budget_arg $ heap_limit_arg $ escalate_arg $ monitor_flag
           $ snapshot_every_arg $ snapshot_out_arg $ flight_out_arg
-          $ causal_trace_arg $ causal_capacity_arg $ vcd_arg
+          $ causal_trace_arg $ causal_capacity_arg $ checkpoint_every_arg
+          $ checkpoint_out_arg $ resume_arg $ vcd_arg
           $ trace_out_arg)
 
 let why_cmd =

@@ -62,6 +62,16 @@ let reset t =
   Hashtbl.reset t.apps;
   t.fired <- 0
 
+(* Per-instant application counts are cleared by [tick], so a
+   checkpoint taken between instants only needs the two cumulative
+   registers. *)
+let restore_state t ~instant ~fired =
+  if instant < 0 || fired < 0 then
+    invalid_arg "Inject.restore_state: negative state";
+  t.instant <- instant;
+  Hashtbl.reset t.apps;
+  t.fired <- fired
+
 (* The injected message mimics the wording of the real fault the kind
    models, so log readers (and the default classifier's fallbacks) see
    plausible diagnostics. *)

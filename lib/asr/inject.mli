@@ -69,6 +69,11 @@ val fired : t -> int
 val reset : t -> unit
 (** Back to instant 0 with zeroed counters (for re-running a trace). *)
 
+val restore_state : t -> instant:int -> fired:int -> unit
+(** Checkpoint restore: set the instant index and fired-fault count, the
+    only inter-instant registers (per-instant application counts are
+    cleared by {!tick}). Raises [Invalid_argument] on negative values. *)
+
 val kind_name : kind -> string
 
 val persistence_name : persistence -> string

@@ -232,6 +232,8 @@ let monitor t = t.monitor
 
 let causal t = t.causal
 
+let telemetry t = t.telemetry
+
 let net_values t = Array.copy t.nets_buffer
 
 let schedule t = t.schedule
@@ -241,6 +243,50 @@ let instant_count t = t.instant
 let block_evaluations t = t.evaluations
 
 let delay_state t = Array.copy t.delays
+
+(* ------------------------- checkpoint state ----------------------- *)
+
+type state = {
+  st_instant : int;
+  st_evaluations : int;
+  st_delays : Domain.t array;
+  st_nets : Domain.t array;
+  st_prev_nets : Domain.t array;
+}
+
+(* Why this is the complete simulator-side state: a fresh simulator is
+   indistinguishable from a reset one (the fused fast lane re-fills its
+   template slots from [f_template] each instant, and the plain paths
+   refill from ⊥), so everything an instant's outcome depends on is
+   the delay registers, the last fixed point ([nets_buffer] — what
+   [net_values] reports between instants), the churn reference
+   ([prev_nets]) and the two counters. Attachment state (supervisor,
+   monitor, causal, registry) is checkpointed by the attachments
+   themselves. *)
+let export_state t =
+  { st_instant = t.instant;
+    st_evaluations = t.evaluations;
+    st_delays = Array.copy t.delays;
+    st_nets = Array.copy t.nets_buffer;
+    st_prev_nets = Array.copy t.prev_nets }
+
+let import_state t st =
+  if Array.length st.st_delays <> Array.length t.delays then
+    invalid_arg "Simulate.import_state: delay count mismatch";
+  if Array.length st.st_nets <> Array.length t.nets_buffer then
+    invalid_arg "Simulate.import_state: net count mismatch";
+  t.instant <- st.st_instant;
+  t.evaluations <- st.st_evaluations;
+  Array.blit st.st_delays 0 t.delays 0 (Array.length st.st_delays);
+  Array.blit st.st_nets 0 t.nets_buffer 0 (Array.length st.st_nets);
+  (* [prev_nets] is [||] on a simulator without churn sinks; when both
+     sides track churn the reference must transfer for bit-identical
+     churn counts. A checkpoint from a sink-less simulator restored
+     into a sink-ful one starts churn from the restored fixed point. *)
+  let n = min (Array.length st.st_prev_nets) (Array.length t.prev_nets) in
+  if n < Array.length t.prev_nets then
+    Array.blit st.st_nets 0 t.prev_nets 0 (Array.length t.prev_nets)
+  else Array.blit st.st_prev_nets 0 t.prev_nets 0 n
 
 let reset t =
   t.delays <- initial_delays t.compiled;

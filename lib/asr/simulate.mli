@@ -105,6 +105,8 @@ val monitor : t -> Telemetry.Monitor.t option
 
 val causal : t -> Domain.t Telemetry.Causal.t option
 
+val telemetry : t -> Telemetry.Registry.t option
+
 val net_values : t -> Domain.t array
 (** Copy of the most recent instant's fixed point, indexed by net (all
     ⊥ before the first reaction) — the per-instant observation the
@@ -113,3 +115,28 @@ val net_values : t -> Domain.t array
 val reset : t -> unit
 (** Back to initial delay values, instant 0, evaluation count 0; also
     resets the attached supervisor, if any. *)
+
+(** {2 Checkpoint state}
+
+    The complete simulator-side state between instants: delay
+    registers, last fixed point, churn reference, and the two
+    counters. A fresh simulator with this state imported reacts
+    bit-identically to the one exported from — attachment state
+    (supervisor, monitor, causal log, registry) travels separately via
+    the attachments' own checkpoint hooks (see {!Checkpoint}). *)
+
+type state = {
+  st_instant : int;
+  st_evaluations : int;
+  st_delays : Domain.t array;
+  st_nets : Domain.t array;
+  st_prev_nets : Domain.t array;  (** [[||]] without churn sinks *)
+}
+
+val export_state : t -> state
+(** Deep copy; valid however the simulator advances afterwards. *)
+
+val import_state : t -> state -> unit
+(** Restore into a simulator compiled from the same graph with the same
+    strategy and attachment configuration. Raises [Invalid_argument] on
+    a delay- or net-count mismatch. *)

@@ -347,6 +347,8 @@ let retract t ~bi ~current ~detail =
 
 let policy t = t.policy
 
+let escalation_threshold t = t.escalate_after
+
 let faults t = List.rev t.rev_log
 
 let fault_count t = t.total_faults
@@ -391,6 +393,171 @@ let fault_to_json f =
       ("class", Telemetry.Json.Str (class_name f.f_class));
       ("detail", Telemetry.Json.Str f.f_detail);
       ("action", Telemetry.Json.Str (action_name f.f_action)) ]
+
+(* ------------------------- state snapshot ------------------------- *)
+
+module Json = Telemetry.Json
+
+let class_of_name = function
+  | "trap" -> Some Trap
+  | "budget-exceeded" -> Some Budget_exceeded
+  | "heap-exhausted" -> Some Heap_exhausted
+  | "step-limit" -> Some Step_limit
+  | "retraction" -> Some Retraction
+  | _ -> None
+
+(* [action_name] is prose ("recovered after 3 failed attempts"); the
+   checkpoint codec needs a tag that parses back, so actions serialize
+   as ["held"|"absent"|"recovered:N"|"escalated"|"aborted"]. *)
+let action_tag = function
+  | Held -> "held"
+  | Went_absent -> "absent"
+  | Recovered n -> Printf.sprintf "recovered:%d" n
+  | Escalated -> "escalated"
+  | Aborted -> "aborted"
+
+let action_of_tag s =
+  match s with
+  | "held" -> Some Held
+  | "absent" -> Some Went_absent
+  | "escalated" -> Some Escalated
+  | "aborted" -> Some Aborted
+  | _ ->
+      let prefix = "recovered:" in
+      let lp = String.length prefix in
+      if String.length s > lp && String.sub s 0 lp = prefix then
+        match int_of_string_opt (String.sub s lp (String.length s - lp)) with
+        | Some n when n >= 0 -> Some (Recovered n)
+        | _ -> None
+      else None
+
+let state_malformed what =
+  invalid_arg ("Supervisor.restore_state: malformed " ^ what)
+
+let int_member name j =
+  match Json.member name j with
+  | Some (Json.Int n) -> n
+  | _ -> state_malformed name
+
+let str_member name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> state_malformed name
+
+let fault_json f =
+  Json.Obj
+    [ ("instant", Json.Int f.f_instant);
+      ("block", Json.Int f.f_block);
+      ("block_name", Json.Str f.f_block_name);
+      ("class", Json.Str (class_name f.f_class));
+      ("detail", Json.Str f.f_detail);
+      ("action", Json.Str (action_tag f.f_action)) ]
+
+let fault_of_json j =
+  { f_instant = int_member "instant" j;
+    f_block = int_member "block" j;
+    f_block_name = str_member "block_name" j;
+    f_class =
+      (match class_of_name (str_member "class" j) with
+      | Some c -> c
+      | None -> state_malformed "class");
+    f_detail = str_member "detail" j;
+    f_action =
+      (match action_of_tag (str_member "action" j) with
+      | Some a -> a
+      | None -> state_malformed "action") }
+
+(* Only the inter-instant registers travel: the per-instant ones
+   (staged, latched, application counts, ...) are cleared by the next
+   [begin_instant], so a checkpoint taken between instants never needs
+   them. Codec reals ride as IEEE-754 bit patterns via [Codec]. *)
+let state_json t =
+  if t.in_instant then
+    invalid_arg "Supervisor.state_json: instant open";
+  let vec a = Json.List (Array.to_list (Array.map Codec.value_json a)) in
+  let ints a = Json.List (Array.to_list (Array.map (fun n -> Json.Int n) a)) in
+  let bools a =
+    Json.List (Array.to_list (Array.map (fun b -> Json.Bool b) a))
+  in
+  Json.Obj
+    [ ("policy", Json.Str (policy_name t.policy));
+      ("escalate_after", Json.Int t.escalate_after);
+      ("instant", Json.Int t.instant);
+      ( "committed",
+        Json.List (Array.to_list (Array.map vec t.committed)) );
+      ("consec", ints t.consec);
+      ("quarantined", bools t.quarantined);
+      ("total_faults", Json.Int t.total_faults);
+      ("total_recovered", Json.Int t.total_recovered);
+      ("dropped_log", Json.Int t.dropped_log);
+      ("log", Json.List (List.map fault_json (faults t))) ]
+
+let restore_state t j =
+  if t.n_blocks = -1 then
+    invalid_arg "Supervisor.restore_state: not attached";
+  (match Json.member "policy" j with
+  | Some (Json.Str s) when policy_of_string s = Some t.policy -> ()
+  | _ -> state_malformed "policy (mismatch with this supervisor)");
+  if int_member "escalate_after" j <> t.escalate_after then
+    state_malformed "escalate_after (mismatch with this supervisor)";
+  let committed =
+    match Json.member "committed" j with
+    | Some (Json.List vs) ->
+        List.map
+          (function
+            | Json.List v ->
+                Array.of_list (List.map Codec.value_of_json v)
+            | _ -> state_malformed "committed")
+          vs
+    | _ -> state_malformed "committed"
+  in
+  if List.length committed <> t.n_blocks then
+    state_malformed "committed (block count)";
+  List.iteri
+    (fun bi v ->
+      if Array.length v <> Array.length t.committed.(bi) then
+        state_malformed "committed (arity)";
+      Array.blit v 0 t.committed.(bi) 0 (Array.length v))
+    committed;
+  let fill_ints name dst =
+    match Json.member name j with
+    | Some (Json.List l) when List.length l = t.n_blocks ->
+        List.iteri
+          (fun i v ->
+            match v with
+            | Json.Int n -> dst.(i) <- n
+            | _ -> state_malformed name)
+          l
+    | _ -> state_malformed name
+  in
+  fill_ints "consec" t.consec;
+  (match Json.member "quarantined" j with
+  | Some (Json.List l) when List.length l = t.n_blocks ->
+      List.iteri
+        (fun i v ->
+          match v with
+          | Json.Bool b -> t.quarantined.(i) <- b
+          | _ -> state_malformed "quarantined")
+        l
+  | _ -> state_malformed "quarantined");
+  t.instant <- int_member "instant" j;
+  t.total_faults <- int_member "total_faults" j;
+  t.total_recovered <- int_member "total_recovered" j;
+  t.dropped_log <- int_member "dropped_log" j;
+  (match Json.member "log" j with
+  | Some (Json.List l) ->
+      let fs = List.map fault_of_json l in
+      t.rev_log <- List.rev fs;
+      t.log_len <- List.length fs
+  | _ -> state_malformed "log");
+  t.in_instant <- false;
+  t.instant_faults <- 0;
+  if t.n_blocks > 0 then begin
+    Array.fill t.staged_valid 0 t.n_blocks false;
+    Array.fill t.apps 0 t.n_blocks 0;
+    Array.fill t.latched 0 t.n_blocks false;
+    Array.fill t.faulty_instant 0 t.n_blocks false
+  end
 
 let faults_json t =
   Telemetry.Json.Obj

@@ -138,6 +138,9 @@ val retract : t -> bi:int -> current:Domain.t array -> detail:string -> bool
 
 val policy : t -> policy
 
+val escalation_threshold : t -> int
+(** The [escalate_after] this supervisor was created with. *)
+
 val faults : t -> fault list
 (** Chronological fault log (capped at [max_log]). *)
 
@@ -172,6 +175,25 @@ val faults_json : t -> Telemetry.Json.t
 val reset : t -> unit
 (** Clear all per-block state, counters and the log (for re-running a
     trace on the same graph; pairs with {!Simulate.reset}). *)
+
+(** {2 Checkpoint state}
+
+    The inter-instant registers — instant index, committed outputs,
+    fault streaks, quarantine flags, counters, and the capped fault
+    log — as a JSON blob. Per-instant scratch (staged values, latches,
+    application counts) is excluded: it is cleared by the next
+    [begin_instant], so a checkpoint taken between instants never needs
+    it. Reals serialize as IEEE-754 bit patterns, and fault actions as
+    parseable tags (["recovered:3"], not prose), so a restored
+    supervisor continues — and logs — bit-identically. *)
+
+val state_json : t -> Telemetry.Json.t
+(** Raises [Invalid_argument] when called mid-instant. *)
+
+val restore_state : t -> Telemetry.Json.t -> unit
+(** Restore into an {!attach}ed supervisor created with the same policy
+    and escalation threshold (both are checked; mismatch raises
+    [Invalid_argument], as does malformed input). *)
 
 (** {2 Names} *)
 

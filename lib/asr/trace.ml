@@ -28,67 +28,12 @@ type t = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Exact value codec                                                  *)
-
-let rec data_json (d : Data.t) =
-  match d with
-  | Data.Int n -> Json.Int n
-  | Data.Bool b -> Json.Bool b
-  | Data.Real f ->
-      (* The decimal rendering is lossy (%.12g) and non-finite floats
-         print as 0; the bit pattern is what round-trips. *)
-      Json.Obj
-        [ ("r", Json.Float f);
-          ("bits", Json.Str (Printf.sprintf "%016Lx" (Int64.bits_of_float f)))
-        ]
-  | Data.Str s -> Json.Obj [ ("s", Json.Str s) ]
-  | Data.Int_array a ->
-      Json.Obj
-        [ ( "ia",
-            Json.List (Array.to_list (Array.map (fun n -> Json.Int n) a)) ) ]
-  | Data.Tuple vs -> Json.Obj [ ("tu", Json.List (List.map data_json vs)) ]
-  | Data.Absent -> Json.Obj [ ("absent", Json.Bool true) ]
+(* Exact value codec — shared with Checkpoint via Codec                *)
 
 let malformed what = invalid_arg ("Trace.of_json: malformed " ^ what)
-
-let rec data_of_json j =
-  match j with
-  | Json.Int n -> Data.Int n
-  | Json.Bool b -> Data.Bool b
-  | Json.Obj _ -> (
-      match Json.member "bits" j with
-      | Some (Json.Str h) ->
-          Data.Real (Int64.float_of_bits (Int64.of_string ("0x" ^ h)))
-      | _ -> (
-          match Json.member "s" j with
-          | Some (Json.Str s) -> Data.Str s
-          | _ -> (
-              match Json.member "ia" j with
-              | Some (Json.List l) ->
-                  Data.Int_array
-                    (Array.of_list
-                       (List.map
-                          (function Json.Int n -> n | _ -> malformed "value")
-                          l))
-              | _ -> (
-                  match Json.member "tu" j with
-                  | Some (Json.List l) -> Data.Tuple (List.map data_of_json l)
-                  | _ -> (
-                      match Json.member "absent" j with
-                      | Some _ -> Data.Absent
-                      | _ -> malformed "value")))))
-  | _ -> malformed "value"
-
-let value_json (v : Domain.t) =
-  match v with Domain.Bottom -> Json.Null | Domain.Def d -> data_json d
-
-let value_of_json j =
-  match j with Json.Null -> Domain.Bottom | j -> Domain.Def (data_of_json j)
-
-(* Bit-exact equality: Domain.equal compares reals with (=), which
-   conflates distinct NaN payloads and -0.0 with 0.0; the serialized
-   form is the identity replay is measured against. *)
-let value_eq a b = Json.to_string (value_json a) = Json.to_string (value_json b)
+let value_json = Codec.value_json
+let value_of_json = Codec.value_of_json
+let value_eq = Codec.value_eq
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                          *)
@@ -461,13 +406,7 @@ let divergence_json d =
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                      *)
 
-let spec_json (s : Inject.spec) =
-  Json.Obj
-    [ ("block", Json.Int s.Inject.i_block);
-      ("kind", Json.Str (Inject.kind_name s.Inject.i_kind));
-      ("instant", Json.Int s.Inject.i_instant);
-      ("persistence", Json.Str (Inject.persistence_name s.Inject.i_persistence));
-      ("first_only", Json.Bool s.Inject.i_first_only) ]
+let spec_json = Codec.spec_json
 
 let bindings_json bs =
   Json.List
@@ -563,32 +502,7 @@ let ports_of name l =
          | _ -> malformed name)
        l)
 
-let spec_of_json j : Inject.spec =
-  let kind =
-    match str_field "kind" j with
-    | "trap" -> Inject.Trap
-    | "cycle-spike" -> Inject.Cycle_spike
-    | "alloc-storm" -> Inject.Alloc_storm
-    | _ -> malformed "kind"
-  in
-  let persistence =
-    match str_field "persistence" j with
-    | "transient" -> Inject.Transient
-    | "persistent" -> Inject.Persistent
-    | _ -> malformed "persistence"
-  in
-  let first_only =
-    match field "first_only" j with
-    | Json.Bool b -> b
-    | _ -> malformed "first_only"
-  in
-  {
-    Inject.i_block = int_field "block" j;
-    i_kind = kind;
-    i_instant = int_field "instant" j;
-    i_persistence = persistence;
-    i_first_only = first_only;
-  }
+let spec_of_json = Codec.spec_of_json
 
 let of_json j =
   (match Json.member "version" j with

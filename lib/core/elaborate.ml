@@ -201,6 +201,48 @@ let to_block ?budget_cycles t =
       if Array.for_all Asr.Domain.is_def inputs then react t inputs
       else Array.make t.n_out Asr.Domain.Bottom)
 
+(* ---------------------- machine checkpointing --------------------- *)
+
+let machine_state t = Mj_runtime.Snapshot.capture t.ops.o_machine
+
+let restore_machine_state t s = Mj_runtime.Snapshot.restore s t.ops.o_machine
+
+let machine_state_json t = Mj_runtime.Snapshot.to_json (machine_state t)
+
+let restore_machine_json t j =
+  restore_machine_state t (Mj_runtime.Snapshot.of_json j)
+
+(* A stateful design's run() advances its fields, so applying its block
+   twice in one instant double-steps the state — the reason chaotic
+   iteration was excluded from trace correspondence. Snapshotting the
+   machine at the first application of each instant and restoring
+   before every further application makes N applications
+   indistinguishable from one: same outputs (monotone fixpoints feed a
+   fully-defined input vector the same values all instant), same final
+   heap, and same cycle meter (the restore rewinds it, so the instant
+   charges exactly one application). The driver announces instant
+   boundaries through the returned thunk. *)
+let to_reapplicable_block ?budget_cycles t =
+  let snap = ref None in
+  let new_instant () = snap := None in
+  let react t inputs =
+    match budget_cycles with
+    | Some budget_cycles -> react_bounded t ~budget_cycles inputs
+    | None -> react t inputs
+  in
+  let block =
+    Asr.Block.make ~name:("mj:" ^ t.cls) ~n_in:t.n_in ~n_out:t.n_out
+      (fun inputs ->
+        if Array.for_all Asr.Domain.is_def inputs then begin
+          (match !snap with
+          | None -> snap := Some (Mj_runtime.Snapshot.capture t.ops.o_machine)
+          | Some s -> Mj_runtime.Snapshot.restore s t.ops.o_machine);
+          react t inputs
+        end
+        else Array.make t.n_out Asr.Domain.Bottom)
+  in
+  (block, new_instant)
+
 (* Map the engine-level traps onto supervisor fault classes. The heap
    message prefixes are the ones [Heap] actually raises: a blown heap
    limit starts with "heap exhausted", the bounded-memory policy trap

@@ -90,6 +90,35 @@ val to_block : ?budget_cycles:int -> t -> Asr.Block.t
     contained as a [Budget_exceeded] fault. Derive the budget from
     {!Policy.Time_bound.reaction_bound} when the design is refined. *)
 
+val to_reapplicable_block :
+  ?budget_cycles:int -> t -> Asr.Block.t * (unit -> unit)
+(** Like {!to_block} but sound for *stateful* designs under any
+    strategy, chaotic iteration included: the block snapshots its
+    machine ({!Mj_runtime.Snapshot}) at the first application of each
+    instant and restores before every re-application, so N applications
+    are indistinguishable from one — same outputs, same final heap,
+    and the same cycle meter (the instant charges exactly one
+    application, whatever the strategy). The second component announces
+    an instant boundary; the driver calls it before each
+    {!Asr.Simulate.step}/[run]. *)
+
+(** {2 Machine checkpointing}
+
+    The embedder half of {!Asr.Checkpoint}: an elaborated design's
+    complete machine state (heap, statics, ports, console, cycle
+    meter), deep-copied or serialized. The ASR layer carries the JSON
+    as an opaque payload; these are the functions that produce and
+    apply it. *)
+
+val machine_state : t -> Mj_runtime.Snapshot.t
+
+val restore_machine_state : t -> Mj_runtime.Snapshot.t -> unit
+
+val machine_state_json : t -> Telemetry.Json.t
+
+val restore_machine_json : t -> Telemetry.Json.t -> unit
+(** Raises [Invalid_argument] on malformed input. *)
+
 val fault_classifier : exn -> (Asr.Supervisor.fault_class * string) option
 (** Engine-aware fault classification for {!Asr.Supervisor.create}:
     [Cost.Budget_exceeded] is a budget fault, heap-capacity exhaustion

@@ -11,8 +11,9 @@
    [Mj_runtime.Threads] scheduler, with port accesses recorded by the
    machine) to ASR instant streams, compared against the deterministic
    instant stream of the refined program under every fixpoint strategy
-   ([Chaotic] excluded for stateful reactions, which the single
-   application strategies exist for). *)
+   — [Chaotic] included: the re-applicable embedding restores the
+   machine before each within-instant re-application, so stateful
+   reactions survive chaotic iteration. *)
 
 module R = Analysis.Refinement
 module D = Asr.Domain
@@ -253,11 +254,11 @@ let spec_stream ?(engine = Elaborate.Engine_vm)
       checked ~cls
   in
   let n_in, n_out = Elaborate.ports elab in
-  let block =
-    Asr.Block.make ~name:("mj:" ^ cls) ~n_in ~n_out (fun inputs ->
-        if Array.for_all D.is_def inputs then Elaborate.react elab inputs
-        else Array.make n_out D.Bottom)
-  in
+  (* Re-applicable embedding: the machine snapshots at the first
+     application of each instant and restores before any further one,
+     so even strategies that apply the block several times per instant
+     (chaotic iteration) see single-application semantics. *)
+  let block, new_instant = Elaborate.to_reapplicable_block elab in
   let g = Asr.Graph.create ("verify:" ^ cls) in
   let b = Asr.Graph.add_block g block in
   for i = 0 to n_in - 1 do
@@ -277,7 +278,13 @@ let spec_stream ?(engine = Elaborate.Engine_vm)
     List.init instants (fun t ->
         List.init n_in (fun i -> (string_of_int i, inputs t i)))
   in
-  let trace = Asr.Simulate.run sim stream in
+  let trace =
+    List.concat_map
+      (fun bindings ->
+        new_instant ();
+        Asr.Simulate.run sim [ bindings ])
+      stream
+  in
   List.map
     (fun (te : Asr.Simulate.trace_entry) ->
       Array.init n_out (fun j ->
@@ -357,15 +364,15 @@ let trace_correspondence ?(engine = Elaborate.Engine_vm) ?(schedules = 100)
         else 1
   in
   let inputs = make_inputs ~kinds ~array_size in
-  (* Chaotic iteration is deliberately absent: it may re-apply a block
-     within an instant, and an elaborated reaction runs on a persistent
-     machine whose heap survives between applications — re-running
-     run() is not idempotent for any stateful design (e.g. a filter
-     window array, which [Elaborate.writes_state] cannot see because
-     the writes go through array elements, not field assignments). The
-     three single-application strategies are the sound ones. *)
+  (* Chaotic iteration re-applies blocks within an instant, which used
+     to exclude it here: re-running run() double-steps any stateful
+     design. The re-applicable embedding ([Elaborate.
+     to_reapplicable_block]) closes that gap — the machine restores to
+     its instant-entry snapshot before each re-application — so all
+     four strategies are checked. *)
   let strategies =
-    [ Asr.Fixpoint.Scheduled; Asr.Fixpoint.Worklist; Asr.Fixpoint.Fused ]
+    [ Asr.Fixpoint.Chaotic; Asr.Fixpoint.Scheduled; Asr.Fixpoint.Worklist;
+      Asr.Fixpoint.Fused ]
   in
   let failures = ref [] in
   let checked_count = ref 0 in

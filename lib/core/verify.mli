@@ -96,10 +96,11 @@ val spec_stream :
   cls:string ->
   Asr.Domain.t array list
 (** Instant stream of [cls] elaborated as a one-block ASR system on the
-    input ramp. [Chaotic] is unsound here: it may re-apply the block
-    within an instant, and the elaborated reaction's machine state
-    (e.g. a filter window) survives between applications — use the
-    single-application strategies. *)
+    input ramp. The block is the re-applicable embedding
+    ({!Elaborate.to_reapplicable_block}), so every strategy — chaotic
+    iteration included — sees single-application semantics even for
+    stateful reactions (e.g. a filter window surviving between
+    applications). *)
 
 val low_stream :
   ?engine:Elaborate.engine ->
@@ -131,8 +132,9 @@ val trace_correspondence :
   cls:string ->
   correspondence
 (** Refine the program, then check that the refined instant stream
-    agrees under every single-application fixpoint strategy (scheduled,
-    worklist, fused — see {!spec_stream} for why chaotic is excluded),
-    and that the α-image of each of [schedules] (default 100) seeded
-    low-level schedules of the {e unrestricted} program coincides with
-    it, over [instants] (default 8) ramp instants. *)
+    agrees under all four fixpoint strategies (chaotic, scheduled,
+    worklist, fused — chaotic is sound here because {!spec_stream}
+    uses the re-applicable embedding), and that the α-image of each of
+    [schedules] (default 100) seeded low-level schedules of the
+    {e unrestricted} program coincides with it, over [instants]
+    (default 8) ramp instants. *)

@@ -83,6 +83,10 @@ let cycles t = t.cycles
 
 let reset t = t.cycles <- 0
 
+(* Checkpoint restore: the meter is set, not charged, so no budget
+   check fires and no sink or line table sees a phantom charge. *)
+let restore_cycles t n = t.cycles <- n
+
 (* The sink sees the charge even when it trips the watchdog: the cycles
    were added to the meter, so a profile stays reconciled on the
    Budget_exceeded path too. *)

@@ -79,6 +79,11 @@ val cycles : t -> int
 
 val reset : t -> unit
 
+val restore_cycles : t -> int -> unit
+(** Set the meter to an absolute value (checkpoint restore). Unlike
+    {!charge} this is not a charge: no budget check fires and no sink or
+    line table observes it. *)
+
 val charge : t -> int -> unit
 
 val dispatch : t -> unit

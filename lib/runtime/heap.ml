@@ -204,3 +204,62 @@ let array_set t index i value =
    [Invalid_argument] rather than silent corruption. *)
 let array_get_unchecked t index i = (array_cells t index).(i)
 let array_set_unchecked t index i value = (array_cells t index).(i) <- value
+
+(* ------------------------- snapshot / restore --------------------- *)
+
+type snapshot = {
+  s_cells : obj_data option array;
+  s_next : int;
+  s_phase : phase;
+  s_forbid_reactive : bool;
+  s_init_allocations : int;
+  s_reactive_allocations : int;
+  s_init_words : int;
+  s_reactive_words : int;
+  s_limit_words : int option;
+  s_gc_threshold : int option;
+  s_words_since_gc : int;
+  s_gc_count : int;
+}
+
+(* Field Hashtbls and array cells are mutable, so both directions copy
+   them: a snapshot stays valid however the live heap mutates, and a
+   snapshot restored more than once hands out fresh state each time. *)
+let copy_cell = function
+  | None -> None
+  | Some (Object { cls; fields }) ->
+      Some (Object { cls; fields = Hashtbl.copy fields })
+  | Some (Arr { elem; cells }) -> Some (Arr { elem; cells = Array.copy cells })
+
+let snapshot t =
+  { s_cells = Array.init t.next (fun i -> copy_cell t.cells.(i));
+    s_next = t.next;
+    s_phase = t.phase;
+    s_forbid_reactive = t.forbid_reactive;
+    s_init_allocations = t.init_allocations;
+    s_reactive_allocations = t.reactive_allocations;
+    s_init_words = t.init_words;
+    s_reactive_words = t.reactive_words;
+    s_limit_words = t.limit_words;
+    s_gc_threshold = t.gc_threshold;
+    s_words_since_gc = t.words_since_gc;
+    s_gc_count = t.gc_count }
+
+let restore t s =
+  let cap = max 1024 s.s_next in
+  if Array.length t.cells < cap then t.cells <- Array.make cap None
+  else Array.fill t.cells 0 (Array.length t.cells) None;
+  for i = 0 to s.s_next - 1 do
+    t.cells.(i) <- copy_cell s.s_cells.(i)
+  done;
+  t.next <- s.s_next;
+  t.phase <- s.s_phase;
+  t.forbid_reactive <- s.s_forbid_reactive;
+  t.init_allocations <- s.s_init_allocations;
+  t.reactive_allocations <- s.s_reactive_allocations;
+  t.init_words <- s.s_init_words;
+  t.reactive_words <- s.s_reactive_words;
+  t.limit_words <- s.s_limit_words;
+  t.gc_threshold <- s.s_gc_threshold;
+  t.words_since_gc <- s.s_words_since_gc;
+  t.gc_count <- s.s_gc_count

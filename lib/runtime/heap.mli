@@ -100,3 +100,35 @@ val set_trap_hook : t -> (unit -> unit) -> unit
     [Cost.bounds_trap] so the trap is attributed to a source line. *)
 
 val gc_count : t -> int
+
+(** {1 Snapshot / restore}
+
+    Deep copies of the complete heap state — cells (object field tables
+    and array contents included), allocation counters for both phases,
+    the capacity limit, and the GC model's counters. The foundation of
+    re-application-safe reactions and durable checkpoints: restoring a
+    snapshot makes the heap bit-identical to the moment of capture.
+    The [on_gc]/[on_trap] hooks are wiring, not state, and are left
+    untouched by {!restore}. *)
+
+type snapshot = {
+  s_cells : obj_data option array;
+  s_next : int;
+  s_phase : phase;
+  s_forbid_reactive : bool;
+  s_init_allocations : int;
+  s_reactive_allocations : int;
+  s_init_words : int;
+  s_reactive_words : int;
+  s_limit_words : int option;
+  s_gc_threshold : int option;
+  s_words_since_gc : int;
+  s_gc_count : int;
+}
+
+val snapshot : t -> snapshot
+(** Deep copy: later heap mutation never shows through a snapshot. *)
+
+val restore : t -> snapshot -> unit
+(** Deep copy back: the same snapshot can be restored any number of
+    times, and mutating the restored heap never corrupts the snapshot. *)

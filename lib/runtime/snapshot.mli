@@ -1,0 +1,38 @@
+(** Deep machine-state snapshots: the durable half of checkpointing.
+
+    A snapshot captures everything an elaborated reaction's behavior can
+    depend on — the complete {!Heap} (via {!Heap.snapshot}), static
+    storage, ASR port states, console contents, and the {!Cost} meter —
+    and restores it bit-exactly, in process (re-application-safe
+    reactions) or across a process boundary (the JSON codec, used by
+    durable checkpoint artifacts). Doubles ride through JSON as IEEE-754
+    bit patterns ({!Telemetry.Json.float_bits}), so restore is exact for
+    NaN payloads and [-0.0] too.
+
+    Not captured: the instant log (a diagnostic trace, not reaction
+    state), engine wiring (sinks, line tables, hooks — attached at
+    machine creation), and the symbol table (reconstructed by
+    re-elaborating the same program). {!restore} targets a machine built
+    from the same program as the one captured. *)
+
+type t
+
+val capture : Machine.t -> t
+(** Deep copy: later machine mutation never shows through. *)
+
+val restore : t -> Machine.t -> unit
+(** Restore into [m]: heap, statics, ports, console and cycle meter
+    become bit-identical to the captured moment. Reusable — the same
+    snapshot can be restored any number of times. *)
+
+val to_json : t -> Telemetry.Json.t
+
+val of_json : Telemetry.Json.t -> t
+(** Inverse of {!to_json}; raises [Invalid_argument] on malformed
+    input. *)
+
+val value_json : Value.t -> Telemetry.Json.t
+(** Bit-exact {!Value.t} codec ([Double] carries its IEEE-754 bit
+    pattern; [Ref] serializes as its heap index). *)
+
+val value_of_json : Telemetry.Json.t -> Value.t

@@ -344,6 +344,47 @@ let restore ?capacity ~n_nets evs =
   t.c_instant <- List.fold_left (fun m ev -> max m ev.ev_instant) (-1) evs;
   t
 
+(* [restore] rebuilds a log for querying only: the per-net writer
+   registers stay at -1, so recording could not continue correctly (the
+   first resumed instant's delay bindings would read uid -1, and the
+   live registers may reference evicted events the ring no longer
+   holds). A [state] carries those registers explicitly, which is what
+   makes a checkpointed log *continuable* — the resumed recording
+   produces uids and read edges bit-identical to the uninterrupted
+   run's. *)
+
+type 'v state = {
+  st_capacity : int;
+  st_pushed : int;
+  st_instant : int;
+  st_truncated : int;
+  st_writers : int array;
+  st_events : 'v event list;
+}
+
+let export_state t =
+  if t.c_open then invalid_arg "Causal.export_state: instant open";
+  { st_capacity = t.c_capacity;
+    st_pushed = t.c_pushed;
+    st_instant = t.c_instant;
+    st_truncated = t.c_truncated;
+    st_writers = Array.copy t.c_cur;
+    st_events = events t }
+
+let of_state st =
+  if st.st_capacity < 1 then
+    invalid_arg "Causal.of_state: capacity must be >= 1";
+  let n_nets = Array.length st.st_writers in
+  let t = create ~capacity:st.st_capacity ~n_nets () in
+  List.iter
+    (fun ev -> t.c_ring.(ev.ev_uid mod st.st_capacity) <- Some ev)
+    st.st_events;
+  t.c_pushed <- st.st_pushed;
+  t.c_instant <- st.st_instant;
+  t.c_truncated <- st.st_truncated;
+  Array.blit st.st_writers 0 t.c_cur 0 n_nets;
+  t
+
 let kind_name = function
   | Eval -> "eval"
   | Input -> "input"

@@ -165,6 +165,26 @@ val restore : ?capacity:int -> n_nets:int -> 'v event list -> 'v t
     [capacity] defaults to covering the given events. Only querying is
     meaningful on a restored log. *)
 
+(** A continuable snapshot of the log, unlike {!restore}'s query-only
+    rebuild: it carries the per-net writer registers (which may
+    reference evicted events the ring no longer holds) so a log rebuilt
+    with {!of_state} keeps recording with uids and read edges
+    bit-identical to the uninterrupted run's. *)
+type 'v state = {
+  st_capacity : int;
+  st_pushed : int;
+  st_instant : int;  (** last opened instant; -1 before the first *)
+  st_truncated : int;
+  st_writers : int array;
+      (** establishing uid per net for the last recorded instant *)
+  st_events : 'v event list;  (** retained events, push order *)
+}
+
+val export_state : 'v t -> 'v state
+(** Raises [Invalid_argument] when an instant is open. *)
+
+val of_state : 'v state -> 'v t
+
 val event_json : render:('v -> Json.t) -> 'v event -> Json.t
 
 val event_of_json : unrender:(Json.t -> 'v) -> Json.t -> 'v event

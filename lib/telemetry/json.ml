@@ -217,3 +217,20 @@ let parse s =
 let member k = function
   | Obj kvs -> List.assoc_opt k kvs
   | _ -> None
+
+(* Reals must survive a JSON round trip bit-exactly in durable artifacts
+   (traces, checkpoints), but [float_repr] rounds through decimal and
+   maps non-finite values to 0 — so the exact IEEE-754 bit pattern rides
+   alongside a human-readable approximation. *)
+let float_bits f =
+  Obj
+    [ ("r", Float f);
+      ("bits", Str (Printf.sprintf "%016Lx" (Int64.bits_of_float f))) ]
+
+let float_of_bits j =
+  match member "bits" j with
+  | Some (Str hex) -> (
+      match Int64.of_string_opt ("0x" ^ hex) with
+      | Some bits -> Some (Int64.float_of_bits bits)
+      | None -> None)
+  | _ -> None

@@ -32,3 +32,17 @@ val parse : string -> t
 val member : string -> t -> t option
 (** [member k (Obj kvs)] is the first binding of [k], [None] otherwise
     or when the value is not an object. *)
+
+val float_bits : float -> t
+(** Lossless float encoding for durable artifacts. {!to_string} rounds
+    floats through a decimal representation (and renders non-finite
+    values as [0]), so serializers that must round-trip reals bit-exactly
+    — traces, checkpoints — encode them as
+    [{"r": <approx>, "bits": "<16 hex digits>"}]: the ["r"] member keeps
+    the artifact human-readable, the ["bits"] member carries the exact
+    IEEE-754 bit pattern. *)
+
+val float_of_bits : t -> float option
+(** Inverse of {!float_bits}: decodes the ["bits"] member back to the
+    identical bit pattern. [None] when the value is not a well-formed
+    {!float_bits} object. *)

@@ -73,6 +73,12 @@ type t = {
   (* (overwrites, truncated_slices) of an attached causal event ring;
      installed by the simulator so ring loss rides along in data_loss *)
   mutable m_causal_source : (unit -> int * int) option;
+  (* durable-checkpoint write accounting; failures surface in
+     [data_loss_json] — a failed write is lost recovery data *)
+  mutable m_ckpt_writes : int;
+  mutable m_ckpt_bytes : int;
+  mutable m_ckpt_failures : int;
+  m_ckpt_seconds : float array;  (* one slot, same boxing dodge as above *)
 }
 
 let batch = 32
@@ -117,9 +123,23 @@ let create ?(alpha = 0.01) ?(recorder_capacity = 256) ?(window = 64)
     m_churn_win = Window.create ~ewma_alpha ~capacity:window ();
     m_spikes = 0;
     m_last_dump = None;
-    m_causal_source = None }
+    m_causal_source = None;
+    m_ckpt_writes = 0;
+    m_ckpt_bytes = 0;
+    m_ckpt_failures = 0;
+    m_ckpt_seconds = Array.make 1 0.0 }
 
 let set_causal_source t f = t.m_causal_source <- Some f
+
+let checkpoint_written t ~bytes ~seconds =
+  t.m_ckpt_writes <- t.m_ckpt_writes + 1;
+  t.m_ckpt_bytes <- t.m_ckpt_bytes + bytes;
+  t.m_ckpt_seconds.(0) <- t.m_ckpt_seconds.(0) +. seconds
+
+let checkpoint_write_failed t = t.m_ckpt_failures <- t.m_ckpt_failures + 1
+
+let checkpoint_stats t =
+  (t.m_ckpt_writes, t.m_ckpt_bytes, t.m_ckpt_seconds.(0), t.m_ckpt_failures)
 
 let block_state t name =
   match Hashtbl.find_opt t.m_blocks name with
@@ -195,7 +215,8 @@ let data_loss_json t =
     [ ("recorder_overwrites", Json.Int (Recorder.overwrites t.m_recorder));
       ("sketch_out_of_range", Json.Int sketch_oor);
       ("causal_overwrites", Json.Int causal_ow);
-      ("causal_truncated", Json.Int causal_trunc) ]
+      ("causal_truncated", Json.Int causal_trunc);
+      ("checkpoint_write_failures", Json.Int t.m_ckpt_failures) ]
 
 (* Commit the pending samples in instant order: the spike flag is
    evaluated against the EWMA as it stood *before* each sample (one
@@ -248,6 +269,12 @@ let snapshot t =
             ("churn_max", Json.Float (Window.max_value t.m_churn_win));
             ("latency_ewma", Json.Float (Window.ewma t.m_lat_win)) ] );
       ("spikes", Json.Int t.m_spikes);
+      ( "checkpoint",
+        Json.Obj
+          [ ("writes", Json.Int t.m_ckpt_writes);
+            ("bytes", Json.Int t.m_ckpt_bytes);
+            ("seconds", Json.Float t.m_ckpt_seconds.(0));
+            ("write_failures", Json.Int t.m_ckpt_failures) ] );
       ("health", health_json t);
       ("data_loss", data_loss_json t) ]
 
@@ -350,4 +377,87 @@ let reset t =
   t.m_cum_cycles <- 0;
   t.m_spikes <- 0;
   t.m_snapshots <- 0;
-  t.m_last_dump <- None
+  t.m_last_dump <- None;
+  t.m_ckpt_writes <- 0;
+  t.m_ckpt_bytes <- 0;
+  t.m_ckpt_failures <- 0;
+  t.m_ckpt_seconds.(0) <- 0.0
+
+(* ------------------------- checkpoint state ----------------------- *)
+
+let state_malformed what =
+  invalid_arg ("Monitor.restore_state: malformed " ^ what)
+
+let state_int name j =
+  match Json.member name j with
+  | Some (Json.Int n) -> n
+  | _ -> state_malformed name
+
+(* What travels in a checkpoint: the cumulative counters (the resume
+   bit-exactness gate), per-block health, and the spike/snapshot
+   counts. The quantile sketches, windows and flight ring restart
+   empty on restore — they are bounded-memory summaries of the
+   *process*, not simulation state, and their contents are not
+   recoverable from their own outputs anyway. Checkpoint write
+   accounting also restarts: it describes the writing process. *)
+let state_json t =
+  if t.m_in_instant then invalid_arg "Monitor.state_json: instant open";
+  flush t;
+  let blocks =
+    Hashtbl.fold (fun _ b acc -> b :: acc) t.m_blocks []
+    |> List.sort (fun a b -> compare a.b_name b.b_name)
+  in
+  Json.Obj
+    [ ("instants", Json.Int t.m_instants);
+      ("block_evaluations", Json.Int t.m_cum_evals);
+      ("iterations", Json.Int t.m_cum_iterations);
+      ("net_churn", Json.Int t.m_cum_churn);
+      ("faults", Json.Int t.m_cum_faults);
+      ("cycles", Json.Int t.m_cum_cycles);
+      ("spikes", Json.Int t.m_spikes);
+      ("snapshots", Json.Int t.m_snapshots);
+      ( "blocks",
+        Json.List
+          (List.map
+             (fun b ->
+               Json.Obj
+                 [ ("block", Json.Str b.b_name);
+                   ("faults", Json.Int b.b_faults);
+                   ("recovered", Json.Int b.b_recovered);
+                   ("streak", Json.Int b.b_streak);
+                   ("max_streak", Json.Int b.b_max_streak);
+                   ("last_fault_instant", Json.Int b.b_last_fault_instant);
+                   ("quarantined", Json.Bool b.b_quarantined) ])
+             blocks) ) ]
+
+let restore_state t j =
+  reset t;
+  t.m_instants <- state_int "instants" j;
+  t.m_cum_evals <- state_int "block_evaluations" j;
+  t.m_cum_iterations <- state_int "iterations" j;
+  t.m_cum_churn <- state_int "net_churn" j;
+  t.m_cum_faults <- state_int "faults" j;
+  t.m_cum_cycles <- state_int "cycles" j;
+  t.m_spikes <- state_int "spikes" j;
+  t.m_snapshots <- state_int "snapshots" j;
+  match Json.member "blocks" j with
+  | Some (Json.List bs) ->
+      List.iter
+        (fun bj ->
+          let name =
+            match Json.member "block" bj with
+            | Some (Json.Str s) -> s
+            | _ -> state_malformed "block"
+          in
+          let b = block_state t name in
+          b.b_faults <- state_int "faults" bj;
+          b.b_recovered <- state_int "recovered" bj;
+          b.b_streak <- state_int "streak" bj;
+          b.b_max_streak <- state_int "max_streak" bj;
+          b.b_last_fault_instant <- state_int "last_fault_instant" bj;
+          b.b_quarantined <-
+            (match Json.member "quarantined" bj with
+            | Some (Json.Bool q) -> q
+            | _ -> state_malformed "quarantined"))
+        bs
+  | _ -> state_malformed "blocks"

@@ -101,6 +101,20 @@ val set_causal_source : t -> (unit -> int * int) -> unit
     installed). The simulator wires this when a reaction loop carries
     both a monitor and a causal sink. *)
 
+(** {2 Checkpoint write accounting}
+
+    Durable-checkpoint writes are part of the monitored system: their
+    count, volume and cost appear in every {!snapshot} under a
+    [checkpoint] object, and a failed write — lost recovery data —
+    raises the [checkpoint_write_failures] flag in [data_loss]. *)
+
+val checkpoint_written : t -> bytes:int -> seconds:float -> unit
+
+val checkpoint_write_failed : t -> unit
+
+val checkpoint_stats : t -> int * int * float * int
+(** [(writes, bytes, seconds, failures)]. *)
+
 (** {2 Inspection} *)
 
 val instants : t -> int
@@ -145,3 +159,19 @@ val last_dump : t -> Json.t option
 (** The most recent dump emitted by {!quarantine}. *)
 
 val reset : t -> unit
+
+(** {2 Checkpoint state}
+
+    What travels in a durable checkpoint: the cumulative counters (the
+    resume bit-exactness gate), per-block health, and the
+    spike/snapshot counts. The quantile sketches, windows and flight
+    ring restart empty on restore — they are bounded-memory summaries
+    of the process, not simulation state. *)
+
+val state_json : t -> Json.t
+(** Raises [Invalid_argument] when an instant is open. *)
+
+val restore_state : t -> Json.t -> unit
+(** {!reset} then restore: the monitor continues as if it had observed
+    the checkpointed run. Raises [Invalid_argument] on malformed
+    input. *)

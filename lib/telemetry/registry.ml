@@ -161,6 +161,11 @@ let histograms t = List.rev t.histograms_rev
 let spans t = List.rev t.spans_rev
 let dropped_spans t = t.dropped
 
+let export_counters t = List.map (fun c -> (c.c_name, c.c_value)) (counters t)
+
+let import_counters t pairs =
+  List.iter (fun (name, v) -> (counter t name).c_value <- v) pairs
+
 let saturated c = c.c_value = max_int
 
 let saturated_counters t =

@@ -98,6 +98,14 @@ val spans : t -> span list
 
 val dropped_spans : t -> int
 
+val export_counters : t -> (string * int) list
+(** [(name, value)] pairs in creation order — the counter half of a
+    durable checkpoint. *)
+
+val import_counters : t -> (string * int) list -> unit
+(** Find-or-create each named counter and set (not add) its value, for
+    checkpoint restore; counters not named are left untouched. *)
+
 val saturated : counter -> bool
 (** The counter hit [max_int]: later increments were lost. *)
 

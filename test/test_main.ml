@@ -27,4 +27,5 @@ let () =
       ("monitor", Test_monitor.suite);
       ("supervisor", Test_supervisor.suite);
       ("refinement", Test_refinement.suite);
-      ("causal", Test_causal.suite) ]
+      ("causal", Test_causal.suite);
+      ("checkpoint", Test_checkpoint.suite) ]

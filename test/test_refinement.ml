@@ -173,12 +173,12 @@ let correspondence_tests =
         in
         Alcotest.(check (list string)) "no failures" [] corr.V.c_failures;
         Alcotest.(check int) "schedules" 10 corr.V.c_schedules;
-        (* two strategy agreements (worklist, fused vs scheduled) plus
-           one correspondence per seed *)
-        Alcotest.(check int) "checked" 12 corr.V.c_checked;
+        (* three strategy agreements (scheduled, worklist, fused vs
+           chaotic) plus one correspondence per seed *)
+        Alcotest.(check int) "checked" 13 corr.V.c_checked;
         Alcotest.(check (list string))
-          "single-application strategies only"
-          [ "scheduled"; "worklist"; "fused" ]
+          "all four strategies, chaotic readmitted"
+          [ "chaotic"; "scheduled"; "worklist"; "fused" ]
           corr.V.c_strategies);
     case "jpeg: array ports are calibrated and correspond" (fun () ->
         let corr =
